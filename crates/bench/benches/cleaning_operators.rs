@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the cleaning operators: `cleanσ` end-to-end through
+//! the engine, and the incremental join update of `clean⋈`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use daisy_common::DaisyConfig;
+use daisy_core::DaisyEngine;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
+use daisy_expr::FunctionalDependency;
+
+fn setup(rows: usize) -> (daisy_storage::Table, daisy_storage::Table) {
+    let config = SsbConfig {
+        lineorder_rows: rows,
+        distinct_orderkeys: rows / 10,
+        distinct_suppkeys: 50,
+        ..SsbConfig::default()
+    };
+    let mut lineorder = generate_lineorder(&config).unwrap();
+    let mut supplier = generate_supplier(&config).unwrap();
+    inject_fd_errors(&mut lineorder, "orderkey", "suppkey", 1.0, 0.1, 1).unwrap();
+    inject_fd_errors(&mut supplier, "address", "suppkey", 0.5, 0.2, 2).unwrap();
+    (lineorder, supplier)
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cleaning_operators");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let (lineorder, supplier) = setup(4_000);
+
+    group.bench_function("clean_select_sp_query", |b| {
+        b.iter(|| {
+            let mut engine =
+                DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+            engine.register_table(lineorder.clone());
+            engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+            engine
+                .execute_sql("SELECT orderkey, suppkey FROM lineorder WHERE suppkey <= 5")
+                .unwrap()
+        })
+    });
+    group.bench_function("clean_join_spj_query", |b| {
+        b.iter(|| {
+            let mut engine =
+                DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+            engine.register_table(lineorder.clone());
+            engine.register_table(supplier.clone());
+            engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+            engine.add_fd(&FunctionalDependency::new(&["address"], "suppkey"), "psi");
+            engine
+                .execute_sql(
+                    "SELECT lineorder.orderkey, supplier.name FROM lineorder \
+                     JOIN supplier ON lineorder.suppkey = supplier.suppkey \
+                     WHERE orderkey <= 40",
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the underlying query operators (filter, probabilistic
+//! hash join, aggregation) that the cleaning operators are woven between.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use daisy_exec::ExecContext;
+use daisy_expr::BoolExpr;
+use daisy_query::physical::{aggregate, filter_tuples, hash_join, AggregateSpec, PredicateMode};
+use daisy_query::AggregateFunc;
+use daisy_data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
+
+fn bench_query_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_operators");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let config = SsbConfig {
+        lineorder_rows: 20_000,
+        distinct_orderkeys: 2_000,
+        distinct_suppkeys: 100,
+        ..SsbConfig::default()
+    };
+    let lineorder = generate_lineorder(&config).unwrap();
+    let supplier = generate_supplier(&config).unwrap();
+    let lo_schema = lineorder.schema().qualify("lineorder");
+    let sup_schema = supplier.schema().qualify("supplier");
+    let ctx = ExecContext::default_parallelism();
+
+    group.bench_function("filter_2pct_range", |b| {
+        let predicate = BoolExpr::between("orderkey", 0, 40);
+        b.iter(|| {
+            filter_tuples(
+                &ctx,
+                &lo_schema,
+                lineorder.tuples(),
+                &predicate,
+                PredicateMode::Possible,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("hash_join_lineorder_supplier", |b| {
+        b.iter(|| {
+            hash_join(
+                &ctx,
+                &lo_schema,
+                lineorder.tuples(),
+                &sup_schema,
+                supplier.tuples(),
+                "lineorder.suppkey",
+                "supplier.suppkey",
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("group_by_suppkey_sum_revenue", |b| {
+        b.iter(|| {
+            aggregate(
+                &ctx,
+                &lo_schema,
+                lineorder.tuples(),
+                &["lineorder.suppkey".to_string()],
+                &[AggregateSpec::new(AggregateFunc::Sum, Some("revenue"))],
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_operators);
+criterion_main!(benches);

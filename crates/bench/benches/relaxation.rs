@@ -1,0 +1,65 @@
+//! Ablation: query-result relaxation vs per-error dataset traversal for
+//! candidate-fix computation (the mechanism behind Figs. 5/6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use daisy_core::clean_select::clean_select_fd;
+use daisy_core::fd_index::FdIndex;
+use daisy_core::relaxation::FilterTarget;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_expr::FunctionalDependency;
+use daisy_offline::full::offline_clean_fd;
+use daisy_storage::ProvenanceStore;
+
+fn bench_relaxation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxation_vs_offline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for rows in [2_000usize, 8_000] {
+        let config = SsbConfig {
+            lineorder_rows: rows,
+            distinct_orderkeys: rows / 10,
+            distinct_suppkeys: 50,
+            ..SsbConfig::default()
+        };
+        let mut table = generate_lineorder(&config).unwrap();
+        inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.1, 1).unwrap();
+        let fd = FunctionalDependency::new(&["orderkey"], "suppkey");
+        let index = FdIndex::build(&table, &fd).unwrap();
+        // A 2%-selectivity answer on the rhs.
+        let answer: Vec<_> = table
+            .tuples()
+            .iter()
+            .filter(|t| t.value(1).unwrap().as_int().unwrap() < 1)
+            .cloned()
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("daisy_clean_select", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut prov = ProvenanceStore::new();
+                clean_select_fd(
+                    daisy_common::RuleId::new(0),
+                    &index,
+                    &answer,
+                    table.tuples(),
+                    FilterTarget::Rhs,
+                    16,
+                    &mut prov,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("offline_full_clean", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut copy = table.clone();
+                offline_clean_fd(&mut copy, &fd).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: partitioned theta-join detection — block pruning and partition
+//! count (the mechanism behind Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use daisy_core::theta::ThetaMatrix;
+use daisy_data::errors::inject_inequality_errors;
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_expr::DenialConstraint;
+
+fn bench_theta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theta_join_detection");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let rows = 2_000usize;
+    let config = SsbConfig {
+        lineorder_rows: rows,
+        distinct_orderkeys: rows / 10,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&config).unwrap();
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.02, 0.3, 2).unwrap();
+    let dc = DenialConstraint::parse(
+        "dc",
+        "t1.extended_price < t2.extended_price & t1.discount > t2.discount",
+    )
+    .unwrap();
+    let schema = table.schema().clone();
+
+    for blocks in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("full_check", blocks), &blocks, |b, &blocks| {
+            b.iter(|| {
+                let mut matrix =
+                    ThetaMatrix::build(&schema, table.tuples(), &dc, blocks).unwrap();
+                matrix.check_all(&schema, table.tuples()).unwrap()
+            })
+        });
+    }
+    group.bench_function("incremental_range_check", |b| {
+        b.iter(|| {
+            let mut matrix = ThetaMatrix::build(&schema, table.tuples(), &dc, 8).unwrap();
+            matrix
+                .check_range(
+                    &schema,
+                    table.tuples(),
+                    Some(&daisy_common::Value::Int(0)),
+                    Some(&daisy_common::Value::Int(5_000)),
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_theta);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 5: SP query cost when varying the orderkey selectivity
+//! (5K / 10K / 100K distinct orderkeys, FD orderkey → suppkey, 100% dirty
+//! groups, 50 non-overlapping 2%-selectivity queries filtering the rhs).
+
+use daisy_bench::harness::{run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_data::workload::non_overlapping_range_queries;
+use daisy_expr::FunctionalDependency;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Figure 5 — SP cost vs orderkey selectivity ({} rows/workload)", scale.rows);
+    for distinct_orderkeys in [scale.rows / 20, scale.rows / 10, scale.rows / 2] {
+        let config = SsbConfig {
+            lineorder_rows: scale.rows,
+            distinct_orderkeys,
+            distinct_suppkeys: 100,
+            ..SsbConfig::default()
+        };
+        let mut lineorder = generate_lineorder(&config).unwrap();
+        inject_fd_errors(&mut lineorder, "orderkey", "suppkey", 1.0, 0.1, 42).unwrap();
+        // Queries filter the rhs (suppkey) as in the paper's Fig. 5 setup.
+        let workload = non_overlapping_range_queries(
+            &lineorder,
+            "suppkey",
+            scale.queries,
+            &["orderkey", "suppkey"],
+        )
+        .unwrap();
+        let fd = FunctionalDependency::new(&["orderkey"], "suppkey");
+        let daisy = run_daisy_workload(
+            "Daisy",
+            &[lineorder.clone()],
+            &[(fd.clone(), "phi")],
+            &[],
+            &workload,
+            DaisyConfig::default(),
+        );
+        let offline = run_offline_then_query(
+            "Full Cleaning + queries",
+            &[lineorder],
+            &[(fd, "phi")],
+            &[],
+            &workload,
+        );
+        println!("\n--- {distinct_orderkeys} distinct orderkeys ---");
+        println!("{}", daisy.row());
+        println!("{}", offline.row());
+        println!(
+            "speedup (offline / Daisy): {:.2}x",
+            offline.total.as_secs_f64() / daisy.total.as_secs_f64()
+        );
+    }
+}

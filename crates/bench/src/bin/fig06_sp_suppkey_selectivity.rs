@@ -1,0 +1,56 @@
+//! Figure 6: SP query cost when varying the suppkey selectivity
+//! (100 / 1K / 10K distinct suppkeys; queries filter the lhs so relaxation
+//! needs the transitive closure).
+
+use daisy_bench::harness::{run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_data::workload::non_overlapping_range_queries;
+use daisy_expr::FunctionalDependency;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Figure 6 — SP cost vs suppkey selectivity ({} rows/workload)", scale.rows);
+    for distinct_suppkeys in [50usize, 200, 1000] {
+        let config = SsbConfig {
+            lineorder_rows: scale.rows,
+            distinct_orderkeys: scale.rows / 10,
+            distinct_suppkeys,
+            ..SsbConfig::default()
+        };
+        let mut lineorder = generate_lineorder(&config).unwrap();
+        inject_fd_errors(&mut lineorder, "orderkey", "suppkey", 1.0, 0.1, 42).unwrap();
+        // Queries filter the lhs (orderkey): Fig. 6's transitive-closure case.
+        let workload = non_overlapping_range_queries(
+            &lineorder,
+            "orderkey",
+            scale.queries,
+            &["orderkey", "suppkey"],
+        )
+        .unwrap();
+        let fd = FunctionalDependency::new(&["orderkey"], "suppkey");
+        let daisy = run_daisy_workload(
+            "Daisy",
+            &[lineorder.clone()],
+            &[(fd.clone(), "phi")],
+            &[],
+            &workload,
+            DaisyConfig::default(),
+        );
+        let offline = run_offline_then_query(
+            "Full Cleaning + queries",
+            &[lineorder],
+            &[(fd, "phi")],
+            &[],
+            &workload,
+        );
+        println!("\n--- {distinct_suppkeys} distinct suppkeys ---");
+        println!("{}", daisy.row());
+        println!("{}", offline.row());
+        println!(
+            "speedup (offline / Daisy): {:.2}x",
+            offline.total.as_secs_f64() / daisy.total.as_secs_f64()
+        );
+    }
+}

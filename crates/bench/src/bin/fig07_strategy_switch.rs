@@ -1,0 +1,64 @@
+//! Figure 7: switching from incremental to full cleaning — cumulative time
+//! of Daisy without the cost model, Full Cleaning, and Daisy with the cost
+//! model over 90 random-selectivity queries on a low-suppkey-selectivity
+//! dataset.
+
+use daisy_bench::harness::{print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_data::workload::random_selectivity_queries;
+use daisy_expr::FunctionalDependency;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let config = SsbConfig {
+        lineorder_rows: scale.rows,
+        distinct_orderkeys: scale.rows / 2,
+        distinct_suppkeys: 20,
+        ..SsbConfig::default()
+    };
+    let mut lineorder = generate_lineorder(&config).unwrap();
+    inject_fd_errors(&mut lineorder, "orderkey", "suppkey", 1.0, 0.5, 7).unwrap();
+    let workload = random_selectivity_queries(
+        &lineorder,
+        "orderkey",
+        (scale.queries * 9 / 5).max(30),
+        &["orderkey", "suppkey"],
+        13,
+    )
+    .unwrap();
+    let fd = FunctionalDependency::new(&["orderkey"], "suppkey");
+
+    println!("Figure 7 — incremental vs full vs cost-model switching");
+    let daisy_no_cost = run_daisy_workload(
+        "Daisy w/o cost model",
+        &[lineorder.clone()],
+        &[(fd.clone(), "phi")],
+        &[],
+        &workload,
+        DaisyConfig::default().with_cost_model(false),
+    );
+    let daisy = run_daisy_workload(
+        "Daisy",
+        &[lineorder.clone()],
+        &[(fd.clone(), "phi")],
+        &[],
+        &workload,
+        DaisyConfig::default().with_cost_model(true),
+    );
+    let offline = run_offline_then_query(
+        "Full Cleaning + queries",
+        &[lineorder],
+        &[(fd, "phi")],
+        &[],
+        &workload,
+    );
+    for m in [&daisy_no_cost, &offline, &daisy] {
+        println!("{}", m.row());
+    }
+    println!("\ncumulative series (query\\tseconds):");
+    for m in [&daisy_no_cost, &offline, &daisy] {
+        print_cumulative(m);
+    }
+}

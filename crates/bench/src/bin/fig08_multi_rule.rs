@@ -1,0 +1,56 @@
+//! Figure 8: single rule vs two overlapping rules
+//! (ϕ: orderkey → suppkey, ψ: address → suppkey) over the denormalised
+//! lineorder ⋈ supplier table.
+
+use daisy_bench::harness::{run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder_supplier, SsbConfig};
+use daisy_data::workload::non_overlapping_range_queries;
+use daisy_expr::FunctionalDependency;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let config = SsbConfig {
+        lineorder_rows: scale.rows,
+        distinct_orderkeys: scale.rows / 10,
+        distinct_suppkeys: 100,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder_supplier(&config).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.1, 8).unwrap();
+    inject_fd_errors(&mut table, "address", "suppkey", 0.5, 0.2, 9).unwrap();
+    let workload = non_overlapping_range_queries(
+        &table,
+        "orderkey",
+        scale.queries,
+        &["orderkey", "suppkey", "address"],
+    )
+    .unwrap();
+    let phi = FunctionalDependency::new(&["orderkey"], "suppkey");
+    let psi = FunctionalDependency::new(&["address"], "suppkey");
+
+    println!("Figure 8 — one rule vs two overlapping rules");
+    for (label, fds) in [
+        ("1 rule (phi)", vec![(phi.clone(), "phi")]),
+        ("2 rules (phi + psi)", vec![(phi.clone(), "phi"), (psi.clone(), "psi")]),
+    ] {
+        let daisy = run_daisy_workload(
+            &format!("Daisy — {label}"),
+            &[table.clone()],
+            &fds,
+            &[],
+            &workload,
+            DaisyConfig::default(),
+        );
+        let offline = run_offline_then_query(
+            &format!("Full — {label}"),
+            &[table.clone()],
+            &fds,
+            &[],
+            &workload,
+        );
+        println!("{}", daisy.row());
+        println!("{}", offline.row());
+    }
+}

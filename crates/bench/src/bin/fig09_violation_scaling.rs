@@ -1,0 +1,59 @@
+//! Figure 9: cost when increasing the number of violations (20% / 40% /
+//! 60% / 80% of erroneous orderkey groups) under a fixed 50-query SP
+//! workload.
+
+use daisy_bench::harness::{run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_data::workload::non_overlapping_range_queries;
+use daisy_expr::FunctionalDependency;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Figure 9 — cost vs percentage of erroneous orderkeys");
+    for percent in [20usize, 40, 60, 80] {
+        let config = SsbConfig {
+            lineorder_rows: scale.rows,
+            distinct_orderkeys: scale.rows / 10,
+            distinct_suppkeys: 100,
+            ..SsbConfig::default()
+        };
+        let mut lineorder = generate_lineorder(&config).unwrap();
+        inject_fd_errors(
+            &mut lineorder,
+            "orderkey",
+            "suppkey",
+            percent as f64 / 100.0,
+            0.1,
+            42,
+        )
+        .unwrap();
+        let workload = non_overlapping_range_queries(
+            &lineorder,
+            "suppkey",
+            scale.queries,
+            &["orderkey", "suppkey"],
+        )
+        .unwrap();
+        let fd = FunctionalDependency::new(&["orderkey"], "suppkey");
+        let daisy = run_daisy_workload(
+            "Daisy",
+            &[lineorder.clone()],
+            &[(fd.clone(), "phi")],
+            &[],
+            &workload,
+            DaisyConfig::default(),
+        );
+        let offline = run_offline_then_query(
+            "Full Cleaning + queries",
+            &[lineorder],
+            &[(fd, "phi")],
+            &[],
+            &workload,
+        );
+        println!("\n--- {percent}% erroneous groups ---");
+        println!("{}", daisy.row());
+        println!("{}", offline.row());
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 10: general denial constraints with inequality predicates
+//! (¬(t1.extended_price < t2.extended_price ∧ t1.discount > t2.discount))
+//! under 0.2% / 2% / 20% violation rates, 60 SP range queries.
+
+use daisy_bench::harness::{run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::errors::inject_inequality_errors;
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_data::workload::non_overlapping_range_queries;
+use daisy_expr::DenialConstraint;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    // The quadratic theta check caps the usable table size; keep it modest.
+    let rows = (scale.rows / 4).max(2_000);
+    println!("Figure 10 — inequality DCs ({} rows)", rows);
+    for (label, fraction, magnitude) in [
+        ("0.2% violations", 0.002, 0.3),
+        ("2% violations", 0.02, 0.3),
+        ("20% violations", 0.2, 0.9),
+    ] {
+        let config = SsbConfig {
+            lineorder_rows: rows,
+            distinct_orderkeys: rows / 10,
+            distinct_suppkeys: 100,
+            ..SsbConfig::default()
+        };
+        let mut lineorder = generate_lineorder(&config).unwrap();
+        inject_inequality_errors(
+            &mut lineorder,
+            "extended_price",
+            "discount",
+            fraction,
+            magnitude,
+            10,
+        )
+        .unwrap();
+        let dc = DenialConstraint::parse(
+            "dc",
+            "t1.extended_price < t2.extended_price & t1.discount > t2.discount",
+        )
+        .unwrap();
+        let workload = non_overlapping_range_queries(
+            &lineorder,
+            "extended_price",
+            scale.queries.min(30),
+            &["extended_price", "discount"],
+        )
+        .unwrap();
+        let daisy = run_daisy_workload(
+            "Daisy",
+            &[lineorder.clone()],
+            &[],
+            &[dc.clone()],
+            &workload,
+            DaisyConfig::default().with_theta_partitions(64),
+        );
+        let offline = run_offline_then_query(
+            "Full Cleaning + queries",
+            &[lineorder],
+            &[],
+            &[dc],
+            &workload,
+        );
+        println!("\n--- {label} ---");
+        println!("{}", daisy.row());
+        println!("{}", offline.row());
+        println!(
+            "speedup (offline / Daisy): {:.2}x",
+            offline.total.as_secs_f64() / daisy.total.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 11: SPJ queries — 50 join queries over lineorder ⋈ supplier with
+//! ϕ: orderkey → suppkey on lineorder and ψ: address → suppkey on supplier.
+
+use daisy_bench::harness::{print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
+use daisy_data::workload::{join_workload, non_overlapping_range_queries};
+use daisy_expr::FunctionalDependency;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let config = SsbConfig {
+        lineorder_rows: scale.rows,
+        distinct_orderkeys: scale.rows / 10,
+        distinct_suppkeys: 200,
+        ..SsbConfig::default()
+    };
+    let mut lineorder = generate_lineorder(&config).unwrap();
+    let mut supplier = generate_supplier(&config).unwrap();
+    inject_fd_errors(&mut lineorder, "orderkey", "suppkey", 1.0, 0.1, 11).unwrap();
+    inject_fd_errors(&mut supplier, "address", "suppkey", 0.5, 0.2, 12).unwrap();
+    let sp = non_overlapping_range_queries(
+        &lineorder,
+        "orderkey",
+        scale.queries,
+        &["orderkey", "suppkey"],
+    )
+    .unwrap();
+    let workload = join_workload(&sp, "supplier", "lineorder.suppkey", "supplier.suppkey");
+    let phi = FunctionalDependency::new(&["orderkey"], "suppkey");
+    let psi = FunctionalDependency::new(&["address"], "suppkey");
+
+    println!("Figure 11 — SPJ queries (lineorder ⋈ supplier)");
+    let daisy = run_daisy_workload(
+        "Daisy",
+        &[lineorder.clone(), supplier.clone()],
+        &[(phi.clone(), "phi"), (psi.clone(), "psi")],
+        &[],
+        &workload,
+        DaisyConfig::default(),
+    );
+    let offline = run_offline_then_query(
+        "Full Cleaning + queries",
+        &[lineorder, supplier],
+        &[(phi, "phi"), (psi, "psi")],
+        &[],
+        &workload,
+    );
+    println!("{}", daisy.row());
+    println!("{}", offline.row());
+    println!("\ncumulative series (query\\tseconds):");
+    print_cumulative(&daisy);
+    print_cumulative(&offline);
+}

@@ -1,0 +1,64 @@
+//! Figure 12: mixed SP + SPJ workload with cost-model switching — Daisy
+//! without the cost model vs Full Cleaning vs Daisy.
+
+use daisy_bench::harness::{print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
+use daisy_data::workload::{join_workload, mixed_workload, random_selectivity_queries};
+use daisy_expr::FunctionalDependency;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let config = SsbConfig {
+        lineorder_rows: scale.rows,
+        distinct_orderkeys: scale.rows / 2,
+        distinct_suppkeys: 25,
+        ..SsbConfig::default()
+    };
+    let mut lineorder = generate_lineorder(&config).unwrap();
+    let mut supplier = generate_supplier(&config).unwrap();
+    inject_fd_errors(&mut lineorder, "orderkey", "suppkey", 1.0, 0.5, 13).unwrap();
+    inject_fd_errors(&mut supplier, "address", "suppkey", 0.5, 0.3, 14).unwrap();
+    let sp = random_selectivity_queries(
+        &lineorder,
+        "orderkey",
+        scale.queries,
+        &["orderkey", "suppkey"],
+        17,
+    )
+    .unwrap();
+    let spj = join_workload(&sp, "supplier", "lineorder.suppkey", "supplier.suppkey");
+    let workload = mixed_workload(&sp, &spj, 19);
+    let phi = FunctionalDependency::new(&["orderkey"], "suppkey");
+    let psi = FunctionalDependency::new(&["address"], "suppkey");
+    let tables = [lineorder, supplier];
+    let fds = [(phi, "phi"), (psi, "psi")];
+
+    println!("Figure 12 — mixed SP + SPJ workload");
+    let daisy_no_cost = run_daisy_workload(
+        "Daisy w/o cost model",
+        &tables,
+        &fds,
+        &[],
+        &workload,
+        DaisyConfig::default().with_cost_model(false),
+    );
+    let daisy = run_daisy_workload(
+        "Daisy",
+        &tables,
+        &fds,
+        &[],
+        &workload,
+        DaisyConfig::default().with_cost_model(true),
+    );
+    let offline =
+        run_offline_then_query("Full Cleaning + queries", &tables, &fds, &[], &workload);
+    for m in [&daisy_no_cost, &offline, &daisy] {
+        println!("{}", m.row());
+    }
+    println!("\ncumulative series (query\\tseconds):");
+    for m in [&daisy_no_cost, &offline, &daisy] {
+        print_cumulative(m);
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 8: the two real-world exploratory scenarios — the product
+//! catalogue (37 category lookups, material → category) and the air-quality
+//! analysis (52 per-county CO averages grouped by year) at 30% and 97%
+//! violating groups.
+
+use daisy_bench::harness::{run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_common::DaisyConfig;
+use daisy_data::airquality::{airquality_fd, generate_airquality, AirQualityConfig};
+use daisy_data::nestle::{generate_nestle, nestle_fd, NestleConfig};
+use daisy_data::workload::{airquality_workload, nestle_workload};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Table 8 — real-world exploratory scenarios (seconds)");
+
+    // Product catalogue, small and large versions.
+    for (label, rows) in [("products (small)", scale.rows), ("products (large)", scale.rows * 4)] {
+        let config = NestleConfig {
+            rows,
+            materials: rows / 50,
+            categories: 8,
+            error_fraction: 0.10,
+            seed: 23,
+        };
+        let products = generate_nestle(&config).unwrap();
+        let workload = nestle_workload(config.categories, 37);
+        let daisy = run_daisy_workload(
+            &format!("Daisy — {label}"),
+            &[products.clone()],
+            &[(nestle_fd(), "material->category")],
+            &[],
+            &workload,
+            DaisyConfig::default(),
+        );
+        let offline = run_offline_then_query(
+            &format!("Offline — {label}"),
+            &[products],
+            &[(nestle_fd(), "material->category")],
+            &[],
+            &workload,
+        );
+        println!("{}", daisy.row());
+        println!("{}", offline.row());
+    }
+
+    // Air quality, 30% and 97% violating groups.  The paper's offline
+    // baseline failed to terminate within a day on this scenario; here we
+    // still run it at reduced scale so the gap is visible.
+    for (label, fraction) in [("air quality 30%", 0.3), ("air quality 97%", 0.97)] {
+        let config = AirQualityConfig {
+            rows: scale.rows * 2,
+            dirty_group_fraction: fraction,
+            ..AirQualityConfig::default()
+        };
+        let air = generate_airquality(&config).unwrap();
+        let workload = airquality_workload(config.states, config.counties_per_state, 52);
+        let daisy = run_daisy_workload(
+            &format!("Daisy — {label}"),
+            &[air.clone()],
+            &[(airquality_fd(), "county")],
+            &[],
+            &workload,
+            DaisyConfig::default(),
+        );
+        let offline = run_offline_then_query(
+            &format!("Offline — {label}"),
+            &[air],
+            &[(airquality_fd(), "county")],
+            &[],
+            &workload,
+        );
+        println!("{}", daisy.row());
+        println!("{}", offline.row());
+    }
+}

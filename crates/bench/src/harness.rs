@@ -1,0 +1,174 @@
+//! Shared measurement code for the figure/table harnesses.
+
+use std::time::{Duration, Instant};
+
+use daisy_common::DaisyConfig;
+use daisy_core::DaisyEngine;
+use daisy_data::workload::Workload;
+use daisy_exec::ExecContext;
+use daisy_expr::{DenialConstraint, FunctionalDependency};
+use daisy_offline::full::{offline_clean_dc, offline_clean_fd};
+use daisy_query::physical::PredicateMode;
+use daisy_query::{execute, Catalog, LogicalPlan};
+use daisy_storage::Table;
+
+/// How large the generated datasets are.  The defaults keep every harness
+/// binary under a couple of minutes on a laptop; `BenchScale::paper()`
+/// approaches the paper's row counts for longer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchScale {
+    /// Rows in the fact table.
+    pub rows: usize,
+    /// Queries per workload.
+    pub queries: usize,
+}
+
+impl BenchScale {
+    /// A quick scale for CI-style runs.
+    pub fn quick() -> Self {
+        BenchScale {
+            rows: 3_000,
+            queries: 12,
+        }
+    }
+
+    /// A scale closer to the paper's setup (slower).
+    pub fn paper() -> Self {
+        BenchScale {
+            rows: 120_000,
+            queries: 50,
+        }
+    }
+
+    /// Reads the scale from the `DAISY_BENCH_SCALE` environment variable
+    /// (`quick` or `paper`), defaulting to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("DAISY_BENCH_SCALE").as_deref() {
+            Ok("paper") => BenchScale::paper(),
+            _ => BenchScale::quick(),
+        }
+    }
+}
+
+/// The measurements of one (approach, workload) run.
+#[derive(Debug, Clone)]
+pub struct WorkloadMeasurement {
+    /// Label ("Daisy", "Full Cleaning", …).
+    pub label: String,
+    /// Total wall-clock time, including any offline cleaning.
+    pub total: Duration,
+    /// Cumulative time after each query (the series of the cumulative-time
+    /// figures).
+    pub cumulative: Vec<Duration>,
+    /// Cells repaired across the run.
+    pub errors_repaired: usize,
+    /// Query at which the engine switched to full cleaning, if it did.
+    pub switch_point: Option<usize>,
+}
+
+impl WorkloadMeasurement {
+    /// Formats one summary row (label, total seconds, repairs, switch).
+    pub fn row(&self) -> String {
+        format!(
+            "{:<28} total {:>8.2}s   repairs {:>8}   switch {}",
+            self.label,
+            self.total.as_secs_f64(),
+            self.errors_repaired,
+            self.switch_point
+                .map(|q| format!("@q{q}"))
+                .unwrap_or_else(|| "-".into()),
+        )
+    }
+}
+
+/// Runs a workload through a fresh [`DaisyEngine`] over the given tables and
+/// rules, measuring per-query times.
+pub fn run_daisy_workload(
+    label: &str,
+    tables: &[Table],
+    fds: &[(FunctionalDependency, &str)],
+    dcs: &[DenialConstraint],
+    workload: &Workload,
+    config: DaisyConfig,
+) -> WorkloadMeasurement {
+    let mut engine = DaisyEngine::new(config).expect("valid config");
+    for table in tables {
+        engine.register_table(table.clone());
+    }
+    for (fd, name) in fds {
+        engine.add_fd(fd, name);
+    }
+    for dc in dcs {
+        engine.add_constraint(dc.clone());
+    }
+    let start = Instant::now();
+    let mut cumulative = Vec::with_capacity(workload.len());
+    for query in &workload.queries {
+        engine.execute(query).expect("query execution");
+        cumulative.push(start.elapsed());
+    }
+    WorkloadMeasurement {
+        label: label.to_string(),
+        total: start.elapsed(),
+        cumulative,
+        errors_repaired: engine.session().total_errors_repaired(),
+        switch_point: engine.session().switch_point(),
+    }
+}
+
+/// Runs the offline baseline: clean every table under every rule first, then
+/// execute the workload over the cleaned catalog.
+pub fn run_offline_then_query(
+    label: &str,
+    tables: &[Table],
+    fds: &[(FunctionalDependency, &str)],
+    dcs: &[DenialConstraint],
+    workload: &Workload,
+) -> WorkloadMeasurement {
+    let start = Instant::now();
+    let mut catalog = Catalog::new();
+    let mut errors = 0usize;
+    for table in tables {
+        let mut cleaned = table.clone();
+        for (fd, _) in fds {
+            if fd.attributes().iter().all(|a| cleaned.schema().contains(a)) {
+                errors += offline_clean_fd(&mut cleaned, fd)
+                    .expect("offline cleaning")
+                    .errors_repaired;
+            }
+        }
+        for dc in dcs {
+            if dc.attributes().iter().all(|a| cleaned.schema().contains(a)) {
+                errors += offline_clean_dc(&mut cleaned, dc)
+                    .expect("offline cleaning")
+                    .errors_repaired;
+            }
+        }
+        catalog.add(cleaned);
+    }
+    let cleaning_done = start.elapsed();
+    let ctx = ExecContext::default_parallelism();
+    let mut cumulative = Vec::with_capacity(workload.len());
+    for query in &workload.queries {
+        let plan = LogicalPlan::from_query(query).expect("plan");
+        execute(&ctx, &catalog, &plan, PredicateMode::Possible).expect("query execution");
+        cumulative.push(start.elapsed());
+    }
+    let _ = cleaning_done;
+    WorkloadMeasurement {
+        label: label.to_string(),
+        total: start.elapsed(),
+        cumulative,
+        errors_repaired: errors,
+        switch_point: None,
+    }
+}
+
+/// Prints a cumulative-time series as `query_index<TAB>seconds` rows, the
+/// format the paper's cumulative figures plot.
+pub fn print_cumulative(measurement: &WorkloadMeasurement) {
+    println!("# {}", measurement.label);
+    for (i, t) in measurement.cumulative.iter().enumerate() {
+        println!("{}\t{:.3}", i + 1, t.as_secs_f64());
+    }
+}

@@ -1,0 +1,24 @@
+//! # daisy-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the Daisy
+//! paper's evaluation (§7).  Each figure/table has a runnable binary in
+//! `src/bin/` (e.g. `cargo run --release -p daisy-bench --bin
+//! fig05_sp_orderkey_selectivity`); the shared measurement code lives in
+//! [`harness`].  Criterion micro-benchmarks for the individual design
+//! choices (relaxation vs per-error traversal, theta-join pruning,
+//! statistics pruning, query operators) are under `benches/`.
+//!
+//! Absolute numbers differ from the paper (a multi-threaded in-memory
+//! engine on one machine instead of a 7-node Spark cluster); what the
+//! harnesses reproduce is the *shape*: who wins, by roughly what factor,
+//! and where the strategy switches happen.  `EXPERIMENTS.md` records the
+//! observed shapes next to the paper's.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+
+pub use harness::{
+    run_daisy_workload, run_offline_then_query, BenchScale, WorkloadMeasurement,
+};

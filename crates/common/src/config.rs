@@ -1,0 +1,183 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DaisyError, Result};
+
+/// Tunable knobs of the Daisy engine.
+///
+/// The defaults mirror the setup of the paper's evaluation (§7): the
+/// theta-join matrix is split into `p = 64` partitions, the accuracy
+/// threshold that triggers full cleaning of general DCs is 0.5, and the cost
+/// model is enabled so that the engine may switch from incremental to full
+/// cleaning mid-workload (Fig. 7 / Fig. 12).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaisyConfig {
+    /// Number of partitions of the theta-join cartesian-product matrix
+    /// (`p` in §4.2).  Must be a positive perfect square so that the matrix
+    /// splits into `sqrt(p) × sqrt(p)` blocks.
+    pub theta_partitions: usize,
+    /// Accuracy threshold `th` of Algorithm 2: if the estimated accuracy of
+    /// a query result under a general DC falls below this threshold, the
+    /// engine cleans the whole dataset instead of only the relaxed result.
+    pub accuracy_threshold: f64,
+    /// Enables the cost model of §5.2.3.  When disabled, Daisy always cleans
+    /// incrementally ("Daisy w/o cost" in Fig. 7).
+    pub use_cost_model: bool,
+    /// Number of worker threads used by the execution substrate.
+    pub worker_threads: usize,
+    /// Number of horizontal partitions tables are split into for parallel
+    /// scans, filters and group-bys.
+    pub data_partitions: usize,
+    /// Maximum number of relaxation iterations (safety bound for the
+    /// transitive-closure loop of Algorithm 1).
+    pub max_relaxation_iterations: usize,
+    /// When `true`, cleaning operators are pushed below joins and group-bys
+    /// (§5.1).  Disabling this is only useful for ablation benchmarks.
+    pub push_down_cleaning: bool,
+}
+
+impl Default for DaisyConfig {
+    fn default() -> Self {
+        DaisyConfig {
+            theta_partitions: 64,
+            accuracy_threshold: 0.5,
+            use_cost_model: true,
+            worker_threads: default_threads(),
+            data_partitions: 2 * default_threads(),
+            max_relaxation_iterations: 64,
+            push_down_cleaning: true,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+impl DaisyConfig {
+    /// Validates the configuration, returning a descriptive error for any
+    /// out-of-range knob.
+    pub fn validate(&self) -> Result<()> {
+        if self.theta_partitions == 0 {
+            return Err(DaisyError::Config("theta_partitions must be > 0".into()));
+        }
+        let root = (self.theta_partitions as f64).sqrt().round() as usize;
+        if root * root != self.theta_partitions {
+            return Err(DaisyError::Config(format!(
+                "theta_partitions must be a perfect square, got {}",
+                self.theta_partitions
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.accuracy_threshold) {
+            return Err(DaisyError::Config(format!(
+                "accuracy_threshold must be in [0, 1], got {}",
+                self.accuracy_threshold
+            )));
+        }
+        if self.worker_threads == 0 {
+            return Err(DaisyError::Config("worker_threads must be > 0".into()));
+        }
+        if self.data_partitions == 0 {
+            return Err(DaisyError::Config("data_partitions must be > 0".into()));
+        }
+        if self.max_relaxation_iterations == 0 {
+            return Err(DaisyError::Config(
+                "max_relaxation_iterations must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns the number of blocks per side of the theta-join matrix
+    /// (`sqrt(p)`).
+    pub fn theta_blocks_per_side(&self) -> usize {
+        (self.theta_partitions as f64).sqrt().round() as usize
+    }
+
+    /// Builder-style setter for the number of theta-join partitions.
+    pub fn with_theta_partitions(mut self, p: usize) -> Self {
+        self.theta_partitions = p;
+        self
+    }
+
+    /// Builder-style setter for the accuracy threshold.
+    pub fn with_accuracy_threshold(mut self, th: f64) -> Self {
+        self.accuracy_threshold = th;
+        self
+    }
+
+    /// Builder-style setter for the cost-model switch.
+    pub fn with_cost_model(mut self, enabled: bool) -> Self {
+        self.use_cost_model = enabled;
+        self
+    }
+
+    /// Builder-style setter for the worker-thread count.
+    pub fn with_worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = n;
+        self
+    }
+
+    /// Builder-style setter for the number of data partitions.
+    pub fn with_data_partitions(mut self, n: usize) -> Self {
+        self.data_partitions = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(DaisyConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn non_square_theta_partitions_rejected() {
+        let cfg = DaisyConfig::default().with_theta_partitions(50);
+        assert!(cfg.validate().is_err());
+        let cfg = DaisyConfig::default().with_theta_partitions(49);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.theta_blocks_per_side(), 7);
+    }
+
+    #[test]
+    fn threshold_out_of_range_rejected() {
+        assert!(DaisyConfig::default()
+            .with_accuracy_threshold(1.5)
+            .validate()
+            .is_err());
+        assert!(DaisyConfig::default()
+            .with_accuracy_threshold(-0.1)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        assert!(DaisyConfig::default()
+            .with_worker_threads(0)
+            .validate()
+            .is_err());
+        assert!(DaisyConfig::default()
+            .with_data_partitions(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = DaisyConfig::default()
+            .with_cost_model(false)
+            .with_theta_partitions(16)
+            .with_worker_threads(2);
+        assert!(!cfg.use_cost_model);
+        assert_eq!(cfg.theta_partitions, 16);
+        assert_eq!(cfg.worker_threads, 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Logical column types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The logical type of a column.
+///
+/// Daisy operates on relational data whose attributes are either categorical
+/// (strings), numeric (integers / floats) or boolean.  Denial constraints
+/// with inequality predicates (`<`, `>`, …) are only meaningful over numeric
+/// attributes; functional dependencies apply to any type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit floating point.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// `true` for types that support arithmetic and range predicates.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Parses a type name as used in schema definition files.
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name.to_ascii_lowercase().as_str() {
+            "bool" | "boolean" => Some(DataType::Bool),
+            "int" | "integer" | "bigint" | "i64" => Some(DataType::Int),
+            "float" | "double" | "real" | "f64" => Some(DataType::Float),
+            "str" | "string" | "text" | "varchar" => Some(DataType::Str),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "string",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(DataType::parse("INTEGER"), Some(DataType::Int));
+        assert_eq!(DataType::parse("varchar"), Some(DataType::Str));
+        assert_eq!(DataType::parse("double"), Some(DataType::Float));
+        assert_eq!(DataType::parse("bool"), Some(DataType::Bool));
+        assert_eq!(DataType::parse("blob"), None);
+    }
+
+    #[test]
+    fn display_names_roundtrip_through_parse() {
+        for ty in [DataType::Bool, DataType::Int, DataType::Float, DataType::Str] {
+            assert_eq!(DataType::parse(&ty.to_string()), Some(ty));
+        }
+    }
+}

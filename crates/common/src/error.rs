@@ -1,0 +1,94 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used by every fallible Daisy API.
+pub type Result<T> = std::result::Result<T, DaisyError>;
+
+/// The error type common to all Daisy crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaisyError {
+    /// A schema lookup failed (unknown column, arity mismatch, …).
+    Schema(String),
+    /// A value could not be parsed from text.
+    Parse(String),
+    /// A type error during expression evaluation or aggregation.
+    Type(String),
+    /// A malformed query or constraint definition.
+    Plan(String),
+    /// An execution-time failure (e.g. an update targeting a missing tuple).
+    Execution(String),
+    /// An I/O failure (CSV load/store).
+    Io(String),
+    /// An invalid configuration value.
+    Config(String),
+}
+
+impl DaisyError {
+    /// Short machine-readable category name, useful in logs and tests.
+    pub fn category(&self) -> &'static str {
+        match self {
+            DaisyError::Schema(_) => "schema",
+            DaisyError::Parse(_) => "parse",
+            DaisyError::Type(_) => "type",
+            DaisyError::Plan(_) => "plan",
+            DaisyError::Execution(_) => "execution",
+            DaisyError::Io(_) => "io",
+            DaisyError::Config(_) => "config",
+        }
+    }
+}
+
+impl fmt::Display for DaisyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaisyError::Schema(msg) => write!(f, "schema error: {msg}"),
+            DaisyError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DaisyError::Type(msg) => write!(f, "type error: {msg}"),
+            DaisyError::Plan(msg) => write!(f, "planning error: {msg}"),
+            DaisyError::Execution(msg) => write!(f, "execution error: {msg}"),
+            DaisyError::Io(msg) => write!(f, "io error: {msg}"),
+            DaisyError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DaisyError {}
+
+impl From<std::io::Error> for DaisyError {
+    fn from(err: std::io::Error) -> Self {
+        DaisyError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let err = DaisyError::Schema("no column `zip`".into());
+        assert_eq!(err.to_string(), "schema error: no column `zip`");
+        assert_eq!(err.category(), "schema");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.csv");
+        let err: DaisyError = io.into();
+        assert_eq!(err.category(), "io");
+        assert!(err.to_string().contains("missing.csv"));
+    }
+
+    #[test]
+    fn errors_are_comparable_in_tests() {
+        assert_eq!(
+            DaisyError::Type("x".into()),
+            DaisyError::Type("x".into())
+        );
+        assert_ne!(
+            DaisyError::Type("x".into()),
+            DaisyError::Plan("x".into())
+        );
+    }
+}

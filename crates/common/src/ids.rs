@@ -1,0 +1,123 @@
+//! Strongly typed identifiers.
+//!
+//! Daisy tracks lineage across several dimensions:
+//!
+//! * every tuple of a base relation has a stable [`TupleId`] so that cleaning
+//!   a query result can be translated back into an in-place update of the
+//!   original dataset (the "delta" of §4),
+//! * every candidate value of a probabilistic cell is tagged with the
+//!   [`WorldId`] of the possible world (candidate pair) it belongs to, and
+//! * provenance records which [`RuleId`] produced a candidate fix so that new
+//!   rules can later be merged without recomputing from scratch (Table 7).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw index as a usize (for vector indexing).
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(raw: usize) -> Self {
+                Self(raw as u64)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a tuple within a base relation.
+    ///
+    /// Tuple ids are assigned at load/generation time and survive cleaning:
+    /// when a query result is relaxed and repaired, the delta is applied back
+    /// to the base relation by tuple id.
+    TupleId,
+    "t"
+);
+
+id_type!(
+    /// Identifier of a possible world (candidate pair).
+    ///
+    /// The paper stores "in each candidate value an identifier of the possible
+    /// world it belongs to" so that attribute-level uncertainty can still
+    /// represent tuple-level alternatives.
+    WorldId,
+    "w"
+);
+
+id_type!(
+    /// Identifier of a denial constraint / functional dependency in a rule set.
+    RuleId,
+    "r"
+);
+
+id_type!(
+    /// Identifier (ordinal position) of a column within a schema.
+    ColumnId,
+    "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_with_stable_display() {
+        let t = TupleId::new(3);
+        let w = WorldId::new(3);
+        assert_eq!(t.to_string(), "t3");
+        assert_eq!(w.to_string(), "w3");
+        assert_eq!(t.raw(), w.raw());
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(TupleId::new(1));
+        set.insert(TupleId::new(1));
+        set.insert(TupleId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(TupleId::new(1) < TupleId::new(2));
+    }
+
+    #[test]
+    fn conversions_from_usize_and_u64() {
+        assert_eq!(ColumnId::from(4usize), ColumnId::new(4));
+        assert_eq!(RuleId::from(9u64).index(), 9);
+    }
+}

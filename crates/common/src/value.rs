@@ -1,0 +1,371 @@
+//! Dynamically typed scalar values.
+//!
+//! A [`Value`] is what a (deterministic) cell of a relation holds.  Daisy
+//! needs total ordering and hashing over values because
+//!
+//! * functional-dependency error detection groups tuples by left-hand-side
+//!   values (hash grouping),
+//! * denial constraints compare values with `<`, `≤`, `>`, `≥`, and
+//! * the theta-join matrix partitions the value domain into ranges.
+//!
+//! Floats are wrapped so that they are totally ordered (NaN sorts last) and
+//! hashable by their bit pattern; this mirrors what query engines such as
+//! DataFusion do for grouping on floating-point keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::DataType;
+use crate::error::{DaisyError, Result};
+
+/// A dynamically typed scalar value stored in a cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL / missing value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit floating point number.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the logical [`DataType`] of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// `true` if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as an `i64` if it is numeric.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an `f64` if it is numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if the value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parses a textual representation into a value of the requested type.
+    ///
+    /// Empty strings parse to [`Value::Null`], matching the CSV convention
+    /// used by the storage layer.
+    pub fn parse(text: &str, data_type: DataType) -> Result<Value> {
+        if text.is_empty() {
+            return Ok(Value::Null);
+        }
+        match data_type {
+            DataType::Bool => match text {
+                "true" | "TRUE" | "1" | "t" => Ok(Value::Bool(true)),
+                "false" | "FALSE" | "0" | "f" => Ok(Value::Bool(false)),
+                other => Err(DaisyError::Parse(format!("invalid boolean literal `{other}`"))),
+            },
+            DataType::Int => text
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| DaisyError::Parse(format!("invalid integer `{text}`: {e}"))),
+            DataType::Float => text
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| DaisyError::Parse(format!("invalid float `{text}`: {e}"))),
+            DataType::Str => Ok(Value::Str(text.to_string())),
+        }
+    }
+
+    /// Numeric coercion helper used when comparing an `Int` to a `Float`.
+    fn numeric_pair(&self, other: &Value) -> Option<(f64, f64)> {
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) => Some((*a as f64, *b)),
+            (Value::Float(a), Value::Int(b)) => Some((*a, *b as f64)),
+            (Value::Float(a), Value::Float(b)) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// Total comparison between two values.
+    ///
+    /// NULL sorts before everything; values of different, non-coercible
+    /// types are ordered by a fixed type rank so that sorting heterogeneous
+    /// columns never panics.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Less,
+            (_, Value::Null) => Ordering::Greater,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            _ => {
+                if let Some((a, b)) = self.numeric_pair(other) {
+                    a.total_cmp(&b)
+                } else {
+                    self.type_rank().cmp(&other.type_rank())
+                }
+            }
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Minimum of two values under [`Value::total_cmp`].
+    pub fn min_of(a: Value, b: Value) -> Value {
+        if a.total_cmp(&b) == Ordering::Greater {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Maximum of two values under [`Value::total_cmp`].
+    pub fn max_of(a: Value, b: Value) -> Value {
+        if a.total_cmp(&b) == Ordering::Less {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Adds two numeric values; used by aggregate operators.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, v) | (v, Value::Null) => Ok(v.clone()),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+            _ => {
+                let a = self
+                    .as_float()
+                    .ok_or_else(|| DaisyError::Type(format!("cannot add non-numeric value {self}")))?;
+                let b = other
+                    .as_float()
+                    .ok_or_else(|| DaisyError::Type(format!("cannot add non-numeric value {other}")))?;
+                Ok(Value::Float(a + b))
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Integers and integral floats must hash identically because
+            // `total_cmp` treats them as equal when numerically equal.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+        assert_eq!(Value::Int(-100).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn int_float_coercion_compares_numerically() {
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.5)), Ordering::Less);
+        assert_eq!(Value::Float(4.0).total_cmp(&Value::Int(3)), Ordering::Greater);
+    }
+
+    #[test]
+    fn equal_int_and_float_hash_identically() {
+        assert_eq!(Value::Int(7), Value::Float(7.0));
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert!(Value::from("abc") < Value::from("abd"));
+        assert!(Value::from("b") > Value::from("a"));
+    }
+
+    #[test]
+    fn parse_roundtrips_each_type() {
+        assert_eq!(Value::parse("42", DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(Value::parse("4.5", DataType::Float).unwrap(), Value::Float(4.5));
+        assert_eq!(Value::parse("true", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("x", DataType::Str).unwrap(), Value::from("x"));
+        assert_eq!(Value::parse("", DataType::Int).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Value::parse("abc", DataType::Int).is_err());
+        assert!(Value::parse("abc", DataType::Float).is_err());
+        assert!(Value::parse("yes!", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn nan_is_ordered_last_among_floats() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&Value::Float(1e308)), Ordering::Greater);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn add_handles_nulls_and_mixed_numeric() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).add(&Value::Float(0.5)).unwrap(), Value::Float(2.5));
+        assert_eq!(Value::Null.add(&Value::Int(3)).unwrap(), Value::Int(3));
+        assert!(Value::from("a").add(&Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn min_max_respect_total_order() {
+        assert_eq!(Value::min_of(Value::Int(3), Value::Int(1)), Value::Int(1));
+        assert_eq!(Value::max_of(Value::from("a"), Value::from("b")), Value::from("b"));
+        assert_eq!(Value::min_of(Value::Null, Value::Int(0)), Value::Null);
+    }
+
+    #[test]
+    fn display_is_csv_friendly() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::from("LA").to_string(), "LA");
+    }
+}

@@ -1,0 +1,770 @@
+//! The Daisy engine: query-driven, incremental cleaning of denial-constraint
+//! violations (§6).
+//!
+//! A [`DaisyEngine`] owns a catalog of (initially dirty) tables and a set of
+//! denial constraints.  Every query is executed through a cleaning-aware
+//! plan: the relevant cleaning operators (`cleanσ` for FDs and general DCs,
+//! `clean⋈` for joins) are woven below the query operators, the detected
+//! errors are replaced by probabilistic candidate fixes, and the isolated
+//! delta is applied back to the base tables — so the dataset becomes
+//! gradually probabilistic while queries keep returning correct (relaxed)
+//! answers.
+//!
+//! The engine also implements the two adaptive decisions of the paper:
+//!
+//! * the **cost model** of §5.2.3 — after each query it compares the
+//!   projected cost of continuing incrementally against cleaning the
+//!   remaining dirty part of the dataset at once, and switches strategy when
+//!   the latter is cheaper (Fig. 7 / Fig. 12),
+//! * the **accuracy threshold** of Algorithm 2 — for general DCs it
+//!   estimates the result accuracy of a partial (query-driven) check and
+//!   falls back to the full cartesian check when the estimate is too low
+//!   (Fig. 10).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use daisy_common::{DaisyConfig, DaisyError, Result, RuleId, Schema, TupleId, Value};
+use daisy_exec::ExecContext;
+use daisy_expr::{BoolExpr, ConstraintSet, DenialConstraint, FunctionalDependency};
+use daisy_query::physical::{aggregate, filter_tuples, hash_join, project, PredicateMode};
+use daisy_query::{parse_query, Catalog, Query, QueryResult, SelectItem};
+use daisy_storage::{ProvenanceStore, Table, Tuple};
+
+use crate::accuracy::{estimate_accuracy, CleaningDecision};
+use crate::clean_dc::repair_dc_violations;
+use crate::clean_select::clean_select_fd;
+use crate::cost::{CostParameters, CostTracker};
+use crate::fd_index::FdIndex;
+use crate::planner::CleaningPlan;
+use crate::relaxation::FilterTarget;
+use crate::report::{CleaningReport, CleaningStrategy, SessionReport};
+use crate::theta::ThetaMatrix;
+
+/// The outcome of one query: its (cleaned) result plus the cleaning report.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query result over the cleaned, relaxed data.
+    pub result: QueryResult,
+    /// What the cleaning work cost and produced.
+    pub report: CleaningReport,
+}
+
+/// The query-driven cleaning engine.
+pub struct DaisyEngine {
+    config: DaisyConfig,
+    ctx: ExecContext,
+    catalog: Catalog,
+    constraints: ConstraintSet,
+    fd_indexes: HashMap<(String, u64), FdIndex>,
+    theta_matrices: HashMap<(String, u64), ThetaMatrix>,
+    provenance: HashMap<String, ProvenanceStore>,
+    trackers: HashMap<(String, u64), CostTracker>,
+    fully_cleaned: HashSet<(String, u64)>,
+    session: SessionReport,
+}
+
+impl DaisyEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: DaisyConfig) -> Result<Self> {
+        config.validate()?;
+        let ctx = ExecContext::new(config.worker_threads);
+        Ok(DaisyEngine {
+            config,
+            ctx,
+            catalog: Catalog::new(),
+            constraints: ConstraintSet::new(),
+            fd_indexes: HashMap::new(),
+            theta_matrices: HashMap::new(),
+            provenance: HashMap::new(),
+            trackers: HashMap::new(),
+            fully_cleaned: HashSet::new(),
+            session: SessionReport::default(),
+        })
+    }
+
+    /// Creates an engine with the default configuration.
+    pub fn with_defaults() -> Self {
+        DaisyEngine::new(DaisyConfig::default()).expect("default config is valid")
+    }
+
+    /// Registers a (dirty) table.
+    pub fn register_table(&mut self, table: Table) {
+        self.provenance
+            .entry(table.name().to_string())
+            .or_default();
+        self.catalog.add(table);
+    }
+
+    /// Registers a denial constraint, returning its rule id.
+    pub fn add_constraint(&mut self, dc: DenialConstraint) -> RuleId {
+        self.constraints.add(dc)
+    }
+
+    /// Registers a constraint given its compact textual form.
+    pub fn add_constraint_text(&mut self, name: &str, text: &str) -> Result<RuleId> {
+        Ok(self.constraints.add(DenialConstraint::parse(name, text)?))
+    }
+
+    /// Registers a functional dependency.
+    pub fn add_fd(&mut self, fd: &FunctionalDependency, name: &str) -> RuleId {
+        self.constraints.add_fd(fd, name)
+    }
+
+    /// Access to a registered table (possibly already partially cleaned).
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.catalog.table(name)
+    }
+
+    /// The registered constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// The per-table provenance store.
+    pub fn provenance(&self, table: &str) -> Option<&ProvenanceStore> {
+        self.provenance.get(table)
+    }
+
+    /// The session report accumulated so far.
+    pub fn session(&self) -> &SessionReport {
+        &self.session
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DaisyConfig {
+        &self.config
+    }
+
+    /// Parses and executes a SQL query.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutcome> {
+        let query = parse_query(sql)?;
+        self.execute(&query)
+    }
+
+    /// Executes a parsed query with cleaning woven into the plan.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryOutcome> {
+        let start = Instant::now();
+        let plan = CleaningPlan::build(query, &self.constraints, &self.catalog, &self.config)?;
+
+        let mut report = CleaningReport::not_needed(query.to_string(), 0, start.elapsed());
+        report.strategy = if plan.is_empty() {
+            CleaningStrategy::NotNeeded
+        } else {
+            CleaningStrategy::Incremental
+        };
+
+        // ---- driving table: filter + clean ---------------------------------
+        let driving = query.from.clone();
+        let driving_schema = Arc::new(self.catalog.table(&driving)?.schema().qualify(&driving));
+        let driving_filter = filter_for_table(query, &driving, query.joins.is_empty());
+        let mut current = self.clean_table_subset(
+            &driving,
+            &driving_schema,
+            &driving_filter,
+            &plan,
+            &mut report,
+        )?;
+        let mut current_schema = driving_schema;
+
+        // ---- joins: clean each joined table's qualifying part, then join ---
+        for join in &query.joins {
+            let right_name = join.table.clone();
+            let right_schema =
+                Arc::new(self.catalog.table(&right_name)?.schema().qualify(&right_name));
+            // The qualifying part of the joined table is determined by the
+            // current (already cleaned) left side: only right tuples whose
+            // join key could match a left key participate.  We clean that
+            // part, which updates the base table, and then join against the
+            // whole (partially cleaned) table.
+            let left_keys: HashSet<Value> = current
+                .iter()
+                .flat_map(|t| {
+                    current_schema
+                        .index_of(&join.left_key)
+                        .ok()
+                        .map(|idx| {
+                            t.cell(idx)
+                                .map(|c| c.possible_values().into_iter().cloned().collect::<Vec<_>>())
+                                .unwrap_or_default()
+                        })
+                        .unwrap_or_default()
+                })
+                .collect();
+            let right_key_idx = right_schema.index_of(&join.right_key)?;
+            let qualifying: Vec<Tuple> = self
+                .catalog
+                .table(&right_name)?
+                .tuples()
+                .iter()
+                .filter(|t| {
+                    t.cell(right_key_idx)
+                        .map(|c| c.possible_values().iter().any(|v| left_keys.contains(v)))
+                        .unwrap_or(false)
+                })
+                .cloned()
+                .collect();
+            self.clean_answer_for_table(&right_name, &right_schema, qualifying, &plan, &mut report)?;
+
+            let right_tuples = self.catalog.table(&right_name)?.tuples().to_vec();
+            let joined = hash_join(
+                &self.ctx,
+                &current_schema,
+                &current,
+                &right_schema,
+                &right_tuples,
+                &join.left_key,
+                &join.right_key,
+            )?;
+            current_schema = joined.schema;
+            current = joined.tuples;
+        }
+
+        // ---- late filter (references joined tables) -------------------------
+        if !query.joins.is_empty() {
+            let late = filter_for_table(query, &driving, true);
+            if late != BoolExpr::True && late != driving_filter {
+                current = filter_tuples(
+                    &self.ctx,
+                    &current_schema,
+                    &current,
+                    &query.filter,
+                    PredicateMode::Possible,
+                )?;
+            }
+        }
+
+        // ---- aggregation / projection ---------------------------------------
+        let result = if query.is_aggregate() {
+            let mut group_by = query.group_by.clone();
+            let mut aggregates = Vec::new();
+            for item in &query.select {
+                match item {
+                    SelectItem::Aggregate { func, column } => aggregates.push(
+                        daisy_query::physical::AggregateSpec::new(*func, column.as_deref()),
+                    ),
+                    SelectItem::Column(c) => {
+                        if !group_by.contains(c) {
+                            group_by.push(c.clone());
+                        }
+                    }
+                    SelectItem::Wildcard => {
+                        return Err(DaisyError::Plan(
+                            "SELECT * cannot be combined with GROUP BY".into(),
+                        ))
+                    }
+                }
+            }
+            if aggregates.is_empty() {
+                aggregates.push(daisy_query::physical::AggregateSpec::new(
+                    daisy_query::AggregateFunc::Count,
+                    None,
+                ));
+            }
+            let (schema, tuples) =
+                aggregate(&self.ctx, &current_schema, &current, &group_by, &aggregates)?;
+            QueryResult::new(schema, tuples)
+        } else {
+            let columns: Vec<String> = query
+                .select
+                .iter()
+                .filter_map(|item| match item {
+                    SelectItem::Column(c) => Some(c.clone()),
+                    _ => None,
+                })
+                .collect();
+            let wildcard = query
+                .select
+                .iter()
+                .any(|i| matches!(i, SelectItem::Wildcard));
+            if wildcard || columns.is_empty() {
+                QueryResult::new(current_schema, current)
+            } else {
+                let (schema, tuples) = project(&current_schema, &current, &columns)?;
+                QueryResult::new(schema, tuples)
+            }
+        };
+
+        report.result_tuples = result.len();
+        report.elapsed = start.elapsed();
+        self.session.queries.push(report.clone());
+        Ok(QueryOutcome { result, report })
+    }
+
+    /// Filters the table and cleans the resulting answer under every
+    /// cleaning step that targets it; returns the cleaned tuples that
+    /// (possibly) satisfy the filter.
+    fn clean_table_subset(
+        &mut self,
+        table_name: &str,
+        schema: &Arc<Schema>,
+        filter: &BoolExpr,
+        plan: &CleaningPlan,
+        report: &mut CleaningReport,
+    ) -> Result<Vec<Tuple>> {
+        let answer = {
+            let table = self.catalog.table(table_name)?;
+            filter_tuples(
+                &self.ctx,
+                schema,
+                table.tuples(),
+                filter,
+                PredicateMode::Possible,
+            )?
+        };
+        let cleaned = self.clean_answer_for_table(table_name, schema, answer, plan, report)?;
+        // Keep only the tuples that (possibly) satisfy the filter: relaxation
+        // extras whose candidates fall in the query range stay, the rest were
+        // cleaned in the base table but do not belong to this result.
+        filter_tuples(&self.ctx, schema, &cleaned, filter, PredicateMode::Possible)
+    }
+
+    /// Cleans an already-computed answer of one table under every applicable
+    /// step of the plan, applies the deltas to the base table and returns
+    /// the cleaned answer plus relaxation extras.
+    fn clean_answer_for_table(
+        &mut self,
+        table_name: &str,
+        schema: &Arc<Schema>,
+        answer: Vec<Tuple>,
+        plan: &CleaningPlan,
+        report: &mut CleaningReport,
+    ) -> Result<Vec<Tuple>> {
+        let steps: Vec<crate::planner::CleaningStep> = plan
+            .steps_for(table_name)
+            .into_iter()
+            .cloned()
+            .collect();
+        if steps.is_empty() {
+            return Ok(answer);
+        }
+        let mut working = answer;
+        for step in steps {
+            let key = (table_name.to_string(), step.rule.raw());
+            if self.fully_cleaned.contains(&key) {
+                continue;
+            }
+            match &step.fd {
+                Some(fd) => {
+                    working = self.clean_fd_step(table_name, fd, step.rule, step.filter_target, working, report)?;
+                }
+                None => {
+                    let rule = self
+                        .constraints
+                        .rule(step.rule)
+                        .cloned()
+                        .ok_or_else(|| DaisyError::Plan("unknown rule in plan".into()))?;
+                    working =
+                        self.clean_dc_step(table_name, schema, &rule, working, report)?;
+                }
+            }
+        }
+        Ok(working)
+    }
+
+    /// Runs `cleanσ` for one FD over one table's answer.
+    fn clean_fd_step(
+        &mut self,
+        table_name: &str,
+        fd: &FunctionalDependency,
+        rule: RuleId,
+        filter_target: FilterTarget,
+        answer: Vec<Tuple>,
+        report: &mut CleaningReport,
+    ) -> Result<Vec<Tuple>> {
+        let key = (table_name.to_string(), rule.raw());
+        // Build (or reuse) the FD group index: the pre-computed statistics.
+        // The index is computed over original values (via provenance) so a
+        // rule added after other rules already repaired cells still sees the
+        // dirty groups of the original data (§4.3).
+        if !self.fd_indexes.contains_key(&key) {
+            let provenance = self.provenance.entry(table_name.to_string()).or_default();
+            let table = self.catalog.table(table_name)?;
+            let index = FdIndex::build_with_provenance(table, fd, provenance)?;
+            let params = CostParameters {
+                n: table.len(),
+                epsilon: index.dirty_tuple_count(),
+                p: index.mean_candidates().max(index.mean_lhs_fanout()),
+                is_fd: true,
+            };
+            self.trackers.insert(key.clone(), CostTracker::new(params));
+            self.fd_indexes.insert(key.clone(), index);
+        }
+        let index = self.fd_indexes.get(&key).expect("just inserted");
+        let provenance = self.provenance.entry(table_name.to_string()).or_default();
+        let outcome = {
+            let table = self.catalog.table(table_name)?;
+            clean_select_fd(
+                rule,
+                index,
+                &answer,
+                table.tuples(),
+                filter_target,
+                self.config.max_relaxation_iterations,
+                provenance,
+            )?
+        };
+        // Apply the delta back to the base table (in-place update).
+        let cells_updated = outcome.delta.len();
+        let candidates_written = outcome.delta.total_candidates();
+        if !outcome.delta.is_empty() {
+            self.catalog
+                .table_mut(table_name)?
+                .apply_delta(&outcome.delta)?;
+        }
+        report.extra_tuples += outcome.cleaned.len() - outcome.answer_len;
+        report.relaxation_iterations += outcome.relaxation.iterations;
+        report.errors_repaired += outcome.errors_detected;
+        report.cells_updated += cells_updated;
+
+        // Cost model: record and possibly switch to full cleaning.
+        if let Some(tracker) = self.trackers.get_mut(&key) {
+            tracker.record_query(
+                outcome.answer_len,
+                outcome.cleaned.len() - outcome.answer_len,
+                outcome.relaxation.scanned,
+                outcome.errors_detected,
+                candidates_written,
+                0,
+            );
+            if self.config.use_cost_model && tracker.should_switch_to_full() {
+                report.strategy = CleaningStrategy::FullRemaining;
+                self.clean_remaining_fd(table_name, fd, rule)?;
+                self.fully_cleaned.insert(key.clone());
+            }
+        }
+        Ok(outcome.cleaned)
+    }
+
+    /// Runs `cleanσ` for one general DC over one table's answer.
+    fn clean_dc_step(
+        &mut self,
+        table_name: &str,
+        schema: &Arc<Schema>,
+        rule: &DenialConstraint,
+        answer: Vec<Tuple>,
+        report: &mut CleaningReport,
+    ) -> Result<Vec<Tuple>> {
+        let key = (table_name.to_string(), rule.id.raw());
+        if !self.theta_matrices.contains_key(&key) {
+            let table = self.catalog.table(table_name)?;
+            let matrix = ThetaMatrix::build(
+                schema,
+                table.tuples(),
+                rule,
+                self.config.theta_blocks_per_side(),
+            )?;
+            let params = CostParameters {
+                n: table.len(),
+                epsilon: 0,
+                p: 2.0,
+                is_fd: false,
+            };
+            self.trackers.insert(key.clone(), CostTracker::new(params));
+            self.theta_matrices.insert(key.clone(), matrix);
+        }
+
+        // The value range the answer spans on the partition attribute drives
+        // both the incremental matrix check and Algorithm 2's estimate.
+        let partition_column = self
+            .theta_matrices
+            .get(&key)
+            .expect("just inserted")
+            .partition_column;
+        let mut low: Option<Value> = None;
+        let mut high: Option<Value> = None;
+        for tuple in &answer {
+            let v = tuple.value(partition_column)?;
+            if v.is_null() {
+                continue;
+            }
+            low = Some(match low.take() {
+                Some(l) => Value::min_of(l, v.clone()),
+                None => v.clone(),
+            });
+            high = Some(match high.take() {
+                Some(h) => Value::max_of(h, v),
+                None => v,
+            });
+        }
+
+        let matrix = self.theta_matrices.get_mut(&key).expect("just inserted");
+        let estimate = estimate_accuracy(
+            matrix,
+            answer.len(),
+            low.as_ref(),
+            high.as_ref(),
+            self.config.accuracy_threshold,
+        );
+        report.estimated_accuracy = estimate.accuracy.min(report.estimated_accuracy);
+
+        let table_tuples: Vec<Tuple> = self.catalog.table(table_name)?.tuples().to_vec();
+        let (violations, stats) = if estimate.decision == CleaningDecision::Full {
+            report.strategy = CleaningStrategy::FullRemaining;
+            matrix.check_all(schema, &table_tuples)?
+        } else {
+            matrix.check_range(schema, &table_tuples, low.as_ref(), high.as_ref())?
+        };
+
+        let by_id: HashMap<TupleId, &Tuple> =
+            table_tuples.iter().map(|t| (t.id, t)).collect();
+        let provenance = self.provenance.entry(table_name.to_string()).or_default();
+        let outcome = repair_dc_violations(schema, rule, &violations, &by_id, provenance)?;
+        drop(by_id);
+
+        let cells_updated = outcome.delta.len();
+        let candidates_written = outcome.delta.total_candidates();
+        if !outcome.delta.is_empty() {
+            self.catalog
+                .table_mut(table_name)?
+                .apply_delta(&outcome.delta)?;
+        }
+        report.errors_repaired += outcome.errors_detected;
+        report.cells_updated += cells_updated;
+        if let Some(tracker) = self.trackers.get_mut(&key) {
+            tracker.record_query(
+                answer.len(),
+                0,
+                0,
+                outcome.errors_detected,
+                candidates_written,
+                stats.pairs_compared,
+            );
+        }
+
+        // Return the answer with the fresh candidate cells (re-read the
+        // updated tuples from the base table so later operators see them).
+        let table = self.catalog.table(table_name)?;
+        Ok(answer
+            .iter()
+            .map(|t| table.tuple(t.id).cloned().unwrap_or_else(|| t.clone()))
+            .collect())
+    }
+
+    /// Cleans the remaining dirty part of a table under one FD in a single
+    /// pass (the "switch to full cleaning" action of §5.2.3).
+    pub fn clean_remaining_fd(
+        &mut self,
+        table_name: &str,
+        fd: &FunctionalDependency,
+        rule: RuleId,
+    ) -> Result<usize> {
+        let key = (table_name.to_string(), rule.raw());
+        if !self.fd_indexes.contains_key(&key) {
+            let provenance = self.provenance.entry(table_name.to_string()).or_default();
+            let table = self.catalog.table(table_name)?;
+            self.fd_indexes
+                .insert(key.clone(), FdIndex::build_with_provenance(table, fd, provenance)?);
+        }
+        let index = self.fd_indexes.get(&key).expect("present");
+        let provenance = self.provenance.entry(table_name.to_string()).or_default();
+        let outcome = {
+            let table = self.catalog.table(table_name)?;
+            let all = table.tuples().to_vec();
+            clean_select_fd(
+                rule,
+                index,
+                &all,
+                table.tuples(),
+                FilterTarget::Other,
+                self.config.max_relaxation_iterations,
+                provenance,
+            )?
+        };
+        let repaired = outcome.errors_detected;
+        if !outcome.delta.is_empty() {
+            self.catalog
+                .table_mut(table_name)?
+                .apply_delta(&outcome.delta)?;
+        }
+        self.fully_cleaned.insert(key);
+        Ok(repaired)
+    }
+
+    /// Adds a new rule after some cleaning has already happened and cleans
+    /// the whole table for that rule only, merging the new candidate fixes
+    /// with the existing probabilistic data through the provenance store
+    /// (the single-execution scenario of Table 7).
+    pub fn add_rule_incrementally(
+        &mut self,
+        table_name: &str,
+        dc: DenialConstraint,
+    ) -> Result<usize> {
+        let rule = self.constraints.add(dc);
+        let constraint = self
+            .constraints
+            .rule(rule)
+            .cloned()
+            .expect("just added");
+        match constraint.as_fd() {
+            Some(fd) => self.clean_remaining_fd(table_name, &fd, rule),
+            None => {
+                let schema = Arc::new(
+                    self.catalog
+                        .table(table_name)?
+                        .schema()
+                        .qualify(table_name),
+                );
+                let table_tuples: Vec<Tuple> =
+                    self.catalog.table(table_name)?.tuples().to_vec();
+                let mut matrix = ThetaMatrix::build(
+                    &schema,
+                    &table_tuples,
+                    &constraint,
+                    self.config.theta_blocks_per_side(),
+                )?;
+                let (violations, _) = matrix.check_all(&schema, &table_tuples)?;
+                let by_id: HashMap<TupleId, &Tuple> =
+                    table_tuples.iter().map(|t| (t.id, t)).collect();
+                let provenance = self.provenance.entry(table_name.to_string()).or_default();
+                let outcome =
+                    repair_dc_violations(&schema, &constraint, &violations, &by_id, provenance)?;
+                drop(by_id);
+                let repaired = outcome.errors_detected;
+                if !outcome.delta.is_empty() {
+                    self.catalog
+                        .table_mut(table_name)?
+                        .apply_delta(&outcome.delta)?;
+                }
+                self.fully_cleaned
+                    .insert((table_name.to_string(), rule.raw()));
+                Ok(repaired)
+            }
+        }
+    }
+}
+
+/// The part of the WHERE clause relevant before joining: for the driving
+/// table we apply the whole filter when the query has no joins or when the
+/// filter does not reference joined tables; otherwise the filter is applied
+/// after the joins and the driving table is scanned unfiltered.
+fn filter_for_table(query: &Query, _table: &str, allow_whole_filter: bool) -> BoolExpr {
+    let references_joined = query.joins.iter().any(|j| {
+        query
+            .filter
+            .columns()
+            .iter()
+            .any(|c| c.starts_with(&format!("{}.", j.table)))
+    });
+    if references_joined && !allow_whole_filter {
+        BoolExpr::True
+    } else {
+        query.filter.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::DataType;
+
+    fn cities_table() -> Table {
+        Table::from_rows(
+            "cities",
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap(),
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(9001), Value::from("San Francisco")],
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(10001), Value::from("San Francisco")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn engine_with_cities() -> DaisyEngine {
+        let mut engine = DaisyEngine::new(
+            DaisyConfig::default()
+                .with_worker_threads(2)
+                .with_cost_model(false),
+        )
+        .unwrap();
+        engine.register_table(cities_table());
+        engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+        engine
+    }
+
+    #[test]
+    fn example_1_query_returns_relaxed_probabilistic_result() {
+        let mut engine = engine_with_cities();
+        let outcome = engine
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        // The dirty answer had 2 tuples; after cleaning, the (9001, SF)
+        // tuple is a candidate Los Angeles tuple and is included.
+        assert_eq!(outcome.result.len(), 3);
+        assert!(outcome.report.errors_repaired > 0);
+        assert_eq!(outcome.report.strategy, CleaningStrategy::Incremental);
+        // The base table was updated in place (gradually probabilistic).
+        assert!(engine.table("cities").unwrap().probabilistic_tuple_count() >= 3);
+        // The untouched 10001 cluster stays deterministic.
+        assert!(!engine
+            .table("cities")
+            .unwrap()
+            .tuple(TupleId::new(4))
+            .unwrap()
+            .is_probabilistic());
+    }
+
+    #[test]
+    fn queries_not_overlapping_rules_skip_cleaning() {
+        let mut engine = engine_with_cities();
+        let outcome = engine.execute_sql("SELECT city FROM cities WHERE zip = 123456").unwrap();
+        assert_eq!(outcome.result.len(), 0);
+        // Cleaning still ran for the (empty) answer under the overlapping
+        // rule, but repaired nothing new.
+        assert_eq!(outcome.report.errors_repaired, 0);
+    }
+
+    #[test]
+    fn group_by_query_cleans_before_aggregation() {
+        let mut engine = engine_with_cities();
+        let outcome = engine
+            .execute_sql("SELECT city, COUNT(*) FROM cities WHERE zip = 9001 GROUP BY city")
+            .unwrap();
+        // After cleaning, grouping happens over expected values; the result
+        // has at most one row per distinct expected city.
+        assert!(!outcome.result.is_empty());
+        assert!(outcome.report.errors_repaired > 0);
+    }
+
+    #[test]
+    fn repeated_queries_converge_to_stable_results() {
+        let mut engine = engine_with_cities();
+        let first = engine
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        let second = engine
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        assert_eq!(first.result.len(), second.result.len());
+        assert_eq!(engine.session().queries.len(), 2);
+    }
+
+    #[test]
+    fn incremental_rule_addition_merges_candidates() {
+        let mut engine = engine_with_cities();
+        engine
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        let repaired = engine
+            .add_rule_incrementally(
+                "cities",
+                DenialConstraint::parse("phi2", "t1.city = t2.city & t1.zip != t2.zip").unwrap(),
+            )
+            .unwrap();
+        assert!(repaired > 0);
+        // The provenance store now holds evidence from both rules for some cell.
+        let prov = engine.provenance("cities").unwrap();
+        assert!(!prov.is_empty());
+    }
+
+    #[test]
+    fn sql_errors_are_reported() {
+        let mut engine = engine_with_cities();
+        assert!(engine.execute_sql("SELECT FROM").is_err());
+        assert!(engine.execute_sql("SELECT * FROM unknown_table").is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Merging candidate fixes across multiple rules (§4.3).
+//!
+//! When several constraints share attributes, a dirty cell may receive
+//! candidate fixes from each of them.  The paper merges them by taking the
+//! union of the candidate values and adjusting the probabilities to reflect
+//! the union of the evidence sets (`P(X | Y ∪ Z)`); Lemma 4 shows the merge
+//! is commutative, which this module's tests verify directly.
+//!
+//! In the storage layer, `Cell::merge_candidates` already implements the
+//! per-cell union; what this module adds is merging at the *delta* level —
+//! combining the deltas produced by independently cleaning each rule into a
+//! single delta per cell — and recomputing probabilities from the combined
+//! per-rule evidence kept in the provenance store (used when a new rule
+//! arrives later, Table 7).
+
+use std::collections::HashMap;
+
+use daisy_common::{ColumnId, TupleId};
+use daisy_storage::{Candidate, Cell, CellUpdate, Delta, ProvenanceStore};
+
+/// Merges per-rule deltas into one delta with a single update per cell.
+///
+/// Candidates proposed by more than one rule have their weights summed
+/// before normalisation — the frequency interpretation of conditioning on
+/// the union of the evidence sets.
+pub fn merge_deltas(deltas: &[Delta]) -> Delta {
+    let mut per_cell: HashMap<(TupleId, ColumnId), Vec<Candidate>> = HashMap::new();
+    let mut order: Vec<(TupleId, ColumnId)> = Vec::new();
+    for delta in deltas {
+        for update in delta.updates() {
+            let key = (update.tuple, update.column);
+            let entry = per_cell.entry(key).or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            });
+            match &update.cell {
+                Cell::Probabilistic(cands) => {
+                    for cand in cands {
+                        if let Some(existing) =
+                            entry.iter_mut().find(|c| c.value == cand.value)
+                        {
+                            existing.probability += cand.probability;
+                        } else {
+                            entry.push(cand.clone());
+                        }
+                    }
+                }
+                Cell::Determinate(v) => {
+                    let cand = Candidate::exact(v.clone(), 1.0);
+                    if let Some(existing) = entry.iter_mut().find(|c| c.value == cand.value) {
+                        existing.probability += 1.0;
+                    } else {
+                        entry.push(cand);
+                    }
+                }
+            }
+        }
+    }
+    let mut merged = Delta::new();
+    for key in order {
+        let candidates = per_cell.remove(&key).expect("key recorded in order");
+        merged.push(CellUpdate {
+            tuple: key.0,
+            column: key.1,
+            cell: Cell::probabilistic(candidates),
+        });
+    }
+    merged
+}
+
+/// Rebuilds a cell's merged candidate set from all rule evidence recorded in
+/// the provenance store (used when a new rule is added incrementally: the
+/// new rule's evidence is appended and the cell is recomputed without
+/// re-running the earlier rules).
+pub fn rebuild_cell_from_provenance(
+    provenance: &ProvenanceStore,
+    tuple: TupleId,
+    column: ColumnId,
+) -> Option<Cell> {
+    let prov = provenance.cell(tuple, column)?;
+    if prov.evidence.is_empty() {
+        return None;
+    }
+    let mut merged: Vec<Candidate> = Vec::new();
+    for evidence in &prov.evidence {
+        for cand in &evidence.candidates {
+            if let Some(existing) = merged.iter_mut().find(|c| c.value == cand.value) {
+                existing.probability += cand.probability;
+            } else {
+                merged.push(cand.clone());
+            }
+        }
+    }
+    Some(Cell::probabilistic(merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{RuleId, Value};
+    use daisy_storage::RuleEvidence;
+
+    fn delta_with(tuple: u64, column: u64, values: &[(&str, f64)]) -> Delta {
+        let mut d = Delta::new();
+        d.push_update(
+            TupleId::new(tuple),
+            ColumnId::new(column),
+            Cell::probabilistic(
+                values
+                    .iter()
+                    .map(|(v, p)| Candidate::exact(Value::from(*v), *p))
+                    .collect(),
+            ),
+        );
+        d
+    }
+
+    #[test]
+    fn merge_is_commutative_lemma_4() {
+        // Rule 1 proposes {CA 0.5, NY 0.5}; rule 2 proposes {CA 1.0}.
+        let d1 = delta_with(1, 0, &[("CA", 0.5), ("NY", 0.5)]);
+        let d2 = delta_with(1, 0, &[("CA", 1.0)]);
+        let ab = merge_deltas(&[d1.clone(), d2.clone()]);
+        let ba = merge_deltas(&[d2, d1]);
+        let cell_ab = &ab.updates()[0].cell;
+        let cell_ba = &ba.updates()[0].cell;
+        // Same candidate set and same probabilities regardless of order.
+        for cand in cell_ab.candidates() {
+            let other = cell_ba
+                .candidates()
+                .iter()
+                .find(|c| c.value == cand.value)
+                .expect("candidate present in both orders");
+            assert!((cand.probability - other.probability).abs() < 1e-12);
+        }
+        assert_eq!(cell_ab.candidate_count(), cell_ba.candidate_count());
+    }
+
+    #[test]
+    fn merge_unions_distinct_cells_without_interference() {
+        let d1 = delta_with(1, 0, &[("A", 1.0)]);
+        let d2 = delta_with(2, 1, &[("B", 1.0)]);
+        let merged = merge_deltas(&[d1, d2]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.touched_tuples().len(), 2);
+    }
+
+    #[test]
+    fn shared_candidates_gain_weight() {
+        let d1 = delta_with(1, 0, &[("CA", 0.5), ("NY", 0.5)]);
+        let d2 = delta_with(1, 0, &[("CA", 0.5), ("TX", 0.5)]);
+        let merged = merge_deltas(&[d1, d2]);
+        let cell = &merged.updates()[0].cell;
+        assert_eq!(cell.candidate_count(), 3);
+        let ca = cell
+            .candidates()
+            .iter()
+            .find(|c| c.value.could_equal(&Value::from("CA")))
+            .unwrap();
+        let ny = cell
+            .candidates()
+            .iter()
+            .find(|c| c.value.could_equal(&Value::from("NY")))
+            .unwrap();
+        assert!(ca.probability > ny.probability);
+    }
+
+    #[test]
+    fn rebuild_from_provenance_merges_rule_evidence() {
+        let mut prov = ProvenanceStore::new();
+        let (t, c) = (TupleId::new(5), ColumnId::new(1));
+        prov.record_original(t, c, Value::from("SF"));
+        prov.record_evidence(
+            t,
+            c,
+            RuleEvidence {
+                rule: RuleId::new(0),
+                conflicting: vec![TupleId::new(1)],
+                candidates: vec![
+                    Candidate::exact(Value::from("LA"), 2.0),
+                    Candidate::exact(Value::from("SF"), 1.0),
+                ],
+            },
+        );
+        prov.record_evidence(
+            t,
+            c,
+            RuleEvidence {
+                rule: RuleId::new(1),
+                conflicting: vec![TupleId::new(2)],
+                candidates: vec![Candidate::exact(Value::from("LA"), 1.0)],
+            },
+        );
+        let cell = rebuild_cell_from_provenance(&prov, t, c).unwrap();
+        assert_eq!(cell.candidate_count(), 2);
+        let la = cell
+            .candidates()
+            .iter()
+            .find(|cd| cd.value.could_equal(&Value::from("LA")))
+            .unwrap();
+        assert!((la.probability - 0.75).abs() < 1e-12);
+        assert!(rebuild_cell_from_provenance(&prov, TupleId::new(9), c).is_none());
+    }
+}

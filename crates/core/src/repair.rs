@@ -1,0 +1,358 @@
+//! Materialising probabilistic repairs into a deterministic relation.
+//!
+//! Daisy's output is a *probabilistic* dataset: erroneous cells carry their
+//! candidate fixes and frequency-based probabilities (§4).  The paper leaves
+//! the final selection to an inference component or a human ("a SAT solver /
+//! inference algorithm can repair the dirty values", §3, §4.2) and evaluates
+//! one automatic policy, `DaisyP`, which "blindly selects the most probable
+//! value" (Table 5).  This module implements that last mile:
+//!
+//! * [`RepairPolicy`] — how to collapse a candidate set into one value,
+//! * [`materialize_repairs`] — produce a deterministic copy of a
+//!   (partially) probabilistic table plus the list of applied updates,
+//! * [`accept_candidate`] — a human-in-the-loop accept of one candidate for
+//!   one cell, collapsing it in place,
+//! * [`restore_originals`] — undo all probabilistic rewrites using the
+//!   provenance store (the "in case new rules appear" escape hatch of §4).
+
+use daisy_common::{ColumnId, DaisyError, Result, TupleId, Value};
+use daisy_storage::{Cell, ProvenanceStore, Table};
+
+/// How a probabilistic cell is collapsed into a single value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RepairPolicy {
+    /// Always take the most probable candidate (the paper's `DaisyP`).
+    MostProbable,
+    /// Take the most probable candidate only when its probability reaches
+    /// the threshold; otherwise keep the cell's original value (recorded in
+    /// provenance) and report it as unresolved.
+    Threshold(f64),
+    /// Keep every original value; only cells whose candidate set no longer
+    /// contains the original value are repaired (to the most probable
+    /// candidate).  This is the most conservative automatic policy.
+    KeepOriginal,
+}
+
+/// One materialised update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedRepair {
+    /// The repaired tuple.
+    pub tuple: TupleId,
+    /// The repaired column ordinal.
+    pub column: usize,
+    /// The value the cell held before materialisation (the provenance
+    /// original when known, otherwise the previously most probable value).
+    pub previous: Value,
+    /// The value written.
+    pub value: Value,
+    /// The probability of the selected candidate.
+    pub confidence: f64,
+}
+
+/// The outcome of materialising a probabilistic table.
+#[derive(Debug, Clone)]
+pub struct MaterializeOutcome {
+    /// The deterministic table (same name, schema and tuple ids).
+    pub table: Table,
+    /// The updates that changed a value.
+    pub repairs: Vec<AppliedRepair>,
+    /// Cells left at their original value because no candidate met the
+    /// policy (only produced by [`RepairPolicy::Threshold`]).
+    pub unresolved: usize,
+}
+
+/// Collapses every probabilistic cell of `table` according to `policy`,
+/// returning a deterministic copy plus the applied repairs.
+///
+/// `provenance` supplies the original (pre-cleaning) values; without it the
+/// original defaults to the most probable candidate, which makes
+/// [`RepairPolicy::KeepOriginal`] a no-op for cells that kept their original
+/// among the candidates.
+pub fn materialize_repairs(
+    table: &Table,
+    provenance: Option<&ProvenanceStore>,
+    policy: RepairPolicy,
+) -> Result<MaterializeOutcome> {
+    if let RepairPolicy::Threshold(t) = policy {
+        if !(0.0..=1.0).contains(&t) {
+            return Err(DaisyError::Config(format!(
+                "repair threshold {t} must lie in [0, 1]"
+            )));
+        }
+    }
+    let mut out = MaterializeOutcome {
+        table: table.clone(),
+        repairs: Vec::new(),
+        unresolved: 0,
+    };
+    let ids: Vec<TupleId> = table.tuples().iter().map(|t| t.id).collect();
+    for id in ids {
+        let arity = table.schema().len();
+        for column in 0..arity {
+            let cell = table
+                .tuple(id)
+                .ok_or_else(|| DaisyError::Execution(format!("missing tuple {id}")))?
+                .cell(column)?
+                .clone();
+            if !cell.is_probabilistic() {
+                continue;
+            }
+            let original = provenance
+                .and_then(|p| p.original_value(id, ColumnId::new(column as u64)))
+                .cloned();
+            let (winner, confidence) = best_candidate(&cell);
+            let previous = original.clone().unwrap_or_else(|| winner.clone());
+            let chosen = match policy {
+                RepairPolicy::MostProbable => Some(winner.clone()),
+                RepairPolicy::Threshold(threshold) => {
+                    if confidence >= threshold {
+                        Some(winner.clone())
+                    } else {
+                        None
+                    }
+                }
+                RepairPolicy::KeepOriginal => match &original {
+                    Some(orig) if cell.could_equal(orig) => Some(orig.clone()),
+                    _ => Some(winner.clone()),
+                },
+            };
+            let target = out
+                .table
+                .tuple_mut(id)
+                .ok_or_else(|| DaisyError::Execution(format!("missing tuple {id}")))?;
+            match chosen {
+                Some(value) => {
+                    *target.cell_mut(column)? = Cell::Determinate(value.clone());
+                    if Some(&value) != original.as_ref() {
+                        out.repairs.push(AppliedRepair {
+                            tuple: id,
+                            column,
+                            previous,
+                            value,
+                            confidence,
+                        });
+                    }
+                }
+                None => {
+                    // Unresolved: fall back to the original value when known.
+                    if let Some(orig) = original {
+                        *target.cell_mut(column)? = Cell::Determinate(orig);
+                    }
+                    out.unresolved += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Accepts one candidate value for one cell, collapsing it in place.  Errors
+/// if the cell is not probabilistic or the value is not among its candidates.
+pub fn accept_candidate(
+    table: &mut Table,
+    tuple: TupleId,
+    column: usize,
+    value: &Value,
+) -> Result<()> {
+    let cell = table
+        .tuple(tuple)
+        .ok_or_else(|| DaisyError::Execution(format!("missing tuple {tuple}")))?
+        .cell(column)?;
+    if !cell.is_probabilistic() {
+        return Err(DaisyError::Execution(format!(
+            "cell ({tuple}, {column}) carries no candidate fixes"
+        )));
+    }
+    if !cell.could_equal(value) {
+        return Err(DaisyError::Execution(format!(
+            "value {value} is not a candidate of cell ({tuple}, {column})"
+        )));
+    }
+    let target = table
+        .tuple_mut(tuple)
+        .ok_or_else(|| DaisyError::Execution(format!("missing tuple {tuple}")))?;
+    *target.cell_mut(column)? = Cell::Determinate(value.clone());
+    Ok(())
+}
+
+/// Restores every cell that has a recorded original value back to that
+/// value, dropping its candidates.  Returns the number of cells restored.
+pub fn restore_originals(table: &mut Table, provenance: &ProvenanceStore) -> Result<usize> {
+    let ids: Vec<TupleId> = table.tuples().iter().map(|t| t.id).collect();
+    let arity = table.schema().len();
+    let mut restored = 0usize;
+    for id in ids {
+        for column in 0..arity {
+            let Some(original) = provenance.original_value(id, ColumnId::new(column as u64))
+            else {
+                continue;
+            };
+            let target = table
+                .tuple_mut(id)
+                .ok_or_else(|| DaisyError::Execution(format!("missing tuple {id}")))?;
+            if target.cell(column)?.is_probabilistic() {
+                *target.cell_mut(column)? = Cell::Determinate(original.clone());
+                restored += 1;
+            }
+        }
+    }
+    Ok(restored)
+}
+
+/// The most probable exact candidate of a cell and its probability.
+fn best_candidate(cell: &Cell) -> (Value, f64) {
+    let mut best: Option<(Value, f64)> = None;
+    for candidate in cell.candidates() {
+        let value = candidate.value.representative();
+        match &best {
+            Some((_, p)) if candidate.probability <= *p => {}
+            _ => best = Some((value, candidate.probability)),
+        }
+    }
+    best.unwrap_or((cell.expected_value(), 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{DataType, Schema};
+    use daisy_storage::{Candidate, Delta};
+
+    fn probabilistic_cities() -> (Table, ProvenanceStore) {
+        let schema =
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let mut table = Table::from_rows(
+            "cities",
+            schema,
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(9001), Value::from("San Francisco")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap();
+        let mut delta = Delta::new();
+        delta.push_update(
+            TupleId::new(1),
+            ColumnId::new(1),
+            Cell::probabilistic(vec![
+                Candidate::exact(Value::from("Los Angeles"), 2.0),
+                Candidate::exact(Value::from("San Francisco"), 1.0),
+            ]),
+        );
+        table.apply_delta(&delta).unwrap();
+        let mut prov = ProvenanceStore::new();
+        prov.record_original(TupleId::new(1), ColumnId::new(1), Value::from("San Francisco"));
+        (table, prov)
+    }
+
+    #[test]
+    fn most_probable_policy_repairs_the_dirty_cell() {
+        let (table, prov) = probabilistic_cities();
+        let out = materialize_repairs(&table, Some(&prov), RepairPolicy::MostProbable).unwrap();
+        assert_eq!(out.repairs.len(), 1);
+        assert_eq!(out.unresolved, 0);
+        let repair = &out.repairs[0];
+        assert_eq!(repair.tuple, TupleId::new(1));
+        assert_eq!(repair.value, Value::from("Los Angeles"));
+        assert_eq!(repair.previous, Value::from("San Francisco"));
+        assert!(repair.confidence > 0.6);
+        // The materialised table is fully deterministic.
+        assert_eq!(out.table.probabilistic_tuple_count(), 0);
+        assert_eq!(
+            out.table.tuple(TupleId::new(1)).unwrap().value(1).unwrap(),
+            Value::from("Los Angeles")
+        );
+        // The source table is untouched.
+        assert_eq!(table.probabilistic_tuple_count(), 1);
+    }
+
+    #[test]
+    fn threshold_policy_leaves_low_confidence_cells_unresolved() {
+        let (table, prov) = probabilistic_cities();
+        let out = materialize_repairs(&table, Some(&prov), RepairPolicy::Threshold(0.9)).unwrap();
+        assert!(out.repairs.is_empty());
+        assert_eq!(out.unresolved, 1);
+        // The unresolved cell fell back to its original value.
+        assert_eq!(
+            out.table.tuple(TupleId::new(1)).unwrap().value(1).unwrap(),
+            Value::from("San Francisco")
+        );
+        // A permissive threshold behaves like MostProbable.
+        let out = materialize_repairs(&table, Some(&prov), RepairPolicy::Threshold(0.5)).unwrap();
+        assert_eq!(out.repairs.len(), 1);
+        // Out-of-range thresholds are rejected.
+        assert!(materialize_repairs(&table, Some(&prov), RepairPolicy::Threshold(1.5)).is_err());
+    }
+
+    #[test]
+    fn keep_original_policy_only_repairs_when_original_is_impossible() {
+        let (mut table, prov) = probabilistic_cities();
+        // Original still among the candidates → kept.
+        let out = materialize_repairs(&table, Some(&prov), RepairPolicy::KeepOriginal).unwrap();
+        assert!(out.repairs.is_empty());
+        assert_eq!(
+            out.table.tuple(TupleId::new(1)).unwrap().value(1).unwrap(),
+            Value::from("San Francisco")
+        );
+        // Drop the original from the candidate set → repaired.
+        let mut delta = Delta::new();
+        delta.push_update(
+            TupleId::new(1),
+            ColumnId::new(1),
+            Cell::Determinate(Value::from("ignored")),
+        );
+        table.apply_delta(&delta).unwrap();
+        let mut delta = Delta::new();
+        delta.push_update(
+            TupleId::new(1),
+            ColumnId::new(1),
+            Cell::probabilistic(vec![Candidate::exact(Value::from("Los Angeles"), 1.0)]),
+        );
+        table.apply_delta(&delta).unwrap();
+        let out = materialize_repairs(&table, Some(&prov), RepairPolicy::KeepOriginal).unwrap();
+        assert_eq!(out.repairs.len(), 1);
+        assert_eq!(out.repairs[0].value, Value::from("Los Angeles"));
+    }
+
+    #[test]
+    fn accept_candidate_collapses_one_cell() {
+        let (mut table, _) = probabilistic_cities();
+        // Accepting a non-candidate value fails.
+        assert!(accept_candidate(&mut table, TupleId::new(1), 1, &Value::from("Boston")).is_err());
+        // Accepting on a determinate cell fails.
+        assert!(
+            accept_candidate(&mut table, TupleId::new(0), 1, &Value::from("Los Angeles")).is_err()
+        );
+        accept_candidate(&mut table, TupleId::new(1), 1, &Value::from("San Francisco")).unwrap();
+        assert_eq!(table.probabilistic_tuple_count(), 0);
+        assert_eq!(
+            table.tuple(TupleId::new(1)).unwrap().value(1).unwrap(),
+            Value::from("San Francisco")
+        );
+    }
+
+    #[test]
+    fn restore_originals_reverts_the_probabilistic_rewrite() {
+        let (mut table, prov) = probabilistic_cities();
+        let restored = restore_originals(&mut table, &prov).unwrap();
+        assert_eq!(restored, 1);
+        assert_eq!(table.probabilistic_tuple_count(), 0);
+        assert_eq!(
+            table.tuple(TupleId::new(1)).unwrap().value(1).unwrap(),
+            Value::from("San Francisco")
+        );
+        // Restoring again is a no-op.
+        assert_eq!(restore_originals(&mut table, &prov).unwrap(), 0);
+    }
+
+    #[test]
+    fn tables_without_probabilistic_cells_are_returned_unchanged() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        let table = Table::from_rows("t", schema, vec![vec![Value::Int(1)]]).unwrap();
+        let out = materialize_repairs(&table, None, RepairPolicy::MostProbable).unwrap();
+        assert!(out.repairs.is_empty());
+        assert_eq!(out.unresolved, 0);
+        assert_eq!(out.table.len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-query and per-session cleaning reports.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Which cleaning strategy was used for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CleaningStrategy {
+    /// Only the query result (after relaxation) was cleaned.
+    Incremental,
+    /// The engine cleaned the remaining dirty part of the dataset during
+    /// this query (cost-model switch, §5.2.3, or accuracy-threshold switch,
+    /// Algorithm 2).
+    FullRemaining,
+    /// No rule overlapped the query; no cleaning work was done.
+    NotNeeded,
+}
+
+/// What one query cost and produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CleaningReport {
+    /// The query, rendered as text.
+    pub query: String,
+    /// Which strategy was applied.
+    pub strategy: CleaningStrategy,
+    /// Number of result tuples returned to the user.
+    pub result_tuples: usize,
+    /// Correlated tuples fetched by relaxation.
+    pub extra_tuples: usize,
+    /// Relaxation iterations performed.
+    pub relaxation_iterations: usize,
+    /// Cells that received candidate fixes during this query.
+    pub errors_repaired: usize,
+    /// Cell updates applied back to base tables.
+    pub cells_updated: usize,
+    /// Estimated accuracy (1.0 for FDs, Algorithm 2's estimate for DCs).
+    pub estimated_accuracy: f64,
+    /// Wall-clock time spent answering and cleaning.
+    pub elapsed: Duration,
+}
+
+impl CleaningReport {
+    /// An empty report for a query that required no cleaning.
+    pub fn not_needed(query: String, result_tuples: usize, elapsed: Duration) -> Self {
+        CleaningReport {
+            query,
+            strategy: CleaningStrategy::NotNeeded,
+            result_tuples,
+            extra_tuples: 0,
+            relaxation_iterations: 0,
+            errors_repaired: 0,
+            cells_updated: 0,
+            estimated_accuracy: 1.0,
+            elapsed,
+        }
+    }
+}
+
+/// Aggregate statistics over a whole query session.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Per-query reports, in execution order.
+    pub queries: Vec<CleaningReport>,
+}
+
+impl SessionReport {
+    /// Total wall-clock time across all queries.
+    pub fn total_elapsed(&self) -> Duration {
+        self.queries.iter().map(|q| q.elapsed).sum()
+    }
+
+    /// Cumulative elapsed time after each query (the series plotted in the
+    /// paper's cumulative-time figures, Figs. 7, 8, 11, 12).
+    pub fn cumulative_elapsed(&self) -> Vec<Duration> {
+        let mut acc = Duration::ZERO;
+        self.queries
+            .iter()
+            .map(|q| {
+                acc += q.elapsed;
+                acc
+            })
+            .collect()
+    }
+
+    /// Total cells repaired across the session.
+    pub fn total_errors_repaired(&self) -> usize {
+        self.queries.iter().map(|q| q.errors_repaired).sum()
+    }
+
+    /// The index of the first query at which the engine switched to full
+    /// cleaning, if it ever did.
+    pub fn switch_point(&self) -> Option<usize> {
+        self.queries
+            .iter()
+            .position(|q| q.strategy == CleaningStrategy::FullRemaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(strategy: CleaningStrategy, millis: u64, errors: usize) -> CleaningReport {
+        CleaningReport {
+            query: "q".into(),
+            strategy,
+            result_tuples: 10,
+            extra_tuples: 2,
+            relaxation_iterations: 1,
+            errors_repaired: errors,
+            cells_updated: errors,
+            estimated_accuracy: 1.0,
+            elapsed: Duration::from_millis(millis),
+        }
+    }
+
+    #[test]
+    fn session_aggregates() {
+        let mut session = SessionReport::default();
+        session.queries.push(report(CleaningStrategy::Incremental, 10, 3));
+        session.queries.push(report(CleaningStrategy::Incremental, 20, 2));
+        session
+            .queries
+            .push(report(CleaningStrategy::FullRemaining, 50, 10));
+        assert_eq!(session.total_elapsed(), Duration::from_millis(80));
+        assert_eq!(
+            session.cumulative_elapsed(),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(30),
+                Duration::from_millis(80)
+            ]
+        );
+        assert_eq!(session.total_errors_repaired(), 15);
+        assert_eq!(session.switch_point(), Some(2));
+    }
+
+    #[test]
+    fn session_without_switch() {
+        let mut session = SessionReport::default();
+        session.queries.push(report(CleaningStrategy::NotNeeded, 5, 0));
+        assert_eq!(session.switch_point(), None);
+        assert_eq!(session.total_errors_repaired(), 0);
+    }
+}

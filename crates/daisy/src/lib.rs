@@ -1,0 +1,55 @@
+//! # daisy
+//!
+//! Facade crate for the Daisy workspace: a Rust reproduction of *Cleaning
+//! Denial Constraint Violations through Relaxation* (Giannakopoulou,
+//! Karpathiotakis, Ailamaki — SIGMOD 2020).
+//!
+//! Daisy interleaves the cleaning of denial-constraint (DC) violations with
+//! exploratory SP / SPJ / group-by queries: query results are *relaxed* with
+//! the correlated tuples needed to detect and repair the violations that
+//! affect them, erroneous cells are replaced by probabilistic candidate
+//! fixes, and the changes are written back so the dataset becomes gradually
+//! probabilistic.  A cost model switches from incremental to full cleaning
+//! when the workload makes that cheaper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use daisy::prelude::*;
+//!
+//! // A dirty table violating the FD zip → city (Table 1 of the paper).
+//! let schema = Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+//! let table = Table::from_rows("cities", schema, vec![
+//!     vec![Value::Int(9001), Value::from("Los Angeles")],
+//!     vec![Value::Int(9001), Value::from("San Francisco")],
+//!     vec![Value::Int(10001), Value::from("New York")],
+//! ]).unwrap();
+//!
+//! let mut engine = DaisyEngine::with_defaults();
+//! engine.register_table(table);
+//! engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+//!
+//! let outcome = engine.execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'").unwrap();
+//! assert!(outcome.result.len() >= 1);
+//! assert!(outcome.report.errors_repaired > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use daisy_common as common;
+pub use daisy_core as core;
+pub use daisy_data as data;
+pub use daisy_exec as exec;
+pub use daisy_expr as expr;
+pub use daisy_offline as offline;
+pub use daisy_query as query;
+pub use daisy_storage as storage;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use daisy_common::{DaisyConfig, DataType, Field, Schema, Value};
+    pub use daisy_core::{CleaningReport, CleaningStrategy, DaisyEngine, QueryOutcome};
+    pub use daisy_expr::{BoolExpr, ConstraintSet, DenialConstraint, FunctionalDependency};
+    pub use daisy_query::{parse_query, Query};
+    pub use daisy_storage::{Cell, Table};
+}

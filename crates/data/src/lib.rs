@@ -1,0 +1,31 @@
+//! # daisy-data
+//!
+//! Synthetic datasets, error injection and query workloads reproducing the
+//! Daisy evaluation setup (§7):
+//!
+//! * [`ssb`] — a Star-Schema-Benchmark-like generator (lineorder, supplier,
+//!   part, date, customer) with configurable distinct orderkeys / suppkeys,
+//! * [`errors`] — BART-like error injection: edit a percentage of the rhs
+//!   values of each lhs group, uniformly spread across the dataset,
+//! * [`hospital`] — a US-hospital-like dataset with ground truth and the
+//!   three DCs ϕ1–ϕ3 used for the accuracy experiments,
+//! * [`nestle`] — a food-products dataset with the Material → Category FD
+//!   and very low Category selectivity,
+//! * [`airquality`] — hourly CO measurements keyed by (state, county) with a
+//!   (state_code, county_code) → county_name FD,
+//! * [`workload`] — query-workload generators (non-overlapping range / point
+//!   SP queries of fixed selectivity, SPJ workloads, mixed workloads, the
+//!   SSB-style Q1/Q2/Q3 chain, exploratory group-by workloads).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod airquality;
+pub mod errors;
+pub mod hospital;
+pub mod nestle;
+pub mod ssb;
+pub mod workload;
+
+pub use errors::{inject_fd_errors, inject_inequality_errors, ErrorInjectionReport};
+pub use workload::Workload;

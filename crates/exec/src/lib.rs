@@ -1,0 +1,26 @@
+//! # daisy-exec
+//!
+//! The partitioned, multi-threaded execution substrate that replaces the
+//! Spark cluster of the original Daisy paper (Giannakopoulou et al., SIGMOD
+//! 2020).  The paper implements its cleaning operators "at the RDD level";
+//! the equivalent here is a small library of data-parallel primitives —
+//! parallel map / filter / group-by over horizontally partitioned vectors —
+//! driven by a scoped thread pool built on `crossbeam`.
+//!
+//! The substrate is deliberately simple: Daisy's contributions (query-result
+//! relaxation, cleaning operators in the plan, the cost model) are algorithmic
+//! and only require that the underlying engine can (a) partition work, (b)
+//! run partitions in parallel and (c) merge results.  Everything in this
+//! crate is deterministic with respect to the input order so that experiment
+//! results are reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod parallel;
+pub mod partitioning;
+pub mod pool;
+
+pub use parallel::{par_filter, par_flat_map, par_group_by, par_map, par_map_chunks};
+pub use partitioning::{chunk_ranges, Partitioning};
+pub use pool::ExecContext;

@@ -1,0 +1,235 @@
+//! Data-parallel primitives over slices.
+//!
+//! All primitives preserve the input order in their output: partition `i`'s
+//! results always precede partition `i+1`'s.  This keeps query results and
+//! therefore experiment outputs deterministic regardless of the number of
+//! worker threads.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::partitioning::chunk_ranges;
+use crate::pool::ExecContext;
+
+/// Applies `f` to every element of `input`, in parallel, preserving order.
+pub fn par_map<T, U, F>(ctx: &ExecContext, input: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_chunks(ctx, input, |chunk| chunk.iter().map(&f).collect())
+}
+
+/// Applies `f` to whole chunks of `input` in parallel and concatenates the
+/// per-chunk outputs in chunk order.
+///
+/// This is the workhorse primitive: filters, partial aggregations and the
+/// per-partition phases of the theta-join are all chunk-at-a-time functions.
+pub fn par_map_chunks<T, U, F>(ctx: &ExecContext, input: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> Vec<U> + Sync,
+{
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let workers = ctx.workers().min(input.len()).max(1);
+    if workers == 1 {
+        return f(input);
+    }
+    let ranges = chunk_ranges(input.len(), workers);
+    let mut outputs: Vec<Vec<U>> = Vec::with_capacity(ranges.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            let f = &f;
+            handles.push(scope.spawn(move |_| f(&input[start..end])));
+        }
+        for handle in handles {
+            outputs.push(handle.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("execution scope failed");
+    let total: usize = outputs.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for out in outputs {
+        merged.extend(out);
+    }
+    merged
+}
+
+/// Parallel filter preserving order.  `keep` receives the element index and
+/// the element, so callers can filter positionally (e.g. by tuple id).
+pub fn par_filter<T, F>(ctx: &ExecContext, input: &[T], keep: F) -> Vec<T>
+where
+    T: Sync + Clone + Send,
+    F: Fn(usize, &T) -> bool + Sync,
+{
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let workers = ctx.workers().min(input.len()).max(1);
+    let ranges = chunk_ranges(input.len(), workers);
+    if workers == 1 {
+        return input
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| keep(*i, t))
+            .map(|(_, t)| t.clone())
+            .collect();
+    }
+    let mut outputs: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            let keep = &keep;
+            handles.push(scope.spawn(move |_| {
+                input[start..end]
+                    .iter()
+                    .enumerate()
+                    .filter(|(offset, t)| keep(start + offset, t))
+                    .map(|(_, t)| t.clone())
+                    .collect::<Vec<T>>()
+            }));
+        }
+        for handle in handles {
+            outputs.push(handle.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("execution scope failed");
+    outputs.into_iter().flatten().collect()
+}
+
+/// Parallel flat-map preserving order.
+pub fn par_flat_map<T, U, F>(ctx: &ExecContext, input: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Vec<U> + Sync,
+{
+    par_map_chunks(ctx, input, |chunk| {
+        chunk.iter().flat_map(|t| f(t)).collect()
+    })
+}
+
+/// Parallel hash group-by.
+///
+/// Each worker builds a partial `HashMap<K, Vec<usize>>` over its chunk
+/// (values are element indices); partial maps are then merged.  Index lists
+/// within a group preserve input order because chunks are merged in order.
+pub fn par_group_by<T, K, F>(ctx: &ExecContext, input: &[T], key: F) -> HashMap<K, Vec<usize>>
+where
+    T: Sync,
+    K: Eq + Hash + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    if input.is_empty() {
+        return HashMap::new();
+    }
+    let workers = ctx.workers().min(input.len()).max(1);
+    if workers == 1 {
+        let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
+        for (i, t) in input.iter().enumerate() {
+            groups.entry(key(t)).or_default().push(i);
+        }
+        return groups;
+    }
+    let ranges = chunk_ranges(input.len(), workers);
+    let mut partials: Vec<HashMap<K, Vec<usize>>> = Vec::with_capacity(ranges.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            let key = &key;
+            handles.push(scope.spawn(move |_| {
+                let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
+                for (offset, t) in input[start..end].iter().enumerate() {
+                    groups.entry(key(t)).or_default().push(start + offset);
+                }
+                groups
+            }));
+        }
+        for handle in handles {
+            partials.push(handle.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("execution scope failed");
+    let mut merged: HashMap<K, Vec<usize>> = HashMap::new();
+    for partial in partials {
+        for (k, mut idxs) in partial {
+            merged.entry(k).or_default().append(&mut idxs);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctxs() -> Vec<ExecContext> {
+        vec![ExecContext::sequential(), ExecContext::new(4), ExecContext::new(13)]
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<i64> = (0..1000).collect();
+        for ctx in ctxs() {
+            let out = par_map(&ctx, &input, |x| x * 2);
+            assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_filter_matches_sequential_filter() {
+        let input: Vec<i64> = (0..997).collect();
+        let expected: Vec<i64> = input.iter().copied().filter(|x| x % 3 == 0).collect();
+        for ctx in ctxs() {
+            let out = par_filter(&ctx, &input, |_, x| x % 3 == 0);
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn par_filter_passes_global_indices() {
+        let input = vec!["a"; 100];
+        let ctx = ExecContext::new(7);
+        let out = par_filter(&ctx, &input, |i, _| i >= 95);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn par_flat_map_concatenates_in_order() {
+        let input: Vec<usize> = (0..50).collect();
+        let ctx = ExecContext::new(5);
+        let out = par_flat_map(&ctx, &input, |x| vec![*x, *x]);
+        let expected: Vec<usize> = input.iter().flat_map(|x| vec![*x, *x]).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_group_by_groups_all_indices_once() {
+        let input: Vec<i64> = (0..1000).collect();
+        for ctx in ctxs() {
+            let groups = par_group_by(&ctx, &input, |x| x % 7);
+            assert_eq!(groups.len(), 7);
+            let mut seen: Vec<usize> = groups.values().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+            // Within a group, indices must be sorted (order preserved).
+            for idxs in groups.values() {
+                assert!(idxs.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_outputs() {
+        let ctx = ExecContext::new(4);
+        let empty: Vec<i64> = Vec::new();
+        assert!(par_map(&ctx, &empty, |x| *x).is_empty());
+        assert!(par_filter(&ctx, &empty, |_, _| true).is_empty());
+        assert!(par_group_by(&ctx, &empty, |x| *x).is_empty());
+    }
+}

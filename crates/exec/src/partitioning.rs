@@ -1,0 +1,105 @@
+//! Horizontal partitioning helpers.
+
+/// Describes how a collection of `len` elements is split into partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Half-open index ranges, one per partition, covering `0..len` exactly.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl Partitioning {
+    /// Splits `len` elements into at most `parts` contiguous, balanced
+    /// partitions.  Empty partitions are never produced; if `len < parts`
+    /// the number of partitions equals `len` (or one empty range when
+    /// `len == 0`).
+    pub fn even(len: usize, parts: usize) -> Self {
+        Partitioning {
+            ranges: chunk_ranges(len, parts),
+        }
+    }
+
+    /// The partition ranges.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// `true` when there are no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Returns the partition index containing element `idx`, if any.
+    pub fn partition_of(&self, idx: usize) -> Option<usize> {
+        self.ranges
+            .iter()
+            .position(|&(start, end)| idx >= start && idx < end)
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous balanced half-open ranges.
+///
+/// The first `len % parts` ranges receive one extra element so that range
+/// sizes differ by at most one.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return vec![(0, 0)];
+    }
+    let parts = parts.max(1).min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push((start, start + size));
+        start += size;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_input_exactly() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                assert_eq!(ranges.first().unwrap().0, 0);
+                assert_eq!(ranges.last().unwrap().1, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        let ranges = chunk_ranges(10, 3);
+        let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn never_more_partitions_than_elements() {
+        assert_eq!(chunk_ranges(3, 10).len(), 3);
+        assert_eq!(chunk_ranges(0, 10), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn partition_of_locates_elements() {
+        let p = Partitioning::even(10, 3);
+        assert_eq!(p.partition_of(0), Some(0));
+        assert_eq!(p.partition_of(3), Some(0));
+        assert_eq!(p.partition_of(4), Some(1));
+        assert_eq!(p.partition_of(9), Some(2));
+        assert_eq!(p.partition_of(10), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Execution context: the degree of parallelism used by the data-parallel
+//! primitives.
+
+use std::sync::Arc;
+
+/// Execution context shared by all operators of a query.
+///
+/// The context only carries the degree of parallelism; threads themselves
+/// are spawned scoped per operation (via `crossbeam::thread::scope`), which
+/// keeps the primitives free of `'static` bounds and lets closures borrow
+/// the partitioned data directly.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    workers: usize,
+}
+
+impl ExecContext {
+    /// Creates a context with an explicit number of worker threads.
+    ///
+    /// A worker count of zero is clamped to one.
+    pub fn new(workers: usize) -> Self {
+        ExecContext {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Creates a context sized to the machine's available parallelism.
+    pub fn default_parallelism() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ExecContext { workers }
+    }
+
+    /// Creates a single-threaded context (useful in tests for determinism
+    /// and when measuring algorithmic costs without scheduling noise).
+    pub fn sequential() -> Self {
+        ExecContext { workers: 1 }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Shares the context.
+    pub fn into_shared(self) -> Arc<ExecContext> {
+        Arc::new(self)
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::default_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        assert_eq!(ExecContext::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn sequential_has_one_worker() {
+        assert_eq!(ExecContext::sequential().workers(), 1);
+    }
+
+    #[test]
+    fn default_has_at_least_one_worker() {
+        assert!(ExecContext::default().workers() >= 1);
+    }
+}

@@ -1,0 +1,637 @@
+//! Denial constraints and functional dependencies.
+//!
+//! A denial constraint (DC) is a universally quantified sentence
+//! `∀ t1,…,tk ¬(p1 ∧ p2 ∧ … ∧ pm)` where each predicate `p_i` compares
+//! attributes of the quantified tuples (or constants).  A set of tuples
+//! *violates* the constraint when **all** predicates hold simultaneously.
+//!
+//! Functional dependencies `X → Y` are the special case
+//! `∀ t1,t2 ¬(t1.X = t2.X ∧ t1.Y ≠ t2.Y)`; Daisy treats them specially
+//! because error detection reduces to a group-by instead of a theta-join and
+//! because the relaxation algorithm (Algorithm 1) is defined on lhs/rhs
+//! correlations.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use daisy_common::{DaisyError, Result, RuleId, Schema, Value};
+use daisy_storage::Tuple;
+
+use crate::operators::ComparisonOp;
+
+/// One side of a DC predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// An attribute of the `tuple`-th quantified tuple (0-based).
+    Attr {
+        /// Index of the quantified tuple (0 for `t1`, 1 for `t2`, …).
+        tuple: usize,
+        /// Attribute name.
+        column: String,
+    },
+    /// A constant.
+    Const(Value),
+}
+
+impl Operand {
+    /// Attribute operand shorthand.
+    pub fn attr(tuple: usize, column: impl Into<String>) -> Self {
+        Operand::Attr {
+            tuple,
+            column: column.into(),
+        }
+    }
+
+    /// The referenced column name, if the operand is an attribute.
+    pub fn column(&self) -> Option<&str> {
+        match self {
+            Operand::Attr { column, .. } => Some(column),
+            Operand::Const(_) => None,
+        }
+    }
+
+    fn resolve(&self, schema: &Schema, tuples: &[&Tuple]) -> Result<Value> {
+        match self {
+            Operand::Const(v) => Ok(v.clone()),
+            Operand::Attr { tuple, column } => {
+                let t = tuples.get(*tuple).ok_or_else(|| {
+                    DaisyError::Plan(format!(
+                        "constraint references tuple t{} but only {} tuples are bound",
+                        tuple + 1,
+                        tuples.len()
+                    ))
+                })?;
+                let idx = schema.index_of(column)?;
+                t.value(idx)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr { tuple, column } => write!(f, "t{}.{column}", tuple + 1),
+            Operand::Const(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+        }
+    }
+}
+
+/// One predicate (atom) of a denial constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcPredicate {
+    /// Left operand.
+    pub left: Operand,
+    /// Comparison operator.
+    pub op: ComparisonOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl DcPredicate {
+    /// Builds a predicate.
+    pub fn new(left: Operand, op: ComparisonOp, right: Operand) -> Self {
+        DcPredicate { left, op, right }
+    }
+
+    /// Evaluates the predicate over a binding of the quantified tuples,
+    /// using expected (most-probable) values.
+    pub fn eval(&self, schema: &Schema, tuples: &[&Tuple]) -> Result<bool> {
+        let l = self.left.resolve(schema, tuples)?;
+        let r = self.right.resolve(schema, tuples)?;
+        Ok(self.op.eval(&l, &r))
+    }
+
+    /// The columns referenced by the predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        [self.left.column(), self.right.column()]
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// `true` when both operands reference the same attribute name on
+    /// different tuples (the "conditions over the same attribute" case the
+    /// paper's theta-join analysis focuses on).
+    pub fn is_same_attribute(&self) -> bool {
+        match (&self.left, &self.right) {
+            (
+                Operand::Attr {
+                    tuple: t1,
+                    column: c1,
+                },
+                Operand::Attr {
+                    tuple: t2,
+                    column: c2,
+                },
+            ) => c1 == c2 && t1 != t2,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DcPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A denial constraint `∀ t1,…,tk ¬(p1 ∧ … ∧ pm)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenialConstraint {
+    /// Identifier within a [`ConstraintSet`].
+    pub id: RuleId,
+    /// Human-readable name (e.g. `phi1`).
+    pub name: String,
+    /// Number of quantified tuples `k` (1 or more; 2 for FDs).
+    pub tuple_count: usize,
+    /// The conjunctive predicates whose simultaneous satisfaction is denied.
+    pub predicates: Vec<DcPredicate>,
+}
+
+impl DenialConstraint {
+    /// Builds a constraint; the id is assigned when added to a
+    /// [`ConstraintSet`].
+    pub fn new(name: impl Into<String>, tuple_count: usize, predicates: Vec<DcPredicate>) -> Self {
+        DenialConstraint {
+            id: RuleId::new(0),
+            name: name.into(),
+            tuple_count,
+            predicates,
+        }
+    }
+
+    /// Parses the compact textual form used throughout the examples and
+    /// benchmarks:
+    ///
+    /// ```text
+    /// t1.zip = t2.zip & t1.city != t2.city
+    /// t1.salary < t2.salary & t1.tax > t2.tax
+    /// t1.rate > 0.5
+    /// ```
+    ///
+    /// Each atom is `operand op operand`, atoms are separated by `&`, an
+    /// operand is `tN.column`, a number, or a single-quoted string.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self> {
+        let mut predicates = Vec::new();
+        let mut max_tuple = 0usize;
+        for atom in text.split('&') {
+            let atom = atom.trim();
+            if atom.is_empty() {
+                return Err(DaisyError::Parse(format!("empty atom in constraint `{text}`")));
+            }
+            let (left_text, op, right_text) = split_atom(atom)?;
+            let left = parse_operand(left_text, &mut max_tuple)?;
+            let right = parse_operand(right_text, &mut max_tuple)?;
+            predicates.push(DcPredicate::new(left, op, right));
+        }
+        if predicates.is_empty() {
+            return Err(DaisyError::Parse(format!("constraint `{text}` has no atoms")));
+        }
+        Ok(DenialConstraint::new(name, max_tuple, predicates))
+    }
+
+    /// All attribute names referenced by the constraint, sorted.
+    pub fn attributes(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self
+            .predicates
+            .iter()
+            .flat_map(|p| p.columns())
+            .map(str::to_string)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// `true` if the constraint references attribute `column` (tolerating
+    /// qualification differences).
+    pub fn references(&self, column: &str) -> bool {
+        self.attributes().iter().any(|a| {
+            a == column
+                || column.ends_with(&format!(".{a}"))
+                || a.ends_with(&format!(".{column}"))
+        })
+    }
+
+    /// `true` if any predicate uses an order comparison (`<`, `≤`, `>`, `≥`).
+    pub fn has_inequality(&self) -> bool {
+        self.predicates.iter().any(|p| p.op.is_inequality())
+    }
+
+    /// Evaluates whether the bound tuples violate the constraint (all
+    /// predicates hold).  The number of bound tuples must equal
+    /// [`DenialConstraint::tuple_count`].
+    pub fn violated_by(&self, schema: &Schema, tuples: &[&Tuple]) -> Result<bool> {
+        if tuples.len() != self.tuple_count {
+            return Err(DaisyError::Plan(format!(
+                "constraint `{}` quantifies {} tuples but {} were bound",
+                self.name,
+                self.tuple_count,
+                tuples.len()
+            )));
+        }
+        for p in &self.predicates {
+            if !p.eval(schema, tuples)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Recognises the FD pattern: two quantified tuples, every predicate
+    /// compares the *same* attribute across the two tuples, all but one are
+    /// equalities and exactly one is an inequality (`≠`).  Returns the
+    /// equivalent `X → Y`.
+    pub fn as_fd(&self) -> Option<FunctionalDependency> {
+        if self.tuple_count != 2 {
+            return None;
+        }
+        let mut lhs = Vec::new();
+        let mut rhs = Vec::new();
+        for p in &self.predicates {
+            if !p.is_same_attribute() {
+                return None;
+            }
+            let column = p.left.column()?.to_string();
+            match p.op {
+                ComparisonOp::Eq => lhs.push(column),
+                ComparisonOp::Neq => rhs.push(column),
+                _ => return None,
+            }
+        }
+        if lhs.is_empty() || rhs.len() != 1 {
+            return None;
+        }
+        Some(FunctionalDependency {
+            lhs,
+            rhs: rhs.into_iter().next().expect("checked length"),
+        })
+    }
+}
+
+impl fmt::Display for DenialConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ¬(", self.name)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+fn split_atom(atom: &str) -> Result<(&str, ComparisonOp, &str)> {
+    // Two-character operators must be tried first.
+    for op_text in ["!=", "<>", "<=", ">=", "=", "<", ">"] {
+        if let Some(pos) = atom.find(op_text) {
+            let left = atom[..pos].trim();
+            let right = atom[pos + op_text.len()..].trim();
+            if left.is_empty() || right.is_empty() {
+                return Err(DaisyError::Parse(format!("malformed atom `{atom}`")));
+            }
+            let op = ComparisonOp::parse(op_text)
+                .ok_or_else(|| DaisyError::Parse(format!("unknown operator in `{atom}`")))?;
+            return Ok((left, op, right));
+        }
+    }
+    Err(DaisyError::Parse(format!("no comparison operator in atom `{atom}`")))
+}
+
+fn parse_operand(text: &str, max_tuple: &mut usize) -> Result<Operand> {
+    let text = text.trim();
+    if let Some(stripped) = text.strip_prefix('\'') {
+        let inner = stripped
+            .strip_suffix('\'')
+            .ok_or_else(|| DaisyError::Parse(format!("unterminated string literal `{text}`")))?;
+        return Ok(Operand::Const(Value::Str(inner.to_string())));
+    }
+    // tN.column
+    if let Some(rest) = text.strip_prefix('t') {
+        if let Some((idx_text, column)) = rest.split_once('.') {
+            if let Ok(idx) = idx_text.parse::<usize>() {
+                if idx == 0 {
+                    return Err(DaisyError::Parse(format!(
+                        "tuple references are 1-based, got `{text}`"
+                    )));
+                }
+                *max_tuple = (*max_tuple).max(idx);
+                return Ok(Operand::attr(idx - 1, column.trim()));
+            }
+        }
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Operand::Const(Value::Int(i)));
+    }
+    if let Ok(x) = text.parse::<f64>() {
+        return Ok(Operand::Const(Value::Float(x)));
+    }
+    Err(DaisyError::Parse(format!(
+        "cannot parse operand `{text}` (expected tN.column, number, or 'string')"
+    )))
+}
+
+/// A functional dependency `X → Y` with a single rhs attribute.
+///
+/// A dependency with multiple rhs attributes is normalised into several
+/// single-rhs FDs (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalDependency {
+    /// Determining attributes.
+    pub lhs: Vec<String>,
+    /// Determined attribute.
+    pub rhs: String,
+}
+
+impl FunctionalDependency {
+    /// Builds an FD.
+    pub fn new(lhs: &[&str], rhs: &str) -> Self {
+        FunctionalDependency {
+            lhs: lhs.iter().map(|s| s.to_string()).collect(),
+            rhs: rhs.to_string(),
+        }
+    }
+
+    /// All attributes (lhs then rhs).
+    pub fn attributes(&self) -> Vec<String> {
+        let mut all = self.lhs.clone();
+        all.push(self.rhs.clone());
+        all
+    }
+
+    /// Converts to the equivalent two-tuple denial constraint
+    /// `¬(t1.X = t2.X ∧ t1.Y ≠ t2.Y)`.
+    pub fn to_dc(&self, name: impl Into<String>) -> DenialConstraint {
+        let mut predicates: Vec<DcPredicate> = self
+            .lhs
+            .iter()
+            .map(|c| {
+                DcPredicate::new(
+                    Operand::attr(0, c.clone()),
+                    ComparisonOp::Eq,
+                    Operand::attr(1, c.clone()),
+                )
+            })
+            .collect();
+        predicates.push(DcPredicate::new(
+            Operand::attr(0, self.rhs.clone()),
+            ComparisonOp::Neq,
+            Operand::attr(1, self.rhs.clone()),
+        ));
+        DenialConstraint::new(name, 2, predicates)
+    }
+
+    /// `true` when two tuples violate the FD (equal lhs, different rhs).
+    pub fn violated_by(&self, schema: &Schema, a: &Tuple, b: &Tuple) -> Result<bool> {
+        for c in &self.lhs {
+            let idx = schema.index_of(c)?;
+            if a.value(idx)? != b.value(idx)? {
+                return Ok(false);
+            }
+        }
+        let idx = schema.index_of(&self.rhs)?;
+        Ok(a.value(idx)? != b.value(idx)?)
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs.join(","), self.rhs)
+    }
+}
+
+/// An ordered collection of denial constraints with stable [`RuleId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    rules: Vec<DenialConstraint>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Adds a constraint, assigning it the next [`RuleId`]; returns the id.
+    pub fn add(&mut self, mut dc: DenialConstraint) -> RuleId {
+        let id = RuleId::new(self.rules.len() as u64);
+        dc.id = id;
+        self.rules.push(dc);
+        id
+    }
+
+    /// Adds a functional dependency.
+    pub fn add_fd(&mut self, fd: &FunctionalDependency, name: impl Into<String>) -> RuleId {
+        self.add(fd.to_dc(name))
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[DenialConstraint] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Looks up a rule by id.
+    pub fn rule(&self, id: RuleId) -> Option<&DenialConstraint> {
+        self.rules.get(id.index())
+    }
+
+    /// The rules that reference any of the given attributes — these are the
+    /// rules that "affect query correctness" for a query touching those
+    /// attributes (§4.1).
+    pub fn rules_over<'a>(
+        &self,
+        attributes: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<&DenialConstraint> {
+        let attrs: Vec<&str> = attributes.into_iter().collect();
+        self.rules
+            .iter()
+            .filter(|r| attrs.iter().any(|a| r.references(a)))
+            .collect()
+    }
+
+    /// The rules recognisable as functional dependencies, paired with their
+    /// FD form.
+    pub fn fds(&self) -> Vec<(&DenialConstraint, FunctionalDependency)> {
+        self.rules
+            .iter()
+            .filter_map(|r| r.as_fd().map(|fd| (r, fd)))
+            .collect()
+    }
+
+    /// The rules that are *not* plain FDs (general denial constraints).
+    pub fn general_dcs(&self) -> Vec<&DenialConstraint> {
+        self.rules.iter().filter(|r| r.as_fd().is_none()).collect()
+    }
+
+    /// Pairs of distinct rules that share at least one attribute; candidate
+    /// fixes for cells under such rules must be merged (§4.3).
+    pub fn overlapping_pairs(&self) -> Vec<(RuleId, RuleId)> {
+        let mut pairs = Vec::new();
+        for (i, a) in self.rules.iter().enumerate() {
+            for b in self.rules.iter().skip(i + 1) {
+                let attrs_a = a.attributes();
+                if b.attributes().iter().any(|x| attrs_a.contains(x)) {
+                    pairs.push((a.id, b.id));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{DataType, TupleId};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("zip", DataType::Int),
+            ("city", DataType::Str),
+            ("salary", DataType::Int),
+            ("tax", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn tuple(id: u64, zip: i64, city: &str, salary: i64, tax: f64) -> Tuple {
+        Tuple::from_values(
+            TupleId::new(id),
+            vec![
+                Value::Int(zip),
+                Value::from(city),
+                Value::Int(salary),
+                Value::Float(tax),
+            ],
+        )
+    }
+
+    #[test]
+    fn parse_fd_shaped_constraint() {
+        let dc = DenialConstraint::parse("phi1", "t1.zip = t2.zip & t1.city != t2.city").unwrap();
+        assert_eq!(dc.tuple_count, 2);
+        assert_eq!(dc.predicates.len(), 2);
+        assert_eq!(dc.attributes(), vec!["city".to_string(), "zip".to_string()]);
+        let fd = dc.as_fd().unwrap();
+        assert_eq!(fd, FunctionalDependency::new(&["zip"], "city"));
+        assert!(!dc.has_inequality());
+    }
+
+    #[test]
+    fn parse_inequality_dc_and_constants() {
+        let dc =
+            DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
+        assert!(dc.has_inequality());
+        assert!(dc.as_fd().is_none());
+
+        let with_const = DenialConstraint::parse("c", "t1.tax > 0.5 & t1.city = 'LA'").unwrap();
+        assert_eq!(with_const.tuple_count, 1);
+        assert!(with_const.as_fd().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(DenialConstraint::parse("x", "").is_err());
+        assert!(DenialConstraint::parse("x", "t1.zip ~ t2.zip").is_err());
+        assert!(DenialConstraint::parse("x", "t1.zip =").is_err());
+        assert!(DenialConstraint::parse("x", "t0.zip = t1.zip").is_err());
+        assert!(DenialConstraint::parse("x", "t1.city = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn fd_violation_detection() {
+        let s = schema();
+        let fd = FunctionalDependency::new(&["zip"], "city");
+        let a = tuple(0, 9001, "Los Angeles", 100, 0.1);
+        let b = tuple(1, 9001, "San Francisco", 200, 0.2);
+        let c = tuple(2, 10001, "New York", 300, 0.3);
+        assert!(fd.violated_by(&s, &a, &b).unwrap());
+        assert!(!fd.violated_by(&s, &a, &c).unwrap());
+        assert!(!fd.violated_by(&s, &a, &a).unwrap());
+
+        // Same semantics through the DC form.
+        let dc = fd.to_dc("phi");
+        assert!(dc.violated_by(&s, &[&a, &b]).unwrap());
+        assert!(!dc.violated_by(&s, &[&a, &c]).unwrap());
+        assert_eq!(dc.as_fd().unwrap(), fd);
+    }
+
+    #[test]
+    fn inequality_dc_violation_detection() {
+        // Example 5: ¬(t1.salary < t2.salary ∧ t1.tax > t2.tax).
+        let s = schema();
+        let dc =
+            DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
+        let t2 = tuple(1, 1, "a", 3000, 0.2);
+        let t3 = tuple(2, 1, "a", 2000, 0.3);
+        // t3 has lower salary but higher tax than t2 → binding (t3, t2) violates.
+        assert!(dc.violated_by(&s, &[&t3, &t2]).unwrap());
+        assert!(!dc.violated_by(&s, &[&t2, &t3]).unwrap());
+        // Arity mismatch is an error.
+        assert!(dc.violated_by(&s, &[&t2]).is_err());
+    }
+
+    #[test]
+    fn references_is_qualification_tolerant() {
+        let dc = DenialConstraint::parse("phi", "t1.zip = t2.zip & t1.city != t2.city").unwrap();
+        assert!(dc.references("zip"));
+        assert!(dc.references("cities.zip"));
+        assert!(!dc.references("salary"));
+    }
+
+    #[test]
+    fn constraint_set_assigns_ids_and_filters() {
+        let mut set = ConstraintSet::new();
+        let id1 = set.add(
+            DenialConstraint::parse("phi1", "t1.zip = t2.zip & t1.city != t2.city").unwrap(),
+        );
+        let id2 = set.add_fd(&FunctionalDependency::new(&["phone"], "zip"), "phi2");
+        let id3 = set.add(
+            DenialConstraint::parse("dc", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap(),
+        );
+        assert_eq!(id1, RuleId::new(0));
+        assert_eq!(id2, RuleId::new(1));
+        assert_eq!(id3, RuleId::new(2));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.fds().len(), 2);
+        assert_eq!(set.general_dcs().len(), 1);
+        assert_eq!(set.rules_over(["zip"]).len(), 2);
+        assert_eq!(set.rules_over(["tax"]).len(), 1);
+        assert_eq!(set.rules_over(["nothing"]).len(), 0);
+        // phi1 and phi2 share the `zip` attribute.
+        assert_eq!(set.overlapping_pairs(), vec![(id1, id2)]);
+        assert_eq!(set.rule(id3).unwrap().name, "dc");
+        assert!(set.rule(RuleId::new(9)).is_none());
+    }
+
+    #[test]
+    fn multi_attribute_lhs_fd_roundtrip() {
+        let fd = FunctionalDependency::new(&["county_code", "state_code"], "county_name");
+        let dc = fd.to_dc("phi");
+        assert_eq!(dc.predicates.len(), 3);
+        assert_eq!(dc.as_fd().unwrap(), fd);
+        assert_eq!(fd.attributes().len(), 3);
+        assert_eq!(fd.to_string(), "county_code,state_code -> county_name");
+    }
+
+    #[test]
+    fn display_forms() {
+        let dc = DenialConstraint::parse("phi", "t1.zip = t2.zip & t1.city != t2.city").unwrap();
+        assert_eq!(dc.to_string(), "phi: ¬(t1.zip = t2.zip ∧ t1.city != t2.city)");
+    }
+}

@@ -1,0 +1,299 @@
+//! A small DPLL SAT solver.
+//!
+//! For denial constraints with more than two atoms, Daisy "maps the dirty
+//! formula involving the conditions of the conflicting tuples to a SAT
+//! formula, where a subset of atoms must become false (invert their
+//! condition) in order to satisfy the formula.  Then, a SAT solver can
+//! decide on which atoms must remain true or need to invert their
+//! conditions" (§4.2).
+//!
+//! The formulas involved are tiny (one variable per DC atom, a handful of
+//! clauses), so a straightforward DPLL procedure with unit propagation is
+//! more than sufficient.  Variables are 0-based indices; a [`Literal`] is a
+//! variable plus a polarity.
+
+use serde::{Deserialize, Serialize};
+
+/// A literal: a propositional variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// Negative literal.
+    pub fn neg(var: usize) -> Self {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Self {
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    fn satisfied_by(self, assignment: &[Option<bool>]) -> Option<bool> {
+        assignment[self.var].map(|v| v == self.positive)
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Literal>;
+
+/// A DPLL SAT solver over CNF formulas.
+#[derive(Debug, Clone, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    num_vars: usize,
+}
+
+impl SatSolver {
+    /// Creates a solver for `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        SatSolver {
+            clauses: Vec::new(),
+            num_vars,
+        }
+    }
+
+    /// Adds a clause (a disjunction of literals).  An empty clause makes the
+    /// formula trivially unsatisfiable.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for lit in &clause {
+            assert!(
+                lit.var < self.num_vars,
+                "literal references variable {} out of {}",
+                lit.var,
+                self.num_vars
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Number of clauses added so far.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Finds a satisfying assignment, or `None` if the formula is
+    /// unsatisfiable.  The returned vector has one boolean per variable.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            Some(
+                assignment
+                    .into_iter()
+                    // Unconstrained variables default to true ("keep the atom").
+                    .map(|v| v.unwrap_or(true))
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Finds a satisfying assignment that minimises the number of variables
+    /// set to `false`.
+    ///
+    /// In the repair encoding, variable `i` being `false` means "invert atom
+    /// `i`" i.e. change a cell; minimising falses yields a minimal repair in
+    /// the spirit of cardinality-minimal cleaning.  The formulas are tiny so
+    /// an exhaustive search over the number of flips is affordable.
+    pub fn solve_minimal_false(&self) -> Option<Vec<bool>> {
+        // Try assignments with k falses for increasing k.
+        for k in 0..=self.num_vars {
+            if let Some(solution) = self.solve_with_exact_false(k) {
+                return Some(solution);
+            }
+        }
+        None
+    }
+
+    fn solve_with_exact_false(&self, k: usize) -> Option<Vec<bool>> {
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        self.search_false_subsets(0, k, &mut chosen)
+    }
+
+    fn search_false_subsets(
+        &self,
+        start: usize,
+        remaining: usize,
+        chosen: &mut Vec<usize>,
+    ) -> Option<Vec<bool>> {
+        if remaining == 0 {
+            let assignment: Vec<bool> = (0..self.num_vars)
+                .map(|v| !chosen.contains(&v))
+                .collect();
+            if self.is_satisfied(&assignment) {
+                return Some(assignment);
+            }
+            return None;
+        }
+        for v in start..self.num_vars {
+            chosen.push(v);
+            if let Some(sol) = self.search_false_subsets(v + 1, remaining - 1, chosen) {
+                chosen.pop();
+                return Some(sol);
+            }
+            chosen.pop();
+        }
+        None
+    }
+
+    /// Checks a complete assignment against all clauses.
+    pub fn is_satisfied(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| assignment.get(lit.var).copied() == Some(lit.positive))
+        })
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation.
+        loop {
+            let mut propagated = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<Literal> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for lit in clause {
+                    match lit.satisfied_by(assignment) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(*lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return false, // conflict
+                    1 => {
+                        let lit = unassigned.expect("one unassigned literal");
+                        assignment[lit.var] = Some(lit.positive);
+                        propagated = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !propagated {
+                break;
+            }
+        }
+        // Pick a branching variable.
+        let next = match assignment.iter().position(Option::is_none) {
+            Some(v) => v,
+            None => return self.all_clauses_satisfied(assignment),
+        };
+        for value in [true, false] {
+            let mut trial = assignment.clone();
+            trial[next] = Some(value);
+            if self.dpll(&mut trial) {
+                *assignment = trial;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn all_clauses_satisfied(&self, assignment: &[Option<bool>]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| lit.satisfied_by(assignment) == Some(true))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfiable_formula_yields_model() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2)
+        let mut solver = SatSolver::new(3);
+        solver.add_clause(vec![Literal::pos(0), Literal::pos(1)]);
+        solver.add_clause(vec![Literal::neg(0), Literal::pos(1)]);
+        solver.add_clause(vec![Literal::neg(1), Literal::pos(2)]);
+        let model = solver.solve().expect("satisfiable");
+        assert!(solver.is_satisfied(&model));
+        assert!(model[1] && model[2]);
+    }
+
+    #[test]
+    fn unsatisfiable_formula_detected() {
+        // x0 ∧ ¬x0
+        let mut solver = SatSolver::new(1);
+        solver.add_clause(vec![Literal::pos(0)]);
+        solver.add_clause(vec![Literal::neg(0)]);
+        assert!(solver.solve().is_none());
+        assert!(solver.solve_minimal_false().is_none());
+    }
+
+    #[test]
+    fn empty_clause_is_unsatisfiable() {
+        let mut solver = SatSolver::new(2);
+        solver.add_clause(vec![]);
+        assert!(solver.solve().is_none());
+    }
+
+    #[test]
+    fn repair_encoding_minimises_inverted_atoms() {
+        // Denial constraint with 3 atoms that all currently hold: the repair
+        // must invert at least one atom.  Encode "not all atoms stay true"
+        // as the clause (¬x0 ∨ ¬x1 ∨ ¬x2).
+        let mut solver = SatSolver::new(3);
+        solver.add_clause(vec![Literal::neg(0), Literal::neg(1), Literal::neg(2)]);
+        let model = solver.solve_minimal_false().expect("satisfiable");
+        let flips = model.iter().filter(|b| !**b).count();
+        assert_eq!(flips, 1, "a single inverted atom suffices");
+        assert!(solver.is_satisfied(&model));
+    }
+
+    #[test]
+    fn minimal_false_respects_hard_constraints() {
+        // Atom 0 must stay true (e.g. the user trusts that cell), so the
+        // repair must invert one of the other two atoms.
+        let mut solver = SatSolver::new(3);
+        solver.add_clause(vec![Literal::neg(0), Literal::neg(1), Literal::neg(2)]);
+        solver.add_clause(vec![Literal::pos(0)]);
+        let model = solver.solve_minimal_false().expect("satisfiable");
+        assert!(model[0]);
+        assert_eq!(model.iter().filter(|b| !**b).count(), 1);
+    }
+
+    #[test]
+    fn unconstrained_variables_default_to_true() {
+        let solver = SatSolver::new(3);
+        let model = solver.solve().unwrap();
+        assert_eq!(model, vec![true, true, true]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_literal_panics() {
+        let mut solver = SatSolver::new(1);
+        solver.add_clause(vec![Literal::pos(3)]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Detected constraint violations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use daisy_common::{RuleId, TupleId};
+
+/// A single detected violation: a rule plus the tuples whose simultaneous
+/// values deny it.
+///
+/// For functional dependencies the participating tuples share an lhs value
+/// and disagree on the rhs; for general DCs they jointly satisfy every atom
+/// of the constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// The participating tuples, in quantifier order (`t1`, `t2`, …).
+    pub tuples: Vec<TupleId>,
+}
+
+impl Violation {
+    /// Creates a violation.
+    pub fn new(rule: RuleId, tuples: Vec<TupleId>) -> Self {
+        Violation { rule, tuples }
+    }
+
+    /// Creates a pairwise violation (the common two-tuple case).
+    pub fn pair(rule: RuleId, a: TupleId, b: TupleId) -> Self {
+        Violation {
+            rule,
+            tuples: vec![a, b],
+        }
+    }
+
+    /// `true` if the violation involves the given tuple.
+    pub fn involves(&self, tuple: TupleId) -> bool {
+        self.tuples.contains(&tuple)
+    }
+
+    /// A canonical form where the tuple list is sorted; useful for
+    /// de-duplicating symmetric pairs produced by different detection paths.
+    pub fn canonical(&self) -> Violation {
+        let mut tuples = self.tuples.clone();
+        tuples.sort_unstable();
+        Violation {
+            rule: self.rule,
+            tuples,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rule)?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Summary statistics over a collection of violations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ViolationSummary {
+    /// Total number of violations.
+    pub count: usize,
+    /// Number of distinct tuples participating in at least one violation.
+    pub dirty_tuples: usize,
+}
+
+impl ViolationSummary {
+    /// Computes the summary of a violation list.
+    pub fn of(violations: &[Violation]) -> Self {
+        let mut tuples: Vec<TupleId> = violations
+            .iter()
+            .flat_map(|v| v.tuples.iter().copied())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        ViolationSummary {
+            count: violations.len(),
+            dirty_tuples: tuples.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_sorts_tuples() {
+        let v = Violation::pair(RuleId::new(0), TupleId::new(5), TupleId::new(2));
+        assert_eq!(
+            v.canonical().tuples,
+            vec![TupleId::new(2), TupleId::new(5)]
+        );
+        assert!(v.involves(TupleId::new(5)));
+        assert!(!v.involves(TupleId::new(7)));
+    }
+
+    #[test]
+    fn summary_counts_distinct_dirty_tuples() {
+        let vs = vec![
+            Violation::pair(RuleId::new(0), TupleId::new(1), TupleId::new(2)),
+            Violation::pair(RuleId::new(0), TupleId::new(2), TupleId::new(3)),
+        ];
+        let s = ViolationSummary::of(&vs);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.dirty_tuples, 3);
+        assert_eq!(ViolationSummary::of(&[]).dirty_tuples, 0);
+    }
+
+    #[test]
+    fn display_form() {
+        let v = Violation::pair(RuleId::new(1), TupleId::new(3), TupleId::new(4));
+        assert_eq!(v.to_string(), "r1(t3, t4)");
+    }
+}

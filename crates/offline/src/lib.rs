@@ -1,0 +1,24 @@
+//! # daisy-offline
+//!
+//! The baselines of the Daisy evaluation (§7):
+//!
+//! * [`full`] — the optimised offline ("Full Cleaning") implementation the
+//!   paper compares against: FD error detection by group-by, DC error
+//!   detection by a pairwise theta check, probabilistic repairs computed by
+//!   traversing the dataset per erroneous group, applied over the whole
+//!   dataset before any query runs,
+//! * [`holoclean`] — a simplified HoloClean-like repairer: candidate domains
+//!   from value co-occurrence statistics, inference by weighted voting of
+//!   co-occurrence and constraint-violation evidence,
+//! * [`metrics`] — precision / recall / F1 against a ground-truth table.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod full;
+pub mod holoclean;
+pub mod metrics;
+
+pub use full::{offline_clean_dc, offline_clean_fd, OfflineOutcome};
+pub use holoclean::{holoclean_repair, HoloCleanOutcome};
+pub use metrics::{evaluate_repairs, RepairQuality};

@@ -1,0 +1,175 @@
+//! Repair-quality metrics: precision, recall, F1 against a ground truth.
+//!
+//! The paper measures "precision (correct updates / total updates) and
+//! recall (correct updates / total errors)" (§7) on the hospital dataset,
+//! whose clean version exists.  Here the ground truth is a clean copy of the
+//! dirty table with identical tuple ids.
+
+use serde::{Deserialize, Serialize};
+
+use daisy_common::{Result, TupleId, Value};
+use daisy_storage::Table;
+
+/// Precision / recall / F1 of a set of repairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairQuality {
+    /// Correct updates / total updates.
+    pub precision: f64,
+    /// Correct updates / total errors in the dirty table.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of repairs proposed.
+    pub updates: usize,
+    /// Number of erroneous cells in the dirty table.
+    pub errors: usize,
+}
+
+impl RepairQuality {
+    fn compute(correct: usize, updates: usize, errors: usize) -> RepairQuality {
+        let precision = if updates == 0 {
+            // No updates proposed: vacuously precise.
+            1.0
+        } else {
+            correct as f64 / updates as f64
+        };
+        let recall = if errors == 0 {
+            1.0
+        } else {
+            correct as f64 / errors as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        RepairQuality {
+            precision,
+            recall,
+            f1,
+            updates,
+            errors,
+        }
+    }
+}
+
+/// Evaluates repairs `(tuple, column, new value)` produced for `dirty`
+/// against the clean `truth` table (same tuple ids, same schema).
+///
+/// * an *error* is a cell whose dirty value differs from the truth,
+/// * an update is *correct* when it targets an erroneous cell and restores
+///   the true value.
+pub fn evaluate_repairs(
+    dirty: &Table,
+    truth: &Table,
+    repairs: &[(TupleId, usize, Value)],
+) -> Result<RepairQuality> {
+    let mut errors = 0usize;
+    for tuple in dirty.tuples() {
+        let Some(clean) = truth.tuple(tuple.id) else {
+            continue;
+        };
+        for (column, _) in tuple.cells.iter().enumerate() {
+            let dirty_value = dirty
+                .tuple(tuple.id)
+                .expect("tuple present")
+                .value(column)?;
+            // A cell is erroneous w.r.t. the ORIGINAL dirty data; repairs may
+            // have been applied to `dirty` in place, so prefer the recorded
+            // original when counting errors is the caller's responsibility.
+            let true_value = clean.value(column)?;
+            if dirty_value != true_value {
+                errors += 1;
+            }
+        }
+    }
+    // Deduplicate by cell: several rules may propose the same repair for the
+    // same cell (e.g. a zip error reachable through both ϕ2 and ϕ3); it is
+    // still a single update of a single cell.
+    let mut seen: std::collections::HashSet<(TupleId, usize)> = std::collections::HashSet::new();
+    let mut updates = 0usize;
+    let mut correct = 0usize;
+    for (tuple_id, column, value) in repairs {
+        if !seen.insert((*tuple_id, *column)) {
+            continue;
+        }
+        updates += 1;
+        let Some(clean) = truth.tuple(*tuple_id) else {
+            continue;
+        };
+        if clean.value(*column)? == *value {
+            // Only count it if the dirty cell actually needed fixing.
+            if let Some(dirty_tuple) = dirty.tuple(*tuple_id) {
+                if dirty_tuple.value(*column)? != *value {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    Ok(RepairQuality::compute(correct, updates, errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{DataType, Schema};
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let truth = Table::from_rows(
+            "truth",
+            schema.clone(),
+            vec![
+                vec![Value::Int(9001), Value::from("LA")],
+                vec![Value::Int(9001), Value::from("LA")],
+                vec![Value::Int(10001), Value::from("NY")],
+            ],
+        )
+        .unwrap();
+        let dirty = Table::from_rows(
+            "dirty",
+            schema,
+            vec![
+                vec![Value::Int(9001), Value::from("LA")],
+                vec![Value::Int(9001), Value::from("SF")], // error
+                vec![Value::Int(10001), Value::from("NY")],
+            ],
+        )
+        .unwrap();
+        (dirty, truth)
+    }
+
+    #[test]
+    fn perfect_repair_scores_one() {
+        let (dirty, truth) = tables();
+        let repairs = vec![(TupleId::new(1), 1usize, Value::from("LA"))];
+        let q = evaluate_repairs(&dirty, &truth, &repairs).unwrap();
+        assert_eq!(q.errors, 1);
+        assert_eq!(q.updates, 1);
+        assert!((q.precision - 1.0).abs() < 1e-12);
+        assert!((q.recall - 1.0).abs() < 1e-12);
+        assert!((q.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_and_useless_repairs_hurt_precision() {
+        let (dirty, truth) = tables();
+        let repairs = vec![
+            (TupleId::new(1), 1usize, Value::from("Boston")), // wrong value
+            (TupleId::new(0), 1usize, Value::from("LA")),     // already clean
+        ];
+        let q = evaluate_repairs(&dirty, &truth, &repairs).unwrap();
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn missed_errors_hurt_recall_only() {
+        let (dirty, truth) = tables();
+        let q = evaluate_repairs(&dirty, &truth, &[]).unwrap();
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.errors, 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! The query AST matching the paper's query template (§5):
+//!
+//! ```text
+//! SELECT <SELECTLIST>
+//! FROM <table name> [,(<table name>)]
+//! [WHERE <col><op><val> [(AND/OR <col><op><val>)]]
+//! [GROUP BY CLAUSE]
+//! ```
+//!
+//! Joins are equi-joins expressed either with explicit `JOIN … ON` clauses or
+//! with join predicates in the WHERE clause (the parser normalises both to
+//! [`JoinSpec`]s).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use daisy_expr::BoolExpr;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateFunc {
+    /// `COUNT(*)` / `COUNT(col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggregateFunc {
+    /// Parses an aggregate function name.
+    pub fn parse(name: &str) -> Option<AggregateFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggregateFunc::Count),
+            "SUM" => Some(AggregateFunc::Sum),
+            "AVG" => Some(AggregateFunc::Avg),
+            "MIN" => Some(AggregateFunc::Min),
+            "MAX" => Some(AggregateFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggregateFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregateFunc::Count => "COUNT",
+            AggregateFunc::Sum => "SUM",
+            AggregateFunc::Avg => "AVG",
+            AggregateFunc::Min => "MIN",
+            AggregateFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain column reference.
+    Column(String),
+    /// An aggregate over a column (`None` column means `COUNT(*)`).
+    Aggregate {
+        /// The aggregate function.
+        func: AggregateFunc,
+        /// The aggregated column; `None` only for `COUNT(*)`.
+        column: Option<String>,
+    },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate { func, column } => match column {
+                Some(c) => write!(f, "{func}({c})"),
+                None => write!(f, "{func}(*)"),
+            },
+        }
+    }
+}
+
+/// An equi-join between two of the query's tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinSpec {
+    /// The table joined in (right side).
+    pub table: String,
+    /// Join key column on the accumulated left side (qualified).
+    pub left_key: String,
+    /// Join key column on `table` (qualified).
+    pub right_key: String,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The SELECT list.
+    pub select: Vec<SelectItem>,
+    /// The first (driving) table of the FROM clause.
+    pub from: String,
+    /// Subsequent tables, each with its equi-join keys.
+    pub joins: Vec<JoinSpec>,
+    /// The WHERE clause (defaults to [`BoolExpr::True`]).
+    pub filter: BoolExpr,
+    /// GROUP BY columns (empty when the query has no grouping).
+    pub group_by: Vec<String>,
+}
+
+impl Query {
+    /// Creates a simple SELECT * query over one table.
+    pub fn scan(table: impl Into<String>) -> Self {
+        Query {
+            select: vec![SelectItem::Wildcard],
+            from: table.into(),
+            joins: Vec::new(),
+            filter: BoolExpr::True,
+            group_by: Vec::new(),
+        }
+    }
+
+    /// Builder: sets the WHERE clause.
+    pub fn with_filter(mut self, filter: BoolExpr) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Builder: sets the SELECT list to plain columns.
+    pub fn with_columns(mut self, columns: &[&str]) -> Self {
+        self.select = columns
+            .iter()
+            .map(|c| SelectItem::Column(c.to_string()))
+            .collect();
+        self
+    }
+
+    /// Builder: appends an equi-join.
+    pub fn join(mut self, table: impl Into<String>, left_key: impl Into<String>, right_key: impl Into<String>) -> Self {
+        self.joins.push(JoinSpec {
+            table: table.into(),
+            left_key: left_key.into(),
+            right_key: right_key.into(),
+        });
+        self
+    }
+
+    /// Builder: sets the GROUP BY columns.
+    pub fn with_group_by(mut self, columns: &[&str]) -> Self {
+        self.group_by = columns.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// All table names referenced by the query, driving table first.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut names = vec![self.from.as_str()];
+        names.extend(self.joins.iter().map(|j| j.table.as_str()));
+        names
+    }
+
+    /// `true` if the query aggregates (has a GROUP BY or an aggregate select
+    /// item).
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self
+                .select
+                .iter()
+                .any(|s| matches!(s, SelectItem::Aggregate { .. }))
+    }
+
+    /// All attributes referenced anywhere in the query (select list, filter,
+    /// join keys, group by); the overlap of this set with a rule's attributes
+    /// decides whether the rule "affects query correctness" (§4.1).
+    pub fn referenced_attributes(&self) -> Vec<String> {
+        let mut attrs: Vec<String> = Vec::new();
+        for item in &self.select {
+            match item {
+                SelectItem::Column(c) => attrs.push(c.clone()),
+                SelectItem::Aggregate { column: Some(c), .. } => attrs.push(c.clone()),
+                _ => {}
+            }
+        }
+        attrs.extend(self.filter.columns());
+        for j in &self.joins {
+            attrs.push(j.left_key.clone());
+            attrs.push(j.right_key.clone());
+        }
+        attrs.extend(self.group_by.iter().cloned());
+        attrs.sort();
+        attrs.dedup();
+        attrs
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        for j in &self.joins {
+            write!(f, " JOIN {} ON {} = {}", j.table, j.left_key, j.right_key)?;
+        }
+        if self.filter != BoolExpr::True {
+            write!(f, " WHERE {}", self.filter)?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_expected_query() {
+        let q = Query::scan("lineorder")
+            .with_columns(&["orderkey", "suppkey"])
+            .with_filter(BoolExpr::between("orderkey", 10, 20))
+            .join("supplier", "lineorder.suppkey", "supplier.suppkey")
+            .with_group_by(&["suppkey"]);
+        assert_eq!(q.tables(), vec!["lineorder", "supplier"]);
+        assert!(q.is_aggregate());
+        let attrs = q.referenced_attributes();
+        assert!(attrs.contains(&"orderkey".to_string()));
+        assert!(attrs.contains(&"supplier.suppkey".to_string()));
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let plain = Query::scan("t").with_columns(&["a"]);
+        assert!(!plain.is_aggregate());
+        let mut agg = Query::scan("t");
+        agg.select = vec![SelectItem::Aggregate {
+            func: AggregateFunc::Avg,
+            column: Some("co".into()),
+        }];
+        assert!(agg.is_aggregate());
+    }
+
+    #[test]
+    fn aggregate_func_parse() {
+        assert_eq!(AggregateFunc::parse("sum"), Some(AggregateFunc::Sum));
+        assert_eq!(AggregateFunc::parse("AVG"), Some(AggregateFunc::Avg));
+        assert_eq!(AggregateFunc::parse("median"), None);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let q = Query::scan("cities")
+            .with_columns(&["zip"])
+            .with_filter(BoolExpr::eq("city", "Los Angeles"));
+        assert_eq!(
+            q.to_string(),
+            "SELECT zip FROM cities WHERE city = 'Los Angeles'"
+        );
+    }
+}

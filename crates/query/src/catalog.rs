@@ -1,0 +1,117 @@
+//! The catalog: named tables the engine can query and update in place.
+
+use std::collections::BTreeMap;
+
+use daisy_common::{DaisyError, Result};
+use daisy_storage::Table;
+
+/// A collection of named tables.
+///
+/// Daisy mutates tables in place as queries clean them, so the catalog hands
+/// out `&mut Table` as well.  Iteration order is deterministic (sorted by
+/// name) to keep experiment output stable.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table under its own name, replacing any table previously
+    /// registered under that name.
+    pub fn add(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DaisyError::Plan(format!("unknown table `{name}`")))
+    }
+
+    /// Looks up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DaisyError::Plan(format!("unknown table `{name}`")))
+    }
+
+    /// Removes a table, returning it.
+    pub fn remove(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// `true` if a table with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// The registered table names in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates over the tables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Table)> {
+        self.tables.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{DataType, Schema};
+
+    fn table(name: &str) -> Table {
+        Table::new(
+            name,
+            Schema::from_pairs(&[("x", DataType::Int)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.add(table("b"));
+        cat.add(table("a"));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.names(), vec!["a", "b"]);
+        assert!(cat.table("a").is_ok());
+        assert!(cat.table("z").is_err());
+        assert!(cat.contains("b"));
+        cat.table_mut("a")
+            .unwrap()
+            .push_values(vec![daisy_common::Value::Int(1)])
+            .unwrap();
+        assert_eq!(cat.table("a").unwrap().len(), 1);
+        assert!(cat.remove("a").is_some());
+        assert!(cat.remove("a").is_none());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn re_adding_replaces() {
+        let mut cat = Catalog::new();
+        cat.add(table("t"));
+        let mut t2 = table("t");
+        t2.push_values(vec![daisy_common::Value::Int(5)]).unwrap();
+        cat.add(t2);
+        assert_eq!(cat.table("t").unwrap().len(), 1);
+    }
+}

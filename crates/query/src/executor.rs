@@ -1,0 +1,170 @@
+//! Plan execution.
+
+use std::sync::Arc;
+
+use daisy_common::{Result, Schema};
+use daisy_exec::ExecContext;
+use daisy_storage::Tuple;
+
+use crate::catalog::Catalog;
+use crate::logical::LogicalPlan;
+use crate::physical::{aggregate, filter_tuples, hash_join, project, PredicateMode};
+use crate::result::QueryResult;
+
+/// Executes a logical plan against the catalog.
+///
+/// `mode` controls how probabilistic cells interact with predicates: Daisy's
+/// cleaned queries run with [`PredicateMode::Possible`] so that candidate
+/// fixes keep tuples in play; the "dirty baseline" (what a cleaning-unaware
+/// engine would return) runs with [`PredicateMode::Expected`].
+pub fn execute(
+    ctx: &ExecContext,
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    mode: PredicateMode,
+) -> Result<QueryResult> {
+    let (schema, tuples) = execute_node(ctx, catalog, plan, mode)?;
+    Ok(QueryResult::new(schema, tuples))
+}
+
+fn execute_node(
+    ctx: &ExecContext,
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    mode: PredicateMode,
+) -> Result<(Arc<Schema>, Vec<Tuple>)> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = catalog.table(table)?;
+            // Qualify the schema with the table name so joined schemas are
+            // unambiguous while unqualified lookups still resolve.
+            let schema = Arc::new(t.schema().qualify(table));
+            Ok((schema, t.tuples().to_vec()))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let (schema, tuples) = execute_node(ctx, catalog, input, mode)?;
+            let filtered = filter_tuples(ctx, &schema, &tuples, predicate, mode)?;
+            Ok((schema, filtered))
+        }
+        LogicalPlan::Project { input, columns } => {
+            let (schema, tuples) = execute_node(ctx, catalog, input, mode)?;
+            project(&schema, &tuples, columns)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let (schema, tuples) = execute_node(ctx, catalog, input, mode)?;
+            aggregate(ctx, &schema, &tuples, group_by, aggregates)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let (left_schema, left_tuples) = execute_node(ctx, catalog, left, mode)?;
+            let (right_schema, right_tuples) = execute_node(ctx, catalog, right, mode)?;
+            let out = hash_join(
+                ctx,
+                &left_schema,
+                &left_tuples,
+                &right_schema,
+                &right_tuples,
+                left_key,
+                right_key,
+            )?;
+            Ok((out.schema, out.tuples))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use daisy_common::{DataType, Value};
+    use daisy_storage::Table;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let cities = Table::from_rows(
+            "cities",
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap(),
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(9001), Value::from("San Francisco")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap();
+        let employees = Table::from_rows(
+            "employees",
+            Schema::from_pairs(&[("zip", DataType::Int), ("name", DataType::Str)]).unwrap(),
+            vec![
+                vec![Value::Int(9001), Value::from("Peter")],
+                vec![Value::Int(10001), Value::from("Mary")],
+                vec![Value::Int(10002), Value::from("Jon")],
+            ],
+        )
+        .unwrap();
+        cat.add(cities);
+        cat.add(employees);
+        cat
+    }
+
+    fn run(sql: &str) -> QueryResult {
+        let cat = catalog();
+        let ctx = ExecContext::sequential();
+        let q = parse_query(sql).unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        execute(&ctx, &cat, &plan, PredicateMode::Expected).unwrap()
+    }
+
+    #[test]
+    fn sp_query_end_to_end() {
+        let result = run("SELECT zip FROM cities WHERE city = 'Los Angeles'");
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.column("zip").unwrap(), vec![Value::Int(9001)]);
+    }
+
+    #[test]
+    fn spj_query_end_to_end() {
+        let result = run(
+            "SELECT cities.zip, employees.name FROM cities \
+             JOIN employees ON cities.zip = employees.zip \
+             WHERE city = 'Los Angeles'",
+        );
+        assert_eq!(result.len(), 1);
+        assert_eq!(
+            result.column("employees.name").unwrap(),
+            vec![Value::from("Peter")]
+        );
+    }
+
+    #[test]
+    fn aggregate_query_end_to_end() {
+        let result = run("SELECT zip, COUNT(*) FROM cities GROUP BY zip");
+        assert_eq!(result.len(), 2);
+        assert_eq!(
+            result.column("COUNT(*)").unwrap(),
+            vec![Value::Int(2), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn range_query_end_to_end() {
+        let result = run("SELECT * FROM employees WHERE zip >= 10001 AND zip <= 10002");
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let cat = catalog();
+        let ctx = ExecContext::sequential();
+        let q = parse_query("SELECT * FROM nope").unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        assert!(execute(&ctx, &cat, &plan, PredicateMode::Expected).is_err());
+    }
+}

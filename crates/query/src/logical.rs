@@ -1,0 +1,313 @@
+//! Logical query plans.
+
+use std::fmt;
+
+use daisy_common::{DaisyError, Result};
+use daisy_expr::BoolExpr;
+
+use crate::ast::{AggregateFunc, Query, SelectItem};
+use crate::physical::AggregateSpec;
+
+/// A logical plan node for the paper's query template (flat SPJ + group-by
+/// queries).  The cleaning operators of `daisy-core` are woven between these
+/// nodes by the cleaning-aware planner; the plain plan here corresponds to
+/// running a query over the data as-is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a base table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Filter the input by a predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The predicate.
+        predicate: BoolExpr,
+    },
+    /// Equi-join two plans.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join key on the left schema.
+        left_key: String,
+        /// Join key on the right schema.
+        right_key: String,
+    },
+    /// Project onto named columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output columns (in order).
+        columns: Vec<String>,
+    },
+    /// Group-by aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggregates: Vec<AggregateSpec>,
+    },
+}
+
+impl LogicalPlan {
+    /// Builds the canonical plan for a parsed [`Query`]:
+    ///
+    /// ```text
+    /// Scan → Filter → (Join …)* → [Aggregate] → [Project]
+    /// ```
+    ///
+    /// The filter is placed directly above the driving table's scan (the
+    /// paper's queries filter the driving table; predicates over joined
+    /// tables still work because filters evaluate over the joined schema if
+    /// pushed later — here we keep the paper's shape and apply the filter
+    /// before joins when it only references the driving table, after joins
+    /// otherwise).
+    pub fn from_query(query: &Query) -> Result<LogicalPlan> {
+        let mut plan = LogicalPlan::Scan {
+            table: query.from.clone(),
+        };
+
+        // Decide where the WHERE clause goes: before the joins when it only
+        // references the driving table's (unqualified or self-qualified)
+        // columns, otherwise after all joins.
+        let filter_refs = query.filter.columns();
+        let references_joined_table = query.joins.iter().any(|j| {
+            filter_refs
+                .iter()
+                .any(|c| c.starts_with(&format!("{}.", j.table)))
+        });
+        let filter_early = !references_joined_table && query.filter != BoolExpr::True;
+        if filter_early {
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: query.filter.clone(),
+            };
+        }
+        for join in &query.joins {
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(LogicalPlan::Scan {
+                    table: join.table.clone(),
+                }),
+                left_key: join.left_key.clone(),
+                right_key: join.right_key.clone(),
+            };
+        }
+        if !filter_early && query.filter != BoolExpr::True {
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: query.filter.clone(),
+            };
+        }
+
+        if query.is_aggregate() {
+            let mut aggregates = Vec::new();
+            let mut group_by = query.group_by.clone();
+            for item in &query.select {
+                match item {
+                    SelectItem::Aggregate { func, column } => {
+                        aggregates.push(AggregateSpec::new(*func, column.as_deref()));
+                    }
+                    SelectItem::Column(c) => {
+                        if !group_by.contains(c) {
+                            // A bare column in an aggregate query must be a
+                            // grouping column (SQL would reject it; we add it
+                            // for convenience).
+                            group_by.push(c.clone());
+                        }
+                    }
+                    SelectItem::Wildcard => {
+                        return Err(DaisyError::Plan(
+                            "SELECT * cannot be combined with GROUP BY".into(),
+                        ))
+                    }
+                }
+            }
+            if aggregates.is_empty() {
+                aggregates.push(AggregateSpec::new(AggregateFunc::Count, None));
+            }
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by,
+                aggregates,
+            };
+        } else {
+            let columns: Vec<String> = query
+                .select
+                .iter()
+                .filter_map(|item| match item {
+                    SelectItem::Column(c) => Some(c.clone()),
+                    _ => None,
+                })
+                .collect();
+            let is_wildcard = query
+                .select
+                .iter()
+                .any(|item| matches!(item, SelectItem::Wildcard));
+            if !is_wildcard && !columns.is_empty() {
+                plan = LogicalPlan::Project {
+                    input: Box::new(plan),
+                    columns,
+                };
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The base tables referenced by the plan, in scan order.
+    pub fn tables(&self) -> Vec<&str> {
+        match self {
+            LogicalPlan::Scan { table } => vec![table.as_str()],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.tables(),
+            LogicalPlan::Join { left, right, .. } => {
+                let mut t = left.tables();
+                t.extend(right.tables());
+                t
+            }
+        }
+    }
+
+    /// Pretty-prints the plan as an indented tree.
+    pub fn display_indent(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { table } => out.push_str(&format!("{pad}Scan {table}\n")),
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate}\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Project { input, columns } => {
+                out.push_str(&format!("{pad}Project [{}]\n", columns.join(", ")));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let aggs: Vec<&str> = aggregates.iter().map(|a| a.alias.as_str()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate group_by=[{}] aggs=[{}]\n",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                ));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                out.push_str(&format!("{pad}Join {left_key} = {right_key}\n"));
+                left.fmt_indent(out, depth + 1);
+                right.fmt_indent(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_indent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn sp_query_plan_shape() {
+        let q = parse_query("SELECT zip FROM cities WHERE city = 'LA'").unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        match &plan {
+            LogicalPlan::Project { input, columns } => {
+                assert_eq!(columns, &vec!["zip".to_string()]);
+                assert!(matches!(**input, LogicalPlan::Filter { .. }));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+        assert_eq!(plan.tables(), vec!["cities"]);
+    }
+
+    #[test]
+    fn join_query_filters_driving_table_early() {
+        let q = parse_query(
+            "SELECT * FROM lineorder JOIN supplier ON lineorder.suppkey = supplier.suppkey \
+             WHERE orderkey < 100",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        // Join at the top, filter below it on the lineorder side.
+        match &plan {
+            LogicalPlan::Join { left, .. } => {
+                assert!(matches!(**left, LogicalPlan::Filter { .. }));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+        assert_eq!(plan.tables(), vec!["lineorder", "supplier"]);
+    }
+
+    #[test]
+    fn filter_referencing_joined_table_is_applied_late() {
+        let q = parse_query(
+            "SELECT * FROM lineorder JOIN supplier ON lineorder.suppkey = supplier.suppkey \
+             WHERE supplier.address = 'x'",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        assert!(matches!(plan, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn aggregate_query_plan_collects_group_columns() {
+        let q = parse_query(
+            "SELECT year, AVG(co) FROM air WHERE county = 5 GROUP BY year",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        match &plan {
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                assert_eq!(group_by, &vec!["year".to_string()]);
+                assert_eq!(aggregates.len(), 1);
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_with_group_by_is_rejected() {
+        let q = parse_query("SELECT * FROM t GROUP BY a").unwrap();
+        assert!(LogicalPlan::from_query(&q).is_err());
+    }
+
+    #[test]
+    fn display_shows_tree() {
+        let q = parse_query("SELECT zip FROM cities WHERE city = 'LA'").unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("Project"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Scan cities"));
+    }
+}

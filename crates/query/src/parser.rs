@@ -1,0 +1,409 @@
+//! A hand-written parser for the paper's query template.
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query     := SELECT select_list FROM ident join* where? group_by?
+//! select_list := '*' | item (',' item)*
+//! item      := ident | func '(' (ident | '*') ')'
+//! join      := JOIN ident ON ident '=' ident
+//! where     := WHERE disjunction
+//! disjunction := conjunction (OR conjunction)*
+//! conjunction := comparison (AND comparison)*
+//! comparison  := ident op literal | literal op ident | '(' disjunction ')'
+//! group_by  := GROUP BY ident (',' ident)*
+//! literal   := number | 'string'
+//! ```
+
+use daisy_common::{DaisyError, Result, Value};
+use daisy_expr::{BoolExpr, ComparisonOp, ScalarExpr};
+
+use crate::ast::{AggregateFunc, JoinSpec, Query, SelectItem};
+
+/// Parses a query string into a [`Query`].
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(DaisyError::Parse(format!(
+            "unexpected trailing input near `{}`",
+            parser.peek_text()
+        )));
+    }
+    Ok(query)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(String),
+}
+
+impl Token {
+    fn text(&self) -> &str {
+        match self {
+            Token::Ident(s) | Token::Number(s) | Token::Str(s) | Token::Symbol(s) => s,
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' {
+                s.push(chars[i]);
+                i += 1;
+            }
+            if i == chars.len() {
+                return Err(DaisyError::Parse("unterminated string literal".into()));
+            }
+            i += 1;
+            tokens.push(Token::Str(s));
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let mut s = String::new();
+            s.push(c);
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                s.push(chars[i]);
+                i += 1;
+            }
+            tokens.push(Token::Number(s));
+        } else if c.is_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                s.push(chars[i]);
+                i += 1;
+            }
+            tokens.push(Token::Ident(s));
+        } else {
+            // Multi-character operators.
+            let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+            if ["<=", ">=", "!=", "<>"].contains(&two.as_str()) {
+                tokens.push(Token::Symbol(two));
+                i += 2;
+            } else if "(),*=<>".contains(c) {
+                tokens.push(Token::Symbol(c.to_string()));
+                i += 1;
+            } else {
+                return Err(DaisyError::Parse(format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_text(&self) -> String {
+        self.peek().map(|t| t.text().to_string()).unwrap_or_default()
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DaisyError::Parse(format!(
+                "expected keyword `{kw}`, found `{}`",
+                self.peek_text()
+            )))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        match self.peek() {
+            Some(Token::Symbol(s)) if s == sym => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(DaisyError::Parse(format!(
+                "expected `{sym}`, found `{}`",
+                self.peek_text()
+            ))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(DaisyError::Parse(format!(
+                "expected identifier, found `{}`",
+                other.map(|t| t.text().to_string()).unwrap_or_default()
+            ))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.expect_ident()?;
+        let mut joins = Vec::new();
+        while self.peek_keyword("JOIN") {
+            self.pos += 1;
+            let table = self.expect_ident()?;
+            self.expect_keyword("ON")?;
+            let left_key = self.expect_ident()?;
+            self.expect_symbol("=")?;
+            let right_key = self.expect_ident()?;
+            joins.push(JoinSpec {
+                table,
+                left_key,
+                right_key,
+            });
+        }
+        let filter = if self.peek_keyword("WHERE") {
+            self.pos += 1;
+            self.parse_disjunction()?
+        } else {
+            BoolExpr::True
+        };
+        let group_by = if self.peek_keyword("GROUP") {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            let mut cols = vec![self.expect_ident()?];
+            while matches!(self.peek(), Some(Token::Symbol(s)) if s == ",") {
+                self.pos += 1;
+                cols.push(self.expect_ident()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        Ok(Query {
+            select,
+            from,
+            joins,
+            filter,
+            group_by,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = vec![self.parse_select_item()?];
+        while matches!(self.peek(), Some(Token::Symbol(s)) if s == ",") {
+            self.pos += 1;
+            items.push(self.parse_select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == "*") {
+            self.pos += 1;
+            return Ok(SelectItem::Wildcard);
+        }
+        let name = self.expect_ident()?;
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == "(") {
+            let func = AggregateFunc::parse(&name)
+                .ok_or_else(|| DaisyError::Parse(format!("unknown aggregate `{name}`")))?;
+            self.pos += 1;
+            let column = if matches!(self.peek(), Some(Token::Symbol(s)) if s == "*") {
+                self.pos += 1;
+                None
+            } else {
+                Some(self.expect_ident()?)
+            };
+            self.expect_symbol(")")?;
+            if column.is_none() && func != AggregateFunc::Count {
+                return Err(DaisyError::Parse(format!("{func}(*) is not supported")));
+            }
+            Ok(SelectItem::Aggregate { func, column })
+        } else {
+            Ok(SelectItem::Column(name))
+        }
+    }
+
+    fn parse_disjunction(&mut self) -> Result<BoolExpr> {
+        let mut expr = self.parse_conjunction()?;
+        while self.peek_keyword("OR") {
+            self.pos += 1;
+            let rhs = self.parse_conjunction()?;
+            expr = expr.or(rhs);
+        }
+        Ok(expr)
+    }
+
+    fn parse_conjunction(&mut self) -> Result<BoolExpr> {
+        let mut expr = self.parse_comparison()?;
+        while self.peek_keyword("AND") {
+            self.pos += 1;
+            let rhs = self.parse_comparison()?;
+            expr = expr.and(rhs);
+        }
+        Ok(expr)
+    }
+
+    fn parse_comparison(&mut self) -> Result<BoolExpr> {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == "(") {
+            self.pos += 1;
+            let inner = self.parse_disjunction()?;
+            self.expect_symbol(")")?;
+            return Ok(inner);
+        }
+        let left = self.parse_scalar()?;
+        let op_text = match self.next() {
+            Some(Token::Symbol(s)) => s,
+            other => {
+                return Err(DaisyError::Parse(format!(
+                    "expected comparison operator, found `{}`",
+                    other.map(|t| t.text().to_string()).unwrap_or_default()
+                )))
+            }
+        };
+        let op = ComparisonOp::parse(&op_text)
+            .ok_or_else(|| DaisyError::Parse(format!("unknown operator `{op_text}`")))?;
+        let right = self.parse_scalar()?;
+        Ok(BoolExpr::Compare { left, op, right })
+    }
+
+    fn parse_scalar(&mut self) -> Result<ScalarExpr> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(ScalarExpr::Column(s)),
+            Some(Token::Number(s)) => {
+                if s.contains('.') {
+                    s.parse::<f64>()
+                        .map(|f| ScalarExpr::Literal(Value::Float(f)))
+                        .map_err(|_| DaisyError::Parse(format!("invalid number `{s}`")))
+                } else {
+                    s.parse::<i64>()
+                        .map(|i| ScalarExpr::Literal(Value::Int(i)))
+                        .map_err(|_| DaisyError::Parse(format!("invalid number `{s}`")))
+                }
+            }
+            Some(Token::Str(s)) => Ok(ScalarExpr::Literal(Value::Str(s))),
+            other => Err(DaisyError::Parse(format!(
+                "expected column or literal, found `{}`",
+                other.map(|t| t.text().to_string()).unwrap_or_default()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_sp_query() {
+        let q = parse_query("SELECT zip FROM cities WHERE city = 'Los Angeles'").unwrap();
+        assert_eq!(q.from, "cities");
+        assert_eq!(q.select, vec![SelectItem::Column("zip".into())]);
+        assert_eq!(q.filter, BoolExpr::eq("city", "Los Angeles"));
+        assert!(q.joins.is_empty());
+        assert!(q.group_by.is_empty());
+    }
+
+    #[test]
+    fn parses_range_filters_and_boolean_connectives() {
+        let q = parse_query(
+            "SELECT * FROM lineorder WHERE orderkey >= 10 AND orderkey <= 20 OR suppkey = 5",
+        )
+        .unwrap();
+        // AND binds tighter than OR.
+        match q.filter {
+            BoolExpr::Or(_, _) => {}
+            other => panic!("expected OR at the top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesised_predicates() {
+        let q = parse_query(
+            "SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)",
+        )
+        .unwrap();
+        match q.filter {
+            BoolExpr::And(_, rhs) => assert!(matches!(*rhs, BoolExpr::Or(_, _))),
+            other => panic!("expected AND at the top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_joins_and_group_by() {
+        let q = parse_query(
+            "SELECT supplier.name, SUM(lineorder.revenue) FROM lineorder \
+             JOIN supplier ON lineorder.suppkey = supplier.suppkey \
+             WHERE lineorder.orderkey < 100 GROUP BY supplier.name",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].table, "supplier");
+        assert_eq!(q.joins[0].left_key, "lineorder.suppkey");
+        assert_eq!(q.group_by, vec!["supplier.name".to_string()]);
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn parses_aggregates_including_count_star() {
+        let q = parse_query("SELECT COUNT(*), AVG(co) FROM air GROUP BY year").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(
+            q.select[0],
+            SelectItem::Aggregate {
+                func: AggregateFunc::Count,
+                column: None
+            }
+        );
+        assert!(parse_query("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn parses_float_and_negative_literals() {
+        let q = parse_query("SELECT * FROM t WHERE tax > 0.25 AND delta >= -3").unwrap();
+        let cols = q.filter.columns();
+        assert!(cols.contains("tax") && cols.contains("delta"));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("SELECT FROM t").is_err());
+        assert!(parse_query("SELECT * FROM").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE a ~ 3").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE a = 'unterminated").is_err());
+        assert!(parse_query("SELECT * FROM t GROUP year").is_err());
+        assert!(parse_query("SELECT * FROM t extra garbage").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query("select zip from cities where zip = 9001 group by zip").unwrap();
+        assert_eq!(q.group_by, vec!["zip".to_string()]);
+    }
+}

@@ -1,0 +1,341 @@
+//! The group-by / aggregation operator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use daisy_common::{DaisyError, DataType, Field, Result, Schema, TupleId, Value};
+use daisy_exec::{par_group_by, ExecContext};
+use daisy_storage::Tuple;
+
+use crate::ast::AggregateFunc;
+
+/// One aggregate to compute, with its output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSpec {
+    /// The aggregate function.
+    pub func: AggregateFunc,
+    /// The aggregated input column; `None` only for `COUNT(*)`.
+    pub column: Option<String>,
+    /// Name of the output column.
+    pub alias: String,
+}
+
+impl AggregateSpec {
+    /// Builds a spec with the conventional `FUNC(column)` alias.
+    pub fn new(func: AggregateFunc, column: Option<&str>) -> Self {
+        let alias = match column {
+            Some(c) => format!("{func}({c})"),
+            None => format!("{func}(*)"),
+        };
+        AggregateSpec {
+            func,
+            column: column.map(str::to_string),
+            alias,
+        }
+    }
+}
+
+/// Group-by aggregation over expected (most probable) values.
+///
+/// The output schema is the group-by columns followed by one column per
+/// aggregate.  Output order is deterministic: groups are sorted by their key
+/// values.  Cleaning happens *before* aggregation in Daisy plans (§4,
+/// "for group-by queries, cleaning takes place before the aggregation"), so
+/// this operator never needs to reason about candidate sets itself.
+pub fn aggregate(
+    ctx: &ExecContext,
+    schema: &Schema,
+    tuples: &[Tuple],
+    group_by: &[String],
+    aggregates: &[AggregateSpec],
+) -> Result<(Arc<Schema>, Vec<Tuple>)> {
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| schema.index_of(c))
+        .collect::<Result<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggregates
+        .iter()
+        .map(|a| match &a.column {
+            Some(c) => schema.index_of(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<Result<_>>()?;
+
+    // Output schema: group columns keep their type, aggregates are numeric
+    // (COUNT is Int, AVG is Float, SUM/MIN/MAX inherit Float for safety on
+    // mixed inputs — exact typing is refined below when possible).
+    let mut fields: Vec<Field> = Vec::new();
+    for (name, &idx) in group_by.iter().zip(&group_idx) {
+        fields.push(Field::new(name.clone(), schema.field_at(idx)?.data_type));
+    }
+    for (spec, idx) in aggregates.iter().zip(&agg_idx) {
+        let dt = match spec.func {
+            AggregateFunc::Count => DataType::Int,
+            AggregateFunc::Avg => DataType::Float,
+            AggregateFunc::Sum | AggregateFunc::Min | AggregateFunc::Max => match idx {
+                Some(i) => schema.field_at(*i)?.data_type,
+                None => DataType::Int,
+            },
+        };
+        fields.push(Field::new(spec.alias.clone(), dt));
+    }
+    let out_schema = Arc::new(Schema::new(fields)?);
+
+    // Group rows by their group-key values.
+    let keys: Vec<Vec<Value>> = tuples
+        .iter()
+        .map(|t| {
+            group_idx
+                .iter()
+                .map(|&i| t.value(i))
+                .collect::<Result<Vec<Value>>>()
+        })
+        .collect::<Result<_>>()?;
+    let groups: HashMap<Vec<Value>, Vec<usize>> = if group_by.is_empty() {
+        // A single global group (even over an empty input, so COUNT(*) = 0).
+        let mut m = HashMap::new();
+        m.insert(Vec::new(), (0..tuples.len()).collect());
+        m
+    } else {
+        par_group_by(ctx, &keys, |k| k.clone())
+    };
+
+    // Deterministic group order.
+    let mut ordered: Vec<(Vec<Value>, Vec<usize>)> = groups.into_iter().collect();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = Vec::with_capacity(ordered.len());
+    for (gid, (key, rows)) in ordered.into_iter().enumerate() {
+        let mut values: Vec<Value> = key;
+        for (spec, idx) in aggregates.iter().zip(&agg_idx) {
+            values.push(eval_aggregate(spec, *idx, &rows, tuples)?);
+        }
+        out.push(Tuple::from_values(TupleId::new(gid as u64), values));
+    }
+    Ok((out_schema, out))
+}
+
+fn eval_aggregate(
+    spec: &AggregateSpec,
+    column: Option<usize>,
+    rows: &[usize],
+    tuples: &[Tuple],
+) -> Result<Value> {
+    match spec.func {
+        AggregateFunc::Count => match column {
+            None => Ok(Value::Int(rows.len() as i64)),
+            Some(idx) => {
+                let mut n = 0;
+                for &r in rows {
+                    if !tuples[r].value(idx)?.is_null() {
+                        n += 1;
+                    }
+                }
+                Ok(Value::Int(n))
+            }
+        },
+        AggregateFunc::Sum | AggregateFunc::Avg => {
+            let idx = column.ok_or_else(|| {
+                DaisyError::Plan(format!("{} requires a column", spec.func))
+            })?;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            let mut all_int = true;
+            for &r in rows {
+                let v = tuples[r].value(idx)?;
+                if v.is_null() {
+                    continue;
+                }
+                if !matches!(v, Value::Int(_)) {
+                    all_int = false;
+                }
+                sum += v.as_float().ok_or_else(|| {
+                    DaisyError::Type(format!("cannot aggregate non-numeric value {v}"))
+                })?;
+                count += 1;
+            }
+            match spec.func {
+                AggregateFunc::Sum => {
+                    if all_int {
+                        Ok(Value::Int(sum as i64))
+                    } else {
+                        Ok(Value::Float(sum))
+                    }
+                }
+                _ => {
+                    if count == 0 {
+                        Ok(Value::Null)
+                    } else {
+                        Ok(Value::Float(sum / count as f64))
+                    }
+                }
+            }
+        }
+        AggregateFunc::Min | AggregateFunc::Max => {
+            let idx = column.ok_or_else(|| {
+                DaisyError::Plan(format!("{} requires a column", spec.func))
+            })?;
+            let mut best: Option<Value> = None;
+            for &r in rows {
+                let v = tuples[r].value(idx)?;
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best.take() {
+                    None => v,
+                    Some(b) => {
+                        if spec.func == AggregateFunc::Min {
+                            Value::min_of(b, v)
+                        } else {
+                            Value::max_of(b, v)
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("year", DataType::Int),
+            ("co", DataType::Float),
+            ("site", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::from_values(TupleId::new(0), vec![Value::Int(2000), Value::Float(1.0), Value::from("a")]),
+            Tuple::from_values(TupleId::new(1), vec![Value::Int(2000), Value::Float(3.0), Value::from("b")]),
+            Tuple::from_values(TupleId::new(2), vec![Value::Int(2001), Value::Float(2.0), Value::from("a")]),
+            Tuple::from_values(TupleId::new(3), vec![Value::Int(2001), Value::Null, Value::from("a")]),
+        ]
+    }
+
+    #[test]
+    fn group_by_with_multiple_aggregates() {
+        let ctx = ExecContext::new(4);
+        let (out_schema, out) = aggregate(
+            &ctx,
+            &schema(),
+            &tuples(),
+            &["year".to_string()],
+            &[
+                AggregateSpec::new(AggregateFunc::Avg, Some("co")),
+                AggregateSpec::new(AggregateFunc::Count, None),
+                AggregateSpec::new(AggregateFunc::Max, Some("co")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out_schema.names(), vec!["year", "AVG(co)", "COUNT(*)", "MAX(co)"]);
+        assert_eq!(out.len(), 2);
+        // Year 2000: avg 2.0 over two rows.
+        assert_eq!(out[0].value(0).unwrap(), Value::Int(2000));
+        assert_eq!(out[0].value(1).unwrap(), Value::Float(2.0));
+        assert_eq!(out[0].value(2).unwrap(), Value::Int(2));
+        // Year 2001: AVG ignores the NULL.
+        assert_eq!(out[1].value(1).unwrap(), Value::Float(2.0));
+        assert_eq!(out[1].value(3).unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let ctx = ExecContext::sequential();
+        let (out_schema, out) = aggregate(
+            &ctx,
+            &schema(),
+            &tuples(),
+            &[],
+            &[
+                AggregateSpec::new(AggregateFunc::Count, None),
+                AggregateSpec::new(AggregateFunc::Sum, Some("co")),
+                AggregateSpec::new(AggregateFunc::Min, Some("co")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(0).unwrap(), Value::Int(4));
+        assert_eq!(out[0].value(1).unwrap(), Value::Float(6.0));
+        assert_eq!(out[0].value(2).unwrap(), Value::Float(1.0));
+        assert_eq!(out_schema.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_still_produces_global_row() {
+        let ctx = ExecContext::sequential();
+        let (_, out) = aggregate(
+            &ctx,
+            &schema(),
+            &[],
+            &[],
+            &[AggregateSpec::new(AggregateFunc::Count, None)],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(0).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn count_column_skips_nulls_and_sum_of_ints_stays_int() {
+        let ctx = ExecContext::sequential();
+        let int_schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
+        let rows = vec![
+            Tuple::from_values(TupleId::new(0), vec![Value::Int(1), Value::Int(10)]),
+            Tuple::from_values(TupleId::new(1), vec![Value::Int(1), Value::Null]),
+        ];
+        let (_, out) = aggregate(
+            &ctx,
+            &int_schema,
+            &rows,
+            &["k".to_string()],
+            &[
+                AggregateSpec::new(AggregateFunc::Count, Some("v")),
+                AggregateSpec::new(AggregateFunc::Sum, Some("v")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0].value(1).unwrap(), Value::Int(1));
+        assert_eq!(out[0].value(2).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn aggregating_strings_is_a_type_error() {
+        let ctx = ExecContext::sequential();
+        let err = aggregate(
+            &ctx,
+            &schema(),
+            &tuples(),
+            &[],
+            &[AggregateSpec::new(AggregateFunc::Sum, Some("site"))],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let ctx = ExecContext::sequential();
+        assert!(aggregate(
+            &ctx,
+            &schema(),
+            &tuples(),
+            &["nope".to_string()],
+            &[AggregateSpec::new(AggregateFunc::Count, None)],
+        )
+        .is_err());
+        assert!(aggregate(
+            &ctx,
+            &schema(),
+            &tuples(),
+            &[],
+            &[AggregateSpec::new(AggregateFunc::Sum, Some("nope"))],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! The project operator.
+
+use std::sync::Arc;
+
+use daisy_common::{Result, Schema};
+use daisy_storage::Tuple;
+
+/// Projects tuples onto the named columns (in the requested order).
+///
+/// Tuple identity and lineage are preserved so that projections remain
+/// traceable back to the base relation.
+pub fn project(
+    schema: &Schema,
+    tuples: &[Tuple],
+    columns: &[String],
+) -> Result<(Arc<Schema>, Vec<Tuple>)> {
+    let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let out_schema = Arc::new(schema.project(&names)?);
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| schema.index_of(c))
+        .collect::<Result<_>>()?;
+    let projected: Vec<Tuple> = tuples
+        .iter()
+        .map(|t| t.project(&indices))
+        .collect::<Result<_>>()?;
+    Ok((out_schema, projected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{DataType, TupleId, Value};
+
+    #[test]
+    fn project_selects_and_preserves_identity() {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Str),
+        ])
+        .unwrap();
+        let tuples = vec![Tuple::from_values(
+            TupleId::new(42),
+            vec![Value::Int(1), Value::Int(2), Value::from("x")],
+        )];
+        let (out_schema, out) =
+            project(&schema, &tuples, &["c".to_string(), "a".to_string()]).unwrap();
+        assert_eq!(out_schema.names(), vec!["c", "a"]);
+        assert_eq!(out[0].id, TupleId::new(42));
+        assert_eq!(out[0].value(0).unwrap(), Value::from("x"));
+        assert!(project(&schema, &tuples, &["nope".to_string()]).is_err());
+    }
+}

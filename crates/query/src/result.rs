@@ -1,0 +1,119 @@
+//! Query results.
+
+use std::fmt;
+use std::sync::Arc;
+
+use daisy_common::{Result, Schema, TupleId, Value};
+use daisy_storage::Tuple;
+
+/// The result of executing a (possibly partial) query plan.
+///
+/// Result tuples keep their identity: for SP queries over one table the
+/// tuple ids are the base-relation ids, and for joins the `lineage` of each
+/// tuple records the originating base tuples.  The cleaning operators rely on
+/// this to write repairs back to the base tables.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result schema.
+    pub schema: Arc<Schema>,
+    /// The result tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+impl QueryResult {
+    /// Creates a result.
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Self {
+        QueryResult { schema, tuples }
+    }
+
+    /// An empty result with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        QueryResult {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the result has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The expected values of one column, in tuple order.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(name)?;
+        self.tuples.iter().map(|t| t.value(idx)).collect()
+    }
+
+    /// The ids of the result tuples (base ids for SP results).
+    pub fn tuple_ids(&self) -> Vec<TupleId> {
+        self.tuples.iter().map(|t| t.id).collect()
+    }
+
+    /// Number of result tuples with at least one probabilistic cell.
+    pub fn probabilistic_count(&self) -> usize {
+        self.tuples.iter().filter(|t| t.is_probabilistic()).count()
+    }
+
+    /// Renders the result as rows of display strings (useful in examples).
+    pub fn to_rows(&self) -> Vec<Vec<String>> {
+        self.tuples
+            .iter()
+            .map(|t| t.cells.iter().map(|c| c.to_string()).collect())
+            .collect()
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in self.tuples.iter().take(50) {
+            let row: Vec<String> = t.cells.iter().map(|c| c.to_string()).collect();
+            writeln!(f, "  {}", row.join(" | "))?;
+        }
+        if self.len() > 50 {
+            writeln!(f, "  … {} more rows", self.len() - 50)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::DataType;
+
+    #[test]
+    fn accessors_work() {
+        let schema = Arc::new(
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap(),
+        );
+        let tuples = vec![
+            Tuple::from_values(
+                TupleId::new(3),
+                vec![Value::Int(9001), Value::from("LA")],
+            ),
+            Tuple::from_values(
+                TupleId::new(7),
+                vec![Value::Int(10001), Value::from("NY")],
+            ),
+        ];
+        let result = QueryResult::new(schema.clone(), tuples);
+        assert_eq!(result.len(), 2);
+        assert!(!result.is_empty());
+        assert_eq!(
+            result.column("zip").unwrap(),
+            vec![Value::Int(9001), Value::Int(10001)]
+        );
+        assert_eq!(result.tuple_ids(), vec![TupleId::new(3), TupleId::new(7)]);
+        assert_eq!(result.probabilistic_count(), 0);
+        assert_eq!(result.to_rows()[0], vec!["9001", "LA"]);
+        assert!(result.column("state").is_err());
+        assert!(QueryResult::empty(schema).is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Minimal CSV import/export.
+//!
+//! Daisy's evaluation datasets (SSB, hospital, product, air-quality) are
+//! generated in-process, but real deployments load from files; this module
+//! provides a small, dependency-free CSV reader/writer adequate for the
+//! examples and for persisting generated datasets.  The dialect is RFC-4180
+//! with `"`-quoting; probabilistic cells are exported using their
+//! most-probable value (the representation a downstream consumer without
+//! probabilistic support would want).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use daisy_common::{DaisyError, DataType, Result, Schema, Value};
+
+use crate::table::Table;
+
+/// Parses one CSV record into fields, honouring quotes.
+pub fn parse_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if current.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+/// Escapes one field for CSV output.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Reads a table from CSV text.  The first record must be a header whose
+/// column names match the schema (order is taken from the schema).
+pub fn read_csv<R: Read>(
+    name: &str,
+    schema: Schema,
+    reader: R,
+    has_header: bool,
+) -> Result<Table> {
+    let mut table = Table::new(name, schema.clone());
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    if has_header {
+        let header = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| DaisyError::Io("empty CSV input".into()))?;
+        let names = parse_record(&header);
+        if names.len() != schema.len() {
+            return Err(DaisyError::Schema(format!(
+                "CSV header has {} columns but schema has {}",
+                names.len(),
+                schema.len()
+            )));
+        }
+    }
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line);
+        if fields.len() != schema.len() {
+            return Err(DaisyError::Parse(format!(
+                "CSV record has {} fields, expected {}",
+                fields.len(),
+                schema.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (field, text) in schema.fields().iter().zip(fields.iter()) {
+            values.push(Value::parse(text, field.data_type)?);
+        }
+        table.push_values(values)?;
+    }
+    Ok(table)
+}
+
+/// Reads a table from a CSV file.
+pub fn read_csv_file(name: &str, schema: Schema, path: impl AsRef<Path>) -> Result<Table> {
+    let file = File::open(path)?;
+    read_csv(name, schema, file, true)
+}
+
+/// Writes a table as CSV (header + one record per tuple, most-probable
+/// values for probabilistic cells).
+pub fn write_csv<W: Write>(table: &Table, writer: W) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    let header: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|n| escape_field(n))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    for tuple in table.tuples() {
+        let record: Vec<String> = tuple
+            .cells
+            .iter()
+            .map(|c| {
+                let v = c.expected_value();
+                if v.is_null() {
+                    String::new()
+                } else {
+                    escape_field(&v.to_string())
+                }
+            })
+            .collect();
+        writeln!(out, "{}", record.join(","))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes a table to a CSV file.
+pub fn write_csv_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path)?;
+    write_csv(table, file)
+}
+
+/// Infers a schema from CSV text by sampling values: a column is `Int` if
+/// every non-empty sample parses as an integer, else `Float` if every sample
+/// parses as a float, else `Str`.
+pub fn infer_schema<R: Read>(reader: R, sample_rows: usize) -> Result<Schema> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| DaisyError::Io("empty CSV input".into()))?;
+    let names = parse_record(&header);
+    let mut types = vec![DataType::Int; names.len()];
+    let mut seen_any = vec![false; names.len()];
+    for line in lines.take(sample_rows) {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line);
+        for (i, text) in fields.iter().enumerate().take(names.len()) {
+            if text.is_empty() {
+                continue;
+            }
+            seen_any[i] = true;
+            let current = types[i];
+            types[i] = match current {
+                DataType::Int if text.parse::<i64>().is_ok() => DataType::Int,
+                DataType::Int | DataType::Float if text.parse::<f64>().is_ok() => DataType::Float,
+                _ => DataType::Str,
+            };
+        }
+    }
+    for (i, seen) in seen_any.iter().enumerate() {
+        if !seen {
+            types[i] = DataType::Str;
+        }
+    }
+    Schema::new(
+        names
+            .iter()
+            .zip(types)
+            .map(|(n, t)| daisy_common::Field::new(n.clone(), t))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::DataType;
+
+    fn cities_schema() -> Schema {
+        Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap()
+    }
+
+    #[test]
+    fn parse_record_handles_quotes_and_embedded_commas() {
+        assert_eq!(parse_record("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(
+            parse_record("\"Los Angeles, CA\",9001"),
+            vec!["Los Angeles, CA", "9001"]
+        );
+        assert_eq!(parse_record("\"say \"\"hi\"\"\",x"), vec!["say \"hi\"", "x"]);
+        assert_eq!(parse_record("a,,c"), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn roundtrip_read_write() {
+        let csv = "zip,city\n9001,Los Angeles\n9001,\"San Francisco\"\n10001,New York\n";
+        let table = read_csv("cities", cities_schema(), csv.as_bytes(), true).unwrap();
+        assert_eq!(table.len(), 3);
+        assert_eq!(
+            table.tuples()[1].value(1).unwrap(),
+            Value::from("San Francisco")
+        );
+        let mut out = Vec::new();
+        write_csv(&table, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let reread = read_csv("cities", cities_schema(), text.as_bytes(), true).unwrap();
+        assert_eq!(reread.len(), 3);
+        assert_eq!(
+            reread.tuples()[2].value(0).unwrap(),
+            Value::Int(10001)
+        );
+    }
+
+    #[test]
+    fn wrong_arity_and_bad_values_error() {
+        let bad_arity = "zip,city\n1\n";
+        assert!(read_csv("c", cities_schema(), bad_arity.as_bytes(), true).is_err());
+        let bad_value = "zip,city\nxyz,LA\n";
+        assert!(read_csv("c", cities_schema(), bad_value.as_bytes(), true).is_err());
+        let bad_header = "zip\n1\n";
+        assert!(read_csv("c", cities_schema(), bad_header.as_bytes(), true).is_err());
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let csv = "zip,city\n,Los Angeles\n";
+        let table = read_csv("c", cities_schema(), csv.as_bytes(), true).unwrap();
+        assert!(table.tuples()[0].value(0).unwrap().is_null());
+    }
+
+    #[test]
+    fn infer_schema_detects_types() {
+        let csv = "id,score,label\n1,2.5,a\n2,3,b\n3,4.5,\n";
+        let schema = infer_schema(csv.as_bytes(), 100).unwrap();
+        assert_eq!(schema.field("id").unwrap().data_type, DataType::Int);
+        assert_eq!(schema.field("score").unwrap().data_type, DataType::Float);
+        assert_eq!(schema.field("label").unwrap().data_type, DataType::Str);
+    }
+}

@@ -1,0 +1,132 @@
+//! Deltas: isolated cell-level changes produced by cleaning a query result.
+//!
+//! After query execution, Daisy "isolates the changes and applies the delta
+//! to the original dataset" (§1, §4).  A [`Delta`] is exactly that set of
+//! changes: a list of `(tuple, column, new cell)` updates.  Applying it to a
+//! [`Table`](crate::table::Table) merges probabilistic candidate sets into
+//! the existing cells rather than overwriting them, so candidates gathered by
+//! different rules or earlier queries are preserved.
+
+use serde::{Deserialize, Serialize};
+
+use daisy_common::{ColumnId, TupleId};
+
+use crate::cell::Cell;
+
+/// A single cell update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellUpdate {
+    /// The target tuple in the base relation.
+    pub tuple: TupleId,
+    /// The target column.
+    pub column: ColumnId,
+    /// The new (typically probabilistic) cell contents.
+    pub cell: Cell,
+}
+
+/// A batch of cell updates produced by one cleaning step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Delta {
+    updates: Vec<CellUpdate>,
+}
+
+impl Delta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    /// Adds an update.
+    pub fn push(&mut self, update: CellUpdate) {
+        self.updates.push(update);
+    }
+
+    /// Adds an update from its parts.
+    pub fn push_update(&mut self, tuple: TupleId, column: ColumnId, cell: Cell) {
+        self.updates.push(CellUpdate { tuple, column, cell });
+    }
+
+    /// The updates in insertion order.
+    pub fn updates(&self) -> &[CellUpdate] {
+        &self.updates
+    }
+
+    /// Number of cell updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// `true` when the delta carries no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Merges another delta into this one (updates are concatenated; the
+    /// table-level merge semantics take care of combining candidates for the
+    /// same cell).
+    pub fn merge(&mut self, other: Delta) {
+        self.updates.extend(other.updates);
+    }
+
+    /// The distinct tuples touched by this delta.
+    pub fn touched_tuples(&self) -> Vec<TupleId> {
+        let mut ids: Vec<TupleId> = self.updates.iter().map(|u| u.tuple).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Total number of candidate values carried by the delta; feeds the
+    /// update-cost term of the cost model (§5.2.2).
+    pub fn total_candidates(&self) -> usize {
+        self.updates.iter().map(|u| u.cell.candidate_count()).sum()
+    }
+}
+
+impl FromIterator<CellUpdate> for Delta {
+    fn from_iter<I: IntoIterator<Item = CellUpdate>>(iter: I) -> Self {
+        Delta {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Candidate;
+    use daisy_common::Value;
+
+    fn upd(t: u64, c: usize) -> CellUpdate {
+        CellUpdate {
+            tuple: TupleId::new(t),
+            column: ColumnId::new(c as u64),
+            cell: Cell::probabilistic(vec![
+                Candidate::exact(Value::Int(1), 0.5),
+                Candidate::exact(Value::Int(2), 0.5),
+            ]),
+        }
+    }
+
+    #[test]
+    fn push_and_merge_accumulate_updates() {
+        let mut d = Delta::new();
+        assert!(d.is_empty());
+        d.push(upd(1, 0));
+        let mut other = Delta::new();
+        other.push(upd(2, 1));
+        other.push(upd(1, 1));
+        d.merge(other);
+        assert_eq!(d.len(), 3);
+        assert_eq!(
+            d.touched_tuples(),
+            vec![TupleId::new(1), TupleId::new(2)]
+        );
+    }
+
+    #[test]
+    fn total_candidates_counts_all_cells() {
+        let d: Delta = vec![upd(1, 0), upd(2, 0)].into_iter().collect();
+        assert_eq!(d.total_candidates(), 4);
+    }
+}

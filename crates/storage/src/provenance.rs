@@ -1,0 +1,228 @@
+//! Provenance of probabilistic repairs.
+//!
+//! Daisy "maintains provenance to the original values in case new rules
+//! appear" (§4) and uses it in two ways:
+//!
+//! 1. **Incremental rule addition** (Table 7): when a new rule arrives, the
+//!    candidate fixes of cells it touches are computed against the *original*
+//!    values and then merged with the candidates already recorded by other
+//!    rules — no re-execution of the earlier rules is needed.
+//! 2. **Pruning** (§4.3): the store remembers which tuples were already
+//!    checked by which rule, so repeated queries do not re-detect the same
+//!    violations.
+//!
+//! The store is keyed by `(tuple, column)` and kept separate from the table
+//! itself so that tables remain cheap to clone for baselines and benchmarks.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use daisy_common::{ColumnId, RuleId, TupleId, Value};
+
+use crate::cell::Candidate;
+
+/// Evidence that one rule contributed candidate fixes for a cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleEvidence {
+    /// The rule that produced the candidates.
+    pub rule: RuleId,
+    /// The conflicting tuples this evidence is based on (the `T_i` sets of
+    /// Lemma 4).
+    pub conflicting: Vec<TupleId>,
+    /// The candidates the rule proposed (with raw, un-normalised weights).
+    pub candidates: Vec<Candidate>,
+}
+
+/// Provenance of a single cell.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CellProvenance {
+    /// The value the cell held before any cleaning.
+    pub original: Option<Value>,
+    /// Per-rule evidence, in the order rules were applied.
+    pub evidence: Vec<RuleEvidence>,
+}
+
+impl CellProvenance {
+    /// All rules that have contributed evidence for this cell.
+    pub fn rules(&self) -> Vec<RuleId> {
+        let mut rules: Vec<RuleId> = self.evidence.iter().map(|e| e.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+
+    /// The union of conflicting-tuple sets across all rules (the merged
+    /// `T_m` sets of Lemma 4).
+    pub fn all_conflicting(&self) -> Vec<TupleId> {
+        let mut ids: Vec<TupleId> = self
+            .evidence
+            .iter()
+            .flat_map(|e| e.conflicting.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Tracks provenance for every cleaned cell of one table plus the set of
+/// tuples already checked per rule.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProvenanceStore {
+    cells: HashMap<(TupleId, ColumnId), CellProvenance>,
+    checked: HashMap<RuleId, HashSet<TupleId>>,
+}
+
+impl ProvenanceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ProvenanceStore::default()
+    }
+
+    /// Records the original value of a cell the first time it is cleaned.
+    /// Later calls for the same cell keep the first recorded original.
+    pub fn record_original(&mut self, tuple: TupleId, column: ColumnId, value: Value) {
+        let entry = self.cells.entry((tuple, column)).or_default();
+        if entry.original.is_none() {
+            entry.original = Some(value);
+        }
+    }
+
+    /// Records that `rule` proposed `candidates` for the cell based on the
+    /// given conflicting tuples.
+    pub fn record_evidence(
+        &mut self,
+        tuple: TupleId,
+        column: ColumnId,
+        evidence: RuleEvidence,
+    ) {
+        self.cells
+            .entry((tuple, column))
+            .or_default()
+            .evidence
+            .push(evidence);
+    }
+
+    /// Looks up the provenance of a cell.
+    pub fn cell(&self, tuple: TupleId, column: ColumnId) -> Option<&CellProvenance> {
+        self.cells.get(&(tuple, column))
+    }
+
+    /// The original value of a cell, if recorded.
+    pub fn original_value(&self, tuple: TupleId, column: ColumnId) -> Option<&Value> {
+        self.cells
+            .get(&(tuple, column))
+            .and_then(|p| p.original.as_ref())
+    }
+
+    /// Number of cells with provenance entries.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Marks tuples as already checked by a rule.
+    pub fn mark_checked(&mut self, rule: RuleId, tuples: impl IntoIterator<Item = TupleId>) {
+        self.checked.entry(rule).or_default().extend(tuples);
+    }
+
+    /// `true` if a tuple has already been checked against a rule.
+    pub fn is_checked(&self, rule: RuleId, tuple: TupleId) -> bool {
+        self.checked
+            .get(&rule)
+            .map(|set| set.contains(&tuple))
+            .unwrap_or(false)
+    }
+
+    /// Number of tuples already checked by a rule.
+    pub fn checked_count(&self, rule: RuleId) -> usize {
+        self.checked.get(&rule).map(HashSet::len).unwrap_or(0)
+    }
+
+    /// Filters `tuples` down to those not yet checked by `rule`.
+    pub fn unchecked<'a>(
+        &self,
+        rule: RuleId,
+        tuples: impl IntoIterator<Item = &'a TupleId>,
+    ) -> Vec<TupleId> {
+        let empty = HashSet::new();
+        let seen = self.checked.get(&rule).unwrap_or(&empty);
+        tuples
+            .into_iter()
+            .copied()
+            .filter(|t| !seen.contains(t))
+            .collect()
+    }
+
+    /// All cells that have evidence from a specific rule.
+    pub fn cells_for_rule(&self, rule: RuleId) -> Vec<(TupleId, ColumnId)> {
+        let mut keys: Vec<(TupleId, ColumnId)> = self
+            .cells
+            .iter()
+            .filter(|(_, p)| p.evidence.iter().any(|e| e.rule == rule))
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rule: u64, conflicting: &[u64]) -> RuleEvidence {
+        RuleEvidence {
+            rule: RuleId::new(rule),
+            conflicting: conflicting.iter().map(|t| TupleId::new(*t)).collect(),
+            candidates: vec![Candidate::exact(Value::Int(1), 1.0)],
+        }
+    }
+
+    #[test]
+    fn original_value_recorded_only_once() {
+        let mut store = ProvenanceStore::new();
+        let (t, c) = (TupleId::new(1), ColumnId::new(0));
+        store.record_original(t, c, Value::from("San Francisco"));
+        store.record_original(t, c, Value::from("Los Angeles"));
+        assert_eq!(
+            store.original_value(t, c),
+            Some(&Value::from("San Francisco"))
+        );
+    }
+
+    #[test]
+    fn evidence_accumulates_per_rule_and_merges_conflicts() {
+        let mut store = ProvenanceStore::new();
+        let (t, c) = (TupleId::new(1), ColumnId::new(0));
+        store.record_evidence(t, c, ev(0, &[2, 3]));
+        store.record_evidence(t, c, ev(1, &[3, 4]));
+        let prov = store.cell(t, c).unwrap();
+        assert_eq!(prov.rules(), vec![RuleId::new(0), RuleId::new(1)]);
+        assert_eq!(
+            prov.all_conflicting(),
+            vec![TupleId::new(2), TupleId::new(3), TupleId::new(4)]
+        );
+        assert_eq!(store.cells_for_rule(RuleId::new(1)), vec![(t, c)]);
+        assert!(store.cells_for_rule(RuleId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn checked_tuples_are_pruned() {
+        let mut store = ProvenanceStore::new();
+        let rule = RuleId::new(0);
+        store.mark_checked(rule, [TupleId::new(1), TupleId::new(2)]);
+        assert!(store.is_checked(rule, TupleId::new(1)));
+        assert!(!store.is_checked(rule, TupleId::new(5)));
+        assert_eq!(store.checked_count(rule), 2);
+        let all = [TupleId::new(1), TupleId::new(2), TupleId::new(3)];
+        assert_eq!(store.unchecked(rule, all.iter()), vec![TupleId::new(3)]);
+        // A different rule has its own checked set.
+        assert_eq!(store.unchecked(RuleId::new(1), all.iter()).len(), 3);
+    }
+}

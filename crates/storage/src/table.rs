@@ -1,0 +1,350 @@
+//! Named relations over probabilistic tuples.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use daisy_common::{DaisyError, Result, Schema, TupleId, Value};
+
+use crate::cell::Cell;
+use crate::delta::Delta;
+use crate::tuple::Tuple;
+
+/// An in-memory relation: a schema plus a vector of tuples with stable ids.
+///
+/// Daisy updates relations *in place* after each query: the cleaning
+/// operators isolate the changes made to erroneous tuples into a
+/// [`Delta`] and the engine applies it back to the base table, gradually
+/// turning the dataset probabilistic (§4, §6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+    /// Tuple id → position in `tuples`.
+    #[serde(skip)]
+    index: HashMap<TupleId, usize>,
+    next_id: u64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema: Arc::new(schema),
+            tuples: Vec::new(),
+            index: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Creates a table and bulk-loads rows of determinate values.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Self> {
+        let mut table = Table::new(name, schema);
+        for row in rows {
+            table.push_values(row)?;
+        }
+        Ok(table)
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Appends a row of determinate values, returning the assigned tuple id.
+    pub fn push_values(&mut self, values: Vec<Value>) -> Result<TupleId> {
+        if values.len() != self.schema.len() {
+            return Err(DaisyError::Schema(format!(
+                "row arity {} does not match schema arity {} of table `{}`",
+                values.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        let id = TupleId::new(self.next_id);
+        self.next_id += 1;
+        self.index.insert(id, self.tuples.len());
+        self.tuples.push(Tuple::from_values(id, values));
+        Ok(id)
+    }
+
+    /// Appends a tuple built from cells, returning the assigned tuple id.
+    /// The tuple's id field is overwritten with the assigned id.
+    pub fn push_cells(&mut self, cells: Vec<Cell>) -> Result<TupleId> {
+        if cells.len() != self.schema.len() {
+            return Err(DaisyError::Schema(format!(
+                "row arity {} does not match schema arity {} of table `{}`",
+                cells.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        let id = TupleId::new(self.next_id);
+        self.next_id += 1;
+        self.index.insert(id, self.tuples.len());
+        self.tuples.push(Tuple::from_cells(id, cells));
+        Ok(id)
+    }
+
+    /// Looks up a tuple by id.
+    pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        self.index.get(&id).map(|&pos| &self.tuples[pos])
+    }
+
+    /// Looks up a tuple by id mutably.
+    pub fn tuple_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
+        match self.index.get(&id) {
+            Some(&pos) => self.tuples.get_mut(pos),
+            None => None,
+        }
+    }
+
+    /// Rebuilds the id index (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .tuples
+            .iter()
+            .enumerate()
+            .map(|(pos, t)| (t.id, pos))
+            .collect();
+    }
+
+    /// Resolves a column name to its ordinal position.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Returns the expected (most probable) value of `column` for every tuple.
+    pub fn column_values(&self, column: &str) -> Result<Vec<Value>> {
+        let idx = self.column_index(column)?;
+        self.tuples.iter().map(|t| t.value(idx)).collect()
+    }
+
+    /// Applies a delta of cell updates in place.
+    ///
+    /// This is the "left-outer-join between the dataset and the fixed
+    /// values" of the cost analysis (§5.2.1): every update targets an
+    /// existing tuple by id; updates to unknown tuples are an execution
+    /// error.  Returns the number of cells modified.
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<usize> {
+        let mut applied = 0;
+        for update in delta.updates() {
+            let pos = *self.index.get(&update.tuple).ok_or_else(|| {
+                DaisyError::Execution(format!(
+                    "delta references unknown tuple {} in table `{}`",
+                    update.tuple, self.name
+                ))
+            })?;
+            let tuple = &mut self.tuples[pos];
+            let cell = tuple.cell_mut(update.column.index())?;
+            match &update.cell {
+                Cell::Probabilistic(incoming) => {
+                    // Merge rather than overwrite: earlier queries may already
+                    // have attached candidates from other rules (§4.3).
+                    cell.merge_candidates(incoming.clone());
+                }
+                Cell::Determinate(v) => {
+                    *cell = Cell::Determinate(v.clone());
+                }
+            }
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Number of tuples with at least one probabilistic cell.
+    pub fn probabilistic_tuple_count(&self) -> usize {
+        self.tuples.iter().filter(|t| t.is_probabilistic()).count()
+    }
+
+    /// Total number of candidate values stored in the table; the "size of
+    /// the probabilistic version" reported in the paper's setup grows with
+    /// this quantity.
+    pub fn total_candidates(&self) -> usize {
+        self.tuples.iter().map(Tuple::total_candidates).sum()
+    }
+
+    /// Produces a qualified copy of the table (schema fields prefixed with
+    /// the table name), used when planning joins.
+    pub fn qualified(&self) -> Table {
+        let mut qualified = self.clone();
+        qualified.schema = Arc::new(self.schema.qualify(&self.name));
+        qualified
+    }
+
+    /// Replaces the tuples wholesale (used by generators and tests); tuple
+    /// ids are preserved from the given tuples.
+    pub fn replace_tuples(&mut self, tuples: Vec<Tuple>) {
+        self.next_id = tuples.iter().map(|t| t.id.raw() + 1).max().unwrap_or(0);
+        self.tuples = tuples;
+        self.rebuild_index();
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.len())?;
+        for t in self.tuples.iter().take(20) {
+            writeln!(f, "  {t}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  … {} more", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Candidate;
+    use crate::delta::CellUpdate;
+    use daisy_common::{ColumnId, DataType};
+
+    fn cities() -> Table {
+        let schema =
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        Table::from_rows(
+            "cities",
+            schema,
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(9001), Value::from("San Francisco")],
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(10001), Value::from("San Francisco")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_assigns_monotone_ids_and_indexes_them() {
+        let t = cities();
+        assert_eq!(t.len(), 5);
+        for (i, tup) in t.tuples().iter().enumerate() {
+            assert_eq!(tup.id, TupleId::new(i as u64));
+            assert_eq!(t.tuple(tup.id).unwrap().id, tup.id);
+        }
+        assert!(t.tuple(TupleId::new(99)).is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = cities();
+        assert!(t.push_values(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn apply_delta_merges_probabilistic_updates() {
+        let mut t = cities();
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(1),
+            column: ColumnId::new(1),
+            cell: Cell::probabilistic(vec![
+                Candidate::exact(Value::from("Los Angeles"), 2.0),
+                Candidate::exact(Value::from("San Francisco"), 1.0),
+            ]),
+        });
+        let applied = t.apply_delta(&delta).unwrap();
+        assert_eq!(applied, 1);
+        let cell = t.tuple(TupleId::new(1)).unwrap().cell(1).unwrap();
+        assert!(cell.is_probabilistic());
+        assert!(cell.could_equal(&Value::from("Los Angeles")));
+        assert_eq!(t.probabilistic_tuple_count(), 1);
+        assert_eq!(t.total_candidates(), 11);
+    }
+
+    #[test]
+    fn apply_delta_to_unknown_tuple_fails() {
+        let mut t = cities();
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(77),
+            column: ColumnId::new(0),
+            cell: Cell::Determinate(Value::Int(1)),
+        });
+        assert!(t.apply_delta(&delta).is_err());
+    }
+
+    #[test]
+    fn repeated_deltas_merge_candidates_across_rules() {
+        let mut t = cities();
+        for weight in [1.0, 3.0] {
+            let mut delta = Delta::new();
+            delta.push(CellUpdate {
+                tuple: TupleId::new(3),
+                column: ColumnId::new(1),
+                cell: Cell::probabilistic(vec![
+                    Candidate::exact(Value::from("New York"), weight),
+                    Candidate::exact(Value::from("San Francisco"), 1.0),
+                ]),
+            });
+            t.apply_delta(&delta).unwrap();
+        }
+        let cell = t.tuple(TupleId::new(3)).unwrap().cell(1).unwrap();
+        assert_eq!(cell.candidate_count(), 2);
+        let total: f64 = cell.candidates().iter().map(|c| c.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qualified_schema_prefixes_columns() {
+        let t = cities().qualified();
+        assert!(t.schema().contains("cities.zip"));
+        assert_eq!(t.column_index("zip").unwrap(), 0);
+    }
+
+    #[test]
+    fn column_values_returns_expected_values() {
+        let t = cities();
+        let zips = t.column_values("zip").unwrap();
+        assert_eq!(zips.len(), 5);
+        assert_eq!(zips[0], Value::Int(9001));
+        assert!(t.column_values("state").is_err());
+    }
+
+    #[test]
+    fn replace_tuples_keeps_ids_consistent() {
+        let mut t = cities();
+        let kept: Vec<Tuple> = t.tuples().iter().skip(2).cloned().collect();
+        t.replace_tuples(kept);
+        assert_eq!(t.len(), 3);
+        assert!(t.tuple(TupleId::new(0)).is_none());
+        assert!(t.tuple(TupleId::new(4)).is_some());
+        // New pushes continue from the highest existing id.
+        let id = t
+            .push_values(vec![Value::Int(1), Value::from("X")])
+            .unwrap();
+        assert_eq!(id, TupleId::new(5));
+    }
+}

@@ -1,0 +1,202 @@
+//! Tuples: rows with stable identity and join lineage.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use daisy_common::{DaisyError, Result, TupleId, Value};
+
+use crate::cell::Cell;
+
+/// A row of a relation (or of an intermediate query result).
+///
+/// Tuples carry
+/// * a stable [`TupleId`] assigned by the base relation they originate from,
+///   so that cleaning a query result can be written back to the dataset, and
+/// * `lineage`: the identifiers of the base tuples a joined tuple stems from
+///   (the paper stores "the originating tuple IDs" for self-joins and joins,
+///   §4), in join order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Identity of this tuple in its base relation.  For joined tuples this
+    /// is a fresh id local to the result; the base identities live in
+    /// `lineage`.
+    pub id: TupleId,
+    /// The cells, one per schema field.
+    pub cells: Vec<Cell>,
+    /// Base-relation tuple ids this tuple derives from (empty for base
+    /// tuples, one entry per joined relation otherwise).
+    pub lineage: Vec<TupleId>,
+}
+
+impl Tuple {
+    /// Creates a base tuple from determinate values.
+    pub fn from_values(id: TupleId, values: Vec<Value>) -> Self {
+        Tuple {
+            id,
+            cells: values.into_iter().map(Cell::Determinate).collect(),
+            lineage: Vec::new(),
+        }
+    }
+
+    /// Creates a tuple from cells.
+    pub fn from_cells(id: TupleId, cells: Vec<Cell>) -> Self {
+        Tuple {
+            id,
+            cells,
+            lineage: Vec::new(),
+        }
+    }
+
+    /// Attaches lineage (builder style).
+    pub fn with_lineage(mut self, lineage: Vec<TupleId>) -> Self {
+        self.lineage = lineage;
+        self
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns the cell at `idx`.
+    pub fn cell(&self, idx: usize) -> Result<&Cell> {
+        self.cells
+            .get(idx)
+            .ok_or_else(|| DaisyError::Execution(format!("cell index {idx} out of bounds")))
+    }
+
+    /// Returns the cell at `idx` mutably.
+    pub fn cell_mut(&mut self, idx: usize) -> Result<&mut Cell> {
+        self.cells
+            .get_mut(idx)
+            .ok_or_else(|| DaisyError::Execution(format!("cell index {idx} out of bounds")))
+    }
+
+    /// The best-effort determinate value of cell `idx` (determinate value or
+    /// most probable candidate).
+    pub fn value(&self, idx: usize) -> Result<Value> {
+        Ok(self.cell(idx)?.expected_value())
+    }
+
+    /// `true` if any cell of the tuple is probabilistic.
+    pub fn is_probabilistic(&self) -> bool {
+        self.cells.iter().any(Cell::is_probabilistic)
+    }
+
+    /// Total number of candidate values across all cells; used by the cost
+    /// model's update-cost term (`p` grows with the number of candidates).
+    pub fn total_candidates(&self) -> usize {
+        self.cells.iter().map(Cell::candidate_count).sum()
+    }
+
+    /// Concatenates two tuples into a joined tuple with combined lineage.
+    ///
+    /// The lineage records the *base* identities of both sides: if a side
+    /// already carries lineage (it is itself a join result), that lineage is
+    /// propagated; otherwise the side's own id is used.
+    pub fn join(left: &Tuple, right: &Tuple, id: TupleId) -> Tuple {
+        let mut cells = Vec::with_capacity(left.cells.len() + right.cells.len());
+        cells.extend(left.cells.iter().cloned());
+        cells.extend(right.cells.iter().cloned());
+        let mut lineage = Vec::new();
+        if left.lineage.is_empty() {
+            lineage.push(left.id);
+        } else {
+            lineage.extend(left.lineage.iter().copied());
+        }
+        if right.lineage.is_empty() {
+            lineage.push(right.id);
+        } else {
+            lineage.extend(right.lineage.iter().copied());
+        }
+        Tuple { id, cells, lineage }
+    }
+
+    /// Projects the tuple onto the given column indices (in order).
+    pub fn project(&self, indices: &[usize]) -> Result<Tuple> {
+        let mut cells = Vec::with_capacity(indices.len());
+        for &i in indices {
+            cells.push(self.cell(i)?.clone());
+        }
+        Ok(Tuple {
+            id: self.id,
+            cells,
+            lineage: self.lineage.clone(),
+        })
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] (", self.id)?;
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{cell}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Candidate;
+
+    fn t(id: u64, vals: &[i64]) -> Tuple {
+        Tuple::from_values(
+            TupleId::new(id),
+            vals.iter().map(|v| Value::Int(*v)).collect(),
+        )
+    }
+
+    #[test]
+    fn from_values_builds_determinate_cells() {
+        let tup = t(1, &[9001, 42]);
+        assert_eq!(tup.arity(), 2);
+        assert!(!tup.is_probabilistic());
+        assert_eq!(tup.value(0).unwrap(), Value::Int(9001));
+        assert!(tup.cell(5).is_err());
+    }
+
+    #[test]
+    fn join_concatenates_cells_and_collects_base_lineage() {
+        let a = t(1, &[9001]);
+        let b = t(7, &[123]);
+        let joined = Tuple::join(&a, &b, TupleId::new(100));
+        assert_eq!(joined.arity(), 2);
+        assert_eq!(joined.lineage, vec![TupleId::new(1), TupleId::new(7)]);
+
+        // Joining a join result propagates the deep lineage, not the
+        // intermediate id.
+        let c = t(9, &[55]);
+        let deeper = Tuple::join(&joined, &c, TupleId::new(101));
+        assert_eq!(
+            deeper.lineage,
+            vec![TupleId::new(1), TupleId::new(7), TupleId::new(9)]
+        );
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let tup = t(1, &[10, 20, 30]);
+        let p = tup.project(&[2, 0]).unwrap();
+        assert_eq!(p.value(0).unwrap(), Value::Int(30));
+        assert_eq!(p.value(1).unwrap(), Value::Int(10));
+        assert!(tup.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn probabilistic_detection_and_candidate_totals() {
+        let mut tup = t(1, &[9001, 1]);
+        assert_eq!(tup.total_candidates(), 2);
+        *tup.cell_mut(0).unwrap() = Cell::probabilistic(vec![
+            Candidate::exact(Value::Int(9001), 0.5),
+            Candidate::exact(Value::Int(10001), 0.5),
+        ]);
+        assert!(tup.is_probabilistic());
+        assert_eq!(tup.total_candidates(), 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Possible-world enumeration over attribute-level uncertainty.
+//!
+//! Daisy stores repairs with attribute-level uncertainty: each dirty cell
+//! holds its candidate values, and "to represent candidate tuples (i.e.,
+//! possible worlds) by using attribute-level representation, we store in
+//! each candidate value an identifier of the possible world it belongs to"
+//! (§4).  This module reconstructs the tuple-level view: the possible worlds
+//! of a tuple, each with its probability, computed as the cross product of
+//! the candidate sets of its probabilistic cells (cells are repaired
+//! independently, so world probabilities multiply).
+//!
+//! Enumeration is bounded: a tuple whose cells would span more than the
+//! requested limit reports the count without materialising the worlds.
+
+use daisy_common::{Result, Value};
+
+use crate::cell::Cell;
+use crate::tuple::Tuple;
+
+/// One possible world of a tuple: a concrete value per column plus the
+/// world's probability (the product of the chosen candidates' probabilities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleWorld {
+    /// The concrete values, one per column.
+    pub values: Vec<Value>,
+    /// The probability of this world.
+    pub probability: f64,
+}
+
+/// The outcome of enumerating a tuple's possible worlds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorldEnumeration {
+    /// All worlds, materialised (their probabilities sum to ~1).
+    Complete(Vec<TupleWorld>),
+    /// The world count exceeded the requested bound; only the count is
+    /// reported.
+    Truncated {
+        /// The total number of possible worlds of the tuple.
+        world_count: usize,
+    },
+}
+
+/// The number of possible worlds of a tuple (the product of its cells'
+/// candidate counts; range candidates count as one world each).
+pub fn world_count(tuple: &Tuple) -> usize {
+    tuple
+        .cells
+        .iter()
+        .map(Cell::candidate_count)
+        .fold(1usize, |acc, n| acc.saturating_mul(n.max(1)))
+}
+
+/// Enumerates the possible worlds of a tuple, up to `max_worlds`.
+///
+/// Range candidates (produced by general-DC repairs) are represented by
+/// their representative bound value; their probability is carried through
+/// unchanged so the world probabilities still sum to one.
+pub fn enumerate_worlds(tuple: &Tuple, max_worlds: usize) -> Result<WorldEnumeration> {
+    let total = world_count(tuple);
+    if total > max_worlds {
+        return Ok(WorldEnumeration::Truncated { world_count: total });
+    }
+    let mut worlds = vec![TupleWorld {
+        values: Vec::with_capacity(tuple.arity()),
+        probability: 1.0,
+    }];
+    for cell in &tuple.cells {
+        let options: Vec<(Value, f64)> = match cell {
+            Cell::Determinate(v) => vec![(v.clone(), 1.0)],
+            Cell::Probabilistic(candidates) => candidates
+                .iter()
+                .map(|c| (c.value.representative(), c.probability))
+                .collect(),
+        };
+        let mut next = Vec::with_capacity(worlds.len() * options.len());
+        for world in &worlds {
+            for (value, probability) in &options {
+                let mut values = world.values.clone();
+                values.push(value.clone());
+                next.push(TupleWorld {
+                    values,
+                    probability: world.probability * probability,
+                });
+            }
+        }
+        worlds = next;
+    }
+    Ok(WorldEnumeration::Complete(worlds))
+}
+
+/// The single most probable world of a tuple (ties broken by candidate
+/// order, matching [`Cell::most_probable`]).
+pub fn most_probable_world(tuple: &Tuple) -> Vec<Value> {
+    tuple.cells.iter().map(Cell::most_probable).collect()
+}
+
+/// The probability that the tuple's cell at `column` takes exactly `value`
+/// (0 when the value is not a candidate; 1 for a matching determinate cell).
+pub fn marginal_probability(tuple: &Tuple, column: usize, value: &Value) -> Result<f64> {
+    let cell = tuple.cell(column)?;
+    Ok(match cell {
+        Cell::Determinate(v) => {
+            if v == value {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Cell::Probabilistic(candidates) => candidates
+            .iter()
+            .filter(|c| c.value.could_equal(value))
+            .map(|c| c.probability)
+            .sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Candidate;
+    use daisy_common::TupleId;
+
+    fn probabilistic_tuple() -> Tuple {
+        // zip {9001 50%, 10001 50%}, city {LA 67%, SF 33%}.
+        Tuple::from_cells(
+            TupleId::new(7),
+            vec![
+                Cell::probabilistic(vec![
+                    Candidate::exact(Value::Int(9001), 0.5),
+                    Candidate::exact(Value::Int(10001), 0.5),
+                ]),
+                Cell::probabilistic(vec![
+                    Candidate::exact(Value::from("Los Angeles"), 2.0),
+                    Candidate::exact(Value::from("San Francisco"), 1.0),
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn world_count_is_the_product_of_candidate_counts() {
+        assert_eq!(world_count(&probabilistic_tuple()), 4);
+        let determinate =
+            Tuple::from_values(TupleId::new(0), vec![Value::Int(1), Value::from("A")]);
+        assert_eq!(world_count(&determinate), 1);
+    }
+
+    #[test]
+    fn enumeration_materialises_all_worlds_with_probabilities() {
+        let WorldEnumeration::Complete(worlds) =
+            enumerate_worlds(&probabilistic_tuple(), 16).unwrap()
+        else {
+            panic!("expected complete enumeration");
+        };
+        assert_eq!(worlds.len(), 4);
+        let total: f64 = worlds.iter().map(|w| w.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // The heaviest world pairs 9001/10001 with Los Angeles (2/3 * 1/2).
+        let heaviest = worlds
+            .iter()
+            .max_by(|a, b| a.probability.partial_cmp(&b.probability).unwrap())
+            .unwrap();
+        assert_eq!(heaviest.values[1], Value::from("Los Angeles"));
+        assert!((heaviest.probability - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enumeration_truncates_beyond_the_bound() {
+        let out = enumerate_worlds(&probabilistic_tuple(), 3).unwrap();
+        assert_eq!(out, WorldEnumeration::Truncated { world_count: 4 });
+    }
+
+    #[test]
+    fn most_probable_world_matches_cell_selection() {
+        let world = most_probable_world(&probabilistic_tuple());
+        assert_eq!(world[1], Value::from("Los Angeles"));
+        assert_eq!(world.len(), 2);
+    }
+
+    #[test]
+    fn marginals_sum_over_matching_candidates() {
+        let t = probabilistic_tuple();
+        let la = marginal_probability(&t, 1, &Value::from("Los Angeles")).unwrap();
+        let sf = marginal_probability(&t, 1, &Value::from("San Francisco")).unwrap();
+        assert!((la - 2.0 / 3.0).abs() < 1e-9);
+        assert!((sf - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(marginal_probability(&t, 1, &Value::from("Boston")).unwrap(), 0.0);
+        let determinate = Tuple::from_values(TupleId::new(0), vec![Value::Int(1), Value::from("A")]);
+        assert_eq!(marginal_probability(&determinate, 0, &Value::Int(1)).unwrap(), 1.0);
+        assert_eq!(marginal_probability(&determinate, 0, &Value::Int(2)).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Hospital accuracy walkthrough (the Table 5 scenario of the paper).
+//!
+//! Generates a hospital-like dataset with ground truth, runs an exploratory
+//! SP workload that cleans it incrementally under the rules ϕ1–ϕ3, and then
+//! materialises the probabilistic repairs with the `DaisyP` policy (most
+//! probable candidate) to measure precision / recall / F1 against the truth.
+//!
+//! Run with: `cargo run --example hospital_accuracy`
+
+use daisy::core::repair::{materialize_repairs, RepairPolicy};
+use daisy::data::hospital::{generate_hospital, HospitalConfig};
+use daisy::offline::metrics::evaluate_repairs;
+use daisy::prelude::*;
+
+fn main() {
+    let config = HospitalConfig {
+        rows: 1_000,
+        hospitals: 100,
+        error_fraction: 0.05,
+        seed: 17,
+    };
+    let (dirty, truth, constraints) = generate_hospital(&config).unwrap();
+    println!(
+        "hospital dataset: {} rows, {} erroneous cells injected",
+        dirty.len(),
+        (config.rows as f64 * config.error_fraction).round() as usize
+    );
+
+    for rule_count in 1..=3 {
+        let mut engine =
+            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        engine.register_table(dirty.clone());
+        for rule in constraints.rules().iter().take(rule_count) {
+            engine.add_constraint(rule.clone());
+        }
+
+        // The exploratory workload: four SP queries touching the rule
+        // attributes; together they access the whole dataset, so cleaning is
+        // complete by the time they finish.
+        for sql in [
+            "SELECT zip, city FROM hospital WHERE zip >= 0",
+            "SELECT hospital_name, zip FROM hospital WHERE zip >= 0",
+            "SELECT phone, zip FROM hospital WHERE zip >= 0",
+            "SELECT provider_id, zip, city FROM hospital WHERE zip >= 0",
+        ] {
+            engine.execute_sql(sql).unwrap();
+        }
+
+        let cleaned = engine.table("hospital").unwrap();
+        let provenance = engine.provenance("hospital");
+        let materialized =
+            materialize_repairs(cleaned, provenance, RepairPolicy::MostProbable).unwrap();
+        let repairs: Vec<_> = materialized
+            .repairs
+            .iter()
+            .map(|r| (r.tuple, r.column, r.value.clone()))
+            .collect();
+        let quality = evaluate_repairs(&dirty, &truth, &repairs).unwrap();
+        println!(
+            "rules ϕ1..ϕ{rule_count}: {} cells probabilistic, {} repairs applied \
+             → precision {:.2}, recall {:.2}, F1 {:.2}",
+            cleaned.probabilistic_tuple_count(),
+            repairs.len(),
+            quality.precision,
+            quality.recall,
+            quality.f1
+        );
+    }
+
+    println!(
+        "\nAs in Table 5 of the paper, accuracy improves once all three rules are \
+         known: the zip errors are only reachable through ϕ2/ϕ3."
+    );
+}

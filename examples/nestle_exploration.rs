@@ -1,0 +1,49 @@
+//! The product-catalogue exploratory-analysis scenario of Table 8: 37 SP
+//! queries looking up coffee products through the `category` attribute while
+//! the FD material → category is heavily violated.
+//!
+//! Run with: `cargo run --release --example nestle_exploration`
+
+use daisy::data::nestle::{generate_nestle, nestle_fd, NestleConfig};
+use daisy::data::workload::nestle_workload;
+use daisy::prelude::*;
+
+fn main() {
+    let config = NestleConfig {
+        rows: 20_000,
+        materials: 400,
+        categories: 8,
+        error_fraction: 0.10,
+        seed: 23,
+    };
+    let products = generate_nestle(&config).unwrap();
+    println!(
+        "generated {} products, {} categories, {} materials",
+        products.len(),
+        config.categories,
+        config.materials
+    );
+
+    let mut engine = DaisyEngine::with_defaults();
+    engine.register_table(products);
+    engine.add_fd(&nestle_fd(), "material->category");
+
+    let workload = nestle_workload(config.categories, 37);
+    for (i, query) in workload.queries.iter().enumerate() {
+        let outcome = engine.execute(query).unwrap();
+        println!(
+            "q{:02}: {:>6} products, {:>5} cells repaired, {:?}",
+            i + 1,
+            outcome.result.len(),
+            outcome.report.errors_repaired,
+            outcome.report.elapsed
+        );
+    }
+    let session = engine.session();
+    println!(
+        "\ntotal: {:?} over {} queries ({} repairs)",
+        session.total_elapsed(),
+        session.queries.len(),
+        session.total_errors_repaired()
+    );
+}

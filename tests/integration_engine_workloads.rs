@@ -1,0 +1,164 @@
+//! Integration tests: whole-workload behaviour of the engine — cost-model
+//! strategy switching, multi-rule sessions, incremental rule addition and
+//! general denial constraints.
+
+use daisy::data::errors::{inject_fd_errors, inject_inequality_errors};
+use daisy::data::ssb::{generate_lineorder, generate_lineorder_supplier, SsbConfig};
+use daisy::data::workload::{non_overlapping_range_queries, random_selectivity_queries};
+use daisy::prelude::*;
+
+#[test]
+fn cost_model_switches_and_still_matches_incremental_results() {
+    // Low suppkey selectivity (few distinct suppkeys relative to orderkeys)
+    // makes incremental updates expensive — the Fig. 7 situation.
+    let config = SsbConfig {
+        lineorder_rows: 1_200,
+        distinct_orderkeys: 600,
+        distinct_suppkeys: 12,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&config).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.5, 11).unwrap();
+    let fd = FunctionalDependency::new(&["orderkey"], "suppkey");
+    let workload =
+        random_selectivity_queries(&table, "orderkey", 12, &["orderkey", "suppkey"], 5).unwrap();
+
+    let mut with_cost = DaisyEngine::new(DaisyConfig::default().with_cost_model(true)).unwrap();
+    with_cost.register_table(table.clone());
+    with_cost.add_fd(&fd, "phi");
+    let mut without_cost =
+        DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+    without_cost.register_table(table);
+    without_cost.add_fd(&fd, "phi");
+
+    for query in &workload.queries {
+        let a = with_cost.execute(query).unwrap();
+        let b = without_cost.execute(query).unwrap();
+        assert_eq!(
+            a.result.len(),
+            b.result.len(),
+            "strategy switching must not change query answers"
+        );
+    }
+    // With this workload shape the cost model is expected to switch at some
+    // point; when it does, the session records it.
+    if let Some(at) = with_cost.session().switch_point() {
+        assert!(at < workload.len());
+        assert_eq!(
+            with_cost.session().queries[at].strategy,
+            CleaningStrategy::FullRemaining
+        );
+    }
+}
+
+#[test]
+fn two_overlapping_rules_clean_more_than_one() {
+    let config = SsbConfig {
+        lineorder_rows: 1_200,
+        distinct_orderkeys: 150,
+        distinct_suppkeys: 40,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder_supplier(&config).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.1, 21).unwrap();
+    inject_fd_errors(&mut table, "address", "suppkey", 0.5, 0.2, 22).unwrap();
+    let workload =
+        non_overlapping_range_queries(&table, "orderkey", 8, &["orderkey", "suppkey", "address"])
+            .unwrap();
+
+    let run = |rules: usize| -> usize {
+        let mut engine =
+            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        engine.register_table(table.clone());
+        engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+        if rules > 1 {
+            engine.add_fd(&FunctionalDependency::new(&["address"], "suppkey"), "psi");
+        }
+        for q in &workload.queries {
+            engine.execute(q).unwrap();
+        }
+        engine.session().total_errors_repaired()
+    };
+    assert!(run(2) > run(1));
+}
+
+#[test]
+fn incremental_rule_addition_matches_rerun_from_scratch() {
+    // Table 7: adding ϕ2 after ϕ1 with provenance maintained must produce
+    // the same probabilistic dataset as registering both rules up front.
+    let config = SsbConfig {
+        lineorder_rows: 1_500,
+        distinct_orderkeys: 150,
+        distinct_suppkeys: 30,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder_supplier(&config).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.1, 31).unwrap();
+    inject_fd_errors(&mut table, "address", "suppkey", 0.5, 0.2, 32).unwrap();
+
+    // Incremental: clean under ϕ1 via a full-table query, then add ϕ2.
+    let mut incremental =
+        DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+    incremental.register_table(table.clone());
+    incremental.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+    incremental
+        .execute_sql("SELECT orderkey, suppkey, address FROM lineorder_supplier")
+        .unwrap();
+    incremental
+        .add_rule_incrementally(
+            "lineorder_supplier",
+            DenialConstraint::parse("psi", "t1.address = t2.address & t1.suppkey != t2.suppkey")
+                .unwrap(),
+        )
+        .unwrap();
+
+    // From scratch: both rules registered before the query.
+    let mut scratch = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+    scratch.register_table(table);
+    scratch.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+    scratch.add_fd(&FunctionalDependency::new(&["address"], "suppkey"), "psi");
+    scratch
+        .execute_sql("SELECT orderkey, suppkey, address FROM lineorder_supplier")
+        .unwrap();
+
+    let a = incremental.table("lineorder_supplier").unwrap();
+    let b = scratch.table("lineorder_supplier").unwrap();
+    // Same tuples become probabilistic either way.
+    assert_eq!(
+        a.probabilistic_tuple_count(),
+        b.probabilistic_tuple_count()
+    );
+}
+
+#[test]
+fn general_dc_cleaning_over_inequality_violations() {
+    let config = SsbConfig {
+        lineorder_rows: 800,
+        distinct_orderkeys: 200,
+        distinct_suppkeys: 20,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&config).unwrap();
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.05, 0.5, 9).unwrap();
+    let mut engine = DaisyEngine::new(
+        DaisyConfig::default()
+            .with_theta_partitions(16)
+            .with_cost_model(false),
+    )
+    .unwrap();
+    engine.register_table(table);
+    engine
+        .add_constraint_text(
+            "dc",
+            "t1.extended_price < t2.extended_price & t1.discount > t2.discount",
+        )
+        .unwrap();
+    let outcome = engine
+        .execute_sql(
+            "SELECT extended_price, discount FROM lineorder WHERE extended_price <= 5000",
+        )
+        .unwrap();
+    assert!(outcome.result.len() > 0);
+    assert!(outcome.report.estimated_accuracy <= 1.0);
+    assert!(engine.table("lineorder").unwrap().probabilistic_tuple_count() > 0);
+}

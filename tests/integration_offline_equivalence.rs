@@ -1,0 +1,101 @@
+//! Integration tests: the offline baselines and accuracy metrics (Tables
+//! 5–6), including the DaisyH / DaisyP configurations over the hospital
+//! dataset.
+
+use daisy::data::hospital::{generate_hospital, HospitalConfig};
+use daisy::offline::holoclean::{holoclean_repair, infer_over_daisy_domains};
+use daisy::offline::metrics::evaluate_repairs;
+use daisy::prelude::*;
+
+fn config() -> HospitalConfig {
+    HospitalConfig {
+        rows: 600,
+        hospitals: 60,
+        error_fraction: 0.05,
+        seed: 5,
+    }
+}
+
+#[test]
+fn holoclean_baseline_reaches_reasonable_accuracy() {
+    let (dirty, truth, _constraints) = generate_hospital(&config()).unwrap();
+    let fds = vec![
+        FunctionalDependency::new(&["zip"], "city"),
+        FunctionalDependency::new(&["hospital_name"], "zip"),
+        FunctionalDependency::new(&["phone"], "zip"),
+    ];
+    let outcome = holoclean_repair(&dirty, &fds, 1).unwrap();
+    let quality = evaluate_repairs(&dirty, &truth, &outcome.repairs).unwrap();
+    assert!(quality.precision > 0.6, "precision {}", quality.precision);
+    assert!(quality.recall > 0.3, "recall {}", quality.recall);
+    assert!(quality.f1 > 0.4);
+}
+
+#[test]
+fn daisyp_accuracy_improves_with_more_rules_table_5_shape() {
+    // Table 5: with all three rules, Daisy's most-probable-candidate
+    // selection (DaisyP) is highly accurate; with one rule only, it is much
+    // weaker.  Verify that ordering.
+    let run = |rule_count: usize| -> f64 {
+        let (dirty, truth, constraints) = generate_hospital(&config()).unwrap();
+        let mut engine =
+            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        engine.register_table(dirty.clone());
+        for rule in constraints.rules().iter().take(rule_count) {
+            engine.add_constraint(rule.clone());
+        }
+        // A small exploratory workload accessing the whole dataset.
+        engine
+            .execute_sql("SELECT zip, city FROM hospital WHERE zip >= 10000")
+            .unwrap();
+        engine
+            .execute_sql("SELECT hospital_name, zip FROM hospital WHERE zip >= 10000")
+            .unwrap();
+        engine
+            .execute_sql("SELECT phone, zip FROM hospital WHERE zip >= 10000")
+            .unwrap();
+        let repairs = infer_over_daisy_domains(engine.table("hospital").unwrap(), &dirty);
+        evaluate_repairs(&dirty, &truth, &repairs).unwrap().f1
+    };
+    let one_rule = run(1);
+    let three_rules = run(3);
+    assert!(
+        three_rules >= one_rule,
+        "F1 with three rules ({three_rules:.3}) must not be worse than with one ({one_rule:.3})"
+    );
+    assert!(three_rules > 0.3);
+}
+
+#[test]
+fn offline_fd_cleaning_covers_all_errors_daisy_covers_touched_ones() {
+    let (dirty, _truth, _) = generate_hospital(&config()).unwrap();
+    let fd = FunctionalDependency::new(&["zip"], "city");
+
+    let mut offline_table = dirty.clone();
+    let offline = daisy::offline::full::offline_clean_fd(&mut offline_table, &fd).unwrap();
+
+    let mut engine = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+    engine.register_table(dirty);
+    engine.add_fd(&fd, "phi1");
+    // A selective query touches only part of the dataset.
+    engine
+        .execute_sql("SELECT zip, city FROM hospital WHERE zip <= 10010")
+        .unwrap();
+    let daisy_probabilistic = engine.table("hospital").unwrap().probabilistic_tuple_count();
+    assert!(offline.errors_repaired > 0);
+    assert!(daisy_probabilistic <= offline_table.probabilistic_tuple_count());
+}
+
+#[test]
+fn repair_quality_metric_edge_cases() {
+    let (dirty, truth, _) = generate_hospital(&config()).unwrap();
+    // No repairs: perfect precision, zero recall (errors exist).
+    let q = evaluate_repairs(&dirty, &truth, &[]).unwrap();
+    assert_eq!(q.precision, 1.0);
+    assert_eq!(q.recall, 0.0);
+    assert!(q.errors > 0);
+    // Clean data: no errors, vacuous recall.
+    let q = evaluate_repairs(&truth, &truth, &[]).unwrap();
+    assert_eq!(q.errors, 0);
+    assert_eq!(q.recall, 1.0);
+}
