@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use daisy_data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
 use daisy_exec::ExecContext;
 use daisy_expr::BoolExpr;
 use daisy_query::physical::{aggregate, filter_tuples, hash_join, AggregateSpec, PredicateMode};
 use daisy_query::AggregateFunc;
-use daisy_data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
 
 fn bench_query_operators(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_operators");

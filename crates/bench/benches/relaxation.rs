@@ -36,27 +36,35 @@ fn bench_relaxation(c: &mut Criterion) {
             .cloned()
             .collect();
 
-        group.bench_with_input(BenchmarkId::new("daisy_clean_select", rows), &rows, |b, _| {
-            b.iter(|| {
-                let mut prov = ProvenanceStore::new();
-                clean_select_fd(
-                    daisy_common::RuleId::new(0),
-                    &index,
-                    &answer,
-                    table.tuples(),
-                    FilterTarget::Rhs,
-                    16,
-                    &mut prov,
-                )
-                .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("offline_full_clean", rows), &rows, |b, _| {
-            b.iter(|| {
-                let mut copy = table.clone();
-                offline_clean_fd(&mut copy, &fd).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("daisy_clean_select", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let mut prov = ProvenanceStore::new();
+                    clean_select_fd(
+                        daisy_common::RuleId::new(0),
+                        &index,
+                        &answer,
+                        table.tuples(),
+                        FilterTarget::Rhs,
+                        16,
+                        &mut prov,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("offline_full_clean", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let mut copy = table.clone();
+                    offline_clean_fd(&mut copy, &fd).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

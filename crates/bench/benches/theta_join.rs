@@ -29,13 +29,17 @@ fn bench_theta(c: &mut Criterion) {
     let schema = table.schema().clone();
 
     for blocks in [2usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("full_check", blocks), &blocks, |b, &blocks| {
-            b.iter(|| {
-                let mut matrix =
-                    ThetaMatrix::build(&schema, table.tuples(), &dc, blocks).unwrap();
-                matrix.check_all(&schema, table.tuples()).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_check", blocks),
+            &blocks,
+            |b, &blocks| {
+                b.iter(|| {
+                    let mut matrix =
+                        ThetaMatrix::build(&schema, table.tuples(), &dc, blocks).unwrap();
+                    matrix.check_all(&schema, table.tuples()).unwrap()
+                })
+            },
+        );
     }
     group.bench_function("incremental_range_check", |b| {
         b.iter(|| {

@@ -11,7 +11,10 @@ use daisy_expr::FunctionalDependency;
 
 fn main() {
     let scale = BenchScale::from_env();
-    println!("Figure 5 — SP cost vs orderkey selectivity ({} rows/workload)", scale.rows);
+    println!(
+        "Figure 5 — SP cost vs orderkey selectivity ({} rows/workload)",
+        scale.rows
+    );
     for distinct_orderkeys in [scale.rows / 20, scale.rows / 10, scale.rows / 2] {
         let config = SsbConfig {
             lineorder_rows: scale.rows,

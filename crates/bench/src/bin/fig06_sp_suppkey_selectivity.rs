@@ -11,7 +11,10 @@ use daisy_expr::FunctionalDependency;
 
 fn main() {
     let scale = BenchScale::from_env();
-    println!("Figure 6 — SP cost vs suppkey selectivity ({} rows/workload)", scale.rows);
+    println!(
+        "Figure 6 — SP cost vs suppkey selectivity ({} rows/workload)",
+        scale.rows
+    );
     for distinct_suppkeys in [50usize, 200, 1000] {
         let config = SsbConfig {
             lineorder_rows: scale.rows,

@@ -3,7 +3,9 @@
 //! model over 90 random-selectivity queries on a low-suppkey-selectivity
 //! dataset.
 
-use daisy_bench::harness::{print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_bench::harness::{
+    print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale,
+};
 use daisy_common::DaisyConfig;
 use daisy_data::errors::inject_fd_errors;
 use daisy_data::ssb::{generate_lineorder, SsbConfig};

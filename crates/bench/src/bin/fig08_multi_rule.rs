@@ -33,7 +33,10 @@ fn main() {
     println!("Figure 8 — one rule vs two overlapping rules");
     for (label, fds) in [
         ("1 rule (phi)", vec![(phi.clone(), "phi")]),
-        ("2 rules (phi + psi)", vec![(phi.clone(), "phi"), (psi.clone(), "psi")]),
+        (
+            "2 rules (phi + psi)",
+            vec![(phi.clone(), "phi"), (psi.clone(), "psi")],
+        ),
     ] {
         let daisy = run_daisy_workload(
             &format!("Daisy — {label}"),

@@ -49,9 +49,9 @@ fn main() {
         .unwrap();
         let daisy = run_daisy_workload(
             "Daisy",
-            &[lineorder.clone()],
+            std::slice::from_ref(&lineorder),
             &[],
-            &[dc.clone()],
+            std::slice::from_ref(&dc),
             &workload,
             DaisyConfig::default().with_theta_partitions(64),
         );

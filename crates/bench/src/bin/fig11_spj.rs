@@ -1,7 +1,9 @@
 //! Figure 11: SPJ queries — 50 join queries over lineorder ⋈ supplier with
 //! ϕ: orderkey → suppkey on lineorder and ψ: address → suppkey on supplier.
 
-use daisy_bench::harness::{print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_bench::harness::{
+    print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale,
+};
 use daisy_common::DaisyConfig;
 use daisy_data::errors::inject_fd_errors;
 use daisy_data::ssb::{generate_lineorder, generate_supplier, SsbConfig};

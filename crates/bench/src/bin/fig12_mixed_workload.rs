@@ -1,7 +1,9 @@
 //! Figure 12: mixed SP + SPJ workload with cost-model switching — Daisy
 //! without the cost model vs Full Cleaning vs Daisy.
 
-use daisy_bench::harness::{print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale};
+use daisy_bench::harness::{
+    print_cumulative, run_daisy_workload, run_offline_then_query, BenchScale,
+};
 use daisy_common::DaisyConfig;
 use daisy_data::errors::inject_fd_errors;
 use daisy_data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
@@ -52,8 +54,7 @@ fn main() {
         &workload,
         DaisyConfig::default().with_cost_model(true),
     );
-    let offline =
-        run_offline_then_query("Full Cleaning + queries", &tables, &fds, &[], &workload);
+    let offline = run_offline_then_query("Full Cleaning + queries", &tables, &fds, &[], &workload);
     for m in [&daisy_no_cost, &offline, &daisy] {
         println!("{}", m.row());
     }

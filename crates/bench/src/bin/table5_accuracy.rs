@@ -6,7 +6,9 @@ use daisy_common::DaisyConfig;
 use daisy_core::DaisyEngine;
 use daisy_data::hospital::{generate_hospital, HospitalConfig};
 use daisy_expr::FunctionalDependency;
-use daisy_offline::holoclean::{holoclean_repair, infer_over_daisy_domains, infer_with_cooccurrence};
+use daisy_offline::holoclean::{
+    holoclean_repair, infer_over_daisy_domains, infer_with_cooccurrence,
+};
 use daisy_offline::metrics::evaluate_repairs;
 
 fn main() {
@@ -24,7 +26,10 @@ fn main() {
     ];
 
     println!("Table 5 — accuracy on hospital-1K (precision / recall / F1)");
-    println!("{:<24} {:>18} {:>18} {:>18}", "", "phi1", "phi1+phi2", "phi1+phi2+phi3");
+    println!(
+        "{:<24} {:>18} {:>18} {:>18}",
+        "", "phi1", "phi1+phi2", "phi1+phi2+phi3"
+    );
     let mut rows: Vec<(String, Vec<String>)> = vec![
         ("Holoclean-like".into(), Vec::new()),
         ("DaisyH".into(), Vec::new()),
@@ -35,11 +40,12 @@ fn main() {
         // HoloClean-like baseline over its own domains.
         let hc = holoclean_repair(&dirty, &fds[..rule_count], 1).unwrap();
         let q = evaluate_repairs(&dirty, &truth, &hc.repairs).unwrap();
-        rows[0].1.push(format!("{:.2}/{:.2}/{:.2}", q.precision, q.recall, q.f1));
+        rows[0]
+            .1
+            .push(format!("{:.2}/{:.2}/{:.2}", q.precision, q.recall, q.f1));
 
         // Daisy: run the 4-query exploratory workload, then infer.
-        let mut engine =
-            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        let mut engine = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
         engine.register_table(dirty.clone());
         for rule in constraints.rules().iter().take(rule_count) {
             engine.add_constraint(rule.clone());
@@ -54,14 +60,17 @@ fn main() {
         }
         // DaisyH: HoloClean-style co-occurrence inference over Daisy's
         // candidate domains (the cell_domain hand-off of §7.3).
-        let daisyh =
-            infer_with_cooccurrence(engine.table("hospital").unwrap(), &dirty).unwrap();
+        let daisyh = infer_with_cooccurrence(engine.table("hospital").unwrap(), &dirty).unwrap();
         let qh = evaluate_repairs(&dirty, &truth, &daisyh).unwrap();
-        rows[1].1.push(format!("{:.2}/{:.2}/{:.2}", qh.precision, qh.recall, qh.f1));
+        rows[1]
+            .1
+            .push(format!("{:.2}/{:.2}/{:.2}", qh.precision, qh.recall, qh.f1));
         // DaisyP: blindly pick the most probable candidate.
         let daisyp = infer_over_daisy_domains(engine.table("hospital").unwrap(), &dirty);
         let qp = evaluate_repairs(&dirty, &truth, &daisyp).unwrap();
-        rows[2].1.push(format!("{:.2}/{:.2}/{:.2}", qp.precision, qp.recall, qp.f1));
+        rows[2]
+            .1
+            .push(format!("{:.2}/{:.2}/{:.2}", qp.precision, qp.recall, qp.f1));
     }
     for (label, cells) in rows {
         println!(

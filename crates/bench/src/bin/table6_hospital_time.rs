@@ -30,7 +30,10 @@ fn main() {
         "Table 6 — response time on hospital-{} while increasing rules (seconds)",
         config.rows
     );
-    println!("{:<16} {:>10} {:>12} {:>16}", "", "phi1", "phi1+phi2", "phi1+phi2+phi3");
+    println!(
+        "{:<16} {:>10} {:>12} {:>16}",
+        "", "phi1", "phi1+phi2", "phi1+phi2+phi3"
+    );
 
     let mut full_row = Vec::new();
     let mut daisy_row = Vec::new();
@@ -46,8 +49,7 @@ fn main() {
 
         // Daisy: a 4-query workload accessing the whole dataset.
         let start = Instant::now();
-        let mut engine =
-            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        let mut engine = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
         engine.register_table(dirty.clone());
         for rule in constraints.rules().iter().take(rule_count) {
             engine.add_constraint(rule.clone());

@@ -28,8 +28,7 @@ fn main() {
     let mut separate = Vec::new();
     for rule_count in 1..=3 {
         let start = Instant::now();
-        let mut engine =
-            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        let mut engine = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
         engine.register_table(dirty.clone());
         for rule in constraints.rules().iter().take(rule_count) {
             engine.add_constraint(rule.clone());
@@ -59,7 +58,10 @@ fn main() {
         .unwrap();
     let after_phi3 = start.elapsed().as_secs_f64();
 
-    println!("{:<28} {:>8} {:>10} {:>14} {:>8}", "", "phi1", "+phi2", "+phi3", "total");
+    println!(
+        "{:<28} {:>8} {:>10} {:>14} {:>8}",
+        "", "phi1", "+phi2", "+phi3", "total"
+    );
     println!(
         "{:<28} {:>8.2} {:>10.2} {:>14.2} {:>8.2}",
         "Daisy (3 executions)",

@@ -14,7 +14,10 @@ fn main() {
     println!("Table 8 — real-world exploratory scenarios (seconds)");
 
     // Product catalogue, small and large versions.
-    for (label, rows) in [("products (small)", scale.rows), ("products (large)", scale.rows * 4)] {
+    for (label, rows) in [
+        ("products (small)", scale.rows),
+        ("products (large)", scale.rows * 4),
+    ] {
         let config = NestleConfig {
             rows,
             materials: rows / 50,
@@ -26,7 +29,7 @@ fn main() {
         let workload = nestle_workload(config.categories, 37);
         let daisy = run_daisy_workload(
             &format!("Daisy — {label}"),
-            &[products.clone()],
+            std::slice::from_ref(&products),
             &[(nestle_fd(), "material->category")],
             &[],
             &workload,
@@ -56,7 +59,7 @@ fn main() {
         let workload = airquality_workload(config.states, config.counties_per_state, 52);
         let daisy = run_daisy_workload(
             &format!("Daisy — {label}"),
-            &[air.clone()],
+            std::slice::from_ref(&air),
             &[(airquality_fd(), "county")],
             &[],
             &workload,

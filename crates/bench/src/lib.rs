@@ -19,6 +19,4 @@
 
 pub mod harness;
 
-pub use harness::{
-    run_daisy_workload, run_offline_then_query, BenchScale, WorkloadMeasurement,
-};
+pub use harness::{run_daisy_workload, run_offline_then_query, BenchScale, WorkloadMeasurement};

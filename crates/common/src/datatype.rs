@@ -75,7 +75,12 @@ mod tests {
 
     #[test]
     fn display_names_roundtrip_through_parse() {
-        for ty in [DataType::Bool, DataType::Int, DataType::Float, DataType::Str] {
+        for ty in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+        ] {
             assert_eq!(DataType::parse(&ty.to_string()), Some(ty));
         }
     }

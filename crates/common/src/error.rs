@@ -82,13 +82,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable_in_tests() {
-        assert_eq!(
-            DaisyError::Type("x".into()),
-            DaisyError::Type("x".into())
-        );
-        assert_ne!(
-            DaisyError::Type("x".into()),
-            DaisyError::Plan("x".into())
-        );
+        assert_eq!(DaisyError::Type("x".into()), DaisyError::Type("x".into()));
+        assert_ne!(DaisyError::Type("x".into()), DaisyError::Plan("x".into()));
     }
 }

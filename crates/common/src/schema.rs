@@ -239,10 +239,7 @@ mod tests {
 
     #[test]
     fn ambiguous_unqualified_lookup_fails() {
-        let joined = cities()
-            .qualify("a")
-            .join(&cities().qualify("b"))
-            .unwrap();
+        let joined = cities().qualify("a").join(&cities().qualify("b")).unwrap();
         assert!(joined.index_of("zip").is_err());
         assert_eq!(joined.index_of("a.zip").unwrap(), 0);
         assert_eq!(joined.index_of("b.zip").unwrap(), 2);

@@ -99,7 +99,9 @@ impl Value {
             DataType::Bool => match text {
                 "true" | "TRUE" | "1" | "t" => Ok(Value::Bool(true)),
                 "false" | "FALSE" | "0" | "f" => Ok(Value::Bool(false)),
-                other => Err(DaisyError::Parse(format!("invalid boolean literal `{other}`"))),
+                other => Err(DaisyError::Parse(format!(
+                    "invalid boolean literal `{other}`"
+                ))),
             },
             DataType::Int => text
                 .parse::<i64>()
@@ -181,12 +183,12 @@ impl Value {
             (Value::Null, v) | (v, Value::Null) => Ok(v.clone()),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
             _ => {
-                let a = self
-                    .as_float()
-                    .ok_or_else(|| DaisyError::Type(format!("cannot add non-numeric value {self}")))?;
-                let b = other
-                    .as_float()
-                    .ok_or_else(|| DaisyError::Type(format!("cannot add non-numeric value {other}")))?;
+                let a = self.as_float().ok_or_else(|| {
+                    DaisyError::Type(format!("cannot add non-numeric value {self}"))
+                })?;
+                let b = other.as_float().ok_or_else(|| {
+                    DaisyError::Type(format!("cannot add non-numeric value {other}"))
+                })?;
                 Ok(Value::Float(a + b))
             }
         }
@@ -203,7 +205,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -309,7 +311,10 @@ mod tests {
     fn int_float_coercion_compares_numerically() {
         assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
         assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.5)), Ordering::Less);
-        assert_eq!(Value::Float(4.0).total_cmp(&Value::Int(3)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(4.0).total_cmp(&Value::Int(3)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -327,8 +332,14 @@ mod tests {
     #[test]
     fn parse_roundtrips_each_type() {
         assert_eq!(Value::parse("42", DataType::Int).unwrap(), Value::Int(42));
-        assert_eq!(Value::parse("4.5", DataType::Float).unwrap(), Value::Float(4.5));
-        assert_eq!(Value::parse("true", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Value::parse("4.5", DataType::Float).unwrap(),
+            Value::Float(4.5)
+        );
+        assert_eq!(
+            Value::parse("true", DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(Value::parse("x", DataType::Str).unwrap(), Value::from("x"));
         assert_eq!(Value::parse("", DataType::Int).unwrap(), Value::Null);
     }
@@ -350,7 +361,10 @@ mod tests {
     #[test]
     fn add_handles_nulls_and_mixed_numeric() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(Value::Int(2).add(&Value::Float(0.5)).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
         assert_eq!(Value::Null.add(&Value::Int(3)).unwrap(), Value::Int(3));
         assert!(Value::from("a").add(&Value::Int(3)).is_err());
     }
@@ -358,7 +372,10 @@ mod tests {
     #[test]
     fn min_max_respect_total_order() {
         assert_eq!(Value::min_of(Value::Int(3), Value::Int(1)), Value::Int(1));
-        assert_eq!(Value::max_of(Value::from("a"), Value::from("b")), Value::from("b"));
+        assert_eq!(
+            Value::max_of(Value::from("a"), Value::from("b")),
+            Value::from("b")
+        );
         assert_eq!(Value::min_of(Value::Null, Value::Int(0)), Value::Null);
     }
 

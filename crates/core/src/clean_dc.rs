@@ -118,10 +118,7 @@ pub fn repair_dc_violations(
     for key in keys {
         let (tuple_id, column) = key;
         let mut candidates = pending.remove(&key).expect("key listed");
-        let original = originals
-            .get(&key)
-            .cloned()
-            .unwrap_or(Value::Null);
+        let original = originals.get(&key).cloned().unwrap_or(Value::Null);
         // The original value stays a candidate ("each attribute value will
         // either maintain its original value, or will obtain a value
         // satisfying the range").  It receives the unassigned probability
@@ -166,8 +163,16 @@ fn add_range_fix(
     conflicts: &mut HashMap<(daisy_common::TupleId, usize), Vec<daisy_common::TupleId>>,
     violation: &Violation,
 ) -> Result<()> {
-    let (Operand::Attr { tuple: t_idx, column }, Operand::Attr { tuple: o_idx, column: o_col }) =
-        (target, other)
+    let (
+        Operand::Attr {
+            tuple: t_idx,
+            column,
+        },
+        Operand::Attr {
+            tuple: o_idx,
+            column: o_col,
+        },
+    ) = (target, other)
     else {
         return Ok(()); // constant operands cannot be repaired
     };
@@ -236,8 +241,7 @@ mod tests {
         let dc = DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
         // Violation binding: t1 = tuple 2 (2000, 0.3), t2 = tuple 1 (3000, 0.2).
         let violations = vec![Violation::pair(dc.id, TupleId::new(2), TupleId::new(1))];
-        let by_id: HashMap<TupleId, &Tuple> =
-            t.tuples().iter().map(|tu| (tu.id, tu)).collect();
+        let by_id: HashMap<TupleId, &Tuple> = t.tuples().iter().map(|tu| (tu.id, tu)).collect();
         let mut prov = ProvenanceStore::new();
         let out = repair_dc_violations(t.schema(), &dc, &violations, &by_id, &mut prov).unwrap();
         assert!(out.errors_detected >= 2);
@@ -272,9 +276,7 @@ mod tests {
 
         // Provenance recorded the conflicting tuple.
         let prov_cell = prov.cell(TupleId::new(1), ColumnId::new(0)).unwrap();
-        assert!(prov_cell
-            .all_conflicting()
-            .contains(&TupleId::new(2)));
+        assert!(prov_cell.all_conflicting().contains(&TupleId::new(2)));
     }
 
     #[test]
@@ -282,8 +284,7 @@ mod tests {
         let mut t = table();
         let dc = DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
         let violations = vec![Violation::pair(dc.id, TupleId::new(2), TupleId::new(1))];
-        let by_id: HashMap<TupleId, &Tuple> =
-            t.tuples().iter().map(|tu| (tu.id, tu)).collect();
+        let by_id: HashMap<TupleId, &Tuple> = t.tuples().iter().map(|tu| (tu.id, tu)).collect();
         let mut prov = ProvenanceStore::new();
         let out = repair_dc_violations(t.schema(), &dc, &violations, &by_id, &mut prov).unwrap();
         // The borrow of `t` through `by_id` ends before the mutation.
@@ -300,8 +301,7 @@ mod tests {
         let t = table();
         let dc = DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
         let violations = vec![Violation::pair(dc.id, TupleId::new(77), TupleId::new(99))];
-        let by_id: HashMap<TupleId, &Tuple> =
-            t.tuples().iter().map(|tu| (tu.id, tu)).collect();
+        let by_id: HashMap<TupleId, &Tuple> = t.tuples().iter().map(|tu| (tu.id, tu)).collect();
         let mut prov = ProvenanceStore::new();
         let out = repair_dc_violations(t.schema(), &dc, &violations, &by_id, &mut prov).unwrap();
         assert!(out.delta.is_empty());
@@ -326,17 +326,12 @@ mod tests {
             dc.id,
             vec![TupleId::new(0), TupleId::new(2)],
         )];
-        let by_id: HashMap<TupleId, &Tuple> =
-            t.tuples().iter().map(|tu| (tu.id, tu)).collect();
+        let by_id: HashMap<TupleId, &Tuple> = t.tuples().iter().map(|tu| (tu.id, tu)).collect();
         let mut prov = ProvenanceStore::new();
         let out = repair_dc_violations(t.schema(), &dc, &violations, &by_id, &mut prov).unwrap();
         // Fixes touch salary, age and tax cells across the two tuples.
-        let touched_columns: std::collections::HashSet<u64> = out
-            .delta
-            .updates()
-            .iter()
-            .map(|u| u.column.raw())
-            .collect();
+        let touched_columns: std::collections::HashSet<u64> =
+            out.delta.updates().iter().map(|u| u.column.raw()).collect();
         assert!(touched_columns.len() >= 2);
     }
 }

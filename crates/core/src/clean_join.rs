@@ -22,11 +22,7 @@ use daisy_storage::Tuple;
 /// Extracts the qualifying part of one joined relation from a join result's
 /// lineage: the base tuples (of side `side`, 0 = left, 1 = right, …) that
 /// participate in at least one output pair.
-pub fn qualifying_part(
-    join_result: &[Tuple],
-    side: usize,
-    base_tuples: &[Tuple],
-) -> Vec<Tuple> {
+pub fn qualifying_part(join_result: &[Tuple], side: usize, base_tuples: &[Tuple]) -> Vec<Tuple> {
     let wanted: HashSet<TupleId> = join_result
         .iter()
         .filter_map(|t| t.lineage.get(side).copied())
@@ -127,8 +123,14 @@ mod tests {
 
     fn right() -> Vec<Tuple> {
         vec![
-            Tuple::from_values(TupleId::new(0), vec![Value::Int(9001), Value::from("Peter")]),
-            Tuple::from_values(TupleId::new(1), vec![Value::Int(10001), Value::from("Mary")]),
+            Tuple::from_values(
+                TupleId::new(0),
+                vec![Value::Int(9001), Value::from("Peter")],
+            ),
+            Tuple::from_values(
+                TupleId::new(1),
+                vec![Value::Int(10001), Value::from("Mary")],
+            ),
         ]
     }
 

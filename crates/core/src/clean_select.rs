@@ -184,11 +184,7 @@ pub fn clean_select_fd(
 
 /// Resolves the effective value of one column: the provenance original when
 /// the cell has already been made probabilistic, the cell value otherwise.
-fn original_single(
-    column: usize,
-    tuple: &Tuple,
-    provenance: &ProvenanceStore,
-) -> Result<Value> {
+fn original_single(column: usize, tuple: &Tuple, provenance: &ProvenanceStore) -> Result<Value> {
     let cell = tuple.cell(column)?;
     if cell.is_probabilistic() {
         if let Some(original) = provenance.original_value(tuple.id, ColumnId::new(column as u64)) {
@@ -361,7 +357,9 @@ mod tests {
         assert!(!clean.cell(0).unwrap().is_probabilistic());
 
         // Provenance recorded the original values and rule evidence.
-        assert!(prov.original_value(TupleId::new(1), ColumnId::new(1)).is_some());
+        assert!(prov
+            .original_value(TupleId::new(1), ColumnId::new(1))
+            .is_some());
         assert!(!prov.cells_for_rule(RuleId::new(0)).is_empty());
         // Violations were reported.
         assert!(!out.violations.is_empty());

@@ -193,9 +193,7 @@ impl CostTracker {
     pub fn single_full_scan_cost(&self) -> f64 {
         let n = self.params.n as f64;
         let detection = if self.params.is_fd { n } else { n * n / 2.0 };
-        n + detection
-            + self.params.epsilon as f64 * n
-            + self.params.epsilon as f64 * self.params.p
+        n + detection + self.params.epsilon as f64 * n + self.params.epsilon as f64 * self.params.p
     }
 }
 

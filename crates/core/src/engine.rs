@@ -91,9 +91,7 @@ impl DaisyEngine {
 
     /// Registers a (dirty) table.
     pub fn register_table(&mut self, table: Table) {
-        self.provenance
-            .entry(table.name().to_string())
-            .or_default();
+        self.provenance.entry(table.name().to_string()).or_default();
         self.catalog.add(table);
     }
 
@@ -171,8 +169,12 @@ impl DaisyEngine {
         // ---- joins: clean each joined table's qualifying part, then join ---
         for join in &query.joins {
             let right_name = join.table.clone();
-            let right_schema =
-                Arc::new(self.catalog.table(&right_name)?.schema().qualify(&right_name));
+            let right_schema = Arc::new(
+                self.catalog
+                    .table(&right_name)?
+                    .schema()
+                    .qualify(&right_name),
+            );
             // The qualifying part of the joined table is determined by the
             // current (already cleaned) left side: only right tuples whose
             // join key could match a left key participate.  We clean that
@@ -186,7 +188,9 @@ impl DaisyEngine {
                         .ok()
                         .map(|idx| {
                             t.cell(idx)
-                                .map(|c| c.possible_values().into_iter().cloned().collect::<Vec<_>>())
+                                .map(|c| {
+                                    c.possible_values().into_iter().cloned().collect::<Vec<_>>()
+                                })
                                 .unwrap_or_default()
                         })
                         .unwrap_or_default()
@@ -205,7 +209,13 @@ impl DaisyEngine {
                 })
                 .cloned()
                 .collect();
-            self.clean_answer_for_table(&right_name, &right_schema, qualifying, &plan, &mut report)?;
+            self.clean_answer_for_table(
+                &right_name,
+                &right_schema,
+                qualifying,
+                &plan,
+                &mut report,
+            )?;
 
             let right_tuples = self.catalog.table(&right_name)?.tuples().to_vec();
             let joined = hash_join(
@@ -331,11 +341,8 @@ impl DaisyEngine {
         plan: &CleaningPlan,
         report: &mut CleaningReport,
     ) -> Result<Vec<Tuple>> {
-        let steps: Vec<crate::planner::CleaningStep> = plan
-            .steps_for(table_name)
-            .into_iter()
-            .cloned()
-            .collect();
+        let steps: Vec<crate::planner::CleaningStep> =
+            plan.steps_for(table_name).into_iter().cloned().collect();
         if steps.is_empty() {
             return Ok(answer);
         }
@@ -347,7 +354,14 @@ impl DaisyEngine {
             }
             match &step.fd {
                 Some(fd) => {
-                    working = self.clean_fd_step(table_name, fd, step.rule, step.filter_target, working, report)?;
+                    working = self.clean_fd_step(
+                        table_name,
+                        fd,
+                        step.rule,
+                        step.filter_target,
+                        working,
+                        report,
+                    )?;
                 }
                 None => {
                     let rule = self
@@ -355,8 +369,7 @@ impl DaisyEngine {
                         .rule(step.rule)
                         .cloned()
                         .ok_or_else(|| DaisyError::Plan("unknown rule in plan".into()))?;
-                    working =
-                        self.clean_dc_step(table_name, schema, &rule, working, report)?;
+                    working = self.clean_dc_step(table_name, schema, &rule, working, report)?;
                 }
             }
         }
@@ -507,8 +520,7 @@ impl DaisyEngine {
             matrix.check_range(schema, &table_tuples, low.as_ref(), high.as_ref())?
         };
 
-        let by_id: HashMap<TupleId, &Tuple> =
-            table_tuples.iter().map(|t| (t.id, t)).collect();
+        let by_id: HashMap<TupleId, &Tuple> = table_tuples.iter().map(|t| (t.id, t)).collect();
         let provenance = self.provenance.entry(table_name.to_string()).or_default();
         let outcome = repair_dc_violations(schema, rule, &violations, &by_id, provenance)?;
         drop(by_id);
@@ -554,8 +566,10 @@ impl DaisyEngine {
         if !self.fd_indexes.contains_key(&key) {
             let provenance = self.provenance.entry(table_name.to_string()).or_default();
             let table = self.catalog.table(table_name)?;
-            self.fd_indexes
-                .insert(key.clone(), FdIndex::build_with_provenance(table, fd, provenance)?);
+            self.fd_indexes.insert(
+                key.clone(),
+                FdIndex::build_with_provenance(table, fd, provenance)?,
+            );
         }
         let index = self.fd_indexes.get(&key).expect("present");
         let provenance = self.provenance.entry(table_name.to_string()).or_default();
@@ -592,22 +606,12 @@ impl DaisyEngine {
         dc: DenialConstraint,
     ) -> Result<usize> {
         let rule = self.constraints.add(dc);
-        let constraint = self
-            .constraints
-            .rule(rule)
-            .cloned()
-            .expect("just added");
+        let constraint = self.constraints.rule(rule).cloned().expect("just added");
         match constraint.as_fd() {
             Some(fd) => self.clean_remaining_fd(table_name, &fd, rule),
             None => {
-                let schema = Arc::new(
-                    self.catalog
-                        .table(table_name)?
-                        .schema()
-                        .qualify(table_name),
-                );
-                let table_tuples: Vec<Tuple> =
-                    self.catalog.table(table_name)?.tuples().to_vec();
+                let schema = Arc::new(self.catalog.table(table_name)?.schema().qualify(table_name));
+                let table_tuples: Vec<Tuple> = self.catalog.table(table_name)?.tuples().to_vec();
                 let mut matrix = ThetaMatrix::build(
                     &schema,
                     &table_tuples,
@@ -711,7 +715,9 @@ mod tests {
     #[test]
     fn queries_not_overlapping_rules_skip_cleaning() {
         let mut engine = engine_with_cities();
-        let outcome = engine.execute_sql("SELECT city FROM cities WHERE zip = 123456").unwrap();
+        let outcome = engine
+            .execute_sql("SELECT city FROM cities WHERE zip = 123456")
+            .unwrap();
         assert_eq!(outcome.result.len(), 0);
         // Cleaning still ran for the (empty) answer under the overlapping
         // rule, but repaired nothing new.

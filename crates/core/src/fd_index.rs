@@ -64,8 +64,7 @@ impl FdIndex {
         let original = |tuple: &daisy_storage::Tuple, column: usize| -> Result<Value> {
             let cell = tuple.cell(column)?;
             if cell.is_probabilistic() {
-                if let Some(v) = provenance.original_value(tuple.id, ColumnId::new(column as u64))
-                {
+                if let Some(v) = provenance.original_value(tuple.id, ColumnId::new(column as u64)) {
                     return Ok(v.clone());
                 }
             }
@@ -265,7 +264,10 @@ mod tests {
         // P(City | Zip = 9001) = {LA: 2, SF: 1} → 67% / 33%.
         let rhs = index.rhs_candidates(&Value::Int(9001));
         assert_eq!(rhs.len(), 2);
-        let la = rhs.iter().find(|(v, _)| *v == Value::from("Los Angeles")).unwrap();
+        let la = rhs
+            .iter()
+            .find(|(v, _)| *v == Value::from("Los Angeles"))
+            .unwrap();
         assert_eq!(la.1, 2);
 
         // P(Zip | City = San Francisco) = {9001: 1, 10001: 1} → 50% / 50%.

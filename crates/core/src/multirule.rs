@@ -36,9 +36,7 @@ pub fn merge_deltas(deltas: &[Delta]) -> Delta {
             match &update.cell {
                 Cell::Probabilistic(cands) => {
                     for cand in cands {
-                        if let Some(existing) =
-                            entry.iter_mut().find(|c| c.value == cand.value)
-                        {
+                        if let Some(existing) = entry.iter_mut().find(|c| c.value == cand.value) {
                             existing.probability += cand.probability;
                         } else {
                             entry.push(cand.clone());

@@ -74,10 +74,7 @@ impl CleaningPlan {
             let table = catalog.table(table_name)?;
             for rule in constraints.rules() {
                 // The rule must be expressible over this table's schema.
-                let applies_to_table = rule
-                    .attributes()
-                    .iter()
-                    .all(|a| table.schema().contains(a));
+                let applies_to_table = rule.attributes().iter().all(|a| table.schema().contains(a));
                 if !applies_to_table {
                     continue;
                 }
@@ -155,11 +152,7 @@ mod tests {
         ));
         catalog.add(Table::new(
             "supplier",
-            Schema::from_pairs(&[
-                ("suppkey", DataType::Int),
-                ("address", DataType::Str),
-            ])
-            .unwrap(),
+            Schema::from_pairs(&[("suppkey", DataType::Int), ("address", DataType::Str)]).unwrap(),
         ));
         let mut constraints = ConstraintSet::new();
         constraints.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");

@@ -125,10 +125,12 @@ pub fn relax_fd(
 
 /// `true` when every lhs cell of the tuple is determinate.
 fn lhs_is_determinate(index: &FdIndex, tuple: &Tuple) -> bool {
-    index
-        .lhs_columns
-        .iter()
-        .all(|&c| tuple.cell(c).map(|cell| !cell.is_probabilistic()).unwrap_or(false))
+    index.lhs_columns.iter().all(|&c| {
+        tuple
+            .cell(c)
+            .map(|cell| !cell.is_probabilistic())
+            .unwrap_or(false)
+    })
 }
 
 /// `true` when the rhs cell of the tuple is determinate.
@@ -306,10 +308,7 @@ mod tests {
         // Answer = the two Los Angeles tuples (zip 9001).
         let answer_zip = vec![Value::Int(9001), Value::Int(9001)];
         let answer_city = vec![Value::from("Los Angeles"), Value::from("Los Angeles")];
-        let bound = relaxed_size_upper_bound(
-            &[zip_stats, city_stats],
-            &[answer_zip, answer_city],
-        );
+        let bound = relaxed_size_upper_bound(&[zip_stats, city_stats], &[answer_zip, answer_city]);
         // zip 9001 appears 3 times (1 extra), Los Angeles appears 2 times
         // (0 extra) → bound 1, matching the single extra tuple of Example 2.
         assert_eq!(bound, 1);

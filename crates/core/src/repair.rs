@@ -183,8 +183,7 @@ pub fn restore_originals(table: &mut Table, provenance: &ProvenanceStore) -> Res
     let mut restored = 0usize;
     for id in ids {
         for column in 0..arity {
-            let Some(original) = provenance.original_value(id, ColumnId::new(column as u64))
-            else {
+            let Some(original) = provenance.original_value(id, ColumnId::new(column as u64)) else {
                 continue;
             };
             let target = table
@@ -242,7 +241,11 @@ mod tests {
         );
         table.apply_delta(&delta).unwrap();
         let mut prov = ProvenanceStore::new();
-        prov.record_original(TupleId::new(1), ColumnId::new(1), Value::from("San Francisco"));
+        prov.record_original(
+            TupleId::new(1),
+            ColumnId::new(1),
+            Value::from("San Francisco"),
+        );
         (table, prov)
     }
 
@@ -324,7 +327,13 @@ mod tests {
         assert!(
             accept_candidate(&mut table, TupleId::new(0), 1, &Value::from("Los Angeles")).is_err()
         );
-        accept_candidate(&mut table, TupleId::new(1), 1, &Value::from("San Francisco")).unwrap();
+        accept_candidate(
+            &mut table,
+            TupleId::new(1),
+            1,
+            &Value::from("San Francisco"),
+        )
+        .unwrap();
         assert_eq!(table.probabilistic_tuple_count(), 0);
         assert_eq!(
             table.tuple(TupleId::new(1)).unwrap().value(1).unwrap(),

@@ -118,8 +118,12 @@ mod tests {
     #[test]
     fn session_aggregates() {
         let mut session = SessionReport::default();
-        session.queries.push(report(CleaningStrategy::Incremental, 10, 3));
-        session.queries.push(report(CleaningStrategy::Incremental, 20, 2));
+        session
+            .queries
+            .push(report(CleaningStrategy::Incremental, 10, 3));
+        session
+            .queries
+            .push(report(CleaningStrategy::Incremental, 20, 2));
         session
             .queries
             .push(report(CleaningStrategy::FullRemaining, 50, 10));
@@ -139,7 +143,9 @@ mod tests {
     #[test]
     fn session_without_switch() {
         let mut session = SessionReport::default();
-        session.queries.push(report(CleaningStrategy::NotNeeded, 5, 0));
+        session
+            .queries
+            .push(report(CleaningStrategy::NotNeeded, 5, 0));
         assert_eq!(session.switch_point(), None);
         assert_eq!(session.total_errors_repaired(), 0);
     }

@@ -215,9 +215,7 @@ impl ThetaMatrix {
         let idx = attrs
             .iter()
             .position(|a| {
-                a == name
-                    || name.ends_with(&format!(".{a}"))
-                    || a.ends_with(&format!(".{name}"))
+                a == name || name.ends_with(&format!(".{a}")) || a.ends_with(&format!(".{name}"))
             })
             .ok_or_else(|| DaisyError::Plan(format!("unknown constraint attribute `{name}`")))?;
         Ok(self.dc_columns[idx])
@@ -249,7 +247,7 @@ impl ThetaMatrix {
                 let Some(bounds) = self.blocks[i].bounds.get(&self.partition_column) else {
                     return false;
                 };
-                low.map_or(true, |l| &bounds.max >= l) && high.map_or(true, |h| &bounds.min <= h)
+                low.is_none_or(|l| &bounds.max >= l) && high.is_none_or(|h| &bounds.min <= h)
             })
             .collect();
         self.check_blocks(schema, tuples, &rows, true)
@@ -325,7 +323,7 @@ impl ThetaMatrix {
     pub fn estimate_errors(&self) -> Vec<f64> {
         let b = self.blocks.len();
         let mut estimates = vec![0.0; b];
-        for i in 0..b {
+        for (i, estimate) in estimates.iter_mut().enumerate() {
             for j in 0..b {
                 if i == j {
                     continue; // diagonal blocks are covered by the support term
@@ -338,7 +336,7 @@ impl ThetaMatrix {
                     // weight is 1.
                     let overlap = self.pair_overlap_fraction(i.min(j), i.max(j));
                     let weight = if overlap > 0.0 { overlap } else { 1.0 };
-                    estimates[i] += weight * self.blocks[i].members.len() as f64;
+                    *estimate += weight * self.blocks[i].members.len() as f64;
                 }
             }
         }
@@ -384,7 +382,7 @@ impl ThetaMatrix {
                 let Some(bounds) = self.blocks[i].bounds.get(&self.partition_column) else {
                     return false;
                 };
-                low.map_or(true, |l| &bounds.max >= l) && high.map_or(true, |h| &bounds.min <= h)
+                low.is_none_or(|l| &bounds.max >= l) && high.is_none_or(|h| &bounds.min <= h)
             })
             .collect()
     }
@@ -468,7 +466,12 @@ mod tests {
         // domain in two steps finds the same set and never re-checks blocks.
         let mut incremental = ThetaMatrix::build(schema, table.tuples(), &constraint, 4).unwrap();
         let (first, s1) = incremental
-            .check_range(schema, table.tuples(), Some(&Value::Int(1000)), Some(&Value::Int(1290)))
+            .check_range(
+                schema,
+                table.tuples(),
+                Some(&Value::Int(1000)),
+                Some(&Value::Int(1290)),
+            )
             .unwrap();
         let (second, s2) = incremental
             .check_range(schema, table.tuples(), Some(&Value::Int(1300)), None)
@@ -497,16 +500,14 @@ mod tests {
     fn estimate_errors_flags_overlapping_ranges() {
         let clean_rows: Vec<(i64, f64)> = (0..40).map(|i| (1000 + i, i as f64)).collect();
         let clean = salary_table(&clean_rows);
-        let clean_matrix =
-            ThetaMatrix::build(clean.schema(), clean.tuples(), &dc(), 4).unwrap();
+        let clean_matrix = ThetaMatrix::build(clean.schema(), clean.tuples(), &dc(), 4).unwrap();
         assert!(clean_matrix.estimate_errors().iter().sum::<f64>() < 1e-9);
 
         let dirty_rows: Vec<(i64, f64)> = (0..40)
             .map(|i| (1000 + i, ((i * 17) % 40) as f64))
             .collect();
         let dirty = salary_table(&dirty_rows);
-        let dirty_matrix =
-            ThetaMatrix::build(dirty.schema(), dirty.tuples(), &dc(), 4).unwrap();
+        let dirty_matrix = ThetaMatrix::build(dirty.schema(), dirty.tuples(), &dc(), 4).unwrap();
         assert!(dirty_matrix.estimate_errors().iter().sum::<f64>() > 0.0);
         assert_eq!(
             dirty_matrix.blocks_overlapping(Some(&Value::Int(1000)), Some(&Value::Int(1005))),

@@ -75,7 +75,10 @@ pub fn generate_airquality(config: &AirQualityConfig) -> Result<Table> {
         // county's name (the paper edits the non-frequent pairs; one-in-ten
         // keeps the correct name the majority value).
         if dirty_groups[group] && rng.gen_bool(0.1) {
-            name = format!("County_{state}_{}", (county + 1) % config.counties_per_state as i64);
+            name = format!(
+                "County_{state}_{}",
+                (county + 1) % config.counties_per_state as i64
+            );
         }
         rows.push(vec![
             Value::Int(state),

@@ -121,8 +121,7 @@ pub fn inject_inequality_errors(
         // Push the value upward by up to `magnitude`, creating outliers that
         // break the correlation with the ordering attribute.
         let bump = rng.gen_range(0.0..=magnitude.max(f64::EPSILON));
-        tuples[pos].cells[b_idx] =
-            daisy_storage::Cell::Determinate(Value::Float(current + bump));
+        tuples[pos].cells[b_idx] = daisy_storage::Cell::Determinate(Value::Float(current + bump));
         report.cells_edited += 1;
     }
     table.replace_tuples(tuples);
@@ -138,8 +137,7 @@ mod tests {
 
     fn clean_table(groups: usize, per_group: usize) -> Table {
         let schema =
-            Schema::from_pairs(&[("orderkey", DataType::Int), ("suppkey", DataType::Int)])
-                .unwrap();
+            Schema::from_pairs(&[("orderkey", DataType::Int), ("suppkey", DataType::Int)]).unwrap();
         let mut rows = Vec::new();
         for g in 0..groups {
             for _ in 0..per_group {
@@ -182,8 +180,7 @@ mod tests {
     #[test]
     fn inequality_injection_edits_requested_fraction() {
         let schema =
-            Schema::from_pairs(&[("price", DataType::Int), ("discount", DataType::Float)])
-                .unwrap();
+            Schema::from_pairs(&[("price", DataType::Int), ("discount", DataType::Float)]).unwrap();
         let rows: Vec<Vec<Value>> = (0..100)
             .map(|i| vec![Value::Int(i), Value::Float(i as f64 / 100.0)])
             .collect();

@@ -92,7 +92,14 @@ pub fn generate_hospital(config: &HospitalConfig) -> Result<(Table, Table, Const
             Value::Int(zip),
             Value::Str(format!("County{}", h % 30)),
             Value::Str(format!("555-{h:04}")),
-            Value::Str(if h % 2 == 0 { "Acute Care" } else { "Critical Access" }.to_string()),
+            Value::Str(
+                if h % 2 == 0 {
+                    "Acute Care"
+                } else {
+                    "Critical Access"
+                }
+                .to_string(),
+            ),
             Value::Str(format!("Ownership{}", h % 5)),
             Value::Str(if h % 3 == 0 { "Yes" } else { "No" }.to_string()),
             Value::Str(format!("MC{}", i % 60)),

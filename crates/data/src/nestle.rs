@@ -70,8 +70,7 @@ pub fn generate_nestle(config: &NestleConfig) -> Result<Table> {
         let mut category = category_of[material];
         // Corrupt a fraction of category cells with a different category.
         if rng.gen_bool(config.error_fraction) && config.categories > 1 {
-            category = (category + 1 + rng.gen_range(0..config.categories - 1))
-                % config.categories;
+            category = (category + 1 + rng.gen_range(0..config.categories - 1)) % config.categories;
         }
         rows.push(vec![
             Value::Int(i as i64),

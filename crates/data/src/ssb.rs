@@ -166,7 +166,11 @@ pub fn generate_date() -> Result<Table> {
         let datekey = 19920101 + offset;
         let year = 1992 + offset / 365;
         let month = 1 + (offset % 365) / 31;
-        rows.push(vec![Value::Int(datekey), Value::Int(year), Value::Int(month)]);
+        rows.push(vec![
+            Value::Int(datekey),
+            Value::Int(year),
+            Value::Int(month),
+        ]);
     }
     Table::from_rows("date", schema, rows)
 }
@@ -208,7 +212,12 @@ pub fn generate_lineorder_supplier(config: &SsbConfig) -> Result<Table> {
     let supp_address: std::collections::HashMap<Value, (Value, Value)> = supplier
         .tuples()
         .iter()
-        .map(|t| (t.value(0).unwrap(), (t.value(2).unwrap(), t.value(3).unwrap())))
+        .map(|t| {
+            (
+                t.value(0).unwrap(),
+                (t.value(2).unwrap(), t.value(3).unwrap()),
+            )
+        })
         .collect();
     let rows = lineorder
         .tuples()
@@ -253,7 +262,10 @@ mod tests {
         let config = SsbConfig::default();
         let a = generate_lineorder(&config).unwrap();
         let b = generate_lineorder(&config).unwrap();
-        assert_eq!(a.column_values("suppkey").unwrap(), b.column_values("suppkey").unwrap());
+        assert_eq!(
+            a.column_values("suppkey").unwrap(),
+            b.column_values("suppkey").unwrap()
+        );
     }
 
     #[test]

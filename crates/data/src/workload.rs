@@ -245,9 +245,7 @@ pub fn airquality_workload(states: usize, counties_per_state: usize, count: usiz
         let state = (i % states) as i64;
         let county = ((i / states) % counties_per_state) as i64;
         let mut q = Query::scan("airquality")
-            .with_filter(
-                BoolExpr::eq("state_code", state).and(BoolExpr::eq("county_code", county)),
-            )
+            .with_filter(BoolExpr::eq("state_code", state).and(BoolExpr::eq("county_code", county)))
             .with_group_by(&["year"]);
         q.select = vec![
             daisy_query::SelectItem::Column("year".into()),
@@ -309,8 +307,20 @@ mod tests {
         let stats = daisy_storage::TableStatistics::compute(&table).unwrap();
         let min = stats.column("orderkey").unwrap().min.clone().unwrap();
         let max = stats.column("orderkey").unwrap().max.clone().unwrap();
-        let first = workload.queries.first().unwrap().filter.range_of("orderkey").unwrap();
-        let last = workload.queries.last().unwrap().filter.range_of("orderkey").unwrap();
+        let first = workload
+            .queries
+            .first()
+            .unwrap()
+            .filter
+            .range_of("orderkey")
+            .unwrap();
+        let last = workload
+            .queries
+            .last()
+            .unwrap()
+            .filter
+            .range_of("orderkey")
+            .unwrap();
         assert_eq!(first.0.unwrap(), min);
         assert_eq!(last.1.unwrap(), max);
     }

@@ -5,7 +5,7 @@
 //! 2020).  The paper implements its cleaning operators "at the RDD level";
 //! the equivalent here is a small library of data-parallel primitives —
 //! parallel map / filter / group-by over horizontally partitioned vectors —
-//! driven by a scoped thread pool built on `crossbeam`.
+//! driven by scoped threads (`std::thread::scope`).
 //!
 //! The substrate is deliberately simple: Daisy's contributions (query-result
 //! relaxation, cleaning operators in the plan, the cost model) are algorithmic

@@ -41,17 +41,16 @@ where
     }
     let ranges = chunk_ranges(input.len(), workers);
     let mut outputs: Vec<Vec<U>> = Vec::with_capacity(ranges.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranges.len());
         for &(start, end) in &ranges {
             let f = &f;
-            handles.push(scope.spawn(move |_| f(&input[start..end])));
+            handles.push(scope.spawn(move || f(&input[start..end])));
         }
         for handle in handles {
             outputs.push(handle.join().expect("worker thread panicked"));
         }
-    })
-    .expect("execution scope failed");
+    });
     let total: usize = outputs.iter().map(Vec::len).sum();
     let mut merged = Vec::with_capacity(total);
     for out in outputs {
@@ -81,11 +80,11 @@ where
             .collect();
     }
     let mut outputs: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranges.len());
         for &(start, end) in &ranges {
             let keep = &keep;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 input[start..end]
                     .iter()
                     .enumerate()
@@ -97,8 +96,7 @@ where
         for handle in handles {
             outputs.push(handle.join().expect("worker thread panicked"));
         }
-    })
-    .expect("execution scope failed");
+    });
     outputs.into_iter().flatten().collect()
 }
 
@@ -109,9 +107,7 @@ where
     U: Send,
     F: Fn(&T) -> Vec<U> + Sync,
 {
-    par_map_chunks(ctx, input, |chunk| {
-        chunk.iter().flat_map(|t| f(t)).collect()
-    })
+    par_map_chunks(ctx, input, |chunk| chunk.iter().flat_map(&f).collect())
 }
 
 /// Parallel hash group-by.
@@ -138,11 +134,11 @@ where
     }
     let ranges = chunk_ranges(input.len(), workers);
     let mut partials: Vec<HashMap<K, Vec<usize>>> = Vec::with_capacity(ranges.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranges.len());
         for &(start, end) in &ranges {
             let key = &key;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
                 for (offset, t) in input[start..end].iter().enumerate() {
                     groups.entry(key(t)).or_default().push(start + offset);
@@ -153,8 +149,7 @@ where
         for handle in handles {
             partials.push(handle.join().expect("worker thread panicked"));
         }
-    })
-    .expect("execution scope failed");
+    });
     let mut merged: HashMap<K, Vec<usize>> = HashMap::new();
     for partial in partials {
         for (k, mut idxs) in partial {
@@ -169,7 +164,11 @@ mod tests {
     use super::*;
 
     fn ctxs() -> Vec<ExecContext> {
-        vec![ExecContext::sequential(), ExecContext::new(4), ExecContext::new(13)]
+        vec![
+            ExecContext::sequential(),
+            ExecContext::new(4),
+            ExecContext::new(13),
+        ]
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 /// Execution context shared by all operators of a query.
 ///
 /// The context only carries the degree of parallelism; threads themselves
-/// are spawned scoped per operation (via `crossbeam::thread::scope`), which
+/// are spawned scoped per operation (via `std::thread::scope`), which
 /// keeps the primitives free of `'static` bounds and lets closures borrow
 /// the partitioned data directly.
 #[derive(Debug, Clone)]

@@ -183,7 +183,9 @@ impl DenialConstraint {
         for atom in text.split('&') {
             let atom = atom.trim();
             if atom.is_empty() {
-                return Err(DaisyError::Parse(format!("empty atom in constraint `{text}`")));
+                return Err(DaisyError::Parse(format!(
+                    "empty atom in constraint `{text}`"
+                )));
             }
             let (left_text, op, right_text) = split_atom(atom)?;
             let left = parse_operand(left_text, &mut max_tuple)?;
@@ -191,7 +193,9 @@ impl DenialConstraint {
             predicates.push(DcPredicate::new(left, op, right));
         }
         if predicates.is_empty() {
-            return Err(DaisyError::Parse(format!("constraint `{text}` has no atoms")));
+            return Err(DaisyError::Parse(format!(
+                "constraint `{text}` has no atoms"
+            )));
         }
         Ok(DenialConstraint::new(name, max_tuple, predicates))
     }
@@ -211,9 +215,7 @@ impl DenialConstraint {
     /// qualification differences).
     pub fn references(&self, column: &str) -> bool {
         self.attributes().iter().any(|a| {
-            a == column
-                || column.ends_with(&format!(".{a}"))
-                || a.ends_with(&format!(".{column}"))
+            a == column || column.ends_with(&format!(".{a}")) || a.ends_with(&format!(".{column}"))
         })
     }
 
@@ -300,7 +302,9 @@ fn split_atom(atom: &str) -> Result<(&str, ComparisonOp, &str)> {
             return Ok((left, op, right));
         }
     }
-    Err(DaisyError::Parse(format!("no comparison operator in atom `{atom}`")))
+    Err(DaisyError::Parse(format!(
+        "no comparison operator in atom `{atom}`"
+    )))
 }
 
 fn parse_operand(text: &str, max_tuple: &mut usize) -> Result<Operand> {
@@ -534,8 +538,7 @@ mod tests {
 
     #[test]
     fn parse_inequality_dc_and_constants() {
-        let dc =
-            DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
+        let dc = DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
         assert!(dc.has_inequality());
         assert!(dc.as_fd().is_none());
 
@@ -575,8 +578,7 @@ mod tests {
     fn inequality_dc_violation_detection() {
         // Example 5: ¬(t1.salary < t2.salary ∧ t1.tax > t2.tax).
         let s = schema();
-        let dc =
-            DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
+        let dc = DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
         let t2 = tuple(1, 1, "a", 3000, 0.2);
         let t3 = tuple(2, 1, "a", 2000, 0.3);
         // t3 has lower salary but higher tax than t2 → binding (t3, t2) violates.
@@ -597,13 +599,11 @@ mod tests {
     #[test]
     fn constraint_set_assigns_ids_and_filters() {
         let mut set = ConstraintSet::new();
-        let id1 = set.add(
-            DenialConstraint::parse("phi1", "t1.zip = t2.zip & t1.city != t2.city").unwrap(),
-        );
+        let id1 = set
+            .add(DenialConstraint::parse("phi1", "t1.zip = t2.zip & t1.city != t2.city").unwrap());
         let id2 = set.add_fd(&FunctionalDependency::new(&["phone"], "zip"), "phi2");
-        let id3 = set.add(
-            DenialConstraint::parse("dc", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap(),
-        );
+        let id3 = set
+            .add(DenialConstraint::parse("dc", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap());
         assert_eq!(id1, RuleId::new(0));
         assert_eq!(id2, RuleId::new(1));
         assert_eq!(id3, RuleId::new(2));
@@ -632,6 +632,9 @@ mod tests {
     #[test]
     fn display_forms() {
         let dc = DenialConstraint::parse("phi", "t1.zip = t2.zip & t1.city != t2.city").unwrap();
-        assert_eq!(dc.to_string(), "phi: ¬(t1.zip = t2.zip ∧ t1.city != t2.city)");
+        assert_eq!(
+            dc.to_string(),
+            "phi: ¬(t1.zip = t2.zip ∧ t1.city != t2.city)"
+        );
     }
 }

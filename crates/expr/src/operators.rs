@@ -153,7 +153,12 @@ mod tests {
     fn flip_swaps_operands() {
         let a = Value::Int(1);
         let b = Value::Int(2);
-        for op in [ComparisonOp::Lt, ComparisonOp::Le, ComparisonOp::Gt, ComparisonOp::Ge] {
+        for op in [
+            ComparisonOp::Lt,
+            ComparisonOp::Le,
+            ComparisonOp::Gt,
+            ComparisonOp::Ge,
+        ] {
             assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a));
         }
         assert_eq!(ComparisonOp::Eq.flip(), ComparisonOp::Eq);

@@ -26,7 +26,10 @@ pub struct Literal {
 impl Literal {
     /// Positive literal.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal.
@@ -134,9 +137,7 @@ impl SatSolver {
         chosen: &mut Vec<usize>,
     ) -> Option<Vec<bool>> {
         if remaining == 0 {
-            let assignment: Vec<bool> = (0..self.num_vars)
-                .map(|v| !chosen.contains(&v))
-                .collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|v| !chosen.contains(&v)).collect();
             if self.is_satisfied(&assignment) {
                 return Some(assignment);
             }

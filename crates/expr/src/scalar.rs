@@ -317,21 +317,20 @@ impl BoolExpr {
                 left: ScalarExpr::Literal(v),
                 op,
                 right: ScalarExpr::Column(c),
-            } if column_matches(c, column) => {
-                BoolExpr::Compare {
-                    left: ScalarExpr::Column(c.clone()),
-                    op: op.flip(),
-                    right: ScalarExpr::Literal(v.clone()),
-                }
-                .range_of(column)
+            } if column_matches(c, column) => BoolExpr::Compare {
+                left: ScalarExpr::Column(c.clone()),
+                op: op.flip(),
+                right: ScalarExpr::Literal(v.clone()),
             }
+            .range_of(column),
             BoolExpr::And(a, b) => {
                 let ra = a.range_of(column);
                 let rb = b.range_of(column);
                 match (ra, rb) {
-                    (Some((lo_a, hi_a)), Some((lo_b, hi_b))) => {
-                        Some((merge_bound(lo_a, lo_b, true), merge_bound(hi_a, hi_b, false)))
-                    }
+                    (Some((lo_a, hi_a)), Some((lo_b, hi_b))) => Some((
+                        merge_bound(lo_a, lo_b, true),
+                        merge_bound(hi_a, hi_b, false),
+                    )),
                     (Some(r), None) | (None, Some(r)) => Some(r),
                     (None, None) => None,
                 }
@@ -459,7 +458,10 @@ mod tests {
     }
 
     fn clean_tuple() -> Tuple {
-        Tuple::from_values(TupleId::new(0), vec![Value::Int(9001), Value::from("Los Angeles")])
+        Tuple::from_values(
+            TupleId::new(0),
+            vec![Value::Int(9001), Value::from("Los Angeles")],
+        )
     }
 
     fn dirty_tuple() -> Tuple {
@@ -508,7 +510,10 @@ mod tests {
         // candidate is visible.
         let visible = BoolExpr::eq("zip", 9001).eval_expected(&s, &t).unwrap()
             ^ BoolExpr::eq("zip", 10001).eval_expected(&s, &t).unwrap();
-        assert!(visible, "exactly one world is visible to expected evaluation");
+        assert!(
+            visible,
+            "exactly one world is visible to expected evaluation"
+        );
     }
 
     #[test]
@@ -544,9 +549,15 @@ mod tests {
         // individually satisfiable by some candidate.
         let s = schema();
         let t = dirty_tuple();
-        assert!(!BoolExpr::between("zip", 9500, 9900).eval_possible(&s, &t).unwrap());
-        assert!(BoolExpr::between("zip", 9000, 9500).eval_possible(&s, &t).unwrap());
-        assert!(BoolExpr::between("zip", 10000, 11000).eval_possible(&s, &t).unwrap());
+        assert!(!BoolExpr::between("zip", 9500, 9900)
+            .eval_possible(&s, &t)
+            .unwrap());
+        assert!(BoolExpr::between("zip", 9000, 9500)
+            .eval_possible(&s, &t)
+            .unwrap());
+        assert!(BoolExpr::between("zip", 10000, 11000)
+            .eval_possible(&s, &t)
+            .unwrap());
         // Disjunctions may mix worlds: zip = 9001 OR zip = 10001 holds.
         assert!(BoolExpr::eq("zip", 9001)
             .or(BoolExpr::eq("zip", 10001))
@@ -573,7 +584,9 @@ mod tests {
                 Candidate::exact(Value::Int(3000), 0.5),
             ])],
         );
-        assert!(BoolExpr::between("salary", 1000, 1500).eval_possible(&s, &t).unwrap());
+        assert!(BoolExpr::between("salary", 1000, 1500)
+            .eval_possible(&s, &t)
+            .unwrap());
         assert!(!BoolExpr::cmp("salary", ComparisonOp::Gt, 5000)
             .eval_possible(&s, &t)
             .unwrap());
@@ -603,7 +616,8 @@ mod tests {
         );
 
         // Intersection of two constraints on the same column.
-        let narrow = BoolExpr::cmp("zip", ComparisonOp::Ge, 1500).and(BoolExpr::between("zip", 1000, 2000));
+        let narrow =
+            BoolExpr::cmp("zip", ComparisonOp::Ge, 1500).and(BoolExpr::between("zip", 1000, 2000));
         assert_eq!(
             narrow.range_of("zip"),
             Some((Some(Value::Int(1500)), Some(Value::Int(2000))))

@@ -96,10 +96,7 @@ mod tests {
     #[test]
     fn canonical_sorts_tuples() {
         let v = Violation::pair(RuleId::new(0), TupleId::new(5), TupleId::new(2));
-        assert_eq!(
-            v.canonical().tuples,
-            vec![TupleId::new(2), TupleId::new(5)]
-        );
+        assert_eq!(v.canonical().tuples, vec![TupleId::new(2), TupleId::new(5)]);
         assert!(v.involves(TupleId::new(5)));
         assert!(!v.involves(TupleId::new(7)));
     }

@@ -96,8 +96,7 @@ pub fn offline_clean_fd(table: &mut Table, fd: &FunctionalDependency) -> Result<
             }
         }
         let rhs_total: usize = rhs_counts.values().sum();
-        let mut rhs_candidates: Vec<(Value, usize)> =
-            rhs_counts.into_iter().collect();
+        let mut rhs_candidates: Vec<(Value, usize)> = rhs_counts.into_iter().collect();
         rhs_candidates.sort_by(|a, b| a.0.cmp(&b.0));
 
         for (&pos, rhs) in members.iter().zip(&member_rhs) {
@@ -134,11 +133,7 @@ pub fn offline_clean_fd(table: &mut Table, fd: &FunctionalDependency) -> Result<
                                 cands
                                     .into_iter()
                                     .map(|(v, c)| {
-                                        Candidate::exact_in_world(
-                                            v,
-                                            c as f64 / total as f64,
-                                            world,
-                                        )
+                                        Candidate::exact_in_world(v, c as f64 / total as f64, world)
                                     })
                                     .collect(),
                             ),
@@ -191,8 +186,16 @@ pub fn offline_clean_dc(table: &mut Table, dc: &DenialConstraint) -> Result<Offl
                 (&pred.left, &pred.right, pred.op),
                 (&pred.right, &pred.left, pred.op.flip()),
             ] {
-                let (daisy_expr::Operand::Attr { tuple: ti, column: tc },
-                     daisy_expr::Operand::Attr { tuple: oi, column: oc }) = (target, other)
+                let (
+                    daisy_expr::Operand::Attr {
+                        tuple: ti,
+                        column: tc,
+                    },
+                    daisy_expr::Operand::Attr {
+                        tuple: oi,
+                        column: oc,
+                    },
+                ) = (target, other)
                 else {
                     continue;
                 };
@@ -237,7 +240,11 @@ pub fn offline_clean_dc(table: &mut Table, dc: &DenialConstraint) -> Result<Offl
         let range_mass: f64 = candidates.iter().map(|c| c.probability).sum();
         let avg = range_mass / candidates.len().max(1) as f64;
         candidates.push(Candidate::exact(original, (1.0 - range_mass).max(avg)));
-        delta.push_update(key.0, ColumnId::new(key.1 as u64), Cell::probabilistic(candidates));
+        delta.push_update(
+            key.0,
+            ColumnId::new(key.1 as u64),
+            Cell::probabilistic(candidates),
+        );
         outcome.errors_repaired += 1;
     }
     table.apply_delta(&delta)?;
@@ -315,8 +322,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let dc =
-            DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
+        let dc = DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap();
         let outcome = offline_clean_dc(&mut table, &dc).unwrap();
         assert_eq!(outcome.violations.len(), 1);
         assert_eq!(outcome.pairs_compared, 3);

@@ -155,11 +155,9 @@ pub fn infer_with_cooccurrence(
     // indexes built once.
     let mut column_index: Vec<HashMap<Value, Vec<usize>>> = vec![HashMap::new(); arity];
     for (pos, tuple) in cleaned.tuples().iter().enumerate() {
-        for column in 0..arity {
-            if let Some(cell) = tuple.cells.get(column) {
-                if let Some(v) = cell.as_determinate() {
-                    column_index[column].entry(v.clone()).or_default().push(pos);
-                }
+        for (index, cell) in column_index.iter_mut().zip(&tuple.cells) {
+            if let Some(v) = cell.as_determinate() {
+                index.entry(v.clone()).or_default().push(pos);
             }
         }
     }
@@ -247,12 +245,8 @@ mod tests {
 
     #[test]
     fn majority_vote_repairs_minority_value() {
-        let outcome = holoclean_repair(
-            &cities(),
-            &[FunctionalDependency::new(&["zip"], "city")],
-            1,
-        )
-        .unwrap();
+        let outcome =
+            holoclean_repair(&cities(), &[FunctionalDependency::new(&["zip"], "city")], 1).unwrap();
         assert_eq!(outcome.repairs.len(), 1);
         let (tuple, column, value) = &outcome.repairs[0];
         assert_eq!(*tuple, TupleId::new(1));
@@ -264,12 +258,8 @@ mod tests {
 
     #[test]
     fn aggressive_pruning_shrinks_the_domain() {
-        let outcome = holoclean_repair(
-            &cities(),
-            &[FunctionalDependency::new(&["zip"], "city")],
-            2,
-        )
-        .unwrap();
+        let outcome =
+            holoclean_repair(&cities(), &[FunctionalDependency::new(&["zip"], "city")], 2).unwrap();
         // Only "Los Angeles" (count 2) survives the pruning threshold.
         assert_eq!(outcome.domain_size, 1);
         assert_eq!(outcome.repairs.len(), 1);

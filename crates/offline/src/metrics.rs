@@ -115,7 +115,8 @@ mod tests {
     use daisy_common::{DataType, Schema};
 
     fn tables() -> (Table, Table) {
-        let schema = Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let schema =
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
         let truth = Table::from_rows(
             "truth",
             schema.clone(),

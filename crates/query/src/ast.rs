@@ -142,7 +142,12 @@ impl Query {
     }
 
     /// Builder: appends an equi-join.
-    pub fn join(mut self, table: impl Into<String>, left_key: impl Into<String>, right_key: impl Into<String>) -> Self {
+    pub fn join(
+        mut self,
+        table: impl Into<String>,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> Self {
         self.joins.push(JoinSpec {
             table: table.into(),
             left_key: left_key.into(),
@@ -182,7 +187,9 @@ impl Query {
         for item in &self.select {
             match item {
                 SelectItem::Column(c) => attrs.push(c.clone()),
-                SelectItem::Aggregate { column: Some(c), .. } => attrs.push(c.clone()),
+                SelectItem::Aggregate {
+                    column: Some(c), ..
+                } => attrs.push(c.clone()),
                 _ => {}
             }
         }

@@ -78,10 +78,7 @@ mod tests {
     use daisy_common::{DataType, Schema};
 
     fn table(name: &str) -> Table {
-        Table::new(
-            name,
-            Schema::from_pairs(&[("x", DataType::Int)]).unwrap(),
-        )
+        Table::new(name, Schema::from_pairs(&[("x", DataType::Int)]).unwrap())
     }
 
     #[test]

@@ -131,11 +131,9 @@ mod tests {
 
     #[test]
     fn spj_query_end_to_end() {
-        let result = run(
-            "SELECT cities.zip, employees.name FROM cities \
+        let result = run("SELECT cities.zip, employees.name FROM cities \
              JOIN employees ON cities.zip = employees.zip \
-             WHERE city = 'Los Angeles'",
-        );
+             WHERE city = 'Los Angeles'");
         assert_eq!(result.len(), 1);
         assert_eq!(
             result.column("employees.name").unwrap(),

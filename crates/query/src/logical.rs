@@ -277,10 +277,8 @@ mod tests {
 
     #[test]
     fn aggregate_query_plan_collects_group_columns() {
-        let q = parse_query(
-            "SELECT year, AVG(co) FROM air WHERE county = 5 GROUP BY year",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT year, AVG(co) FROM air WHERE county = 5 GROUP BY year").unwrap();
         let plan = LogicalPlan::from_query(&q).unwrap();
         match &plan {
             LogicalPlan::Aggregate {

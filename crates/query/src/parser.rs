@@ -118,7 +118,9 @@ impl Parser {
     }
 
     fn peek_text(&self) -> String {
-        self.peek().map(|t| t.text().to_string()).unwrap_or_default()
+        self.peek()
+            .map(|t| t.text().to_string())
+            .unwrap_or_default()
     }
 
     fn peek_keyword(&self, kw: &str) -> bool {
@@ -344,10 +346,7 @@ mod tests {
 
     #[test]
     fn parses_parenthesised_predicates() {
-        let q = parse_query(
-            "SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)").unwrap();
         match q.filter {
             BoolExpr::And(_, rhs) => assert!(matches!(*rhs, BoolExpr::Or(_, _))),
             other => panic!("expected AND at the top, got {other}"),

@@ -135,9 +135,8 @@ fn eval_aggregate(
             }
         },
         AggregateFunc::Sum | AggregateFunc::Avg => {
-            let idx = column.ok_or_else(|| {
-                DaisyError::Plan(format!("{} requires a column", spec.func))
-            })?;
+            let idx = column
+                .ok_or_else(|| DaisyError::Plan(format!("{} requires a column", spec.func)))?;
             let mut sum = 0.0;
             let mut count = 0usize;
             let mut all_int = true;
@@ -172,9 +171,8 @@ fn eval_aggregate(
             }
         }
         AggregateFunc::Min | AggregateFunc::Max => {
-            let idx = column.ok_or_else(|| {
-                DaisyError::Plan(format!("{} requires a column", spec.func))
-            })?;
+            let idx = column
+                .ok_or_else(|| DaisyError::Plan(format!("{} requires a column", spec.func)))?;
             let mut best: Option<Value> = None;
             for &r in rows {
                 let v = tuples[r].value(idx)?;
@@ -212,10 +210,22 @@ mod tests {
 
     fn tuples() -> Vec<Tuple> {
         vec![
-            Tuple::from_values(TupleId::new(0), vec![Value::Int(2000), Value::Float(1.0), Value::from("a")]),
-            Tuple::from_values(TupleId::new(1), vec![Value::Int(2000), Value::Float(3.0), Value::from("b")]),
-            Tuple::from_values(TupleId::new(2), vec![Value::Int(2001), Value::Float(2.0), Value::from("a")]),
-            Tuple::from_values(TupleId::new(3), vec![Value::Int(2001), Value::Null, Value::from("a")]),
+            Tuple::from_values(
+                TupleId::new(0),
+                vec![Value::Int(2000), Value::Float(1.0), Value::from("a")],
+            ),
+            Tuple::from_values(
+                TupleId::new(1),
+                vec![Value::Int(2000), Value::Float(3.0), Value::from("b")],
+            ),
+            Tuple::from_values(
+                TupleId::new(2),
+                vec![Value::Int(2001), Value::Float(2.0), Value::from("a")],
+            ),
+            Tuple::from_values(
+                TupleId::new(3),
+                vec![Value::Int(2001), Value::Null, Value::from("a")],
+            ),
         ]
     }
 
@@ -234,7 +244,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(out_schema.names(), vec!["year", "AVG(co)", "COUNT(*)", "MAX(co)"]);
+        assert_eq!(
+            out_schema.names(),
+            vec!["year", "AVG(co)", "COUNT(*)", "MAX(co)"]
+        );
         assert_eq!(out.len(), 2);
         // Year 2000: avg 2.0 over two rows.
         assert_eq!(out[0].value(0).unwrap(), Value::Int(2000));

@@ -84,7 +84,11 @@ pub fn hash_join(
     let mut tuples = Vec::with_capacity(pairs.len());
     for (i, (lpos, rpos)) in pairs.iter().enumerate() {
         matched[*lpos] = true;
-        tuples.push(Tuple::join(&left[*lpos], &right[*rpos], TupleId::new(i as u64)));
+        tuples.push(Tuple::join(
+            &left[*lpos],
+            &right[*rpos],
+            TupleId::new(i as u64),
+        ));
     }
     Ok(JoinOutput {
         schema: out_schema,
@@ -125,8 +129,14 @@ mod tests {
 
     fn employees() -> Vec<Tuple> {
         vec![
-            Tuple::from_values(TupleId::new(0), vec![Value::Int(9001), Value::from("Peter")]),
-            Tuple::from_values(TupleId::new(1), vec![Value::Int(10001), Value::from("Mary")]),
+            Tuple::from_values(
+                TupleId::new(0),
+                vec![Value::Int(9001), Value::from("Peter")],
+            ),
+            Tuple::from_values(
+                TupleId::new(1),
+                vec![Value::Int(10001), Value::from("Mary")],
+            ),
             Tuple::from_values(TupleId::new(2), vec![Value::Int(10002), Value::from("Jon")]),
         ]
     }
@@ -153,11 +163,7 @@ mod tests {
         for t in &out.tuples {
             assert_eq!(t.lineage.len(), 2);
         }
-        let names: Vec<Value> = out
-            .tuples
-            .iter()
-            .map(|t| t.value(3).unwrap())
-            .collect();
+        let names: Vec<Value> = out.tuples.iter().map(|t| t.value(3).unwrap()).collect();
         assert!(names.contains(&Value::from("Peter")));
         assert!(names.contains(&Value::from("Mary")));
         assert!(!names.contains(&Value::from("Jon")));

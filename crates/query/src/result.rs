@@ -94,14 +94,8 @@ mod tests {
             Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap(),
         );
         let tuples = vec![
-            Tuple::from_values(
-                TupleId::new(3),
-                vec![Value::Int(9001), Value::from("LA")],
-            ),
-            Tuple::from_values(
-                TupleId::new(7),
-                vec![Value::Int(10001), Value::from("NY")],
-            ),
+            Tuple::from_values(TupleId::new(3), vec![Value::Int(9001), Value::from("LA")]),
+            Tuple::from_values(TupleId::new(7), vec![Value::Int(10001), Value::from("NY")]),
         ];
         let result = QueryResult::new(schema.clone(), tuples);
         assert_eq!(result.len(), 2);

@@ -53,13 +53,11 @@ impl CandidateValue {
     /// `[low, high]` (either bound may be `None`, meaning unbounded).
     pub fn overlaps_range(&self, low: Option<&Value>, high: Option<&Value>) -> bool {
         match self {
-            CandidateValue::Exact(x) => {
-                low.map_or(true, |l| x >= l) && high.map_or(true, |h| x <= h)
-            }
-            CandidateValue::LessThan(bound) => low.map_or(true, |l| l < bound),
-            CandidateValue::GreaterThan(bound) => high.map_or(true, |h| h > bound),
+            CandidateValue::Exact(x) => low.is_none_or(|l| x >= l) && high.is_none_or(|h| x <= h),
+            CandidateValue::LessThan(bound) => low.is_none_or(|l| l < bound),
+            CandidateValue::GreaterThan(bound) => high.is_none_or(|h| h > bound),
             CandidateValue::Between(lo, hi) => {
-                low.map_or(true, |l| hi >= l) && high.map_or(true, |h| lo <= h)
+                low.is_none_or(|l| hi >= l) && high.is_none_or(|h| lo <= h)
             }
         }
     }
@@ -224,10 +222,7 @@ impl Cell {
     pub fn possible_values(&self) -> Vec<&Value> {
         match self {
             Cell::Determinate(v) => vec![v],
-            Cell::Probabilistic(cands) => cands
-                .iter()
-                .filter_map(|c| c.value.as_exact())
-                .collect(),
+            Cell::Probabilistic(cands) => cands.iter().filter_map(|c| c.value.as_exact()).collect(),
         }
     }
 
@@ -260,12 +255,8 @@ impl Cell {
     /// `true` if any candidate's value domain intersects `[low, high]`.
     pub fn any_candidate_overlaps(&self, low: Option<&Value>, high: Option<&Value>) -> bool {
         match self {
-            Cell::Determinate(v) => {
-                low.map_or(true, |l| v >= l) && high.map_or(true, |h| v <= h)
-            }
-            Cell::Probabilistic(cands) => {
-                cands.iter().any(|c| c.value.overlaps_range(low, high))
-            }
+            Cell::Determinate(v) => low.is_none_or(|l| v >= l) && high.is_none_or(|h| v <= h),
+            Cell::Probabilistic(cands) => cands.iter().any(|c| c.value.overlaps_range(low, high)),
         }
     }
 
@@ -313,18 +304,19 @@ impl Cell {
     /// (summed before re-normalisation), matching `P(X | Y ∪ Z)` where the
     /// evidence sets are unioned.
     pub fn merge_candidates(&mut self, incoming: Vec<Candidate>) {
-        let mut cands: Vec<Candidate> = match std::mem::replace(self, Cell::Determinate(Value::Null)) {
-            Cell::Determinate(v) => {
-                // Keep the original value as a candidate: the paper's fixes
-                // always include "keep the existing value" as one option.
-                if incoming.iter().any(|c| c.value.could_equal(&v)) || v.is_null() {
-                    Vec::new()
-                } else {
-                    vec![Candidate::exact(v, 0.0)]
+        let mut cands: Vec<Candidate> =
+            match std::mem::replace(self, Cell::Determinate(Value::Null)) {
+                Cell::Determinate(v) => {
+                    // Keep the original value as a candidate: the paper's fixes
+                    // always include "keep the existing value" as one option.
+                    if incoming.iter().any(|c| c.value.could_equal(&v)) || v.is_null() {
+                        Vec::new()
+                    } else {
+                        vec![Candidate::exact(v, 0.0)]
+                    }
                 }
-            }
-            Cell::Probabilistic(c) => c,
-        };
+                Cell::Probabilistic(c) => c,
+            };
         for inc in incoming {
             if let Some(existing) = cands.iter_mut().find(|c| c.value == inc.value) {
                 existing.probability += inc.probability;
@@ -435,7 +427,10 @@ mod tests {
             Candidate::exact(Value::from("San Francisco"), 1.0),
         ]);
         assert_eq!(cell.most_probable(), Value::from("Los Angeles"));
-        assert_eq!(Cell::Determinate(Value::Int(5)).most_probable(), Value::Int(5));
+        assert_eq!(
+            Cell::Determinate(Value::Int(5)).most_probable(),
+            Value::Int(5)
+        );
     }
 
     #[test]

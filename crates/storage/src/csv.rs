@@ -54,12 +54,7 @@ pub fn escape_field(field: &str) -> String {
 
 /// Reads a table from CSV text.  The first record must be a header whose
 /// column names match the schema (order is taken from the schema).
-pub fn read_csv<R: Read>(
-    name: &str,
-    schema: Schema,
-    reader: R,
-    has_header: bool,
-) -> Result<Table> {
+pub fn read_csv<R: Read>(name: &str, schema: Schema, reader: R, has_header: bool) -> Result<Table> {
     let mut table = Table::new(name, schema.clone());
     let buf = BufReader::new(reader);
     let mut lines = buf.lines();
@@ -203,7 +198,10 @@ mod tests {
             parse_record("\"Los Angeles, CA\",9001"),
             vec!["Los Angeles, CA", "9001"]
         );
-        assert_eq!(parse_record("\"say \"\"hi\"\"\",x"), vec!["say \"hi\"", "x"]);
+        assert_eq!(
+            parse_record("\"say \"\"hi\"\"\",x"),
+            vec!["say \"hi\"", "x"]
+        );
         assert_eq!(parse_record("a,,c"), vec!["a", "", "c"]);
     }
 
@@ -221,10 +219,7 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         let reread = read_csv("cities", cities_schema(), text.as_bytes(), true).unwrap();
         assert_eq!(reread.len(), 3);
-        assert_eq!(
-            reread.tuples()[2].value(0).unwrap(),
-            Value::Int(10001)
-        );
+        assert_eq!(reread.tuples()[2].value(0).unwrap(), Value::Int(10001));
     }
 
     #[test]

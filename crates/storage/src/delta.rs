@@ -43,7 +43,11 @@ impl Delta {
 
     /// Adds an update from its parts.
     pub fn push_update(&mut self, tuple: TupleId, column: ColumnId, cell: Cell) {
-        self.updates.push(CellUpdate { tuple, column, cell });
+        self.updates.push(CellUpdate {
+            tuple,
+            column,
+            cell,
+        });
     }
 
     /// The updates in insertion order.
@@ -118,10 +122,7 @@ mod tests {
         other.push(upd(1, 1));
         d.merge(other);
         assert_eq!(d.len(), 3);
-        assert_eq!(
-            d.touched_tuples(),
-            vec![TupleId::new(1), TupleId::new(2)]
-        );
+        assert_eq!(d.touched_tuples(), vec![TupleId::new(1), TupleId::new(2)]);
     }
 
     #[test]

@@ -91,12 +91,7 @@ impl ProvenanceStore {
 
     /// Records that `rule` proposed `candidates` for the cell based on the
     /// given conflicting tuples.
-    pub fn record_evidence(
-        &mut self,
-        tuple: TupleId,
-        column: ColumnId,
-        evidence: RuleEvidence,
-    ) {
+    pub fn record_evidence(&mut self, tuple: TupleId, column: ColumnId, evidence: RuleEvidence) {
         self.cells
             .entry((tuple, column))
             .or_default()

@@ -196,7 +196,9 @@ impl TableStatistics {
         for tuple in table.tuples() {
             let lhs_value = composite_key(tuple, &lhs_idx)?;
             let rhs_value = tuple.value(rhs_idx)?;
-            let entry = per_group.entry(lhs_value.clone()).or_insert((0, HashMap::new()));
+            let entry = per_group
+                .entry(lhs_value.clone())
+                .or_insert((0, HashMap::new()));
             entry.0 += 1;
             entry.1.insert(rhs_value.clone(), ());
             rhs_to_lhs

@@ -184,9 +184,19 @@ mod tests {
         let sf = marginal_probability(&t, 1, &Value::from("San Francisco")).unwrap();
         assert!((la - 2.0 / 3.0).abs() < 1e-9);
         assert!((sf - 1.0 / 3.0).abs() < 1e-9);
-        assert_eq!(marginal_probability(&t, 1, &Value::from("Boston")).unwrap(), 0.0);
-        let determinate = Tuple::from_values(TupleId::new(0), vec![Value::Int(1), Value::from("A")]);
-        assert_eq!(marginal_probability(&determinate, 0, &Value::Int(1)).unwrap(), 1.0);
-        assert_eq!(marginal_probability(&determinate, 0, &Value::Int(2)).unwrap(), 0.0);
+        assert_eq!(
+            marginal_probability(&t, 1, &Value::from("Boston")).unwrap(),
+            0.0
+        );
+        let determinate =
+            Tuple::from_values(TupleId::new(0), vec![Value::Int(1), Value::from("A")]);
+        assert_eq!(
+            marginal_probability(&determinate, 0, &Value::Int(1)).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            marginal_probability(&determinate, 0, &Value::Int(2)).unwrap(),
+            0.0
+        );
     }
 }

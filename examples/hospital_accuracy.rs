@@ -27,8 +27,7 @@ fn main() {
     );
 
     for rule_count in 1..=3 {
-        let mut engine =
-            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        let mut engine = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
         engine.register_table(dirty.clone());
         for rule in constraints.rules().iter().take(rule_count) {
             engine.add_constraint(rule.clone());

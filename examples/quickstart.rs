@@ -6,8 +6,7 @@ use daisy::prelude::*;
 
 fn main() {
     // The Cities dataset of Table 2a, violating the FD zip → city.
-    let schema =
-        Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+    let schema = Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
     let cities = Table::from_rows(
         "cities",
         schema,

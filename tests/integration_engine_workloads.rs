@@ -26,8 +26,7 @@ fn cost_model_switches_and_still_matches_incremental_results() {
     let mut with_cost = DaisyEngine::new(DaisyConfig::default().with_cost_model(true)).unwrap();
     with_cost.register_table(table.clone());
     with_cost.add_fd(&fd, "phi");
-    let mut without_cost =
-        DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+    let mut without_cost = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
     without_cost.register_table(table);
     without_cost.add_fd(&fd, "phi");
 
@@ -67,8 +66,7 @@ fn two_overlapping_rules_clean_more_than_one() {
             .unwrap();
 
     let run = |rules: usize| -> usize {
-        let mut engine =
-            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        let mut engine = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
         engine.register_table(table.clone());
         engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
         if rules > 1 {
@@ -97,8 +95,7 @@ fn incremental_rule_addition_matches_rerun_from_scratch() {
     inject_fd_errors(&mut table, "address", "suppkey", 0.5, 0.2, 32).unwrap();
 
     // Incremental: clean under ϕ1 via a full-table query, then add ϕ2.
-    let mut incremental =
-        DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+    let mut incremental = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
     incremental.register_table(table.clone());
     incremental.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
     incremental
@@ -124,10 +121,7 @@ fn incremental_rule_addition_matches_rerun_from_scratch() {
     let a = incremental.table("lineorder_supplier").unwrap();
     let b = scratch.table("lineorder_supplier").unwrap();
     // Same tuples become probabilistic either way.
-    assert_eq!(
-        a.probabilistic_tuple_count(),
-        b.probabilistic_tuple_count()
-    );
+    assert_eq!(a.probabilistic_tuple_count(), b.probabilistic_tuple_count());
 }
 
 #[test]
@@ -154,11 +148,15 @@ fn general_dc_cleaning_over_inequality_violations() {
         )
         .unwrap();
     let outcome = engine
-        .execute_sql(
-            "SELECT extended_price, discount FROM lineorder WHERE extended_price <= 5000",
-        )
+        .execute_sql("SELECT extended_price, discount FROM lineorder WHERE extended_price <= 5000")
         .unwrap();
-    assert!(outcome.result.len() > 0);
+    assert!(!outcome.result.is_empty());
     assert!(outcome.report.estimated_accuracy <= 1.0);
-    assert!(engine.table("lineorder").unwrap().probabilistic_tuple_count() > 0);
+    assert!(
+        engine
+            .table("lineorder")
+            .unwrap()
+            .probabilistic_tuple_count()
+            > 0
+    );
 }

@@ -38,8 +38,7 @@ fn daisyp_accuracy_improves_with_more_rules_table_5_shape() {
     // weaker.  Verify that ordering.
     let run = |rule_count: usize| -> f64 {
         let (dirty, truth, constraints) = generate_hospital(&config()).unwrap();
-        let mut engine =
-            DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
+        let mut engine = DaisyEngine::new(DaisyConfig::default().with_cost_model(false)).unwrap();
         engine.register_table(dirty.clone());
         for rule in constraints.rules().iter().take(rule_count) {
             engine.add_constraint(rule.clone());
@@ -81,7 +80,10 @@ fn offline_fd_cleaning_covers_all_errors_daisy_covers_touched_ones() {
     engine
         .execute_sql("SELECT zip, city FROM hospital WHERE zip <= 10010")
         .unwrap();
-    let daisy_probabilistic = engine.table("hospital").unwrap().probabilistic_tuple_count();
+    let daisy_probabilistic = engine
+        .table("hospital")
+        .unwrap()
+        .probabilistic_tuple_count();
     assert!(offline.errors_repaired > 0);
     assert!(daisy_probabilistic <= offline_table.probabilistic_tuple_count());
 }

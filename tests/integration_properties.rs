@@ -10,8 +10,7 @@ use daisy::storage::{Candidate, Cell, Delta};
 
 /// Builds a two-column table (lhs, rhs) from generated pairs.
 fn table_from_pairs(pairs: &[(i64, i64)]) -> Table {
-    let schema =
-        Schema::from_pairs(&[("lhs", DataType::Int), ("rhs", DataType::Int)]).unwrap();
+    let schema = Schema::from_pairs(&[("lhs", DataType::Int), ("rhs", DataType::Int)]).unwrap();
     Table::from_rows(
         "t",
         schema,

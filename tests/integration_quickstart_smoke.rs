@@ -1,0 +1,79 @@
+//! End-to-end smoke test mirroring the facade quick-start doc-test: the
+//! zip → city functional dependency over Table 1 of the paper, cleaned
+//! through a single selection query.
+
+use daisy::prelude::*;
+
+/// The dirty cities table of the quick-start: two tuples share zip 9001 but
+/// disagree on the city, violating zip → city.
+fn dirty_cities() -> Table {
+    let schema = Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+    Table::from_rows(
+        "cities",
+        schema,
+        vec![
+            vec![Value::Int(9001), Value::from("Los Angeles")],
+            vec![Value::Int(9001), Value::from("San Francisco")],
+            vec![Value::Int(10001), Value::from("New York")],
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn quickstart_flow_repairs_the_zip_city_violation() {
+    let mut engine = DaisyEngine::with_defaults();
+    engine.register_table(dirty_cities());
+    engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+
+    let outcome = engine
+        .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        .unwrap();
+
+    // The doc-test's observable guarantees…
+    assert!(!outcome.result.is_empty());
+    assert!(outcome.report.errors_repaired > 0);
+}
+
+#[test]
+fn quickstart_cleaning_converges_and_covers_the_conflicting_group() {
+    let mut engine = DaisyEngine::with_defaults();
+    engine.register_table(dirty_cities());
+    engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+
+    let first = engine
+        .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        .unwrap();
+    assert!(first.report.errors_repaired > 0);
+
+    // Both tuples of the violating zip-9001 group must now carry
+    // probabilistic candidate fixes; the clean tuple must not.
+    let table = engine.table("cities").unwrap();
+    let dirty_group: Vec<_> = table
+        .tuples()
+        .iter()
+        .filter(|t| t.value(0).unwrap() == Value::Int(9001))
+        .collect();
+    assert_eq!(dirty_group.len(), 2);
+    for tuple in &dirty_group {
+        assert!(
+            tuple.cells.iter().any(|c| c.is_probabilistic()),
+            "violating tuple {:?} should have probabilistic candidates",
+            tuple.id
+        );
+    }
+    let clean: Vec<_> = table
+        .tuples()
+        .iter()
+        .filter(|t| t.value(0).unwrap() == Value::Int(10001))
+        .collect();
+    assert!(clean
+        .iter()
+        .all(|t| t.cells.iter().all(|c| !c.is_probabilistic())));
+
+    // Re-running the same query finds nothing new to repair.
+    let second = engine
+        .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        .unwrap();
+    assert_eq!(second.report.errors_repaired, 0);
+}

@@ -73,7 +73,10 @@ fn daisy_repairs_only_what_queries_touch() {
     let workload =
         non_overlapping_range_queries(&dirty, "suppkey", 50, &["orderkey", "suppkey"]).unwrap();
     engine.execute(&workload.queries[0]).unwrap();
-    let after_one = engine.table("lineorder").unwrap().probabilistic_tuple_count();
+    let after_one = engine
+        .table("lineorder")
+        .unwrap()
+        .probabilistic_tuple_count();
     assert!(after_one > 0, "the touched cluster must be repaired");
     assert!(
         after_one < dirty.len(),
@@ -115,10 +118,13 @@ fn queries_with_no_overlapping_rule_run_untouched() {
     let outcome = engine
         .execute_sql("SELECT quantity FROM lineorder WHERE quantity < 10")
         .unwrap();
-    assert!(outcome.result.len() > 0);
+    assert!(!outcome.result.is_empty());
     assert_eq!(outcome.report.errors_repaired, 0);
     assert_eq!(
-        engine.table("lineorder").unwrap().probabilistic_tuple_count(),
+        engine
+            .table("lineorder")
+            .unwrap()
+            .probabilistic_tuple_count(),
         0
     );
 }

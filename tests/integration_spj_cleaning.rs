@@ -34,13 +34,19 @@ fn join_results_include_candidate_matches() {
              WHERE orderkey <= 20",
         )
         .unwrap();
-    assert!(outcome.result.len() > 0);
+    assert!(!outcome.result.is_empty());
     // Join output tuples carry lineage to both base relations.
     for t in &outcome.result.tuples {
         assert_eq!(t.lineage.len(), 2);
     }
     // Cleaning repaired cells on the driving table.
-    assert!(engine.table("lineorder").unwrap().probabilistic_tuple_count() > 0);
+    assert!(
+        engine
+            .table("lineorder")
+            .unwrap()
+            .probabilistic_tuple_count()
+            > 0
+    );
 }
 
 #[test]
@@ -55,7 +61,13 @@ fn join_cleaning_also_repairs_the_joined_table() {
         .unwrap();
     // The supplier side had address → suppkey violations among its
     // qualifying part; they must be repaired in place too.
-    assert!(engine.table("supplier").unwrap().probabilistic_tuple_count() > 0);
+    assert!(
+        engine
+            .table("supplier")
+            .unwrap()
+            .probabilistic_tuple_count()
+            > 0
+    );
 }
 
 #[test]
@@ -85,7 +97,7 @@ fn group_by_over_join_cleans_before_aggregation() {
              WHERE orderkey <= 100 GROUP BY supplier.nation",
         )
         .unwrap();
-    assert!(outcome.result.len() > 0);
+    assert!(!outcome.result.is_empty());
     assert!(outcome.result.schema.contains("COUNT(*)"));
     assert!(outcome.report.errors_repaired > 0);
 }

@@ -1,0 +1,215 @@
+//! Offline stub of `criterion`.
+//!
+//! Mirrors the API surface the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — so `cargo bench` compiles
+//! and runs without network access. Instead of statistical sampling, each
+//! benchmark body is executed a fixed small number of times and the mean
+//! wall-clock time is printed; swap for the crates.io `criterion` for real
+//! measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations the stub runs per benchmark.
+const STUB_ITERS: u32 = 3;
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a benchmark runner with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores warm-up time.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores throughput hints.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by name within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. No-op in the stub.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark (a name plus an optional parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id distinguished only by its parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of plain names or [`BenchmarkId`]s into a display label.
+pub trait IntoBenchmarkId {
+    /// Returns the label used when reporting this benchmark.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput hint. Accepted and ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing handle passed to benchmark bodies.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, running it a fixed small number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..STUB_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        let mean = bencher.elapsed / bencher.iters;
+        println!(
+            "bench {label:<60} {mean:>12.2?}/iter (stub, {} iters)",
+            bencher.iters
+        );
+    } else {
+        println!("bench {label:<60} (no iterations recorded)");
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

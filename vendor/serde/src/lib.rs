@@ -1,0 +1,30 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! stub derive macros so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile without network access.
+//! No actual (de)serialization is performed; swap the workspace `serde`
+//! path dependency for the crates.io crate to restore real behaviour.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real crate generates `Serialize`/`Deserialize` implementations; this
+//! stub merely accepts the derive syntax (including `#[serde(...)]` helper
+//! attributes such as `#[serde(skip)]`) and emits nothing, so types remain
+//! derivable without network access. Swap in the crates.io `serde_derive`
+//! for real (de)serialization support.
+
+use proc_macro::TokenStream;
+
+/// Stub `#[derive(Serialize)]`: accepted, generates no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub `#[derive(Deserialize)]`: accepted, generates no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
