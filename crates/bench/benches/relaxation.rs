@@ -1,14 +1,18 @@
 //! Ablation: query-result relaxation vs per-error dataset traversal for
-//! candidate-fix computation (the mechanism behind Figs. 5/6).
+//! candidate-fix computation (the mechanism behind Figs. 5/6), plus the
+//! serial-vs-parallel theta-join DC check (the partitioned detection
+//! kernel's thread scaling at the paper's 8k-row working set).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use daisy_core::clean_select::clean_select_fd;
 use daisy_core::fd_index::FdIndex;
 use daisy_core::relaxation::FilterTarget;
-use daisy_data::errors::inject_fd_errors;
+use daisy_core::theta::ThetaMatrix;
+use daisy_data::errors::{inject_fd_errors, inject_inequality_errors};
 use daisy_data::ssb::{generate_lineorder, SsbConfig};
-use daisy_expr::FunctionalDependency;
+use daisy_exec::ExecContext;
+use daisy_expr::{DenialConstraint, FunctionalDependency};
 use daisy_offline::full::offline_clean_fd;
 use daisy_storage::ProvenanceStore;
 
@@ -43,6 +47,7 @@ fn bench_relaxation(c: &mut Criterion) {
                 b.iter(|| {
                     let mut prov = ProvenanceStore::new();
                     clean_select_fd(
+                        &daisy_exec::ExecContext::sequential(),
                         daisy_common::RuleId::new(0),
                         &index,
                         &answer,
@@ -69,5 +74,46 @@ fn bench_relaxation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_relaxation);
+/// Serial vs parallel partial theta-join check at 8k rows: the parallel
+/// path partitions the unchecked block pairs over the context's workers and
+/// must beat the sequential path while producing identical violations.
+fn bench_theta_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theta_check_parallelism");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let rows = 8_000usize;
+    let config = SsbConfig {
+        lineorder_rows: rows,
+        distinct_orderkeys: rows / 10,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&config).unwrap();
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.05, 0.5, 5).unwrap();
+    let dc = DenialConstraint::parse(
+        "dc",
+        "t1.extended_price < t2.extended_price & t1.discount > t2.discount",
+    )
+    .unwrap();
+    let schema = table.schema().clone();
+    let matrix = ThetaMatrix::build(&schema, table.tuples(), &dc, 8).unwrap();
+
+    for workers in [1usize, 2, 4] {
+        let ctx = ExecContext::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("full_check_workers", workers),
+            &workers,
+            |b, _| {
+                b.iter_batched(
+                    || matrix.clone(),
+                    |mut m| m.check_all(&ctx, &schema, table.tuples()).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxation, bench_theta_parallelism);
 criterion_main!(benches);

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use daisy_core::theta::ThetaMatrix;
 use daisy_data::errors::inject_inequality_errors;
 use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_exec::ExecContext;
 use daisy_expr::DenialConstraint;
 
 fn bench_theta(c: &mut Criterion) {
@@ -36,7 +37,9 @@ fn bench_theta(c: &mut Criterion) {
                 b.iter(|| {
                     let mut matrix =
                         ThetaMatrix::build(&schema, table.tuples(), &dc, blocks).unwrap();
-                    matrix.check_all(&schema, table.tuples()).unwrap()
+                    matrix
+                        .check_all(&ExecContext::sequential(), &schema, table.tuples())
+                        .unwrap()
                 })
             },
         );
@@ -46,6 +49,7 @@ fn bench_theta(c: &mut Criterion) {
             let mut matrix = ThetaMatrix::build(&schema, table.tuples(), &dc, 8).unwrap();
             matrix
                 .check_range(
+                    &ExecContext::sequential(),
                     &schema,
                     table.tuples(),
                     Some(&daisy_common::Value::Int(0)),

@@ -1,0 +1,136 @@
+//! Thread scaling of the parallelised cleaning kernels.
+//!
+//! The determinism suite (`tests/integration_determinism.rs`) pins down that
+//! worker counts never change results; this bench measures what they buy.
+//! Three kernels are swept across worker counts:
+//!
+//! * the partial theta-join DC check (block-pair partitioning),
+//! * `cleanσ` for FDs (parallel lhs-key computation + sharded grouping),
+//! * the general-DC candidate-range repair (per-violation fan-out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use daisy_core::clean_dc::repair_dc_violations;
+use daisy_core::clean_select::clean_select_fd;
+use daisy_core::fd_index::FdIndex;
+use daisy_core::relaxation::FilterTarget;
+use daisy_core::theta::ThetaMatrix;
+use daisy_data::errors::{inject_fd_errors, inject_inequality_errors};
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_exec::ExecContext;
+use daisy_expr::{DenialConstraint, FunctionalDependency};
+use daisy_storage::{ProvenanceStore, Tuple};
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn dirty_lineorder(rows: usize) -> daisy_storage::Table {
+    let config = SsbConfig {
+        lineorder_rows: rows,
+        distinct_orderkeys: rows / 10,
+        ..SsbConfig::default()
+    };
+    generate_lineorder(&config).unwrap()
+}
+
+fn bench_theta_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_scaling_theta");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut table = dirty_lineorder(8_000);
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.05, 0.5, 6).unwrap();
+    let dc = DenialConstraint::parse(
+        "dc",
+        "t1.extended_price < t2.extended_price & t1.discount > t2.discount",
+    )
+    .unwrap();
+    let schema = table.schema().clone();
+    let matrix = ThetaMatrix::build(&schema, table.tuples(), &dc, 8).unwrap();
+    for workers in WORKERS {
+        let ctx = ExecContext::new(workers);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter_batched(
+                || matrix.clone(),
+                |mut m| m.check_all(&ctx, &schema, table.tuples()).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_clean_select_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_scaling_clean_select");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut table = dirty_lineorder(8_000);
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.1, 7).unwrap();
+    let fd = FunctionalDependency::new(&["orderkey"], "suppkey");
+    let index = FdIndex::build(&table, &fd).unwrap();
+    let answer: Vec<Tuple> = table
+        .tuples()
+        .iter()
+        .filter(|t| t.value(1).unwrap().as_int().unwrap() < 2)
+        .cloned()
+        .collect();
+    for workers in WORKERS {
+        let ctx = ExecContext::new(workers);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let mut prov = ProvenanceStore::new();
+                clean_select_fd(
+                    &ctx,
+                    daisy_common::RuleId::new(0),
+                    &index,
+                    &answer,
+                    table.tuples(),
+                    FilterTarget::Rhs,
+                    16,
+                    &mut prov,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dc_repair_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_scaling_dc_repair");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut table = dirty_lineorder(4_000);
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.05, 0.5, 8).unwrap();
+    let dc = DenialConstraint::parse(
+        "dc",
+        "t1.extended_price < t2.extended_price & t1.discount > t2.discount",
+    )
+    .unwrap();
+    let schema = table.schema().clone();
+    let mut matrix = ThetaMatrix::build(&schema, table.tuples(), &dc, 8).unwrap();
+    let (violations, _) = matrix
+        .check_all(&ExecContext::new(4), &schema, table.tuples())
+        .unwrap();
+    let by_id: std::collections::HashMap<daisy_common::TupleId, &Tuple> =
+        table.tuples().iter().map(|t| (t.id, t)).collect();
+    for workers in WORKERS {
+        let ctx = ExecContext::new(workers);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let mut prov = ProvenanceStore::new();
+                repair_dc_violations(&ctx, &schema, &dc, &violations, &by_id, &mut prov).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_theta_scaling,
+    bench_clean_select_scaling,
+    bench_dc_repair_scaling
+);
+criterion_main!(benches);

@@ -51,13 +51,36 @@ impl Default for DaisyConfig {
     }
 }
 
+/// Environment variable overriding the default worker-thread count.
+///
+/// Every data-parallel primitive is order preserving, so forcing a worker
+/// count only changes wall-clock time, never results — which is what lets
+/// CI run the whole test suite at several fixed thread counts.
+pub const WORKER_THREADS_ENV: &str = "DAISY_WORKER_THREADS";
+
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    DaisyConfig::env_worker_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    })
+}
+
+/// Parses a worker-thread override value.  Split out of the env lookup so
+/// the parsing rules are testable without mutating process environment
+/// (`std::env::set_var` races with concurrent `getenv` in parallel tests).
+fn parse_worker_threads(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 impl DaisyConfig {
+    /// The worker-thread override from [`WORKER_THREADS_ENV`], if the
+    /// variable is set to a positive integer.  Invalid or non-positive
+    /// values are ignored (the machine default applies).
+    pub fn env_worker_threads() -> Option<usize> {
+        parse_worker_threads(std::env::var(WORKER_THREADS_ENV).ok().as_deref())
+    }
+
     /// Validates the configuration, returning a descriptive error for any
     /// out-of-range knob.
     pub fn validate(&self) -> Result<()> {
@@ -168,6 +191,22 @@ mod tests {
             .with_data_partitions(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn env_override_parses_positive_integers_only() {
+        // The parsing rules are tested through the pure helper rather than
+        // `std::env::set_var`, which would race with concurrent `getenv`
+        // calls from other tests constructing `DaisyConfig::default()`.
+        assert_eq!(parse_worker_threads(Some("3")), Some(3));
+        assert_eq!(parse_worker_threads(Some(" 7 ")), Some(7));
+        assert_eq!(parse_worker_threads(Some("0")), None);
+        assert_eq!(parse_worker_threads(Some("not-a-number")), None);
+        assert_eq!(parse_worker_threads(Some("")), None);
+        assert_eq!(parse_worker_threads(Some("-2")), None);
+        assert_eq!(parse_worker_threads(None), None);
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
     }
 
     #[test]

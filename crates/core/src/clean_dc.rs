@@ -11,7 +11,8 @@
 
 use std::collections::HashMap;
 
-use daisy_common::{ColumnId, Result, Schema, Value};
+use daisy_common::{ColumnId, Result, Schema, TupleId, Value};
+use daisy_exec::ExecContext;
 use daisy_expr::{ComparisonOp, DenialConstraint, Literal, Operand, SatSolver, Violation};
 use daisy_storage::{Candidate, CandidateValue, Cell, Delta, ProvenanceStore, RuleEvidence, Tuple};
 
@@ -31,89 +32,126 @@ pub struct DcCleanOutcome {
     pub check_stats: ThetaCheckStats,
 }
 
+/// A candidate-range fix for one cell, produced while examining one
+/// violation.  Fixes are computed per violation (in parallel) and merged in
+/// violation order, so the per-cell candidate lists are identical to a
+/// sequential pass.
+struct RangeFix {
+    /// The targeted `(tuple, column)` cell.
+    key: (TupleId, usize),
+    /// The cell's current value (becomes the kept original candidate).
+    original: Value,
+    /// The range candidate inverting one atom of the constraint.
+    candidate: Candidate,
+    /// The other tuples of the violation this fix stems from.
+    conflicting: Vec<TupleId>,
+}
+
 /// Computes candidate-range fixes for a list of detected violations and
 /// packages them as a delta over the base table.
+///
+/// The per-violation fix construction (atom inversion, range computation) is
+/// partitioned over `ctx`'s workers; the resulting fixes are merged and the
+/// delta is materialised serially in canonical (tuple id, column) order, so
+/// the outcome is identical for every worker count.
 ///
 /// `tuples_by_id` must be able to resolve every tuple id mentioned by the
 /// violations (typically the base table's tuples).
 pub fn repair_dc_violations(
+    ctx: &ExecContext,
     schema: &Schema,
     constraint: &DenialConstraint,
     violations: &[Violation],
-    tuples_by_id: &HashMap<daisy_common::TupleId, &Tuple>,
+    tuples_by_id: &HashMap<TupleId, &Tuple>,
     provenance: &mut ProvenanceStore,
 ) -> Result<DcCleanOutcome> {
     let mut outcome = DcCleanOutcome {
         violations: violations.to_vec(),
         ..DcCleanOutcome::default()
     };
+    // Decide which atoms may invert: encode "not all atoms stay true" and
+    // ask for a minimal set of inverted atoms.  For the common two-atom
+    // constraints this is trivially "invert one of the two", but the
+    // encoding also covers wider constraints uniformly.  The encoding only
+    // depends on the constraint, so it is solved once, outside the
+    // per-violation fan-out.
+    let m = constraint.predicates.len();
+    let mut solver = SatSolver::new(m);
+    solver.add_clause((0..m).map(Literal::neg).collect());
+    let assignment = solver
+        .solve_minimal_false()
+        .unwrap_or_else(|| vec![false; m]);
+    // Every atom is a possible fix target; the minimal SAT assignment tells
+    // us how many must invert simultaneously — one for the plain deny-all
+    // clause, more if the encoding ever gains extra clauses (e.g. immutable
+    // attributes).  Probabilities give that many shares spread over the `m`
+    // candidate atoms, which for the deny-all clause is the one-share-per-fix
+    // scheme of Example 5.
+    let min_inversions = assignment.iter().filter(|kept| !**kept).count().max(1);
+    let share = min_inversions as f64 / m as f64;
+
+    // Fan out: each worker computes the range fixes of a contiguous slice of
+    // violations; per-violation fix lists come back in violation order.
+    let fixes_per_violation: Vec<Vec<RangeFix>> =
+        daisy_exec::par_flat_map_chunks(ctx, violations, |chunk| {
+            chunk
+                .iter()
+                .map(|violation| {
+                    let bound: Vec<&Tuple> = violation
+                        .tuples
+                        .iter()
+                        .filter_map(|id| tuples_by_id.get(id).copied())
+                        .collect();
+                    if bound.len() != constraint.tuple_count {
+                        return Ok(Vec::new()); // tuple no longer present; skip
+                    }
+                    let mut fixes = Vec::new();
+                    for pred in &constraint.predicates {
+                        // Fix by changing the *left* operand's tuple
+                        // attribute so the atom inverts, and symmetrically
+                        // the right operand's.
+                        fixes.extend(range_fix(
+                            schema,
+                            &pred.left,
+                            pred.op,
+                            &pred.right,
+                            &bound,
+                            share,
+                            violation,
+                        )?);
+                        fixes.extend(range_fix(
+                            schema,
+                            &pred.right,
+                            pred.op.flip(),
+                            &pred.left,
+                            &bound,
+                            share,
+                            violation,
+                        )?);
+                    }
+                    Ok(fixes)
+                })
+                .collect::<Result<Vec<Vec<RangeFix>>>>()
+        })?;
+
     // Collect candidate fixes per (tuple, column) so that a cell involved in
     // many violations receives the union of its candidates in one update.
-    let mut pending: HashMap<(daisy_common::TupleId, usize), Vec<Candidate>> = HashMap::new();
-    let mut originals: HashMap<(daisy_common::TupleId, usize), Value> = HashMap::new();
-    let mut conflicts: HashMap<(daisy_common::TupleId, usize), Vec<daisy_common::TupleId>> =
-        HashMap::new();
-
-    for violation in violations {
-        let bound: Vec<&Tuple> = violation
-            .tuples
-            .iter()
-            .filter_map(|id| tuples_by_id.get(id).copied())
-            .collect();
-        if bound.len() != constraint.tuple_count {
-            continue; // tuple no longer present; skip
-        }
-        // Decide which atoms may invert: encode "not all atoms stay true"
-        // and ask for a minimal set of inverted atoms.  For the common
-        // two-atom constraints this is trivially "invert one of the two",
-        // but the encoding also covers wider constraints uniformly.
-        let m = constraint.predicates.len();
-        let mut solver = SatSolver::new(m);
-        solver.add_clause((0..m).map(Literal::neg).collect());
-        let assignment = solver
-            .solve_minimal_false()
-            .unwrap_or_else(|| vec![false; m]);
-        let invertible: Vec<usize> = (0..m).filter(|&i| !assignment[i]).collect();
-        // Every atom is a possible fix target; the minimal SAT assignment
-        // tells us how many must invert simultaneously.  Probabilities give
-        // one share per possible fix (per atom), as in Example 5.
-        let share = 1.0 / m as f64;
-        let _ = invertible; // the minimal set size is 1 for the deny-all clause
-
-        for (atom_idx, pred) in constraint.predicates.iter().enumerate() {
-            let _ = atom_idx;
-            // Fix by changing the *left* operand's tuple attribute so the
-            // atom inverts, and symmetrically the right operand's.
-            add_range_fix(
-                schema,
-                &pred.left,
-                pred.op,
-                &pred.right,
-                &bound,
-                share,
-                &mut pending,
-                &mut originals,
-                &mut conflicts,
-                violation,
-            )?;
-            add_range_fix(
-                schema,
-                &pred.right,
-                pred.op.flip(),
-                &pred.left,
-                &bound,
-                share,
-                &mut pending,
-                &mut originals,
-                &mut conflicts,
-                violation,
-            )?;
-        }
+    // Merging in violation order reproduces the sequential candidate order.
+    let mut pending: HashMap<(TupleId, usize), Vec<Candidate>> = HashMap::new();
+    let mut originals: HashMap<(TupleId, usize), Value> = HashMap::new();
+    let mut conflicts: HashMap<(TupleId, usize), Vec<TupleId>> = HashMap::new();
+    for fix in fixes_per_violation.into_iter().flatten() {
+        originals.entry(fix.key).or_insert(fix.original);
+        conflicts
+            .entry(fix.key)
+            .or_default()
+            .extend(fix.conflicting);
+        pending.entry(fix.key).or_default().push(fix.candidate);
     }
 
     // Materialise one probabilistic cell per touched (tuple, column): the
     // original value keeps the remaining probability mass.
-    let mut keys: Vec<(daisy_common::TupleId, usize)> = pending.keys().copied().collect();
+    let mut keys: Vec<(TupleId, usize)> = pending.keys().copied().collect();
     keys.sort_unstable();
     for key in keys {
         let (tuple_id, column) = key;
@@ -148,21 +186,21 @@ pub fn repair_dc_violations(
     Ok(outcome)
 }
 
-/// Adds a range candidate that inverts `target op other` by changing the
-/// `target` operand's attribute.
-#[allow(clippy::too_many_arguments)]
-fn add_range_fix(
+/// Computes the range candidate that inverts `target op other` by changing
+/// the `target` operand's attribute, if one exists.
+///
+/// Pure with respect to the violation set: the returned fix depends only on
+/// the constraint and the bound tuples, which is what lets
+/// [`repair_dc_violations`] evaluate violations in parallel.
+fn range_fix(
     schema: &Schema,
     target: &Operand,
     op: ComparisonOp,
     other: &Operand,
     bound: &[&Tuple],
     share: f64,
-    pending: &mut HashMap<(daisy_common::TupleId, usize), Vec<Candidate>>,
-    originals: &mut HashMap<(daisy_common::TupleId, usize), Value>,
-    conflicts: &mut HashMap<(daisy_common::TupleId, usize), Vec<daisy_common::TupleId>>,
     violation: &Violation,
-) -> Result<()> {
+) -> Result<Option<RangeFix>> {
     let (
         Operand::Attr {
             tuple: t_idx,
@@ -174,13 +212,13 @@ fn add_range_fix(
         },
     ) = (target, other)
     else {
-        return Ok(()); // constant operands cannot be repaired
+        return Ok(None); // constant operands cannot be repaired
     };
     let Some(target_tuple) = bound.get(*t_idx) else {
-        return Ok(());
+        return Ok(None);
     };
     let Some(other_tuple) = bound.get(*o_idx) else {
-        return Ok(());
+        return Ok(None);
     };
     let col_idx = schema.index_of(column)?;
     let other_idx = schema.index_of(o_col)?;
@@ -191,23 +229,23 @@ fn add_range_fix(
         ComparisonOp::Lt | ComparisonOp::Le => CandidateValue::LessThan(other_value),
         ComparisonOp::Gt | ComparisonOp::Ge => CandidateValue::GreaterThan(other_value),
         ComparisonOp::Eq => CandidateValue::Exact(other_value),
-        ComparisonOp::Neq => return Ok(()), // "anything else" is not a useful candidate
+        ComparisonOp::Neq => return Ok(None), // "anything else" is not a useful candidate
     };
     // Skip fixes that are no-ops (the current value already satisfies them).
     if fix.could_equal(&current) {
-        return Ok(());
+        return Ok(None);
     }
-    let key = (target_tuple.id, col_idx);
-    originals.entry(key).or_insert(current);
-    conflicts
-        .entry(key)
-        .or_default()
-        .extend(violation.tuples.iter().filter(|id| **id != target_tuple.id));
-    pending
-        .entry(key)
-        .or_default()
-        .push(Candidate::range(fix, share));
-    Ok(())
+    Ok(Some(RangeFix {
+        key: (target_tuple.id, col_idx),
+        original: current,
+        candidate: Candidate::range(fix, share),
+        conflicting: violation
+            .tuples
+            .iter()
+            .copied()
+            .filter(|id| *id != target_tuple.id)
+            .collect(),
+    }))
 }
 
 #[cfg(test)]
@@ -243,7 +281,15 @@ mod tests {
         let violations = vec![Violation::pair(dc.id, TupleId::new(2), TupleId::new(1))];
         let by_id: HashMap<TupleId, &Tuple> = t.tuples().iter().map(|tu| (tu.id, tu)).collect();
         let mut prov = ProvenanceStore::new();
-        let out = repair_dc_violations(t.schema(), &dc, &violations, &by_id, &mut prov).unwrap();
+        let out = repair_dc_violations(
+            &ExecContext::new(4),
+            t.schema(),
+            &dc,
+            &violations,
+            &by_id,
+            &mut prov,
+        )
+        .unwrap();
         assert!(out.errors_detected >= 2);
         assert_eq!(out.violations.len(), 1);
 
@@ -286,7 +332,15 @@ mod tests {
         let violations = vec![Violation::pair(dc.id, TupleId::new(2), TupleId::new(1))];
         let by_id: HashMap<TupleId, &Tuple> = t.tuples().iter().map(|tu| (tu.id, tu)).collect();
         let mut prov = ProvenanceStore::new();
-        let out = repair_dc_violations(t.schema(), &dc, &violations, &by_id, &mut prov).unwrap();
+        let out = repair_dc_violations(
+            &ExecContext::new(4),
+            t.schema(),
+            &dc,
+            &violations,
+            &by_id,
+            &mut prov,
+        )
+        .unwrap();
         // The borrow of `t` through `by_id` ends before the mutation.
         let delta = out.delta.clone();
         drop(by_id);
@@ -303,7 +357,15 @@ mod tests {
         let violations = vec![Violation::pair(dc.id, TupleId::new(77), TupleId::new(99))];
         let by_id: HashMap<TupleId, &Tuple> = t.tuples().iter().map(|tu| (tu.id, tu)).collect();
         let mut prov = ProvenanceStore::new();
-        let out = repair_dc_violations(t.schema(), &dc, &violations, &by_id, &mut prov).unwrap();
+        let out = repair_dc_violations(
+            &ExecContext::new(4),
+            t.schema(),
+            &dc,
+            &violations,
+            &by_id,
+            &mut prov,
+        )
+        .unwrap();
         assert!(out.delta.is_empty());
     }
 
@@ -328,7 +390,15 @@ mod tests {
         )];
         let by_id: HashMap<TupleId, &Tuple> = t.tuples().iter().map(|tu| (tu.id, tu)).collect();
         let mut prov = ProvenanceStore::new();
-        let out = repair_dc_violations(t.schema(), &dc, &violations, &by_id, &mut prov).unwrap();
+        let out = repair_dc_violations(
+            &ExecContext::new(4),
+            t.schema(),
+            &dc,
+            &violations,
+            &by_id,
+            &mut prov,
+        )
+        .unwrap();
         // Fixes touch salary, age and tax cells across the two tuples.
         let touched_columns: std::collections::HashSet<u64> =
             out.delta.updates().iter().map(|u| u.column.raw()).collect();

@@ -16,6 +16,7 @@
 //! 33% candidate.
 
 use daisy_common::{ColumnId, Result, RuleId, Value, WorldId};
+use daisy_exec::ExecContext;
 use daisy_expr::Violation;
 use daisy_storage::{Candidate, Cell, Delta, ProvenanceStore, RuleEvidence, Tuple};
 
@@ -44,6 +45,8 @@ pub struct FdCleanOutcome {
 
 /// Runs `cleanσ` for a functional dependency.
 ///
+/// * `ctx` — the execution context; violation grouping over the relaxed set
+///   is partitioned across its workers (output is worker-count invariant).
 /// * `rule` — the rule id, used for provenance bookkeeping.
 /// * `index` — the pre-computed FD group index over the base table.
 /// * `answer` — the dirty select result (full-width base tuples).
@@ -52,7 +55,9 @@ pub struct FdCleanOutcome {
 ///   not-yet-visited part).
 /// * `filter_on` — which FD side the query filter restricts (drives the
 ///   iteration count, Lemmas 1–2).
+#[allow(clippy::too_many_arguments)]
 pub fn clean_select_fd(
+    ctx: &ExecContext,
     rule: RuleId,
     index: &FdIndex,
     answer: &[Tuple],
@@ -69,15 +74,20 @@ pub fn clean_select_fd(
 
     // Representative conflicting tuples per lhs group (for provenance and
     // violation reporting), computed over the relaxed set only — the paper's
-    // point is precisely that the correlated tuples suffice.
-    let mut group_members: std::collections::HashMap<Value, Vec<usize>> =
-        std::collections::HashMap::new();
-    for (pos, tuple) in relaxed.iter().enumerate() {
-        group_members
-            .entry(index.lhs_key(tuple)?)
-            .or_default()
-            .push(pos);
-    }
+    // point is precisely that the correlated tuples suffice.  The lhs keys
+    // are computed in parallel (order preserving), then grouped with the
+    // lhs-hash-sharded group-by so each worker owns whole FD groups; member
+    // positions stay in ascending relaxed order either way, which keeps the
+    // representative conflicting tuple — and thus the emitted violations and
+    // provenance — identical for every worker count.
+    let lhs_keys: Vec<Value> = daisy_exec::par_flat_map_chunks(ctx, &relaxed, |chunk| {
+        chunk
+            .iter()
+            .map(|t| index.lhs_key(t))
+            .collect::<Result<Vec<Value>>>()
+    })?;
+    let group_members: std::collections::HashMap<Value, Vec<usize>> =
+        daisy_exec::par_group_by_sharded(ctx, &lhs_keys, |k| k.clone());
 
     let mut outcome = FdCleanOutcome {
         answer_len: answer.len(),
@@ -308,6 +318,7 @@ mod tests {
             .collect();
         let mut prov = ProvenanceStore::new();
         let out = clean_select_fd(
+            &ExecContext::new(4),
             RuleId::new(0),
             &index,
             &answer,
@@ -377,6 +388,7 @@ mod tests {
             .collect();
         let mut prov = ProvenanceStore::new();
         let out = clean_select_fd(
+            &ExecContext::new(4),
             RuleId::new(0),
             &index,
             &answer,
@@ -422,6 +434,7 @@ mod tests {
         let index = FdIndex::build(&table, &FunctionalDependency::new(&["zip"], "city")).unwrap();
         let mut prov = ProvenanceStore::new();
         let out = clean_select_fd(
+            &ExecContext::new(4),
             RuleId::new(0),
             &index,
             table.tuples(),
@@ -448,6 +461,7 @@ mod tests {
             .collect();
         let mut prov = ProvenanceStore::new();
         let out = clean_select_fd(
+            &ExecContext::new(4),
             RuleId::new(0),
             &index,
             &answer,

@@ -409,6 +409,7 @@ impl DaisyEngine {
         let outcome = {
             let table = self.catalog.table(table_name)?;
             clean_select_fd(
+                &self.ctx,
                 rule,
                 index,
                 &answer,
@@ -515,14 +516,21 @@ impl DaisyEngine {
         let table_tuples: Vec<Tuple> = self.catalog.table(table_name)?.tuples().to_vec();
         let (violations, stats) = if estimate.decision == CleaningDecision::Full {
             report.strategy = CleaningStrategy::FullRemaining;
-            matrix.check_all(schema, &table_tuples)?
+            matrix.check_all(&self.ctx, schema, &table_tuples)?
         } else {
-            matrix.check_range(schema, &table_tuples, low.as_ref(), high.as_ref())?
+            matrix.check_range(
+                &self.ctx,
+                schema,
+                &table_tuples,
+                low.as_ref(),
+                high.as_ref(),
+            )?
         };
 
         let by_id: HashMap<TupleId, &Tuple> = table_tuples.iter().map(|t| (t.id, t)).collect();
         let provenance = self.provenance.entry(table_name.to_string()).or_default();
-        let outcome = repair_dc_violations(schema, rule, &violations, &by_id, provenance)?;
+        let outcome =
+            repair_dc_violations(&self.ctx, schema, rule, &violations, &by_id, provenance)?;
         drop(by_id);
 
         let cells_updated = outcome.delta.len();
@@ -577,6 +585,7 @@ impl DaisyEngine {
             let table = self.catalog.table(table_name)?;
             let all = table.tuples().to_vec();
             clean_select_fd(
+                &self.ctx,
                 rule,
                 index,
                 &all,
@@ -618,12 +627,18 @@ impl DaisyEngine {
                     &constraint,
                     self.config.theta_blocks_per_side(),
                 )?;
-                let (violations, _) = matrix.check_all(&schema, &table_tuples)?;
+                let (violations, _) = matrix.check_all(&self.ctx, &schema, &table_tuples)?;
                 let by_id: HashMap<TupleId, &Tuple> =
                     table_tuples.iter().map(|t| (t.id, t)).collect();
                 let provenance = self.provenance.entry(table_name.to_string()).or_default();
-                let outcome =
-                    repair_dc_violations(&schema, &constraint, &violations, &by_id, provenance)?;
+                let outcome = repair_dc_violations(
+                    &self.ctx,
+                    &schema,
+                    &constraint,
+                    &violations,
+                    &by_id,
+                    provenance,
+                )?;
                 drop(by_id);
                 let repaired = outcome.errors_detected;
                 if !outcome.delta.is_empty() {

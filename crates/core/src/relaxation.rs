@@ -300,6 +300,52 @@ mod tests {
     }
 
     #[test]
+    fn hypergeometric_probability_boundary_inputs() {
+        // Zero violations: drawing any sample can never hit one.
+        assert_eq!(probability_more_violations(100, 0, 1), 0.0);
+        assert_eq!(probability_more_violations(100, 0, 100), 0.0);
+        // Every tuple violates: any non-empty sample hits one.
+        assert_eq!(probability_more_violations(100, 100, 1), 1.0);
+        // More reported violations than tuples (degenerate caller input)
+        // clamps to certainty rather than under- or overflowing.
+        assert_eq!(probability_more_violations(100, 250, 1), 1.0);
+        // An empty relaxed result cannot contain a violation.
+        assert_eq!(probability_more_violations(100, 50, 0), 0.0);
+        // Sampling the whole dataset (or more) is certain to include one.
+        assert_eq!(probability_more_violations(10, 1, 10), 1.0);
+        assert_eq!(probability_more_violations(10, 1, 25), 1.0);
+        // An empty dataset has nothing to violate.
+        assert_eq!(probability_more_violations(0, 0, 0), 0.0);
+        assert_eq!(probability_more_violations(0, 5, 5), 0.0);
+        // A single-tuple sample of a half-dirty dataset: exactly 1/2.
+        let p = probability_more_violations(2, 1, 1);
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxed_size_bound_boundary_inputs() {
+        // No constrained attributes → nothing can be pulled in.
+        assert_eq!(relaxed_size_upper_bound(&[], &[]), 0);
+
+        let table = cities();
+        let stats = TableStatistics::compute(&table).unwrap();
+        let zip_stats = stats.column("zip").unwrap();
+
+        // Empty answer: no values to correlate on, bound is zero.
+        assert_eq!(relaxed_size_upper_bound(&[zip_stats], &[vec![]]), 0);
+
+        // The answer already contains every tuple of its group: the
+        // subtraction saturates at zero instead of wrapping.
+        let answer = vec![Value::Int(9001), Value::Int(9001), Value::Int(9001)];
+        assert_eq!(relaxed_size_upper_bound(&[zip_stats], &[answer]), 0);
+
+        // An answer value absent from the dataset contributes zero
+        // frequency, and the (over-counted) answer occurrences saturate.
+        let answer = vec![Value::Int(424242)];
+        assert_eq!(relaxed_size_upper_bound(&[zip_stats], &[answer]), 0);
+    }
+
+    #[test]
     fn relaxed_size_bound_matches_lemma3_shape() {
         let table = cities();
         let stats = TableStatistics::compute(&table).unwrap();

@@ -19,6 +19,7 @@
 use std::collections::{HashMap, HashSet};
 
 use daisy_common::{DaisyError, Result, Schema, Value};
+use daisy_exec::ExecContext;
 use daisy_expr::{DenialConstraint, Operand, Violation};
 use daisy_storage::Tuple;
 
@@ -51,6 +52,17 @@ pub struct ThetaCheckStats {
     pub blocks_pruned: usize,
     /// Tuple pairs actually compared.
     pub pairs_compared: usize,
+}
+
+impl ThetaCheckStats {
+    /// Accumulates the statistics of another (per-partition) check into
+    /// these.  All counters are order-independent sums, so merging partition
+    /// results in any order yields the same totals as a sequential check.
+    pub fn merge(&mut self, other: &ThetaCheckStats) {
+        self.blocks_checked += other.blocks_checked;
+        self.blocks_pruned += other.blocks_pruned;
+        self.pairs_compared += other.pairs_compared;
+    }
 }
 
 /// The partitioned cartesian-product matrix of one table under one DC.
@@ -225,11 +237,12 @@ impl ThetaMatrix {
     /// are returned in canonical (sorted tuple id) form, de-duplicated.
     pub fn check_all(
         &mut self,
+        ctx: &ExecContext,
         schema: &Schema,
         tuples: &[Tuple],
     ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
         let rows: Vec<usize> = (0..self.blocks.len()).collect();
-        self.check_blocks(schema, tuples, &rows, false)
+        self.check_blocks(ctx, schema, tuples, &rows)
     }
 
     /// Incrementally checks the sub-matrix relevant to a query whose result
@@ -237,6 +250,7 @@ impl ThetaMatrix {
     /// row block overlaps the range and that has not been checked before.
     pub fn check_range(
         &mut self,
+        ctx: &ExecContext,
         schema: &Schema,
         tuples: &[Tuple],
         low: Option<&Value>,
@@ -250,42 +264,64 @@ impl ThetaMatrix {
                 low.is_none_or(|l| &bounds.max >= l) && high.is_none_or(|h| &bounds.min <= h)
             })
             .collect();
-        self.check_blocks(schema, tuples, &rows, true)
+        self.check_blocks(ctx, schema, tuples, &rows)
     }
 
+    /// Checks the not-yet-checked block pairs reachable from `rows`,
+    /// partitioned over the execution context's workers.
+    ///
+    /// The pair keys are collected in deterministic row-major order, split
+    /// into even contiguous partitions, and each partition is pruned/checked
+    /// independently (both `blocks_can_violate` and the pair comparison only
+    /// read the matrix).  Per-partition violations are concatenated in
+    /// partition order and then canonicalised by [`dedup_violations`], and
+    /// per-partition [`ThetaCheckStats`] are merged, so the output is
+    /// byte-identical for every worker count.  Already-checked pairs
+    /// (`checked` is global state shared between incremental and full calls)
+    /// are never re-checked.
     fn check_blocks(
         &mut self,
+        ctx: &ExecContext,
         schema: &Schema,
         tuples: &[Tuple],
         rows: &[usize],
-        skip_checked: bool,
     ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
-        let mut stats = ThetaCheckStats::default();
-        let mut violations: Vec<Violation> = Vec::new();
+        let mut keys: Vec<(usize, usize)> = Vec::new();
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
         for &row in rows {
             for col in 0..self.blocks.len() {
                 let key = (row.min(col), row.max(col));
-                if skip_checked && self.checked.contains(&key) {
+                if self.checked.contains(&key) || !seen.insert(key) {
                     continue;
                 }
-                if self.checked.contains(&key) && !skip_checked {
-                    // Full cleaning re-checks nothing either; checked is
-                    // global state shared with incremental calls.
-                    continue;
-                }
-                if !self.blocks_can_violate(key.0, key.1) {
-                    self.checked.insert(key);
-                    stats.blocks_pruned += 1;
-                    continue;
-                }
-                stats.blocks_checked += 1;
-                let found = self.check_block_pair(schema, tuples, key.0, key.1, &mut stats)?;
-                violations.extend(found);
-                self.checked.insert(key);
+                keys.push(key);
             }
         }
-        violations = dedup_violations(violations);
-        Ok((violations, stats))
+
+        let this: &ThetaMatrix = self;
+        let partials: Vec<(Vec<Violation>, ThetaCheckStats)> =
+            daisy_exec::par_flat_map_chunks(ctx, &keys, |chunk| {
+                let mut stats = ThetaCheckStats::default();
+                let mut found: Vec<Violation> = Vec::new();
+                for &(a, b) in chunk {
+                    if !this.blocks_can_violate(a, b) {
+                        stats.blocks_pruned += 1;
+                        continue;
+                    }
+                    stats.blocks_checked += 1;
+                    found.extend(this.check_block_pair(schema, tuples, a, b, &mut stats)?);
+                }
+                Ok::<_, DaisyError>(vec![(found, stats)])
+            })?;
+
+        let mut stats = ThetaCheckStats::default();
+        let mut violations: Vec<Violation> = Vec::new();
+        for (found, partial) in partials {
+            violations.extend(found);
+            stats.merge(&partial);
+        }
+        self.checked.extend(keys);
+        Ok((dedup_violations(violations), stats))
     }
 
     fn check_block_pair(
@@ -418,13 +454,19 @@ mod tests {
         DenialConstraint::parse("phi", "t1.salary < t2.salary & t1.tax > t2.tax").unwrap()
     }
 
+    fn ctx() -> ExecContext {
+        ExecContext::new(4)
+    }
+
     #[test]
     fn full_check_finds_paper_example_violation() {
         // Example 5: (1000, 0.1), (3000, 0.2), (2000, 0.3): the last two
         // violate (lower salary, higher tax).
         let table = salary_table(&[(1000, 0.1), (3000, 0.2), (2000, 0.3)]);
         let mut matrix = ThetaMatrix::build(table.schema(), table.tuples(), &dc(), 2).unwrap();
-        let (violations, stats) = matrix.check_all(table.schema(), table.tuples()).unwrap();
+        let (violations, stats) = matrix
+            .check_all(&ctx(), table.schema(), table.tuples())
+            .unwrap();
         assert_eq!(violations.len(), 1);
         assert_eq!(
             violations[0].canonical().tuples,
@@ -458,7 +500,7 @@ mod tests {
         expected.dedup();
 
         let mut matrix = ThetaMatrix::build(schema, table.tuples(), &constraint, 4).unwrap();
-        let (found, _) = matrix.check_all(schema, table.tuples()).unwrap();
+        let (found, _) = matrix.check_all(&ctx(), schema, table.tuples()).unwrap();
         assert_eq!(found.len(), expected.len());
 
         // Incremental checking over two disjoint ranges also covers all
@@ -467,6 +509,7 @@ mod tests {
         let mut incremental = ThetaMatrix::build(schema, table.tuples(), &constraint, 4).unwrap();
         let (first, s1) = incremental
             .check_range(
+                &ctx(),
                 schema,
                 table.tuples(),
                 Some(&Value::Int(1000)),
@@ -474,7 +517,13 @@ mod tests {
             )
             .unwrap();
         let (second, s2) = incremental
-            .check_range(schema, table.tuples(), Some(&Value::Int(1300)), None)
+            .check_range(
+                &ctx(),
+                schema,
+                table.tuples(),
+                Some(&Value::Int(1300)),
+                None,
+            )
             .unwrap();
         let mut combined: Vec<Violation> = first.into_iter().chain(second).collect();
         combined = super::dedup_violations(combined);
@@ -491,7 +540,9 @@ mod tests {
         let rows: Vec<(i64, f64)> = (0..40).map(|i| (1000 + i, i as f64)).collect();
         let table = salary_table(&rows);
         let mut matrix = ThetaMatrix::build(table.schema(), table.tuples(), &dc(), 4).unwrap();
-        let (violations, stats) = matrix.check_all(table.schema(), table.tuples()).unwrap();
+        let (violations, stats) = matrix
+            .check_all(&ctx(), table.schema(), table.tuples())
+            .unwrap();
         assert!(violations.is_empty());
         assert!(stats.blocks_pruned > 0);
     }

@@ -21,6 +21,9 @@ pub mod parallel;
 pub mod partitioning;
 pub mod pool;
 
-pub use parallel::{par_filter, par_flat_map, par_group_by, par_map, par_map_chunks};
+pub use parallel::{
+    par_filter, par_flat_map, par_flat_map_chunks, par_group_by, par_group_by_sharded, par_map,
+    par_map_chunks,
+};
 pub use partitioning::{chunk_ranges, Partitioning};
 pub use pool::ExecContext;

@@ -6,7 +6,7 @@
 //! worker threads.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 use crate::partitioning::chunk_ranges;
 use crate::pool::ExecContext;
@@ -108,6 +108,130 @@ where
     F: Fn(&T) -> Vec<U> + Sync,
 {
     par_map_chunks(ctx, input, |chunk| chunk.iter().flat_map(&f).collect())
+}
+
+/// Fallible chunk-at-a-time flat-map preserving order.
+///
+/// Like [`par_map_chunks`], but the per-chunk function may fail.  The
+/// per-chunk outputs are concatenated in chunk order; if any chunk fails,
+/// the error of the *earliest* failing chunk is returned, so the observable
+/// outcome (success value or error) is independent of the worker count and
+/// of thread scheduling.
+///
+/// This is the workhorse behind the parallel theta-join DC check and the
+/// parallel candidate-range construction, whose per-partition closures
+/// evaluate constraints and may return evaluation errors.
+pub fn par_flat_map_chunks<T, U, E, F>(
+    ctx: &ExecContext,
+    input: &[T],
+    f: F,
+) -> std::result::Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&[T]) -> std::result::Result<Vec<U>, E> + Sync,
+{
+    if input.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = ctx.workers().min(input.len()).max(1);
+    if workers == 1 {
+        return f(input);
+    }
+    let ranges = chunk_ranges(input.len(), workers);
+    let mut outputs: Vec<std::result::Result<Vec<U>, E>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            let f = &f;
+            handles.push(scope.spawn(move || f(&input[start..end])));
+        }
+        for handle in handles {
+            outputs.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+    let mut merged = Vec::new();
+    for out in outputs {
+        merged.extend(out?);
+    }
+    Ok(merged)
+}
+
+/// Parallel hash group-by sharded by key hash: each worker owns *whole*
+/// groups.
+///
+/// Phase one computes every element's key (and its shard) in parallel,
+/// preserving order; phase two assigns each shard `h(key) % workers` to one
+/// worker, which collects the indices of its shard's keys in ascending
+/// order.  Because a group's members all hash to the same shard, no group is
+/// ever split across workers and no cross-worker merge of index lists is
+/// needed — the per-group index lists are identical to a sequential
+/// group-by regardless of the worker count.
+///
+/// Use this over [`par_group_by`] when downstream code works group-at-a-time
+/// (e.g. FD violation grouping, where a worker needs the complete lhs group
+/// to decide dirtiness).
+pub fn par_group_by_sharded<T, K, F>(
+    ctx: &ExecContext,
+    input: &[T],
+    key: F,
+) -> HashMap<K, Vec<usize>>
+where
+    T: Sync,
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    if input.is_empty() {
+        return HashMap::new();
+    }
+    let workers = ctx.workers().min(input.len()).max(1);
+    if workers == 1 {
+        let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
+        for (i, t) in input.iter().enumerate() {
+            groups.entry(key(t)).or_default().push(i);
+        }
+        return groups;
+    }
+    // Phase 1: keys and shard assignments, in input order.
+    let keyed: Vec<(K, usize)> = par_map(ctx, input, |t| {
+        let k = key(t);
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        k.hash(&mut hasher);
+        let shard = (hasher.finish() as usize) % workers;
+        (k, shard)
+    });
+    // Route each element index to its shard's work list (one cheap serial
+    // pass), so phase 2 is O(n) total instead of every worker rescanning
+    // the whole input.  Pushing indices in input order keeps the per-group
+    // lists ascending.
+    let mut shard_positions: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for (i, (_, s)) in keyed.iter().enumerate() {
+        shard_positions[*s].push(i);
+    }
+    // Phase 2: one worker per shard; shards are disjoint by construction.
+    let mut partials: Vec<HashMap<K, Vec<usize>>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for positions in &shard_positions {
+            let keyed = &keyed;
+            handles.push(scope.spawn(move || {
+                let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
+                for &i in positions {
+                    groups.entry(keyed[i].0.clone()).or_default().push(i);
+                }
+                groups
+            }));
+        }
+        for handle in handles {
+            partials.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+    let mut merged: HashMap<K, Vec<usize>> = HashMap::new();
+    for partial in partials {
+        merged.extend(partial);
+    }
+    merged
 }
 
 /// Parallel hash group-by.
@@ -230,5 +354,53 @@ mod tests {
         assert!(par_map(&ctx, &empty, |x| *x).is_empty());
         assert!(par_filter(&ctx, &empty, |_, _| true).is_empty());
         assert!(par_group_by(&ctx, &empty, |x| *x).is_empty());
+        assert!(par_group_by_sharded(&ctx, &empty, |x| *x).is_empty());
+        assert_eq!(
+            par_flat_map_chunks(&ctx, &empty, |c: &[i64]| Ok::<_, ()>(c.to_vec())),
+            Ok(Vec::new())
+        );
+    }
+
+    #[test]
+    fn par_flat_map_chunks_concatenates_in_chunk_order() {
+        let input: Vec<i64> = (0..500).collect();
+        let expected: Vec<i64> = input.iter().flat_map(|x| vec![*x, -*x]).collect();
+        for ctx in ctxs() {
+            let out = par_flat_map_chunks(&ctx, &input, |chunk| {
+                Ok::<_, String>(chunk.iter().flat_map(|x| vec![*x, -*x]).collect())
+            });
+            assert_eq!(out.as_ref(), Ok(&expected));
+        }
+    }
+
+    #[test]
+    fn par_flat_map_chunks_returns_earliest_chunk_error() {
+        // Elements 100 and 400 both fail; the error of the earliest failing
+        // chunk must win for every worker count.
+        let input: Vec<i64> = (0..500).collect();
+        for ctx in ctxs() {
+            let out = par_flat_map_chunks(&ctx, &input, |chunk| {
+                for x in chunk {
+                    if *x == 100 || *x == 400 {
+                        return Err(format!("bad element {x}"));
+                    }
+                }
+                Ok(vec![()])
+            });
+            assert_eq!(out.unwrap_err(), "bad element 100");
+        }
+    }
+
+    #[test]
+    fn par_group_by_sharded_matches_sequential_grouping() {
+        let input: Vec<i64> = (0..1000).map(|x| x % 13).collect();
+        let mut expected: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, x) in input.iter().enumerate() {
+            expected.entry(*x).or_default().push(i);
+        }
+        for ctx in ctxs() {
+            let groups = par_group_by_sharded(&ctx, &input, |x| *x);
+            assert_eq!(groups, expected);
+        }
     }
 }

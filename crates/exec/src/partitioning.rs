@@ -9,9 +9,9 @@ pub struct Partitioning {
 
 impl Partitioning {
     /// Splits `len` elements into at most `parts` contiguous, balanced
-    /// partitions.  Empty partitions are never produced; if `len < parts`
-    /// the number of partitions equals `len` (or one empty range when
-    /// `len == 0`).
+    /// partitions.  Empty partitions are never produced: if `len < parts`
+    /// the number of partitions equals `len`, and when `len == 0` the
+    /// partitioning has no ranges at all (`is_empty()` returns `true`).
     pub fn even(len: usize, parts: usize) -> Self {
         Partitioning {
             ranges: chunk_ranges(len, parts),
@@ -44,10 +44,11 @@ impl Partitioning {
 /// Splits `0..len` into at most `parts` contiguous balanced half-open ranges.
 ///
 /// The first `len % parts` ranges receive one extra element so that range
-/// sizes differ by at most one.
+/// sizes differ by at most one.  An empty input produces no ranges (never an
+/// empty `(0, 0)` range), so every returned range is non-empty.
 pub fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
     if len == 0 {
-        return vec![(0, 0)];
+        return Vec::new();
     }
     let parts = parts.max(1).min(len);
     let base = len / parts;
@@ -68,7 +69,7 @@ mod tests {
 
     #[test]
     fn ranges_cover_input_exactly() {
-        for len in [0usize, 1, 7, 100, 101] {
+        for len in [1usize, 7, 100, 101] {
             for parts in [1usize, 2, 3, 8, 200] {
                 let ranges = chunk_ranges(len, parts);
                 assert_eq!(ranges.first().unwrap().0, 0);
@@ -90,7 +91,22 @@ mod tests {
     #[test]
     fn never_more_partitions_than_elements() {
         assert_eq!(chunk_ranges(3, 10).len(), 3);
-        assert_eq!(chunk_ranges(0, 10), vec![(0, 0)]);
+        assert!(chunk_ranges(0, 10).is_empty());
+    }
+
+    #[test]
+    fn zero_length_input_produces_no_partitions() {
+        // Regression: `even(0, parts)` used to return a single empty
+        // `(0, 0)` range, contradicting the documented "empty partitions are
+        // never produced" guarantee.
+        for parts in [1usize, 2, 10] {
+            let p = Partitioning::even(0, parts);
+            assert!(p.is_empty());
+            assert_eq!(p.len(), 0);
+            assert_eq!(p.partition_of(0), None);
+            // Every produced range, for any input, is non-empty.
+            assert!(p.ranges().iter().all(|(s, e)| e > s));
+        }
     }
 
     #[test]

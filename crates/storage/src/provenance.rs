@@ -154,6 +154,20 @@ impl ProvenanceStore {
             .collect()
     }
 
+    /// A canonical dump of the whole store: every cell's provenance, sorted
+    /// by `(tuple, column)`.
+    ///
+    /// The store itself is hash-keyed, so iterating it directly yields an
+    /// arbitrary order; the dump is the deterministic view used to compare
+    /// provenance across runs (e.g. the cross-thread-count determinism
+    /// suite asserts dumps are identical for every worker count).
+    pub fn dump(&self) -> Vec<((TupleId, ColumnId), CellProvenance)> {
+        let mut entries: Vec<((TupleId, ColumnId), CellProvenance)> =
+            self.cells.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+
     /// All cells that have evidence from a specific rule.
     pub fn cells_for_rule(&self, rule: RuleId) -> Vec<(TupleId, ColumnId)> {
         let mut keys: Vec<(TupleId, ColumnId)> = self
@@ -205,6 +219,20 @@ mod tests {
         );
         assert_eq!(store.cells_for_rule(RuleId::new(1)), vec![(t, c)]);
         assert!(store.cells_for_rule(RuleId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn dump_is_sorted_and_complete() {
+        let mut store = ProvenanceStore::new();
+        store.record_original(TupleId::new(9), ColumnId::new(1), Value::Int(1));
+        store.record_original(TupleId::new(2), ColumnId::new(0), Value::Int(2));
+        store.record_evidence(TupleId::new(2), ColumnId::new(0), ev(0, &[9]));
+        let dump = store.dump();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].0, (TupleId::new(2), ColumnId::new(0)));
+        assert_eq!(dump[1].0, (TupleId::new(9), ColumnId::new(1)));
+        assert_eq!(dump[0].1.original, Some(Value::Int(2)));
+        assert_eq!(dump[0].1.evidence.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Integration tests: cross-thread-count determinism.
+//!
+//! Every data-parallel primitive in `daisy-exec` is order preserving, and
+//! the parallelised cleaning kernels (the partial theta-join DC check, FD
+//! violation grouping in `cleanσ`, and candidate-range construction in the
+//! general-DC repair) merge their per-partition results in partition order.
+//! The end-to-end guarantee this buys is that **the number of worker
+//! threads never changes any observable output**: query results, cleaning
+//! reports, provenance, and the final probabilistic state of the base
+//! tables are byte-identical whether the engine runs on 1 thread or 7.
+//!
+//! These tests pin that guarantee down for the three workload families the
+//! other integration suites exercise (SP cleaning, SPJ cleaning, and
+//! general-DC engine workloads).
+
+use daisy::common::{ColumnId, TupleId};
+use daisy::data::errors::{inject_fd_errors, inject_inequality_errors};
+use daisy::data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
+use daisy::data::workload::non_overlapping_range_queries;
+use daisy::prelude::*;
+use daisy::storage::{CellProvenance, Tuple};
+
+/// The worker counts every scenario is replayed at; 1 is the sequential
+/// baseline, 7 deliberately does not divide typical block/row counts.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// A canonical provenance dump, as produced by `ProvenanceStore::dump`.
+type ProvenanceDump = Vec<((TupleId, ColumnId), CellProvenance)>;
+
+/// Everything observable about one engine session, in deterministic order.
+#[derive(Debug, Clone, PartialEq)]
+struct SessionSnapshot {
+    /// Per-query result tuples (schema-ordered cells, candidate sets and
+    /// all — `Tuple` equality is structural).
+    results: Vec<Vec<Tuple>>,
+    /// Per-query report counters (everything except wall-clock time).
+    reports: Vec<ReportCounters>,
+    /// Canonical provenance dump per table, in table-name order.
+    provenance: Vec<(String, ProvenanceDump)>,
+    /// Final base-table tuples per table, in table-name order.
+    tables: Vec<(String, Vec<Tuple>)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ReportCounters {
+    strategy: CleaningStrategy,
+    result_tuples: usize,
+    extra_tuples: usize,
+    relaxation_iterations: usize,
+    errors_repaired: usize,
+    cells_updated: usize,
+    estimated_accuracy: f64,
+}
+
+/// Runs `queries` against a fresh engine built by `setup` and snapshots
+/// every observable output.
+fn snapshot(mut engine: DaisyEngine, table_names: &[&str], queries: &[Query]) -> SessionSnapshot {
+    let mut results = Vec::with_capacity(queries.len());
+    for query in queries {
+        let outcome = engine.execute(query).expect("query must succeed");
+        results.push(outcome.result.tuples);
+    }
+    let reports = engine
+        .session()
+        .queries
+        .iter()
+        .map(|r| ReportCounters {
+            strategy: r.strategy,
+            result_tuples: r.result_tuples,
+            extra_tuples: r.extra_tuples,
+            relaxation_iterations: r.relaxation_iterations,
+            errors_repaired: r.errors_repaired,
+            cells_updated: r.cells_updated,
+            estimated_accuracy: r.estimated_accuracy,
+        })
+        .collect();
+    let mut names: Vec<&str> = table_names.to_vec();
+    names.sort_unstable();
+    let provenance = names
+        .iter()
+        .map(|n| {
+            (
+                n.to_string(),
+                engine.provenance(n).map(|p| p.dump()).unwrap_or_default(),
+            )
+        })
+        .collect();
+    let tables = names
+        .iter()
+        .map(|n| (n.to_string(), engine.table(n).unwrap().tuples().to_vec()))
+        .collect();
+    SessionSnapshot {
+        results,
+        reports,
+        provenance,
+        tables,
+    }
+}
+
+/// Replays one scenario at every worker count and asserts each snapshot is
+/// identical to the single-threaded baseline.
+fn assert_thread_count_invariant<F>(scenario: &str, table_names: &[&str], build: F)
+where
+    F: Fn(usize) -> (DaisyEngine, Vec<Query>),
+{
+    let (engine, queries) = build(1);
+    let baseline = snapshot(engine, table_names, &queries);
+    assert!(
+        baseline.reports.iter().any(|r| r.errors_repaired > 0),
+        "scenario `{scenario}` must actually repair something to be a meaningful determinism probe"
+    );
+    for workers in &WORKER_COUNTS[1..] {
+        let (engine, queries) = build(*workers);
+        let replay = snapshot(engine, table_names, &queries);
+        assert_eq!(
+            baseline, replay,
+            "scenario `{scenario}` diverged at {workers} worker threads"
+        );
+    }
+}
+
+fn config(workers: usize) -> DaisyConfig {
+    DaisyConfig::default()
+        .with_worker_threads(workers)
+        .with_data_partitions(2 * workers)
+        .with_cost_model(false)
+}
+
+#[test]
+fn sp_fd_cleaning_is_thread_count_invariant() {
+    let ssb = SsbConfig {
+        lineorder_rows: 1_200,
+        distinct_orderkeys: 120,
+        distinct_suppkeys: 40,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&ssb).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.15, 41).unwrap();
+    let workload =
+        non_overlapping_range_queries(&table, "suppkey", 8, &["orderkey", "suppkey"]).unwrap();
+
+    assert_thread_count_invariant("sp", &["lineorder"], |workers| {
+        let mut engine = DaisyEngine::new(config(workers)).unwrap();
+        engine.register_table(table.clone());
+        engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+        (engine, workload.queries.clone())
+    });
+}
+
+#[test]
+fn spj_cleaning_is_thread_count_invariant() {
+    let ssb = SsbConfig {
+        lineorder_rows: 1_000,
+        distinct_orderkeys: 100,
+        distinct_suppkeys: 40,
+        ..SsbConfig::default()
+    };
+    let mut lineorder = generate_lineorder(&ssb).unwrap();
+    let mut supplier = generate_supplier(&ssb).unwrap();
+    inject_fd_errors(&mut lineorder, "orderkey", "suppkey", 1.0, 0.1, 42).unwrap();
+    inject_fd_errors(&mut supplier, "address", "suppkey", 0.5, 0.5, 43).unwrap();
+    let queries: Vec<Query> = [
+        "SELECT lineorder.orderkey, lineorder.suppkey, supplier.name FROM lineorder \
+         JOIN supplier ON lineorder.suppkey = supplier.suppkey WHERE orderkey <= 30",
+        "SELECT lineorder.orderkey, supplier.address FROM lineorder \
+         JOIN supplier ON lineorder.suppkey = supplier.suppkey WHERE orderkey <= 200",
+    ]
+    .iter()
+    .map(|sql| parse_query(sql).unwrap())
+    .collect();
+
+    assert_thread_count_invariant("spj", &["lineorder", "supplier"], |workers| {
+        let mut engine = DaisyEngine::new(config(workers)).unwrap();
+        engine.register_table(lineorder.clone());
+        engine.register_table(supplier.clone());
+        engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+        engine.add_fd(&FunctionalDependency::new(&["address"], "suppkey"), "psi");
+        (engine, queries.clone())
+    });
+}
+
+#[test]
+fn general_dc_engine_workload_is_thread_count_invariant() {
+    let ssb = SsbConfig {
+        lineorder_rows: 900,
+        distinct_orderkeys: 180,
+        distinct_suppkeys: 20,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&ssb).unwrap();
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.05, 0.5, 44).unwrap();
+    let queries: Vec<Query> = [
+        "SELECT extended_price, discount FROM lineorder WHERE extended_price <= 4000",
+        "SELECT extended_price, discount FROM lineorder WHERE extended_price >= 3000",
+        "SELECT extended_price, discount FROM lineorder",
+    ]
+    .iter()
+    .map(|sql| parse_query(sql).unwrap())
+    .collect();
+
+    assert_thread_count_invariant("engine-dc", &["lineorder"], |workers| {
+        let mut engine = DaisyEngine::new(config(workers).with_theta_partitions(16)).unwrap();
+        engine.register_table(table.clone());
+        engine
+            .add_constraint_text(
+                "dc",
+                "t1.extended_price < t2.extended_price & t1.discount > t2.discount",
+            )
+            .unwrap();
+        (engine, queries.clone())
+    });
+}
+
+#[test]
+fn worker_thread_env_override_preserves_results() {
+    // The CI matrix forces DAISY_WORKER_THREADS; when it is set, the forced
+    // count must flow into `DaisyConfig::default()` (the plumbing this test
+    // pins down), and an engine built from the untouched default must
+    // return the same results as one with an explicit, different worker
+    // count — i.e. the override can change only the thread count, never
+    // behaviour.
+    if let Some(forced) = DaisyConfig::env_worker_threads() {
+        assert_eq!(
+            DaisyConfig::default().worker_threads,
+            forced,
+            "DAISY_WORKER_THREADS must size the default config"
+        );
+    }
+
+    let ssb = SsbConfig {
+        lineorder_rows: 400,
+        distinct_orderkeys: 40,
+        distinct_suppkeys: 10,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&ssb).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.2, 45).unwrap();
+
+    let run = |cfg: DaisyConfig| {
+        let mut engine = DaisyEngine::new(cfg).unwrap();
+        engine.register_table(table.clone());
+        engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+        let outcome = engine
+            .execute_sql("SELECT orderkey, suppkey FROM lineorder WHERE suppkey <= 5")
+            .unwrap();
+        (outcome.result.tuples, outcome.report.errors_repaired)
+    };
+    // Env-sized (or machine-sized) default vs an explicit different count.
+    let default_cfg = DaisyConfig::default().with_cost_model(false);
+    let other_workers = default_cfg.worker_threads + 3;
+    assert_eq!(run(default_cfg), run(config(other_workers)));
+}

@@ -234,6 +234,104 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential oracle for the parallel theta-join DC check: on a random
+    /// table and worker count, the partitioned parallel check finds exactly
+    /// the violation set (and the same block/pair statistics) as the
+    /// sequential `ExecContext::sequential()` path.
+    #[test]
+    fn parallel_theta_check_matches_sequential_oracle(
+        rows in prop::collection::vec((0i64..40, 0i64..40), 2..90),
+        blocks in 1usize..7,
+        workers in 2usize..9,
+    ) {
+        use daisy::core::theta::ThetaMatrix;
+        use daisy::exec::ExecContext;
+
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap();
+        let table = Table::from_rows(
+            "t",
+            schema,
+            rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]).collect(),
+        )
+        .unwrap();
+        let dc = DenialConstraint::parse("dc", "t1.a < t2.a & t1.b > t2.b").unwrap();
+
+        let mut serial = ThetaMatrix::build(table.schema(), table.tuples(), &dc, blocks).unwrap();
+        let (expected, expected_stats) = serial
+            .check_all(&ExecContext::sequential(), table.schema(), table.tuples())
+            .unwrap();
+
+        let mut parallel = ThetaMatrix::build(table.schema(), table.tuples(), &dc, blocks).unwrap();
+        let (found, stats) = parallel
+            .check_all(&ExecContext::new(workers), table.schema(), table.tuples())
+            .unwrap();
+
+        prop_assert_eq!(&found, &expected);
+        prop_assert_eq!(stats, expected_stats);
+
+        // And both must agree with a brute-force quadratic reference.
+        let mut brute = Vec::new();
+        for x in table.tuples() {
+            for y in table.tuples() {
+                if x.id != y.id && dc.violated_by(table.schema(), &[x, y]).unwrap() {
+                    brute.push(daisy::expr::Violation::pair(dc.id, x.id, y.id).canonical());
+                }
+            }
+        }
+        brute.sort_by(|a, b| a.tuples.cmp(&b.tuples));
+        brute.dedup();
+        prop_assert_eq!(found, brute);
+    }
+
+    /// The incremental range check is thread-count invariant too, including
+    /// the shared `checked` bookkeeping: two successive range checks at any
+    /// worker count find the same combined violations as one sequential
+    /// full check.
+    #[test]
+    fn parallel_incremental_theta_check_matches_sequential_oracle(
+        rows in prop::collection::vec((0i64..30, 0i64..30), 2..70),
+        split in 0i64..30,
+        workers in 2usize..9,
+    ) {
+        use daisy::core::theta::ThetaMatrix;
+        use daisy::exec::ExecContext;
+
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap();
+        let table = Table::from_rows(
+            "t",
+            schema,
+            rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]).collect(),
+        )
+        .unwrap();
+        let dc = DenialConstraint::parse("dc", "t1.a < t2.a & t1.b > t2.b").unwrap();
+
+        let run = |ctx: &ExecContext| {
+            let mut matrix =
+                ThetaMatrix::build(table.schema(), table.tuples(), &dc, 4).unwrap();
+            let (first, s1) = matrix
+                .check_range(ctx, table.schema(), table.tuples(), None, Some(&Value::Int(split)))
+                .unwrap();
+            let (second, s2) = matrix
+                .check_range(ctx, table.schema(), table.tuples(), Some(&Value::Int(split)), None)
+                .unwrap();
+            let mut stats = s1;
+            stats.merge(&s2);
+            let mut combined: Vec<daisy::expr::Violation> =
+                first.into_iter().chain(second).collect();
+            combined.sort_by(|a, b| a.tuples.cmp(&b.tuples));
+            combined.dedup();
+            (combined, stats)
+        };
+        let (expected, expected_stats) = run(&ExecContext::sequential());
+        let (found, stats) = run(&ExecContext::new(workers));
+        prop_assert_eq!(found, expected);
+        prop_assert_eq!(stats, expected_stats);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// The §4.1 correctness guarantee as a property: for a random dirty

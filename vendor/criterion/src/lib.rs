@@ -167,12 +167,41 @@ pub struct Bencher {
     iters: u32,
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`]. Accepted and ignored by
+/// the stub (every batch holds a single input).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
 impl Bencher {
     /// Times `routine`, running it a fixed small number of iterations.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         for _ in 0..STUB_ITERS {
             let start = Instant::now();
             black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the routine
+    /// is measured, so per-iteration input construction (e.g. cloning a
+    /// mutated-in-place structure) stays out of the timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..STUB_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
             self.elapsed += start.elapsed();
             self.iters += 1;
         }
