@@ -1,0 +1,259 @@
+//! Machine-readable perf trajectory for the detection strategies.
+//!
+//! Times the three cleaning kernels — the theta DC check, `cleanσ` for FDs
+//! (clean-select), and general-DC repair — at 2k and 8k rows under both the
+//! pairwise and the indexed detection strategy, and writes the measurements
+//! as `BENCH_detection.json` at the repository root so future changes have a
+//! baseline to diff against.
+//!
+//! Knobs: `DAISY_BENCH_RUNS` (iterations per measurement, min is reported;
+//! default 3) and `DAISY_BENCH_OUT` (output path override).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use daisy_common::{DetectionStrategy, RuleId, TupleId};
+use daisy_core::clean_dc::repair_dc_violations;
+use daisy_core::clean_select::clean_select_fd;
+use daisy_core::fd_index::FdIndex;
+use daisy_core::relaxation::FilterTarget;
+use daisy_core::theta::ThetaMatrix;
+use daisy_data::errors::{inject_fd_errors, inject_inequality_errors};
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_exec::ExecContext;
+use daisy_expr::{DenialConstraint, FunctionalDependency};
+use daisy_storage::{ProvenanceStore, Table, Tuple};
+
+/// One measurement row of the JSON report.
+struct Measurement {
+    kernel: &'static str,
+    rows: usize,
+    strategy: DetectionStrategy,
+    seconds: f64,
+    /// Kernel-specific work counter (violations found / errors detected).
+    work: usize,
+}
+
+fn runs() -> usize {
+    std::env::var("DAISY_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Reports the minimum wall-clock seconds over `runs()` executions of `f`,
+/// along with the work counter of the last execution.
+fn time_min<F: FnMut() -> usize>(mut f: F) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut work = 0;
+    for _ in 0..runs() {
+        let start = Instant::now();
+        work = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, work)
+}
+
+fn dirty_lineorder(rows: usize) -> Table {
+    let config = SsbConfig {
+        lineorder_rows: rows,
+        distinct_orderkeys: rows / 10,
+        distinct_suppkeys: 100,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&config).unwrap();
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.05, 0.5, 7).unwrap();
+    table
+}
+
+/// The equality-bearing DC the index subsystem targets: inverted
+/// price/discount pairs *within a supplier*.
+fn equality_dc() -> DenialConstraint {
+    DenialConstraint::parse(
+        "dc",
+        "t1.suppkey = t2.suppkey & t1.extended_price < t2.extended_price & t1.discount > t2.discount",
+    )
+    .unwrap()
+}
+
+fn main() {
+    let ctx = ExecContext::sequential();
+    let row_counts = [2_000usize, 8_000];
+    let strategies = [DetectionStrategy::Pairwise, DetectionStrategy::Indexed];
+    let mut measurements: Vec<Measurement> = Vec::new();
+
+    for &rows in &row_counts {
+        let table = dirty_lineorder(rows);
+        let dc = equality_dc();
+
+        // Kernel 1: the (full) theta DC check.
+        for &strategy in &strategies {
+            let (seconds, work) = time_min(|| {
+                let mut matrix = ThetaMatrix::build_with_strategy(
+                    table.schema(),
+                    table.tuples(),
+                    &dc,
+                    8,
+                    strategy,
+                )
+                .unwrap();
+                let (violations, _) = matrix
+                    .check_all(&ctx, table.schema(), table.tuples())
+                    .unwrap();
+                violations.len()
+            });
+            eprintln!(
+                "theta_check rows={rows} strategy={strategy}: {seconds:.4}s ({work} violations)"
+            );
+            measurements.push(Measurement {
+                kernel: "theta_check",
+                rows,
+                strategy,
+                seconds,
+                work,
+            });
+        }
+
+        // Kernel 2: clean-select for an FD (detection is hash grouping in
+        // either strategy; recorded under both for a uniform trajectory).
+        let mut fd_table = generate_lineorder(&SsbConfig {
+            lineorder_rows: rows,
+            distinct_orderkeys: rows / 10,
+            distinct_suppkeys: 50,
+            ..SsbConfig::default()
+        })
+        .unwrap();
+        inject_fd_errors(&mut fd_table, "orderkey", "suppkey", 1.0, 0.1, 7).unwrap();
+        let fd = FunctionalDependency::new(&["orderkey"], "suppkey");
+        let fd_index = FdIndex::build(&fd_table, &fd).unwrap();
+        let answer: Vec<Tuple> = fd_table
+            .tuples()
+            .iter()
+            .filter(|t| t.value(1).unwrap().as_int().unwrap() < 1)
+            .cloned()
+            .collect();
+        for &strategy in &strategies {
+            let (seconds, work) = time_min(|| {
+                let mut prov = ProvenanceStore::new();
+                clean_select_fd(
+                    &ctx,
+                    RuleId::new(0),
+                    &fd_index,
+                    &answer,
+                    fd_table.tuples(),
+                    FilterTarget::Rhs,
+                    16,
+                    &mut prov,
+                )
+                .unwrap()
+                .errors_detected
+            });
+            eprintln!(
+                "clean_select rows={rows} strategy={strategy}: {seconds:.4}s ({work} errors)"
+            );
+            measurements.push(Measurement {
+                kernel: "clean_select",
+                rows,
+                strategy,
+                seconds,
+                work,
+            });
+        }
+
+        // Kernel 3: general-DC repair — detection plus candidate-range
+        // construction, end to end.
+        for &strategy in &strategies {
+            let (seconds, work) = time_min(|| {
+                let mut matrix = ThetaMatrix::build_with_strategy(
+                    table.schema(),
+                    table.tuples(),
+                    &dc,
+                    8,
+                    strategy,
+                )
+                .unwrap();
+                let (violations, _) = matrix
+                    .check_all(&ctx, table.schema(), table.tuples())
+                    .unwrap();
+                let by_id: HashMap<TupleId, &Tuple> =
+                    daisy_core::index::id_index(&ctx, table.tuples());
+                let mut prov = ProvenanceStore::new();
+                repair_dc_violations(&ctx, table.schema(), &dc, &violations, &by_id, &mut prov)
+                    .unwrap()
+                    .errors_detected
+            });
+            eprintln!("dc_repair rows={rows} strategy={strategy}: {seconds:.4}s ({work} errors)");
+            measurements.push(Measurement {
+                kernel: "dc_repair",
+                rows,
+                strategy,
+                seconds,
+                work,
+            });
+        }
+    }
+
+    // Sanity: both strategies agree on the work they found.
+    for &rows in &row_counts {
+        for kernel in ["theta_check", "clean_select", "dc_repair"] {
+            let work: Vec<usize> = measurements
+                .iter()
+                .filter(|m| m.kernel == kernel && m.rows == rows)
+                .map(|m| m.work)
+                .collect();
+            assert!(
+                work.windows(2).all(|w| w[0] == w[1]),
+                "{kernel}@{rows}: strategies disagree on results: {work:?}"
+            );
+        }
+    }
+
+    let json = render_json(&row_counts, &measurements);
+    let out = output_path();
+    std::fs::write(&out, json).unwrap();
+    eprintln!("wrote {}", out.display());
+}
+
+fn output_path() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("DAISY_BENCH_OUT") {
+        return path.into();
+    }
+    // crates/bench → repository root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detection.json")
+}
+
+fn render_json(row_counts: &[usize], measurements: &[Measurement]) -> String {
+    let mut json = String::from("{\n  \"bench\": \"detection\",\n  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"rows\": {}, \"strategy\": \"{}\", \"seconds\": {:.6}, \"work\": {}}}{}\n",
+            m.kernel, m.rows, m.strategy, m.seconds, m.work, comma
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_indexed_over_pairwise\": {\n");
+    let mut lines = Vec::new();
+    for &rows in row_counts {
+        for kernel in ["theta_check", "dc_repair"] {
+            let time_of = |strategy: DetectionStrategy| {
+                measurements
+                    .iter()
+                    .find(|m| m.kernel == kernel && m.rows == rows && m.strategy == strategy)
+                    .map(|m| m.seconds)
+            };
+            if let (Some(pairwise), Some(indexed)) = (
+                time_of(DetectionStrategy::Pairwise),
+                time_of(DetectionStrategy::Indexed),
+            ) {
+                lines.push(format!(
+                    "    \"{kernel}_{rows}\": {:.2}",
+                    pairwise / indexed.max(1e-9)
+                ));
+            }
+        }
+    }
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    json
+}

@@ -1,8 +1,74 @@
 //! Engine configuration.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::{DaisyError, Result};
+
+/// How general-DC violation detection enumerates candidate tuple pairs.
+///
+/// * `Pairwise` — the classic partitioned theta-join: every tuple pair of a
+///   surviving block pair is compared (`O(n²)` worst case).
+/// * `Indexed` — hash-partition on the constraint's equality predicates and
+///   sweep each partition in sort order of its inequality predicate, so only
+///   near-violating pairs are ever materialised (near-linear for
+///   equality-bearing DCs).
+/// * `Auto` — pick per (table, rule) from equality-key selectivity
+///   statistics and the detection cost model; tiny inputs and equality-free
+///   constraints stay pairwise.
+///
+/// Either strategy produces byte-identical violations for any worker count;
+/// the knob only trades detection time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectionStrategy {
+    /// Choose per rule via the cost model (the default).
+    #[default]
+    Auto,
+    /// Always enumerate tuple pairs exhaustively.
+    Pairwise,
+    /// Always use the hash-equality / sort-sweep violation index when the
+    /// constraint has an index plan (two quantified tuples).
+    Indexed,
+}
+
+impl DetectionStrategy {
+    /// Parses the textual forms accepted by [`DETECTION_ENV`]
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn parse(text: &str) -> Option<DetectionStrategy> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(DetectionStrategy::Auto),
+            "pairwise" => Some(DetectionStrategy::Pairwise),
+            "indexed" => Some(DetectionStrategy::Indexed),
+            _ => None,
+        }
+    }
+
+    /// The strategy forced through [`DETECTION_ENV`], if the variable is set
+    /// to a recognised value.  Invalid values are ignored (`Auto` applies).
+    pub fn from_env() -> Option<DetectionStrategy> {
+        DetectionStrategy::parse(&std::env::var(DETECTION_ENV).ok()?)
+    }
+}
+
+impl fmt::Display for DetectionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DetectionStrategy::Auto => "auto",
+            DetectionStrategy::Pairwise => "pairwise",
+            DetectionStrategy::Indexed => "indexed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Environment variable overriding the default detection strategy
+/// (`auto` / `pairwise` / `indexed`).
+///
+/// Both strategies emit canonically ordered, de-duplicated violations, so
+/// forcing one only changes wall-clock time, never results — which is what
+/// lets CI run the whole test suite under each forced strategy.
+pub const DETECTION_ENV: &str = "DAISY_DETECTION";
 
 /// Tunable knobs of the Daisy engine.
 ///
@@ -35,6 +101,9 @@ pub struct DaisyConfig {
     /// When `true`, cleaning operators are pushed below joins and group-bys
     /// (§5.1).  Disabling this is only useful for ablation benchmarks.
     pub push_down_cleaning: bool,
+    /// How general-DC violation detection enumerates candidate pairs; the
+    /// default honours [`DETECTION_ENV`] and otherwise picks per rule.
+    pub detection_strategy: DetectionStrategy,
 }
 
 impl Default for DaisyConfig {
@@ -47,6 +116,7 @@ impl Default for DaisyConfig {
             data_partitions: 2 * default_threads(),
             max_relaxation_iterations: 64,
             push_down_cleaning: true,
+            detection_strategy: DetectionStrategy::from_env().unwrap_or_default(),
         }
     }
 }
@@ -149,6 +219,12 @@ impl DaisyConfig {
         self.data_partitions = n;
         self
     }
+
+    /// Builder-style setter for the detection strategy.
+    pub fn with_detection_strategy(mut self, strategy: DetectionStrategy) -> Self {
+        self.detection_strategy = strategy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -214,9 +290,44 @@ mod tests {
         let cfg = DaisyConfig::default()
             .with_cost_model(false)
             .with_theta_partitions(16)
-            .with_worker_threads(2);
+            .with_worker_threads(2)
+            .with_detection_strategy(DetectionStrategy::Indexed);
         assert!(!cfg.use_cost_model);
         assert_eq!(cfg.theta_partitions, 16);
         assert_eq!(cfg.worker_threads, 2);
+        assert_eq!(cfg.detection_strategy, DetectionStrategy::Indexed);
+    }
+
+    #[test]
+    fn detection_strategy_parses_known_forms_only() {
+        // Like the worker-thread override, the parsing rules are tested via
+        // the pure helper to avoid `set_var` races in parallel tests.
+        assert_eq!(
+            DetectionStrategy::parse("indexed"),
+            Some(DetectionStrategy::Indexed)
+        );
+        assert_eq!(
+            DetectionStrategy::parse(" PairWise "),
+            Some(DetectionStrategy::Pairwise)
+        );
+        assert_eq!(
+            DetectionStrategy::parse("auto"),
+            Some(DetectionStrategy::Auto)
+        );
+        assert_eq!(DetectionStrategy::parse("fastest"), None);
+        assert_eq!(DetectionStrategy::parse(""), None);
+        // Display round-trips through parse.
+        for s in [
+            DetectionStrategy::Auto,
+            DetectionStrategy::Pairwise,
+            DetectionStrategy::Indexed,
+        ] {
+            assert_eq!(DetectionStrategy::parse(&s.to_string()), Some(s));
+        }
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = DetectionStrategy::from_env() {
+            assert_eq!(DaisyConfig::default().detection_strategy, forced);
+        }
     }
 }

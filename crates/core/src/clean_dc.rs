@@ -56,7 +56,8 @@ struct RangeFix {
 /// the outcome is identical for every worker count.
 ///
 /// `tuples_by_id` must be able to resolve every tuple id mentioned by the
-/// violations (typically the base table's tuples).
+/// violations (typically the base table's tuples); the engine builds it in
+/// parallel with [`crate::index::id_index`].
 pub fn repair_dc_violations(
     ctx: &ExecContext,
     schema: &Schema,

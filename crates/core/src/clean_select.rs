@@ -74,20 +74,15 @@ pub fn clean_select_fd(
 
     // Representative conflicting tuples per lhs group (for provenance and
     // violation reporting), computed over the relaxed set only — the paper's
-    // point is precisely that the correlated tuples suffice.  The lhs keys
-    // are computed in parallel (order preserving), then grouped with the
-    // lhs-hash-sharded group-by so each worker owns whole FD groups; member
-    // positions stay in ascending relaxed order either way, which keeps the
-    // representative conflicting tuple — and thus the emitted violations and
-    // provenance — identical for every worker count.
-    let lhs_keys: Vec<Value> = daisy_exec::par_flat_map_chunks(ctx, &relaxed, |chunk| {
-        chunk
-            .iter()
-            .map(|t| index.lhs_key(t))
-            .collect::<Result<Vec<Value>>>()
-    })?;
+    // point is precisely that the correlated tuples suffice.  The grouping
+    // is the hash-equality partitioning stage of the violation-index
+    // subsystem: keys are computed in parallel (order preserving), then
+    // grouped with the lhs-hash-sharded group-by so each worker owns whole
+    // FD groups; member positions stay in ascending relaxed order either
+    // way, which keeps the representative conflicting tuple — and thus the
+    // emitted violations and provenance — identical for every worker count.
     let group_members: std::collections::HashMap<Value, Vec<usize>> =
-        daisy_exec::par_group_by_sharded(ctx, &lhs_keys, |k| k.clone());
+        crate::index::partition_by_key(ctx, &relaxed, |t| index.lhs_key(t))?;
 
     let mut outcome = FdCleanOutcome {
         answer_len: answer.len(),

@@ -7,8 +7,108 @@
 //! continuing incrementally exceeds the cost of cleaning the remaining dirty
 //! part of the dataset now, the engine switches strategy — the behaviour of
 //! Fig. 7 and Fig. 12.
+//!
+//! The module also hosts the **detection** cost model: the selectivity-driven
+//! choice between pairwise (theta-join) and indexed (hash-equality +
+//! sort-sweep) candidate enumeration for general DCs (see
+//! [`DetectionEstimate`] and [`crate::index`]).
 
+use daisy_common::DetectionStrategy;
+use daisy_expr::DenialConstraint;
+use daisy_storage::KeyStatistics;
 use serde::{Deserialize, Serialize};
+
+/// The concrete detection kernel a [`crate::theta::ThetaMatrix`] runs with,
+/// after the [`DetectionStrategy`] knob and the cost model have been
+/// resolved against a specific constraint and dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionMode {
+    /// Enumerate every tuple pair of surviving block pairs.
+    Pairwise,
+    /// Enumerate candidates through the [`crate::index::ViolationIndex`].
+    Indexed,
+}
+
+/// Inputs below which the indexed path cannot recoup its build cost: for a
+/// handful of tuples the pairwise scan is effectively free.
+const SMALL_INPUT_ROWS: usize = 128;
+
+/// Selectivity-driven inputs of the pairwise-vs-indexed decision.
+///
+/// The estimates are in the same abstract "tuple visit" units as the rest of
+/// the cost model: pairwise detection visits every pair once, indexed
+/// detection pays a build (hash + sort) pass plus one visit per candidate
+/// pair that survives the equality partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionEstimate {
+    /// Dataset size `n`.
+    pub rows: usize,
+    /// Equality-key statistics over the dataset (`distinct` drives the
+    /// expected partition size `n / distinct`).
+    pub key: KeyStatistics,
+}
+
+impl DetectionEstimate {
+    /// Builds the estimate from the dataset's equality-key statistics.
+    pub fn new(rows: usize, key: KeyStatistics) -> Self {
+        DetectionEstimate { rows, key }
+    }
+
+    /// Cost of pairwise enumeration: the upper-diagonal pair count.
+    pub fn pairwise_cost(&self) -> f64 {
+        let n = self.rows as f64;
+        n * n / 2.0
+    }
+
+    /// Cost of indexed enumeration: one hash + sort pass over the dataset
+    /// plus the candidate pairs inside the equality partitions.  The
+    /// candidate term combines the mean partition size (`Σ |g|² ≈ n · n/d`
+    /// for `d` distinct keys of even size) with the worst single partition
+    /// (`max_group²`), so a skewed key — one giant group hiding behind many
+    /// singletons — is charged its true near-quadratic cost.
+    pub fn indexed_cost(&self) -> f64 {
+        let n = self.rows as f64;
+        let build = n * (n.max(2.0)).log2();
+        let mean_group = self.key.mean_group().max(1.0);
+        let max_group = self.key.max_group as f64;
+        build + (n * mean_group).max(max_group * max_group)
+    }
+
+    /// The recommended kernel for this dataset under `Auto`: indexed when
+    /// the projected candidate enumeration is cheaper than the pairwise
+    /// scan, pairwise for tiny inputs where setup cost dominates.
+    pub fn recommend(&self) -> DetectionMode {
+        if self.rows < SMALL_INPUT_ROWS {
+            return DetectionMode::Pairwise;
+        }
+        if self.indexed_cost() < self.pairwise_cost() {
+            DetectionMode::Indexed
+        } else {
+            DetectionMode::Pairwise
+        }
+    }
+}
+
+/// Refines the configured [`DetectionStrategy`] knob against a constraint's
+/// *shape* (data-independent): constraints without an index plan can only be
+/// checked pairwise, and equality-free constraints gain nothing from the
+/// index under `Auto`.  The returned strategy is what the planner records on
+/// a [`crate::planner::CleaningStep`]; `Auto` survives only when the final,
+/// data-dependent decision belongs to [`DetectionEstimate::recommend`].
+pub fn planned_detection(
+    constraint: &DenialConstraint,
+    knob: DetectionStrategy,
+) -> DetectionStrategy {
+    match constraint.index_plan() {
+        None => DetectionStrategy::Pairwise,
+        Some(plan) => match knob {
+            DetectionStrategy::Pairwise => DetectionStrategy::Pairwise,
+            DetectionStrategy::Indexed => DetectionStrategy::Indexed,
+            DetectionStrategy::Auto if plan.has_equality_key() => DetectionStrategy::Auto,
+            DetectionStrategy::Auto => DetectionStrategy::Pairwise,
+        },
+    }
+}
 
 /// Cost-model constants describing one (table, rule) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -275,6 +375,90 @@ mod tests {
         let offline = tracker.params.offline_cost();
         // Same order of magnitude: both are dominated by ε·n.
         assert!(full / offline < 1.5 && offline / full < 1.5);
+    }
+
+    #[test]
+    fn detection_estimate_prefers_indexed_for_selective_keys() {
+        let selective = DetectionEstimate::new(
+            10_000,
+            daisy_storage::KeyStatistics {
+                rows: 10_000,
+                distinct: 100,
+                max_group: 150,
+            },
+        );
+        assert_eq!(selective.recommend(), DetectionMode::Indexed);
+        assert!(selective.indexed_cost() < selective.pairwise_cost());
+
+        // One giant partition degenerates to the pairwise cost and loses.
+        let degenerate = DetectionEstimate::new(
+            10_000,
+            daisy_storage::KeyStatistics {
+                rows: 10_000,
+                distinct: 1,
+                max_group: 10_000,
+            },
+        );
+        assert_eq!(degenerate.recommend(), DetectionMode::Pairwise);
+
+        // Tiny inputs never pay the index setup.
+        let tiny = DetectionEstimate::new(
+            20,
+            daisy_storage::KeyStatistics {
+                rows: 20,
+                distinct: 20,
+                max_group: 1,
+            },
+        );
+        assert_eq!(tiny.recommend(), DetectionMode::Pairwise);
+
+        // Skew blindness: many singleton keys around one giant group keep
+        // the mean low, but the giant group alone is near-quadratic — the
+        // max_group term must veto the index.
+        let skewed = DetectionEstimate::new(
+            10_000,
+            daisy_storage::KeyStatistics {
+                rows: 10_000,
+                distinct: 100,
+                max_group: 9_901,
+            },
+        );
+        assert_eq!(skewed.recommend(), DetectionMode::Pairwise);
+    }
+
+    #[test]
+    fn planned_detection_refines_by_constraint_shape() {
+        use daisy_common::DetectionStrategy;
+        use daisy_expr::DenialConstraint;
+
+        let with_eq =
+            DenialConstraint::parse("a", "t1.x = t2.x & t1.y < t2.y & t1.z > t2.z").unwrap();
+        let no_eq = DenialConstraint::parse("b", "t1.y < t2.y & t1.z > t2.z").unwrap();
+        let single = DenialConstraint::parse("c", "t1.y > 5").unwrap();
+
+        // Auto keeps its options open only when an equality key exists.
+        assert_eq!(
+            planned_detection(&with_eq, DetectionStrategy::Auto),
+            DetectionStrategy::Auto
+        );
+        assert_eq!(
+            planned_detection(&no_eq, DetectionStrategy::Auto),
+            DetectionStrategy::Pairwise
+        );
+        // Forcing indexed is honoured whenever a plan exists at all.
+        assert_eq!(
+            planned_detection(&no_eq, DetectionStrategy::Indexed),
+            DetectionStrategy::Indexed
+        );
+        // Constraints without a plan are always pairwise.
+        assert_eq!(
+            planned_detection(&single, DetectionStrategy::Indexed),
+            DetectionStrategy::Pairwise
+        );
+        assert_eq!(
+            planned_detection(&with_eq, DetectionStrategy::Pairwise),
+            DetectionStrategy::Pairwise
+        );
     }
 
     #[test]

@@ -369,7 +369,14 @@ impl DaisyEngine {
                         .rule(step.rule)
                         .cloned()
                         .ok_or_else(|| DaisyError::Plan("unknown rule in plan".into()))?;
-                    working = self.clean_dc_step(table_name, schema, &rule, working, report)?;
+                    working = self.clean_dc_step(
+                        table_name,
+                        schema,
+                        &rule,
+                        step.detection,
+                        working,
+                        report,
+                    )?;
                 }
             }
         }
@@ -457,17 +464,19 @@ impl DaisyEngine {
         table_name: &str,
         schema: &Arc<Schema>,
         rule: &DenialConstraint,
+        detection: daisy_common::DetectionStrategy,
         answer: Vec<Tuple>,
         report: &mut CleaningReport,
     ) -> Result<Vec<Tuple>> {
         let key = (table_name.to_string(), rule.id.raw());
         if !self.theta_matrices.contains_key(&key) {
             let table = self.catalog.table(table_name)?;
-            let matrix = ThetaMatrix::build(
+            let matrix = ThetaMatrix::build_with_strategy(
                 schema,
                 table.tuples(),
                 rule,
                 self.config.theta_blocks_per_side(),
+                detection,
             )?;
             let params = CostParameters {
                 n: table.len(),
@@ -527,7 +536,9 @@ impl DaisyEngine {
             )?
         };
 
-        let by_id: HashMap<TupleId, &Tuple> = table_tuples.iter().map(|t| (t.id, t)).collect();
+        // Resolve the violations' tuples through the parallel id index of
+        // the violation-index subsystem before computing candidate ranges.
+        let by_id: HashMap<TupleId, &Tuple> = crate::index::id_index(&self.ctx, &table_tuples);
         let provenance = self.provenance.entry(table_name.to_string()).or_default();
         let outcome =
             repair_dc_violations(&self.ctx, schema, rule, &violations, &by_id, provenance)?;
@@ -621,15 +632,16 @@ impl DaisyEngine {
             None => {
                 let schema = Arc::new(self.catalog.table(table_name)?.schema().qualify(table_name));
                 let table_tuples: Vec<Tuple> = self.catalog.table(table_name)?.tuples().to_vec();
-                let mut matrix = ThetaMatrix::build(
+                let mut matrix = ThetaMatrix::build_with_strategy(
                     &schema,
                     &table_tuples,
                     &constraint,
                     self.config.theta_blocks_per_side(),
+                    self.config.detection_strategy,
                 )?;
                 let (violations, _) = matrix.check_all(&self.ctx, &schema, &table_tuples)?;
                 let by_id: HashMap<TupleId, &Tuple> =
-                    table_tuples.iter().map(|t| (t.id, t)).collect();
+                    crate::index::id_index(&self.ctx, &table_tuples);
                 let provenance = self.provenance.entry(table_name.to_string()).or_default();
                 let outcome = repair_dc_violations(
                     &self.ctx,

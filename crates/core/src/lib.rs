@@ -9,8 +9,11 @@
 //! * [`relaxation`] — Algorithm 1: query-result relaxation for FDs, with the
 //!   iteration / result-size estimates of Lemmas 1–3,
 //! * [`clean_select`] — the `cleanσ` operator for FDs (§4.1),
+//! * [`index`] — the violation-index subsystem: hash-equality partitioning
+//!   plus sort-based inequality sweeps for near-linear general-DC detection,
 //! * [`theta`] — the partitioned cartesian-product matrix and incremental
-//!   partial theta-join used to detect general-DC violations (§4.2),
+//!   partial theta-join used to detect general-DC violations (§4.2), with a
+//!   per-rule choice between pairwise and indexed candidate enumeration,
 //! * [`accuracy`] — Algorithm 2: error estimation, accuracy, and support,
 //! * [`clean_dc`] — the `cleanσ` operator for general DCs with holistic,
 //!   SAT-assisted candidate-range fixes (§4.2),
@@ -34,6 +37,7 @@ pub mod clean_select;
 pub mod cost;
 pub mod engine;
 pub mod fd_index;
+pub mod index;
 pub mod multirule;
 pub mod planner;
 pub mod relaxation;
@@ -41,8 +45,10 @@ pub mod repair;
 pub mod report;
 pub mod theta;
 
+pub use cost::{DetectionEstimate, DetectionMode};
 pub use engine::{DaisyEngine, QueryOutcome};
 pub use fd_index::FdIndex;
+pub use index::ViolationIndex;
 pub use planner::{CleaningPlan, CleaningStep};
 pub use repair::{
     accept_candidate, materialize_repairs, restore_originals, AppliedRepair, MaterializeOutcome,

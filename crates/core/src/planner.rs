@@ -14,10 +14,11 @@
 //! the physical operators of `daisy-query` and the cleaning operators of
 //! this crate.
 
-use daisy_common::{DaisyConfig, Result, RuleId};
+use daisy_common::{DaisyConfig, DetectionStrategy, Result, RuleId};
 use daisy_expr::{ConstraintSet, FunctionalDependency};
 use daisy_query::{Catalog, Query};
 
+use crate::cost::planned_detection;
 use crate::relaxation::FilterTarget;
 
 /// Where a cleaning step is placed relative to the query operators.
@@ -44,6 +45,13 @@ pub struct CleaningStep {
     pub filter_target: FilterTarget,
     /// Where the step sits in the plan.
     pub placement: CleaningPlacement,
+    /// The detection strategy for general-DC steps: the configured knob
+    /// refined by the rule's shape (constraints without an index plan, or
+    /// equality-free ones under `Auto`, are pinned to pairwise here; a
+    /// surviving `Auto` is resolved against key selectivity when the theta
+    /// matrix is built).  FD steps always detect via hash grouping, so the
+    /// field is informational for them.
+    pub detection: DetectionStrategy,
 }
 
 /// The cleaning-aware plan for one query.
@@ -97,6 +105,7 @@ impl CleaningPlan {
                     fd,
                     filter_target,
                     placement,
+                    detection: planned_detection(rule, config.detection_strategy),
                 });
             }
         }
@@ -219,6 +228,33 @@ mod tests {
             .find(|s| s.fd.is_none())
             .expect("general DC step");
         assert_eq!(dc_step.filter_target, FilterTarget::Other);
+    }
+
+    #[test]
+    fn steps_carry_shape_refined_detection() {
+        let (catalog, mut constraints) = setup();
+        // Equality-free inequality DC: pinned to pairwise even when the
+        // config asks for indexed-by-default behaviour via Auto.
+        constraints.add(
+            DenialConstraint::parse("dc", "t1.revenue < t2.revenue & t1.suppkey > t2.suppkey")
+                .unwrap(),
+        );
+        let config = DaisyConfig::default().with_detection_strategy(DetectionStrategy::Auto);
+        let q = parse_query("SELECT suppkey FROM lineorder WHERE revenue > 5").unwrap();
+        let plan = CleaningPlan::build(&q, &constraints, &catalog, &config).unwrap();
+        let dc_step = plan.steps.iter().find(|s| s.fd.is_none()).unwrap();
+        assert_eq!(dc_step.detection, DetectionStrategy::Pairwise);
+        // FD-shaped rules keep their equality key, so Auto survives.
+        let fd_step = plan.steps.iter().find(|s| s.fd.is_some()).unwrap();
+        assert_eq!(fd_step.detection, DetectionStrategy::Auto);
+
+        // Forcing a strategy flows through to every step with a plan.
+        let config = DaisyConfig::default().with_detection_strategy(DetectionStrategy::Indexed);
+        let plan = CleaningPlan::build(&q, &constraints, &catalog, &config).unwrap();
+        assert!(plan
+            .steps
+            .iter()
+            .all(|s| s.detection == DetectionStrategy::Indexed));
     }
 
     #[test]

@@ -15,13 +15,26 @@
 //! already been checked, so a query only pays for the sub-matrix formed by
 //! its result's value range and the unseen part of the dataset (Fig. 1 and
 //! Fig. 2 of the paper).
+//!
+//! Within a check, candidate pairs are enumerated by one of two kernels
+//! (see [`DetectionMode`]): the classic **pairwise** nested loop over each
+//! surviving block pair, or the **indexed** hash-equality / sort-sweep scan
+//! of [`crate::index::ViolationIndex`] restricted to the not-yet-checked
+//! block pairs.  Both kernels share the block bookkeeping (`checked`,
+//! pruning, `support`) and emit identical, canonically ordered violations;
+//! only `pairs_compared` — and the wall-clock time — differs.  The kernel is
+//! picked per matrix from the [`DetectionStrategy`] knob and the detection
+//! cost model ([`crate::cost::DetectionEstimate`]).
 
 use std::collections::{HashMap, HashSet};
 
-use daisy_common::{DaisyError, Result, Schema, Value};
+use daisy_common::{DaisyError, DetectionStrategy, Result, Schema, Value};
 use daisy_exec::ExecContext;
-use daisy_expr::{DenialConstraint, Operand, Violation};
+use daisy_expr::{DenialConstraint, IndexPlan, Operand, Violation};
 use daisy_storage::Tuple;
+
+use crate::cost::{planned_detection, DetectionEstimate, DetectionMode};
+use crate::index::{canonicalize_violations, ViolationIndex};
 
 /// Per-block bounds of one attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +63,10 @@ pub struct ThetaCheckStats {
     pub blocks_checked: usize,
     /// Block pairs skipped thanks to boundary pruning.
     pub blocks_pruned: usize,
-    /// Tuple pairs actually compared.
+    /// Candidate tuple pairs actually compared: every pair of a surviving
+    /// block pair under [`DetectionMode::Pairwise`], only the bindings that
+    /// survive the equality partitioning and inequality sweep under
+    /// [`DetectionMode::Indexed`].
     pub pairs_compared: usize,
 }
 
@@ -79,17 +95,50 @@ pub struct ThetaMatrix {
     checked: HashSet<(usize, usize)>,
     /// Columns referenced by the constraint.
     dc_columns: Vec<usize>,
+    /// The candidate-enumeration kernel resolved for this matrix.
+    mode: DetectionMode,
+    /// The constraint's index plan (present whenever it quantifies two
+    /// tuples), consumed by the indexed kernel.
+    plan: Option<IndexPlan>,
+    /// Block id per tuple position, used to restrict the indexed kernel to
+    /// the not-yet-checked block pairs.
+    block_of: Vec<usize>,
 }
 
 impl ThetaMatrix {
     /// Builds the matrix over `tuples` with `blocks_per_side` partitions per
-    /// axis.  The partition attribute is the column of the first predicate's
-    /// left operand; it must be numeric for range pruning to be meaningful.
+    /// axis, resolving the detection kernel from the [`DETECTION_ENV`]
+    /// override (defaulting to [`DetectionStrategy::Auto`]).  The partition
+    /// attribute is the column of the first predicate's left operand; it
+    /// must be numeric for range pruning to be meaningful.
+    ///
+    /// [`DETECTION_ENV`]: daisy_common::DETECTION_ENV
     pub fn build(
         schema: &Schema,
         tuples: &[Tuple],
         constraint: &DenialConstraint,
         blocks_per_side: usize,
+    ) -> Result<ThetaMatrix> {
+        ThetaMatrix::build_with_strategy(
+            schema,
+            tuples,
+            constraint,
+            blocks_per_side,
+            DetectionStrategy::from_env().unwrap_or_default(),
+        )
+    }
+
+    /// Builds the matrix with an explicit [`DetectionStrategy`]: `Pairwise`
+    /// and `Indexed` force their kernel (the latter falling back to pairwise
+    /// when the constraint has no index plan), while `Auto` asks the
+    /// detection cost model using the equality key's selectivity over
+    /// `tuples`.
+    pub fn build_with_strategy(
+        schema: &Schema,
+        tuples: &[Tuple],
+        constraint: &DenialConstraint,
+        blocks_per_side: usize,
+        strategy: DetectionStrategy,
     ) -> Result<ThetaMatrix> {
         let dc_columns: Vec<usize> = constraint
             .attributes()
@@ -149,13 +198,47 @@ impl ThetaMatrix {
             }
             blocks.push(ThetaBlock { members, bounds });
         }
+
+        let mut block_of = vec![0usize; tuples.len()];
+        for (b, block) in blocks.iter().enumerate() {
+            for &pos in &block.members {
+                block_of[pos] = b;
+            }
+        }
+        let plan = constraint.index_plan();
+        let mode = match planned_detection(constraint, strategy) {
+            DetectionStrategy::Pairwise => DetectionMode::Pairwise,
+            DetectionStrategy::Indexed => DetectionMode::Indexed,
+            DetectionStrategy::Auto => {
+                // `planned_detection` only leaves `Auto` standing when the
+                // plan has an equality key; measure its selectivity and let
+                // the cost model decide.
+                let key_plan = plan.as_ref().expect("Auto implies an index plan");
+                let key_columns: Vec<usize> = key_plan
+                    .key
+                    .iter()
+                    .map(|(l, _)| schema.index_of(l))
+                    .collect::<Result<_>>()?;
+                let key_stats = daisy_storage::key_statistics(tuples, &key_columns)?;
+                DetectionEstimate::new(tuples.len(), key_stats).recommend()
+            }
+        };
+
         Ok(ThetaMatrix {
             constraint: constraint.clone(),
             partition_column,
             blocks,
             checked: HashSet::new(),
             dc_columns,
+            mode,
+            plan,
+            block_of,
         })
+    }
+
+    /// The candidate-enumeration kernel this matrix resolved to.
+    pub fn detection_mode(&self) -> DetectionMode {
+        self.mode
     }
 
     /// Number of blocks per side.
@@ -270,13 +353,16 @@ impl ThetaMatrix {
     /// Checks the not-yet-checked block pairs reachable from `rows`,
     /// partitioned over the execution context's workers.
     ///
-    /// The pair keys are collected in deterministic row-major order, split
-    /// into even contiguous partitions, and each partition is pruned/checked
-    /// independently (both `blocks_can_violate` and the pair comparison only
-    /// read the matrix).  Per-partition violations are concatenated in
-    /// partition order and then canonicalised by [`dedup_violations`], and
-    /// per-partition [`ThetaCheckStats`] are merged, so the output is
-    /// byte-identical for every worker count.  Already-checked pairs
+    /// The pair keys are collected in deterministic row-major order and
+    /// handed to the resolved detection kernel.  The pairwise kernel splits
+    /// them into even contiguous partitions and prunes/checks each
+    /// independently; the indexed kernel builds a
+    /// [`ViolationIndex`] over `tuples` and sweeps it, admitting only
+    /// bindings that fall in a surviving block pair.  Either way,
+    /// per-partition violations are concatenated in partition order and then
+    /// canonicalised by [`canonicalize_violations`], and per-partition
+    /// [`ThetaCheckStats`] are merged, so the output is byte-identical for
+    /// every worker count — and for either kernel.  Already-checked pairs
     /// (`checked` is global state shared between incremental and full calls)
     /// are never re-checked.
     fn check_blocks(
@@ -298,9 +384,25 @@ impl ThetaMatrix {
             }
         }
 
+        let (violations, stats) = match self.mode {
+            DetectionMode::Pairwise => self.check_keys_pairwise(ctx, schema, tuples, &keys)?,
+            DetectionMode::Indexed => self.check_keys_indexed(ctx, schema, tuples, &keys)?,
+        };
+        self.checked.extend(keys);
+        Ok((canonicalize_violations(violations), stats))
+    }
+
+    /// The pairwise kernel: every tuple pair of every surviving block pair.
+    fn check_keys_pairwise(
+        &self,
+        ctx: &ExecContext,
+        schema: &Schema,
+        tuples: &[Tuple],
+        keys: &[(usize, usize)],
+    ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
         let this: &ThetaMatrix = self;
         let partials: Vec<(Vec<Violation>, ThetaCheckStats)> =
-            daisy_exec::par_flat_map_chunks(ctx, &keys, |chunk| {
+            daisy_exec::par_flat_map_chunks(ctx, keys, |chunk| {
                 let mut stats = ThetaCheckStats::default();
                 let mut found: Vec<Violation> = Vec::new();
                 for &(a, b) in chunk {
@@ -320,8 +422,61 @@ impl ThetaMatrix {
             violations.extend(found);
             stats.merge(&partial);
         }
-        self.checked.extend(keys);
-        Ok((dedup_violations(violations), stats))
+        Ok((violations, stats))
+    }
+
+    /// The indexed kernel: one hash-equality / sort-sweep pass over the
+    /// tuples of the surviving block pairs, admitting only bindings whose
+    /// blocks form one of those pairs.
+    ///
+    /// The index is rebuilt per call against the tuples passed *now*, so —
+    /// like the pairwise kernel, which re-evaluates predicates on the
+    /// current tuples — it always sees fresh expected values even after
+    /// earlier repairs turned cells probabilistic.  The build covers only
+    /// the blocks still under consideration, which keeps incremental range
+    /// checks against a mostly-checked matrix proportional to their
+    /// submatrix rather than the whole table.
+    fn check_keys_indexed(
+        &self,
+        ctx: &ExecContext,
+        schema: &Schema,
+        tuples: &[Tuple],
+        keys: &[(usize, usize)],
+    ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
+        let plan = self
+            .plan
+            .as_ref()
+            .ok_or_else(|| DaisyError::Plan("indexed detection requires an index plan".into()))?;
+        let mut stats = ThetaCheckStats::default();
+        let mut allowed: HashSet<(usize, usize)> = HashSet::with_capacity(keys.len());
+        for &(a, b) in keys {
+            if self.blocks_can_violate(a, b) {
+                stats.blocks_checked += 1;
+                allowed.insert((a, b));
+            } else {
+                stats.blocks_pruned += 1;
+            }
+        }
+        if allowed.is_empty() {
+            return Ok((Vec::new(), stats));
+        }
+        // Only tuples of a block participating in some surviving pair can
+        // appear in an admitted binding; index just those.
+        let active_blocks: HashSet<usize> = allowed.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut positions: Vec<usize> = active_blocks
+            .iter()
+            .flat_map(|&b| self.blocks[b].members.iter().copied())
+            .collect();
+        positions.sort_unstable();
+        let index =
+            ViolationIndex::build_over(ctx, schema, &self.constraint, plan, tuples, &positions)?;
+        let block_of = &self.block_of;
+        let (violations, pairs) = index.sweep_detect(ctx, schema, tuples, |i, j| {
+            let (a, b) = (block_of[i], block_of[j]);
+            allowed.contains(&(a.min(b), a.max(b)))
+        })?;
+        stats.pairs_compared = pairs;
+        Ok((violations, stats))
     }
 
     fn check_block_pair(
@@ -424,15 +579,6 @@ impl ThetaMatrix {
     }
 }
 
-fn dedup_violations(mut violations: Vec<Violation>) -> Vec<Violation> {
-    for v in violations.iter_mut() {
-        *v = v.canonical();
-    }
-    violations.sort_by(|a, b| a.tuples.cmp(&b.tuples));
-    violations.dedup();
-    violations
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,7 +672,7 @@ mod tests {
             )
             .unwrap();
         let mut combined: Vec<Violation> = first.into_iter().chain(second).collect();
-        combined = super::dedup_violations(combined);
+        combined = canonicalize_violations(combined);
         assert_eq!(combined.len(), expected.len());
         assert!(s1.blocks_checked + s1.blocks_pruned > 0);
         // The second pass skipped the block pairs the first pass covered.
@@ -545,6 +691,161 @@ mod tests {
             .unwrap();
         assert!(violations.is_empty());
         assert!(stats.blocks_pruned > 0);
+    }
+
+    #[test]
+    fn forced_strategies_find_identical_violations() {
+        // An equality-bearing DC so the indexed kernel actually partitions:
+        // same "department" (salary % 4), inverted salary/tax.
+        let schema = Schema::from_pairs(&[
+            ("dept", DataType::Int),
+            ("salary", DataType::Int),
+            ("tax", DataType::Float),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..90)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 4),
+                    Value::Int(1000 + i * 10),
+                    Value::Float(((i * 37) % 90) as f64 / 100.0),
+                ]
+            })
+            .collect();
+        let table = Table::from_rows("emp", schema, rows).unwrap();
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.dept = t2.dept & t1.salary < t2.salary & t1.tax > t2.tax",
+        )
+        .unwrap();
+        let run = |strategy: DetectionStrategy| {
+            // 3 blocks per side deliberately misalign block boundaries with
+            // the dept groups, so the pairwise kernel must cross-check
+            // adjacent blocks while the indexed kernel still partitions
+            // exactly on dept.
+            let mut matrix =
+                ThetaMatrix::build_with_strategy(table.schema(), table.tuples(), &dc, 3, strategy)
+                    .unwrap();
+            matrix
+                .check_all(&ctx(), table.schema(), table.tuples())
+                .unwrap()
+        };
+        let (pairwise, pairwise_stats) = run(DetectionStrategy::Pairwise);
+        let (indexed, indexed_stats) = run(DetectionStrategy::Indexed);
+        assert!(!pairwise.is_empty());
+        assert_eq!(pairwise, indexed);
+        // Block bookkeeping is shared; only the candidate count shrinks.
+        assert_eq!(pairwise_stats.blocks_checked, indexed_stats.blocks_checked);
+        assert_eq!(pairwise_stats.blocks_pruned, indexed_stats.blocks_pruned);
+        assert!(indexed_stats.pairs_compared < pairwise_stats.pairs_compared);
+    }
+
+    #[test]
+    fn incremental_checks_agree_across_strategies() {
+        let schema = Schema::from_pairs(&[
+            ("dept", DataType::Int),
+            ("salary", DataType::Int),
+            ("tax", DataType::Float),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..70)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 3),
+                    Value::Int((i * 13) % 500),
+                    Value::Float(((i * 7) % 70) as f64),
+                ]
+            })
+            .collect();
+        let table = Table::from_rows("emp", schema, rows).unwrap();
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.dept = t2.dept & t1.salary < t2.salary & t1.tax > t2.tax",
+        )
+        .unwrap();
+        let run = |strategy: DetectionStrategy| {
+            let mut matrix =
+                ThetaMatrix::build_with_strategy(table.schema(), table.tuples(), &dc, 4, strategy)
+                    .unwrap();
+            // The partition attribute is `dept` (first predicate): split the
+            // domain, check the halves, and make sure nothing is re-checked.
+            let (first, s1) = matrix
+                .check_range(
+                    &ctx(),
+                    table.schema(),
+                    table.tuples(),
+                    None,
+                    Some(&Value::Int(1)),
+                )
+                .unwrap();
+            let (second, s2) = matrix
+                .check_range(
+                    &ctx(),
+                    table.schema(),
+                    table.tuples(),
+                    Some(&Value::Int(1)),
+                    None,
+                )
+                .unwrap();
+            let mut stats = s1;
+            stats.merge(&s2);
+            (
+                canonicalize_violations(first.into_iter().chain(second).collect()),
+                stats,
+            )
+        };
+        let (pairwise, _) = run(DetectionStrategy::Pairwise);
+        let (indexed, _) = run(DetectionStrategy::Indexed);
+        assert!(!pairwise.is_empty());
+        assert_eq!(pairwise, indexed);
+    }
+
+    #[test]
+    fn auto_mode_resolves_from_key_selectivity() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("a", DataType::Int)]).unwrap();
+        let selective: Vec<Vec<Value>> = (0..400)
+            .map(|i| vec![Value::Int(i % 100), Value::Int(i)])
+            .collect();
+        let table = Table::from_rows("t", schema.clone(), selective).unwrap();
+        let with_eq = DenialConstraint::parse("phi", "t1.k = t2.k & t1.a < t2.a").unwrap();
+        let matrix = ThetaMatrix::build_with_strategy(
+            table.schema(),
+            table.tuples(),
+            &with_eq,
+            4,
+            DetectionStrategy::Auto,
+        )
+        .unwrap();
+        assert_eq!(matrix.detection_mode(), DetectionMode::Indexed);
+
+        // Tiny inputs and equality-free constraints stay pairwise.
+        let tiny = Table::from_rows(
+            "t",
+            schema,
+            (0..10)
+                .map(|i| vec![Value::Int(i), Value::Int(i)])
+                .collect(),
+        )
+        .unwrap();
+        let matrix = ThetaMatrix::build_with_strategy(
+            tiny.schema(),
+            tiny.tuples(),
+            &with_eq,
+            2,
+            DetectionStrategy::Auto,
+        )
+        .unwrap();
+        assert_eq!(matrix.detection_mode(), DetectionMode::Pairwise);
+        let no_eq = DenialConstraint::parse("phi", "t1.a < t2.a & t1.k > t2.k").unwrap();
+        let matrix = ThetaMatrix::build_with_strategy(
+            table.schema(),
+            table.tuples(),
+            &no_eq,
+            4,
+            DetectionStrategy::Auto,
+        )
+        .unwrap();
+        assert_eq!(matrix.detection_mode(), DetectionMode::Pairwise);
     }
 
     #[test]

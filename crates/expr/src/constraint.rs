@@ -82,6 +82,24 @@ impl fmt::Display for Operand {
     }
 }
 
+/// How a predicate participates in index-based violation detection.
+///
+/// The classification follows the standard decomposition of DC evaluation:
+/// cross-tuple equalities become the hash-partitioning key, one cross-tuple
+/// order comparison becomes the sort-based sweep, and everything else is
+/// checked per candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredicateKind {
+    /// A cross-tuple `=` — usable as (part of) a hash-partitioning key.
+    EqualityKey,
+    /// A cross-tuple order comparison (`<`, `≤`, `>`, `≥`) — usable as the
+    /// sort-based sweep predicate.
+    InequalitySweep,
+    /// Everything else: same-tuple comparisons, predicates with constants,
+    /// and cross-tuple `≠` — checked per candidate pair.
+    Residual,
+}
+
 /// One predicate (atom) of a denial constraint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DcPredicate {
@@ -113,6 +131,42 @@ impl DcPredicate {
             .into_iter()
             .flatten()
             .collect()
+    }
+
+    /// Classifies the predicate for index-based detection (see
+    /// [`PredicateKind`]).  Classification is orientation-independent: the
+    /// predicate is [`normalized`](DcPredicate::normalized) first, so
+    /// `t2.a = t1.b` classifies like `t1.b = t2.a`.
+    pub fn kind(&self) -> PredicateKind {
+        let n = self.normalized();
+        match (&n.left, &n.right) {
+            (Operand::Attr { tuple: lt, .. }, Operand::Attr { tuple: rt, .. }) if lt != rt => {
+                match n.op {
+                    ComparisonOp::Eq => PredicateKind::EqualityKey,
+                    op if op.is_inequality() => PredicateKind::InequalitySweep,
+                    _ => PredicateKind::Residual,
+                }
+            }
+            _ => PredicateKind::Residual,
+        }
+    }
+
+    /// A canonical copy of the predicate: when both operands are attributes
+    /// the lower-indexed tuple goes on the left (flipping the operator), and
+    /// a constant never sits left of an attribute.  Semantics are unchanged
+    /// (`a < b` ⇔ `b > a`); normalization just gives index planning and
+    /// duplicate detection a single spelling per predicate.
+    pub fn normalized(&self) -> DcPredicate {
+        let swap = match (&self.left, &self.right) {
+            (Operand::Attr { tuple: lt, .. }, Operand::Attr { tuple: rt, .. }) => lt > rt,
+            (Operand::Const(_), Operand::Attr { .. }) => true,
+            _ => false,
+        };
+        if swap {
+            DcPredicate::new(self.right.clone(), self.op.flip(), self.left.clone())
+        } else {
+            self.clone()
+        }
     }
 
     /// `true` when both operands reference the same attribute name on
@@ -273,6 +327,80 @@ impl DenialConstraint {
             rhs: rhs.into_iter().next().expect("checked length"),
         })
     }
+
+    /// Derives the index plan for hash-equality / sort-sweep violation
+    /// detection: the cross-tuple equality predicates become the
+    /// hash-partitioning key, the first cross-tuple order comparison becomes
+    /// the sweep predicate, and every remaining predicate is residual.
+    ///
+    /// Returns `None` for constraints that do not quantify exactly two
+    /// tuples — those always fall back to pairwise detection.  Duplicate
+    /// equality predicates contribute a single key column pair.
+    pub fn index_plan(&self) -> Option<IndexPlan> {
+        if self.tuple_count != 2 {
+            return None;
+        }
+        let mut key: Vec<(String, String)> = Vec::new();
+        let mut sweep: Option<DcPredicate> = None;
+        let mut residual: Vec<DcPredicate> = Vec::new();
+        for pred in &self.predicates {
+            let n = pred.normalized();
+            match pred.kind() {
+                PredicateKind::EqualityKey => {
+                    let (Some(l), Some(r)) = (n.left.column(), n.right.column()) else {
+                        return None; // unreachable for EqualityKey, but stay safe
+                    };
+                    let pair = (l.to_string(), r.to_string());
+                    if !key.contains(&pair) {
+                        key.push(pair);
+                    }
+                }
+                PredicateKind::InequalitySweep if sweep.is_none() => sweep = Some(n),
+                _ => residual.push(n),
+            }
+        }
+        // A canonical key-column order keeps partition keys deterministic
+        // regardless of how the constraint spelled its predicates.
+        key.sort();
+        Some(IndexPlan {
+            key,
+            sweep,
+            residual,
+        })
+    }
+}
+
+/// The decomposition of a two-tuple denial constraint for index-based
+/// violation detection (produced by [`DenialConstraint::index_plan`]).
+///
+/// A candidate pair `(t1, t2)` violates the constraint iff `t1`'s key-left
+/// values equal `t2`'s key-right values, the sweep predicate holds, and every
+/// residual predicate holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexPlan {
+    /// `(tuple-1 column, tuple-2 column)` pairs of the hash-partitioning
+    /// key, in canonical (sorted) order.  For same-attribute equalities the
+    /// two names coincide.
+    pub key: Vec<(String, String)>,
+    /// The normalized sort-sweep predicate (a cross-tuple `<`, `≤`, `>` or
+    /// `≥` with tuple 1 on the left), when the constraint has one.
+    pub sweep: Option<DcPredicate>,
+    /// Normalized predicates checked per candidate pair.
+    pub residual: Vec<DcPredicate>,
+}
+
+impl IndexPlan {
+    /// `true` when the plan has at least one equality key column — the case
+    /// where hash partitioning shrinks the candidate space.
+    pub fn has_equality_key(&self) -> bool {
+        !self.key.is_empty()
+    }
+
+    /// `true` when every key pair compares the same attribute on both
+    /// tuples, so one grouping pass serves both binding roles.
+    pub fn symmetric_key(&self) -> bool {
+        self.key.iter().all(|(l, r)| l == r)
+    }
 }
 
 impl fmt::Display for DenialConstraint {
@@ -290,7 +418,7 @@ impl fmt::Display for DenialConstraint {
 
 fn split_atom(atom: &str) -> Result<(&str, ComparisonOp, &str)> {
     // Two-character operators must be tried first.
-    for op_text in ["!=", "<>", "<=", ">=", "=", "<", ">"] {
+    for op_text in ["!=", "<>", "<=", ">=", "==", "=", "<", ">"] {
         if let Some(pos) = atom.find(op_text) {
             let left = atom[..pos].trim();
             let right = atom[pos + op_text.len()..].trim();
@@ -636,5 +764,135 @@ mod tests {
             dc.to_string(),
             "phi: ¬(t1.zip = t2.zip ∧ t1.city != t2.city)"
         );
+    }
+
+    #[test]
+    fn parse_tolerates_surrounding_whitespace() {
+        let dc = DenialConstraint::parse(
+            "phi",
+            "   t1.zip   =   t2.zip   &   t1.city  !=  t2.city   ",
+        )
+        .unwrap();
+        assert_eq!(dc.predicates.len(), 2);
+        assert_eq!(
+            dc.as_fd().unwrap(),
+            FunctionalDependency::new(&["zip"], "city")
+        );
+    }
+
+    #[test]
+    fn parse_accepts_reversed_operands_and_normalizes_them() {
+        // `t2.a = t1.b` is legal input; normalization puts tuple 1 (`t1`)
+        // back on the left with the operator flipped.
+        let dc = DenialConstraint::parse("phi", "t2.salary > t1.tax").unwrap();
+        assert_eq!(dc.tuple_count, 2);
+        let n = dc.predicates[0].normalized();
+        assert_eq!(n.left, Operand::attr(0, "tax"));
+        assert_eq!(n.op, ComparisonOp::Lt);
+        assert_eq!(n.right, Operand::attr(1, "salary"));
+        // Normalizing an already-normalized predicate is a no-op.
+        assert_eq!(n.normalized(), n);
+        // Constants never sit left of an attribute after normalization.
+        let c = DenialConstraint::parse("c", "t1.tax < 0.5").unwrap();
+        let flipped = DcPredicate::new(
+            Operand::Const(Value::Float(0.5)),
+            ComparisonOp::Gt,
+            Operand::attr(0, "tax"),
+        );
+        assert_eq!(flipped.normalized(), c.predicates[0]);
+    }
+
+    #[test]
+    fn parse_duplicate_predicates_dedup_in_index_plan() {
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.zip = t2.zip & t1.zip = t2.zip & t1.city != t2.city",
+        )
+        .unwrap();
+        assert_eq!(dc.predicates.len(), 3);
+        let plan = dc.index_plan().unwrap();
+        assert_eq!(plan.key, vec![("zip".to_string(), "zip".to_string())]);
+        assert!(plan.sweep.is_none());
+        assert_eq!(plan.residual.len(), 1);
+    }
+
+    #[test]
+    fn parse_unsupported_operators_return_errors_not_panics() {
+        for text in [
+            "t1.zip ~ t2.zip",
+            "t1.zip =",
+            "= t2.zip",
+            "t1.zip ! t2.zip",
+            "t1.zip LIKE t2.zip",
+        ] {
+            let err = DenialConstraint::parse("x", text).unwrap_err();
+            assert!(
+                matches!(err, DaisyError::Parse(_)),
+                "`{text}` must yield a parse error, got {err:?}"
+            );
+        }
+        // Double-equals is accepted as a spelling of equality.
+        let dc = DenialConstraint::parse("x", "t1.zip == t2.zip & t1.city != t2.city").unwrap();
+        assert_eq!(dc.predicates[0].op, ComparisonOp::Eq);
+    }
+
+    #[test]
+    fn predicate_kinds_classify_by_role() {
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.zip = t2.zip & t1.salary < t2.salary & t1.city != t2.city & t1.tax > 0.5",
+        )
+        .unwrap();
+        let kinds: Vec<PredicateKind> = dc.predicates.iter().map(|p| p.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PredicateKind::EqualityKey,
+                PredicateKind::InequalitySweep,
+                PredicateKind::Residual,
+                PredicateKind::Residual,
+            ]
+        );
+        // Reversed spelling classifies identically.
+        let rev = DenialConstraint::parse("phi", "t2.zip = t1.zip").unwrap();
+        assert_eq!(rev.predicates[0].kind(), PredicateKind::EqualityKey);
+    }
+
+    #[test]
+    fn index_plan_decomposes_key_sweep_and_residual() {
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.zip = t2.zip & t1.salary < t2.salary & t1.tax > t2.tax",
+        )
+        .unwrap();
+        let plan = dc.index_plan().unwrap();
+        assert!(plan.has_equality_key());
+        assert!(plan.symmetric_key());
+        assert_eq!(plan.key, vec![("zip".to_string(), "zip".to_string())]);
+        let sweep = plan.sweep.as_ref().unwrap();
+        assert_eq!(sweep.left, Operand::attr(0, "salary"));
+        assert_eq!(sweep.op, ComparisonOp::Lt);
+        // The second inequality stays residual (one sweep per plan).
+        assert_eq!(plan.residual.len(), 1);
+        assert_eq!(plan.residual[0].left, Operand::attr(0, "tax"));
+
+        // Asymmetric equality keys are supported and not symmetric.
+        let asym = DenialConstraint::parse("phi", "t1.zip = t2.salary").unwrap();
+        let plan = asym.index_plan().unwrap();
+        assert_eq!(plan.key, vec![("zip".to_string(), "salary".to_string())]);
+        assert!(!plan.symmetric_key());
+
+        // Single-tuple constraints have no plan; equality-free two-tuple
+        // constraints have a plan with an empty key.
+        assert!(DenialConstraint::parse("c", "t1.tax > 0.5")
+            .unwrap()
+            .index_plan()
+            .is_none());
+        let no_eq = DenialConstraint::parse("c", "t1.salary < t2.salary & t1.tax > t2.tax")
+            .unwrap()
+            .index_plan()
+            .unwrap();
+        assert!(!no_eq.has_equality_key());
+        assert!(no_eq.sweep.is_some());
     }
 }

@@ -24,7 +24,10 @@ pub mod sat;
 pub mod scalar;
 pub mod violation;
 
-pub use constraint::{ConstraintSet, DcPredicate, DenialConstraint, FunctionalDependency, Operand};
+pub use constraint::{
+    ConstraintSet, DcPredicate, DenialConstraint, FunctionalDependency, IndexPlan, Operand,
+    PredicateKind,
+};
 pub use operators::ComparisonOp;
 pub use sat::{Clause, Literal, SatSolver};
 pub use scalar::{BoolExpr, ScalarExpr};

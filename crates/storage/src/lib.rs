@@ -35,7 +35,9 @@ pub mod worlds;
 pub use cell::{Candidate, CandidateValue, Cell};
 pub use delta::{CellUpdate, Delta};
 pub use provenance::{CellProvenance, ProvenanceStore, RuleEvidence};
-pub use statistics::{ColumnStatistics, FdGroupStatistics, TableStatistics};
+pub use statistics::{
+    key_statistics, ColumnStatistics, FdGroupStatistics, KeyStatistics, TableStatistics,
+};
 pub use table::Table;
 pub use tuple::Tuple;
 pub use worlds::{

@@ -13,7 +13,7 @@
 //! other integration suites exercise (SP cleaning, SPJ cleaning, and
 //! general-DC engine workloads).
 
-use daisy::common::{ColumnId, TupleId};
+use daisy::common::{ColumnId, DetectionStrategy, TupleId};
 use daisy::data::errors::{inject_fd_errors, inject_inequality_errors};
 use daisy::data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
 use daisy::data::workload::non_overlapping_range_queries;
@@ -209,6 +209,59 @@ fn general_dc_engine_workload_is_thread_count_invariant() {
             .unwrap();
         (engine, queries.clone())
     });
+}
+
+#[test]
+fn forced_detection_strategies_agree_and_are_thread_count_invariant() {
+    // An equality-bearing DC (inverted price/discount pairs *within a
+    // supplier*) so the indexed kernel genuinely hash-partitions, plus the
+    // incremental range flow of the engine.  Each forced strategy must be
+    // invariant across worker counts, and — because both kernels emit
+    // canonically ordered violations over the same candidate space — the
+    // two strategies must produce byte-identical sessions too.
+    let ssb = SsbConfig {
+        lineorder_rows: 900,
+        distinct_orderkeys: 180,
+        distinct_suppkeys: 20,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&ssb).unwrap();
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.1, 0.6, 46).unwrap();
+    let queries: Vec<Query> = [
+        "SELECT suppkey, extended_price, discount FROM lineorder WHERE extended_price <= 4000",
+        "SELECT suppkey, extended_price, discount FROM lineorder",
+    ]
+    .iter()
+    .map(|sql| parse_query(sql).unwrap())
+    .collect();
+
+    let mut per_strategy = Vec::new();
+    for strategy in [DetectionStrategy::Pairwise, DetectionStrategy::Indexed] {
+        let build = |workers: usize| {
+            let mut engine = DaisyEngine::new(
+                config(workers)
+                    .with_theta_partitions(16)
+                    .with_detection_strategy(strategy),
+            )
+            .unwrap();
+            engine.register_table(table.clone());
+            engine
+                .add_constraint_text(
+                    "dc",
+                    "t1.suppkey = t2.suppkey & t1.extended_price < t2.extended_price \
+                     & t1.discount > t2.discount",
+                )
+                .unwrap();
+            (engine, queries.clone())
+        };
+        assert_thread_count_invariant(&format!("forced-{strategy}"), &["lineorder"], build);
+        let (engine, queries) = build(1);
+        per_strategy.push(snapshot(engine, &["lineorder"], &queries));
+    }
+    assert_eq!(
+        per_strategy[0], per_strategy[1],
+        "pairwise and indexed detection diverged"
+    );
 }
 
 #[test]
