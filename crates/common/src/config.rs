@@ -70,6 +70,77 @@ impl fmt::Display for DetectionStrategy {
 /// lets CI run the whole test suite under each forced strategy.
 pub const DETECTION_ENV: &str = "DAISY_DETECTION";
 
+/// Whether detection kernels read tuples through the columnar
+/// [`ColumnSnapshot`] of a table instead of the row store.
+///
+/// * `On` — always materialise and maintain a snapshot per registered table.
+/// * `Off` — never; every kernel stays on the row path.
+/// * `Auto` — snapshot only tables large enough for the build to amortise
+///   (at least [`SnapshotMode::AUTO_MIN_ROWS`] tuples).
+///
+/// Both read paths compare values with identical semantics (NULL handling,
+/// NaN-sorts-last, int/float coercion), so the knob only trades wall-clock
+/// time, never results — which is what lets CI run the whole test suite
+/// under each forced mode.
+///
+/// [`ColumnSnapshot`]: https://docs.rs/daisy-storage
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SnapshotMode {
+    /// Snapshot tables above the size threshold (the default).
+    #[default]
+    Auto,
+    /// Always maintain columnar snapshots.
+    On,
+    /// Never build snapshots; keep every kernel on the row path.
+    Off,
+}
+
+impl SnapshotMode {
+    /// Tables below this size never recoup the snapshot build under `Auto`.
+    pub const AUTO_MIN_ROWS: usize = 256;
+
+    /// Parses the textual forms accepted by [`SNAPSHOT_ENV`]
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn parse(text: &str) -> Option<SnapshotMode> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(SnapshotMode::Auto),
+            "on" => Some(SnapshotMode::On),
+            "off" => Some(SnapshotMode::Off),
+            _ => None,
+        }
+    }
+
+    /// The mode forced through [`SNAPSHOT_ENV`], if the variable is set to a
+    /// recognised value.  Invalid values are ignored (`Auto` applies).
+    pub fn from_env() -> Option<SnapshotMode> {
+        SnapshotMode::parse(&std::env::var(SNAPSHOT_ENV).ok()?)
+    }
+
+    /// `true` when a table with `rows` tuples should be snapshotted.
+    pub fn enables(self, rows: usize) -> bool {
+        match self {
+            SnapshotMode::On => true,
+            SnapshotMode::Off => false,
+            SnapshotMode::Auto => rows >= SnapshotMode::AUTO_MIN_ROWS,
+        }
+    }
+}
+
+impl fmt::Display for SnapshotMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SnapshotMode::Auto => "auto",
+            SnapshotMode::On => "on",
+            SnapshotMode::Off => "off",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Environment variable overriding the default snapshot mode
+/// (`auto` / `on` / `off`).
+pub const SNAPSHOT_ENV: &str = "DAISY_SNAPSHOT";
+
 /// Tunable knobs of the Daisy engine.
 ///
 /// The defaults mirror the setup of the paper's evaluation (§7): the
@@ -104,6 +175,10 @@ pub struct DaisyConfig {
     /// How general-DC violation detection enumerates candidate pairs; the
     /// default honours [`DETECTION_ENV`] and otherwise picks per rule.
     pub detection_strategy: DetectionStrategy,
+    /// Whether detection kernels read tuples through a maintained columnar
+    /// snapshot; the default honours [`SNAPSHOT_ENV`] and otherwise
+    /// snapshots per table size.
+    pub snapshot_mode: SnapshotMode,
 }
 
 impl Default for DaisyConfig {
@@ -117,6 +192,7 @@ impl Default for DaisyConfig {
             max_relaxation_iterations: 64,
             push_down_cleaning: true,
             detection_strategy: DetectionStrategy::from_env().unwrap_or_default(),
+            snapshot_mode: SnapshotMode::from_env().unwrap_or_default(),
         }
     }
 }
@@ -225,6 +301,12 @@ impl DaisyConfig {
         self.detection_strategy = strategy;
         self
     }
+
+    /// Builder-style setter for the columnar-snapshot mode.
+    pub fn with_snapshot_mode(mut self, mode: SnapshotMode) -> Self {
+        self.snapshot_mode = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +378,31 @@ mod tests {
         assert_eq!(cfg.theta_partitions, 16);
         assert_eq!(cfg.worker_threads, 2);
         assert_eq!(cfg.detection_strategy, DetectionStrategy::Indexed);
+    }
+
+    #[test]
+    fn snapshot_mode_parses_and_gates_by_size() {
+        // Parsing rules via the pure helper (no `set_var` races).
+        assert_eq!(SnapshotMode::parse("on"), Some(SnapshotMode::On));
+        assert_eq!(SnapshotMode::parse(" OFF "), Some(SnapshotMode::Off));
+        assert_eq!(SnapshotMode::parse("auto"), Some(SnapshotMode::Auto));
+        assert_eq!(SnapshotMode::parse("columnar"), None);
+        assert_eq!(SnapshotMode::parse(""), None);
+        for m in [SnapshotMode::Auto, SnapshotMode::On, SnapshotMode::Off] {
+            assert_eq!(SnapshotMode::parse(&m.to_string()), Some(m));
+        }
+        // The size gate: On/Off are unconditional, Auto uses the threshold.
+        assert!(SnapshotMode::On.enables(0));
+        assert!(!SnapshotMode::Off.enables(1_000_000));
+        assert!(!SnapshotMode::Auto.enables(SnapshotMode::AUTO_MIN_ROWS - 1));
+        assert!(SnapshotMode::Auto.enables(SnapshotMode::AUTO_MIN_ROWS));
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = SnapshotMode::from_env() {
+            assert_eq!(DaisyConfig::default().snapshot_mode, forced);
+        }
+        let cfg = DaisyConfig::default().with_snapshot_mode(SnapshotMode::On);
+        assert_eq!(cfg.snapshot_mode, SnapshotMode::On);
     }
 
     #[test]

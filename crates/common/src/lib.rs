@@ -25,7 +25,9 @@ pub mod ids;
 pub mod schema;
 pub mod value;
 
-pub use config::{DaisyConfig, DetectionStrategy, DETECTION_ENV, WORKER_THREADS_ENV};
+pub use config::{
+    DaisyConfig, DetectionStrategy, SnapshotMode, DETECTION_ENV, SNAPSHOT_ENV, WORKER_THREADS_ENV,
+};
 pub use datatype::DataType;
 pub use error::{DaisyError, Result};
 pub use ids::{ColumnId, RuleId, TupleId, WorldId};

@@ -53,8 +53,33 @@ impl Value {
         matches!(self, Value::Null)
     }
 
-    /// Interprets the value as an `i64` if it is numeric.
+    /// Interprets the value as an `i64` **losslessly**: integers pass
+    /// through and floats convert only when they are integral and exactly
+    /// representable.  `Float(3.7)` returns `None` — truncating coercion
+    /// must be asked for explicitly via [`Value::as_int_lossy`].
     pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => {
+                // Integral and inside [-2⁶³, 2⁶³): the cast is exact there.
+                // NaN and infinities fail the `fract` test, magnitudes at or
+                // beyond 2⁶³ would saturate.
+                const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+                if f.fract() == 0.0 && *f >= -TWO_63 && *f < TWO_63 {
+                    Some(*f as i64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an `i64`, truncating floats toward zero
+    /// (saturating at the `i64` range, NaN becomes 0 — the semantics of
+    /// Rust's `as` cast).  Use [`Value::as_int`] when truncation would be a
+    /// bug.
+    pub fn as_int_lossy(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
             Value::Float(f) => Some(*f as i64),
@@ -349,6 +374,36 @@ mod tests {
         assert!(Value::parse("abc", DataType::Int).is_err());
         assert!(Value::parse("abc", DataType::Float).is_err());
         assert!(Value::parse("yes!", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn as_int_is_lossless_and_as_int_lossy_truncates() {
+        // Integers and integral floats convert either way.
+        assert_eq!(Value::Int(42).as_int(), Some(42));
+        assert_eq!(Value::Float(3.0).as_int(), Some(3));
+        assert_eq!(Value::Float(-2.0).as_int(), Some(-2));
+        // Fractional floats are refused by the strict form but truncate
+        // under the lossy one.
+        assert_eq!(Value::Float(3.7).as_int(), None);
+        assert_eq!(Value::Float(3.7).as_int_lossy(), Some(3));
+        assert_eq!(Value::Float(-3.7).as_int(), None);
+        assert_eq!(Value::Float(-3.7).as_int_lossy(), Some(-3));
+        // Non-finite and out-of-range floats never convert strictly.
+        assert_eq!(Value::Float(f64::NAN).as_int(), None);
+        assert_eq!(Value::Float(f64::INFINITY).as_int(), None);
+        assert_eq!(Value::Float(1e300).as_int(), None);
+        assert_eq!(Value::Float(9_223_372_036_854_775_808.0).as_int(), None);
+        assert_eq!(
+            Value::Float(-9_223_372_036_854_775_808.0).as_int(),
+            Some(i64::MIN)
+        );
+        // The lossy cast saturates, mirroring Rust's `as`.
+        assert_eq!(Value::Float(1e300).as_int_lossy(), Some(i64::MAX));
+        // Non-numeric values refuse both.
+        assert_eq!(Value::from("3").as_int(), None);
+        assert_eq!(Value::from("3").as_int_lossy(), None);
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Bool(true).as_int_lossy(), None);
     }
 
     #[test]

@@ -30,11 +30,11 @@ use daisy_exec::ExecContext;
 use daisy_expr::{BoolExpr, ConstraintSet, DenialConstraint, FunctionalDependency};
 use daisy_query::physical::{aggregate, filter_tuples, hash_join, project, PredicateMode};
 use daisy_query::{parse_query, Catalog, Query, QueryResult, SelectItem};
-use daisy_storage::{ProvenanceStore, Table, Tuple};
+use daisy_storage::{ColumnSnapshot, Delta, ProvenanceStore, Table, Tuple};
 
 use crate::accuracy::{estimate_accuracy, CleaningDecision};
 use crate::clean_dc::repair_dc_violations;
-use crate::clean_select::clean_select_fd;
+use crate::clean_select::clean_select_fd_with;
 use crate::cost::{CostParameters, CostTracker};
 use crate::fd_index::FdIndex;
 use crate::planner::CleaningPlan;
@@ -62,6 +62,13 @@ pub struct DaisyEngine {
     provenance: HashMap<String, ProvenanceStore>,
     trackers: HashMap<(String, u64), CostTracker>,
     fully_cleaned: HashSet<(String, u64)>,
+    /// Columnar snapshots per table, maintained by the delta protocol: the
+    /// engine is the only component that mutates registered tables, and
+    /// every mutation goes through [`apply_delta_patching`], which patches
+    /// the cached snapshot with the same delta it applies to the table.
+    /// Anything that slips past (or a disabled knob) is caught by the
+    /// revision check in [`DaisyEngine::refresh_snapshot`].
+    snapshots: HashMap<String, ColumnSnapshot>,
     session: SessionReport,
 }
 
@@ -80,6 +87,7 @@ impl DaisyEngine {
             provenance: HashMap::new(),
             trackers: HashMap::new(),
             fully_cleaned: HashSet::new(),
+            snapshots: HashMap::new(),
             session: SessionReport::default(),
         })
     }
@@ -133,6 +141,32 @@ impl DaisyEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &DaisyConfig {
         &self.config
+    }
+
+    /// The cached columnar snapshot of a table, if one is maintained.
+    pub fn snapshot(&self, table: &str) -> Option<&ColumnSnapshot> {
+        self.snapshots.get(table)
+    }
+
+    /// Brings the table's columnar snapshot in line with the snapshot knob
+    /// and the table's current revision: builds it when enabled and absent
+    /// or stale (an out-of-band mutation bumped the revision), drops it
+    /// when the knob disables snapshots for this table.
+    fn refresh_snapshot(&mut self, table_name: &str) -> Result<()> {
+        let table = self.catalog.table(table_name)?;
+        if !self.config.snapshot_mode.enables(table.len()) {
+            self.snapshots.remove(table_name);
+            return Ok(());
+        }
+        let current = self
+            .snapshots
+            .get(table_name)
+            .is_some_and(|snap| snap.is_current(table));
+        if !current {
+            self.snapshots
+                .insert(table_name.to_string(), ColumnSnapshot::build(table)?);
+        }
+        Ok(())
     }
 
     /// Parses and executes a SQL query.
@@ -394,6 +428,7 @@ impl DaisyEngine {
         report: &mut CleaningReport,
     ) -> Result<Vec<Tuple>> {
         let key = (table_name.to_string(), rule.raw());
+        self.refresh_snapshot(table_name)?;
         // Build (or reuse) the FD group index: the pre-computed statistics.
         // The index is computed over original values (via provenance) so a
         // rule added after other rules already repaired cells still sees the
@@ -415,7 +450,7 @@ impl DaisyEngine {
         let provenance = self.provenance.entry(table_name.to_string()).or_default();
         let outcome = {
             let table = self.catalog.table(table_name)?;
-            clean_select_fd(
+            clean_select_fd_with(
                 &self.ctx,
                 rule,
                 index,
@@ -424,15 +459,20 @@ impl DaisyEngine {
                 filter_target,
                 self.config.max_relaxation_iterations,
                 provenance,
+                self.snapshots.get(table_name),
             )?
         };
-        // Apply the delta back to the base table (in-place update).
+        // Apply the delta back to the base table (in-place update), keeping
+        // the columnar snapshot in sync.
         let cells_updated = outcome.delta.len();
         let candidates_written = outcome.delta.total_candidates();
         if !outcome.delta.is_empty() {
-            self.catalog
-                .table_mut(table_name)?
-                .apply_delta(&outcome.delta)?;
+            apply_delta_patching(
+                &mut self.catalog,
+                &mut self.snapshots,
+                table_name,
+                &outcome.delta,
+            )?;
         }
         report.extra_tuples += outcome.cleaned.len() - outcome.answer_len;
         report.relaxation_iterations += outcome.relaxation.iterations;
@@ -469,14 +509,16 @@ impl DaisyEngine {
         report: &mut CleaningReport,
     ) -> Result<Vec<Tuple>> {
         let key = (table_name.to_string(), rule.id.raw());
+        self.refresh_snapshot(table_name)?;
         if !self.theta_matrices.contains_key(&key) {
             let table = self.catalog.table(table_name)?;
-            let matrix = ThetaMatrix::build_with_strategy(
+            let matrix = ThetaMatrix::build_with_strategy_snap(
                 schema,
                 table.tuples(),
                 rule,
                 self.config.theta_blocks_per_side(),
                 detection,
+                self.snapshots.get(table_name),
             )?;
             let params = CostParameters {
                 n: table.len(),
@@ -522,15 +564,19 @@ impl DaisyEngine {
         );
         report.estimated_accuracy = estimate.accuracy.min(report.estimated_accuracy);
 
+        // The snapshot was refreshed before any borrow of the matrix, so it
+        // reflects exactly the tuples cloned here.
         let table_tuples: Vec<Tuple> = self.catalog.table(table_name)?.tuples().to_vec();
+        let snapshot = self.snapshots.get(table_name);
         let (violations, stats) = if estimate.decision == CleaningDecision::Full {
             report.strategy = CleaningStrategy::FullRemaining;
-            matrix.check_all(&self.ctx, schema, &table_tuples)?
+            matrix.check_all_with(&self.ctx, schema, &table_tuples, snapshot)?
         } else {
-            matrix.check_range(
+            matrix.check_range_with(
                 &self.ctx,
                 schema,
                 &table_tuples,
+                snapshot,
                 low.as_ref(),
                 high.as_ref(),
             )?
@@ -547,9 +593,12 @@ impl DaisyEngine {
         let cells_updated = outcome.delta.len();
         let candidates_written = outcome.delta.total_candidates();
         if !outcome.delta.is_empty() {
-            self.catalog
-                .table_mut(table_name)?
-                .apply_delta(&outcome.delta)?;
+            apply_delta_patching(
+                &mut self.catalog,
+                &mut self.snapshots,
+                table_name,
+                &outcome.delta,
+            )?;
         }
         report.errors_repaired += outcome.errors_detected;
         report.cells_updated += cells_updated;
@@ -582,6 +631,7 @@ impl DaisyEngine {
         rule: RuleId,
     ) -> Result<usize> {
         let key = (table_name.to_string(), rule.raw());
+        self.refresh_snapshot(table_name)?;
         if !self.fd_indexes.contains_key(&key) {
             let provenance = self.provenance.entry(table_name.to_string()).or_default();
             let table = self.catalog.table(table_name)?;
@@ -595,7 +645,7 @@ impl DaisyEngine {
         let outcome = {
             let table = self.catalog.table(table_name)?;
             let all = table.tuples().to_vec();
-            clean_select_fd(
+            clean_select_fd_with(
                 &self.ctx,
                 rule,
                 index,
@@ -604,13 +654,17 @@ impl DaisyEngine {
                 FilterTarget::Other,
                 self.config.max_relaxation_iterations,
                 provenance,
+                self.snapshots.get(table_name),
             )?
         };
         let repaired = outcome.errors_detected;
         if !outcome.delta.is_empty() {
-            self.catalog
-                .table_mut(table_name)?
-                .apply_delta(&outcome.delta)?;
+            apply_delta_patching(
+                &mut self.catalog,
+                &mut self.snapshots,
+                table_name,
+                &outcome.delta,
+            )?;
         }
         self.fully_cleaned.insert(key);
         Ok(repaired)
@@ -631,15 +685,19 @@ impl DaisyEngine {
             Some(fd) => self.clean_remaining_fd(table_name, &fd, rule),
             None => {
                 let schema = Arc::new(self.catalog.table(table_name)?.schema().qualify(table_name));
+                self.refresh_snapshot(table_name)?;
                 let table_tuples: Vec<Tuple> = self.catalog.table(table_name)?.tuples().to_vec();
-                let mut matrix = ThetaMatrix::build_with_strategy(
+                let snapshot = self.snapshots.get(table_name);
+                let mut matrix = ThetaMatrix::build_with_strategy_snap(
                     &schema,
                     &table_tuples,
                     &constraint,
                     self.config.theta_blocks_per_side(),
                     self.config.detection_strategy,
+                    snapshot,
                 )?;
-                let (violations, _) = matrix.check_all(&self.ctx, &schema, &table_tuples)?;
+                let (violations, _) =
+                    matrix.check_all_with(&self.ctx, &schema, &table_tuples, snapshot)?;
                 let by_id: HashMap<TupleId, &Tuple> =
                     crate::index::id_index(&self.ctx, &table_tuples);
                 let provenance = self.provenance.entry(table_name.to_string()).or_default();
@@ -654,9 +712,12 @@ impl DaisyEngine {
                 drop(by_id);
                 let repaired = outcome.errors_detected;
                 if !outcome.delta.is_empty() {
-                    self.catalog
-                        .table_mut(table_name)?
-                        .apply_delta(&outcome.delta)?;
+                    apply_delta_patching(
+                        &mut self.catalog,
+                        &mut self.snapshots,
+                        table_name,
+                        &outcome.delta,
+                    )?;
                 }
                 self.fully_cleaned
                     .insert((table_name.to_string(), rule.raw()));
@@ -664,6 +725,26 @@ impl DaisyEngine {
             }
         }
     }
+}
+
+/// Applies a delta to a base table and keeps its columnar snapshot in sync:
+/// the snapshot is patched cell-by-cell (`O(|delta|)`).  `absorb_delta`
+/// itself refuses the patch — leaving the snapshot stale for the next
+/// refresh to rebuild — when the snapshot did not reflect the pre-delta
+/// table.  This is the single write path through which engine repairs reach
+/// registered tables.
+fn apply_delta_patching(
+    catalog: &mut Catalog,
+    snapshots: &mut HashMap<String, ColumnSnapshot>,
+    table_name: &str,
+    delta: &Delta,
+) -> Result<usize> {
+    let table = catalog.table_mut(table_name)?;
+    let applied = table.apply_delta(delta)?;
+    if let Some(snap) = snapshots.get_mut(table_name) {
+        snap.absorb_delta(table, delta)?;
+    }
+    Ok(applied)
 }
 
 /// The part of the WHERE clause relevant before joining: for the driving
@@ -792,6 +873,59 @@ mod tests {
         // The provenance store now holds evidence from both rules for some cell.
         let prov = engine.provenance("cities").unwrap();
         assert!(!prov.is_empty());
+    }
+
+    #[test]
+    fn snapshot_mode_is_transparent_and_patched_in_place() {
+        use daisy_common::SnapshotMode;
+        let run = |mode: SnapshotMode| {
+            let mut engine = DaisyEngine::new(
+                DaisyConfig::default()
+                    .with_worker_threads(2)
+                    .with_cost_model(false)
+                    .with_snapshot_mode(mode),
+            )
+            .unwrap();
+            engine.register_table(cities_table());
+            engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+            let first = engine
+                .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+                .unwrap();
+            let second = engine
+                .execute_sql("SELECT city FROM cities WHERE zip = 9001")
+                .unwrap();
+            let repaired = engine
+                .add_rule_incrementally(
+                    "cities",
+                    DenialConstraint::parse("phi2", "t1.city = t2.city & t1.zip != t2.zip")
+                        .unwrap(),
+                )
+                .unwrap();
+            (
+                first.result.tuples,
+                second.result.tuples,
+                repaired,
+                engine.table("cities").unwrap().tuples().to_vec(),
+                engine.provenance("cities").unwrap().dump(),
+                engine,
+            )
+        };
+        let (on_1, on_2, on_repaired, on_table, on_prov, on_engine) = run(SnapshotMode::On);
+        let (off_1, off_2, off_repaired, off_table, off_prov, off_engine) = run(SnapshotMode::Off);
+        // The knob never changes a single observable output…
+        assert_eq!(on_1, off_1);
+        assert_eq!(on_2, off_2);
+        assert_eq!(on_repaired, off_repaired);
+        assert_eq!(on_table, off_table);
+        assert_eq!(on_prov, off_prov);
+        // …and under `On` the cached snapshot tracked every repair through
+        // the delta protocol (current, not rebuilt-on-demand), while `Off`
+        // never built one.
+        let table = on_engine.table("cities").unwrap();
+        let snap = on_engine.snapshot("cities").expect("snapshot maintained");
+        assert!(snap.is_current(table));
+        assert_eq!(snap.len(), table.len());
+        assert!(off_engine.snapshot("cities").is_none());
     }
 
     #[test]

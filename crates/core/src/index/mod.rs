@@ -41,8 +41,11 @@ use std::hash::Hash;
 
 use daisy_common::{DaisyError, Result, RuleId, Schema, TupleId, Value};
 use daisy_exec::ExecContext;
-use daisy_expr::{ComparisonOp, DcPredicate, DenialConstraint, IndexPlan, Operand, Violation};
-use daisy_storage::Tuple;
+use daisy_expr::{
+    resolve_predicates, CodedPredicate, ComparisonOp, DcPredicate, DenialConstraint, IndexPlan,
+    Operand, Violation,
+};
+use daisy_storage::{ColumnCode, ColumnSnapshot, Tuple};
 
 /// Partitions `items` by a fallible key function, in parallel: keys are
 /// extracted chunk-at-a-time (order preserving, earliest error wins) and
@@ -92,12 +95,43 @@ pub fn canonicalize_violations(mut violations: Vec<Violation>) -> Vec<Violation>
     violations
 }
 
+/// A sweep value the index kernels can read: the cloned [`Value`] of the
+/// row path or the `Copy` [`ColumnCode`] of the columnar path.  Both share
+/// one total order semantics (code order mirrors value order by
+/// construction), so every kernel algorithm below is written **once**,
+/// generically — the byte-identical guarantee cannot drift between read
+/// paths because there is only one implementation to drift.
+trait SweepValue: Ord + Clone {
+    /// The NULL element (entries without a sweep column hold it).
+    fn null() -> Self;
+    /// `true` for the NULL element.
+    fn is_null_value(&self) -> bool;
+}
+
+impl SweepValue for Value {
+    fn null() -> Self {
+        Value::Null
+    }
+    fn is_null_value(&self) -> bool {
+        self.is_null()
+    }
+}
+
+impl SweepValue for ColumnCode {
+    fn null() -> Self {
+        ColumnCode::Null
+    }
+    fn is_null_value(&self) -> bool {
+        (*self).is_null()
+    }
+}
+
 /// One member of a sweep partition: a tuple position plus its sweep-attribute
-/// value (Null when the plan has no sweep predicate).
+/// value (the NULL element when the plan has no sweep predicate).
 #[derive(Debug, Clone)]
-struct SweepEntry {
+struct SweepEntry<V> {
     pos: usize,
-    value: Value,
+    value: V,
 }
 
 /// One hash-equality partition, with members sorted on the sweep attribute.
@@ -108,15 +142,33 @@ struct SweepEntry {
 /// plans (same key columns, same sweep column) the member lists coincide
 /// and `right` is `None`, sharing `left` instead of storing a copy.
 #[derive(Debug, Clone)]
-struct SweepPartition {
-    left: Vec<SweepEntry>,
-    right: Option<Vec<SweepEntry>>,
+struct SweepPartition<V> {
+    left: Vec<SweepEntry<V>>,
+    right: Option<Vec<SweepEntry<V>>>,
 }
 
-impl SweepPartition {
-    fn right(&self) -> &[SweepEntry] {
+impl<V> SweepPartition<V> {
+    fn right(&self) -> &[SweepEntry<V>] {
         self.right.as_deref().unwrap_or(&self.left)
     }
+}
+
+/// The candidate-enumeration state of a [`ViolationIndex`]: the row kernel
+/// holds cloned values and name-resolved residual predicates, the coded
+/// kernel holds snapshot ordering codes and pre-resolved
+/// [`CodedPredicate`]s.  Both are instantiations of the same generic
+/// partition/sweep machinery and enumerate the exact same candidate
+/// bindings; only the residual evaluation differs.
+#[derive(Debug, Clone)]
+enum IndexKernel {
+    Rows {
+        partitions: Vec<SweepPartition<Value>>,
+        residual: Vec<DcPredicate>,
+    },
+    Coded {
+        partitions: Vec<SweepPartition<ColumnCode>>,
+        residual: Vec<CodedPredicate>,
+    },
 }
 
 /// The violation index of one two-tuple denial constraint over one tuple
@@ -124,13 +176,14 @@ impl SweepPartition {
 /// inequality sweep (see the module docs for the algorithm).
 ///
 /// The index is built against a specific `tuples` slice; detection must be
-/// run with the same slice (positions are slice indices).
+/// run with the same slice (positions are slice indices).  When built over
+/// a [`ColumnSnapshot`] (see [`ViolationIndex::build_over_with`]) the same
+/// snapshot must be supplied at detection time.
 #[derive(Debug, Clone)]
 pub struct ViolationIndex {
     rule: RuleId,
     sweep_op: Option<ComparisonOp>,
-    residual: Vec<DcPredicate>,
-    partitions: Vec<SweepPartition>,
+    kernel: IndexKernel,
 }
 
 impl ViolationIndex {
@@ -160,6 +213,26 @@ impl ViolationIndex {
         tuples: &[Tuple],
         positions: &[usize],
     ) -> Result<ViolationIndex> {
+        ViolationIndex::build_over_with(ctx, schema, constraint, plan, tuples, positions, None)
+    }
+
+    /// [`ViolationIndex::build_over`] with an optional columnar read path:
+    /// when `snapshot` is given (and covers exactly the `tuples` slice, row
+    /// `i` = `tuples[i]`), keys, sweep values and residual predicates are
+    /// read as column codes instead of cloned [`Value`]s.  Both paths
+    /// enumerate identical candidate bindings and emit identical
+    /// violations; the snapshot only removes per-read clones and per-pair
+    /// schema lookups.  A snapshot of the wrong length is ignored.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_over_with(
+        ctx: &ExecContext,
+        schema: &Schema,
+        constraint: &DenialConstraint,
+        plan: &IndexPlan,
+        tuples: &[Tuple],
+        positions: &[usize],
+        snapshot: Option<&ColumnSnapshot>,
+    ) -> Result<ViolationIndex> {
         let left_cols: Vec<usize> = plan
             .key
             .iter()
@@ -182,77 +255,36 @@ impl ViolationIndex {
         // Same key columns and same (or no) sweep column ⇒ the two binding
         // roles have identical member lists; build them once.
         let symmetric = left_cols == right_cols && sweep_left == sweep_right;
-
-        let key_of = |cols: &[usize], pos: &usize| -> Result<Vec<Value>> {
-            cols.iter().map(|&c| tuples[*pos].value(c)).collect()
-        };
-        // The group-by yields indices into `positions`; remap them to slice
-        // positions right away (lists stay ascending because `positions` is).
-        let remap = |groups: HashMap<Vec<Value>, Vec<usize>>| -> HashMap<Vec<Value>, Vec<usize>> {
-            groups
-                .into_iter()
-                .map(|(k, idxs)| (k, idxs.into_iter().map(|i| positions[i]).collect()))
-                .collect()
-        };
-        let left_groups = remap(partition_by_key(ctx, positions, |p| key_of(&left_cols, p))?);
-        let right_groups = if symmetric {
-            None
-        } else {
-            Some(remap(partition_by_key(ctx, positions, |p| {
-                key_of(&right_cols, p)
-            })?))
+        let roles = BuildRoles {
+            left_cols: &left_cols,
+            right_cols: &right_cols,
+            sweep_left,
+            sweep_right,
+            symmetric,
         };
 
-        // Only keys present in both roles can form candidate pairs; sorting
-        // the surviving keys keeps the partition order deterministic.
-        let mut keys: Vec<&Vec<Value>> = match &right_groups {
-            None => left_groups.keys().collect(),
-            Some(right) => left_groups
-                .keys()
-                .filter(|k| right.contains_key(*k))
-                .collect(),
+        let kernel = match snapshot.filter(|s| s.len() == tuples.len()) {
+            Some(snap) => build_coded_kernel(ctx, schema, plan, snap, positions, &roles)?,
+            None => build_row_kernel(ctx, plan, tuples, positions, &roles)?,
         };
-        keys.sort();
-
-        let entries = |positions: &[usize], col: Option<usize>| -> Result<Vec<SweepEntry>> {
-            let mut out = Vec::with_capacity(positions.len());
-            for &pos in positions {
-                let value = match col {
-                    Some(c) => tuples[pos].value(c)?,
-                    None => Value::Null,
-                };
-                // Order comparisons against NULL are never satisfied, so
-                // NULL-valued members cannot participate in a sweep.
-                if col.is_some() && value.is_null() {
-                    continue;
-                }
-                out.push(SweepEntry { pos, value });
-            }
-            if col.is_some() {
-                out.sort_by(|a, b| a.value.cmp(&b.value).then(a.pos.cmp(&b.pos)));
-            }
-            Ok(out)
-        };
-        let mut partitions = Vec::with_capacity(keys.len());
-        for key in keys {
-            let left = entries(&left_groups[key], sweep_left)?;
-            let right = match &right_groups {
-                None => None,
-                Some(right) => Some(entries(&right[key], sweep_right)?),
-            };
-            partitions.push(SweepPartition { left, right });
-        }
         Ok(ViolationIndex {
             rule: constraint.id,
             sweep_op,
-            residual: plan.residual.clone(),
-            partitions,
+            kernel,
         })
     }
 
     /// Number of hash-equality partitions that can produce candidate pairs.
     pub fn partition_count(&self) -> usize {
-        self.partitions.len()
+        match &self.kernel {
+            IndexKernel::Rows { partitions, .. } => partitions.len(),
+            IndexKernel::Coded { partitions, .. } => partitions.len(),
+        }
+    }
+
+    /// `true` when the index reads through a columnar snapshot.
+    pub fn is_coded(&self) -> bool {
+        matches!(self.kernel, IndexKernel::Coded { .. })
     }
 
     /// Emits the violating bindings among the candidate pairs admitted by
@@ -275,15 +307,72 @@ impl ViolationIndex {
     where
         F: Fn(usize, usize) -> bool + Sync,
     {
-        let partials: Vec<(Vec<Violation>, usize)> =
-            daisy_exec::par_flat_map_chunks(ctx, &self.partitions, |chunk| {
+        self.sweep_detect_with(ctx, schema, tuples, None, admit)
+    }
+
+    /// [`ViolationIndex::sweep_detect`] with the columnar read path: an
+    /// index built over a snapshot must be swept with the **same** snapshot
+    /// (coded residual predicates read cells from it).  Row-built indexes
+    /// ignore `snapshot`.
+    pub fn sweep_detect_with<F>(
+        &self,
+        ctx: &ExecContext,
+        schema: &Schema,
+        tuples: &[Tuple],
+        snapshot: Option<&ColumnSnapshot>,
+        admit: F,
+    ) -> Result<(Vec<Violation>, usize)>
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+    {
+        // Both arms run the same generic enumeration; only the residual
+        // check per surviving binding differs.
+        let partials: Vec<(Vec<Violation>, usize)> = match &self.kernel {
+            IndexKernel::Rows {
+                partitions,
+                residual,
+            } => daisy_exec::par_flat_map_chunks(ctx, partitions, |chunk| {
                 let mut found = Vec::new();
                 let mut pairs = 0usize;
                 for part in chunk {
-                    self.scan_partition(schema, tuples, part, &admit, &mut found, &mut pairs)?;
+                    self.scan_partition(tuples, part, &admit, &mut found, &mut pairs, |i, j| {
+                        let binding = [&tuples[i], &tuples[j]];
+                        for pred in residual {
+                            if !pred.eval(schema, &binding)? {
+                                return Ok(false);
+                            }
+                        }
+                        Ok(true)
+                    })?;
                 }
                 Ok::<_, DaisyError>(vec![(found, pairs)])
-            })?;
+            })?,
+            IndexKernel::Coded {
+                partitions,
+                residual,
+            } => {
+                let snap = snapshot.ok_or_else(|| {
+                    DaisyError::Plan(
+                        "a snapshot-built violation index must be swept with its snapshot".into(),
+                    )
+                })?;
+                daisy_exec::par_flat_map_chunks(ctx, partitions, |chunk| {
+                    let mut found = Vec::new();
+                    let mut pairs = 0usize;
+                    for part in chunk {
+                        self.scan_partition(
+                            tuples,
+                            part,
+                            &admit,
+                            &mut found,
+                            &mut pairs,
+                            |i, j| Ok(residual.iter().all(|pred| pred.eval(snap, [i, j]))),
+                        )?;
+                    }
+                    Ok::<_, DaisyError>(vec![(found, pairs)])
+                })?
+            }
+        };
         let mut violations = Vec::new();
         let mut pairs = 0usize;
         for (found, count) in partials {
@@ -301,84 +390,221 @@ impl ViolationIndex {
         schema: &Schema,
         tuples: &[Tuple],
     ) -> Result<(Vec<Violation>, usize)> {
-        let (violations, pairs) = self.sweep_detect(ctx, schema, tuples, |_, _| true)?;
+        self.detect_with(ctx, schema, tuples, None)
+    }
+
+    /// [`ViolationIndex::detect`] with the columnar read path (see
+    /// [`ViolationIndex::sweep_detect_with`]).
+    pub fn detect_with(
+        &self,
+        ctx: &ExecContext,
+        schema: &Schema,
+        tuples: &[Tuple],
+        snapshot: Option<&ColumnSnapshot>,
+    ) -> Result<(Vec<Violation>, usize)> {
+        let (violations, pairs) =
+            self.sweep_detect_with(ctx, schema, tuples, snapshot, |_, _| true)?;
         Ok((canonicalize_violations(violations), pairs))
     }
 
-    /// Enumerates one partition's candidate bindings: all left×right pairs
-    /// when the plan has no sweep predicate, otherwise — per right-role
-    /// probe — the order-statistics prefix/suffix of the sorted left-role
-    /// members that satisfies the sweep.
-    fn scan_partition<F>(
+    /// Enumerates one partition's candidate bindings — all left×right pairs
+    /// when the plan has no sweep predicate, otherwise, per right-role
+    /// probe, the order-statistics prefix/suffix of the sorted left-role
+    /// members that satisfies the sweep — and residual-checks each admitted
+    /// binding through `residual_holds`.  One implementation serves both
+    /// read paths; `pairs` counts residual-checked bindings identically.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_partition<V, F, R>(
         &self,
-        schema: &Schema,
         tuples: &[Tuple],
-        part: &SweepPartition,
+        part: &SweepPartition<V>,
         admit: &F,
         out: &mut Vec<Violation>,
         pairs: &mut usize,
+        mut residual_holds: R,
     ) -> Result<()>
     where
+        V: SweepValue,
         F: Fn(usize, usize) -> bool,
+        R: FnMut(usize, usize) -> Result<bool>,
     {
+        let mut check = |i: usize, j: usize| -> Result<()> {
+            if i == j || !admit(i, j) {
+                return Ok(());
+            }
+            *pairs += 1;
+            if residual_holds(i, j)? {
+                out.push(Violation::pair(self.rule, tuples[i].id, tuples[j].id));
+            }
+            Ok(())
+        };
         match self.sweep_op {
             None => {
                 for l in &part.left {
                     for r in part.right() {
-                        self.check_binding(schema, tuples, l.pos, r.pos, admit, out, pairs)?;
+                        check(l.pos, r.pos)?;
                     }
                 }
             }
             Some(op) => {
                 for r in part.right() {
                     for l in sweep_candidates(&part.left, op, &r.value) {
-                        self.check_binding(schema, tuples, l.pos, r.pos, admit, out, pairs)?;
+                        check(l.pos, r.pos)?;
                     }
                 }
             }
         }
         Ok(())
     }
+}
 
-    /// Residual-checks one ordered binding `(t1 at i, t2 at j)`; the
-    /// equality key and the sweep predicate already hold by construction.
-    #[allow(clippy::too_many_arguments)]
-    fn check_binding<F>(
-        &self,
-        schema: &Schema,
-        tuples: &[Tuple],
-        i: usize,
-        j: usize,
-        admit: &F,
-        out: &mut Vec<Violation>,
-        pairs: &mut usize,
-    ) -> Result<()>
-    where
-        F: Fn(usize, usize) -> bool,
-    {
-        if i == j || !admit(i, j) {
-            return Ok(());
-        }
-        *pairs += 1;
-        let t1 = &tuples[i];
-        let t2 = &tuples[j];
-        for pred in &self.residual {
-            if !pred.eval(schema, &[t1, t2])? {
-                return Ok(());
+/// The resolved column roles shared by both kernel builders.
+struct BuildRoles<'a> {
+    left_cols: &'a [usize],
+    right_cols: &'a [usize],
+    sweep_left: Option<usize>,
+    sweep_right: Option<usize>,
+    symmetric: bool,
+}
+
+/// Builds the shared partition/sweep structure of the index, generically
+/// over the key type `K` and sweep-value type `V` — the single
+/// implementation behind both read paths.  `key_of` extracts the (possibly
+/// composite) equality key of a position for one role's columns; `value_of`
+/// reads the sweep attribute.  Key hashing/ordering and sweep ordering
+/// mirror each other across instantiations (`ColumnCode` is constructed to
+/// order exactly like `Value`), so both read paths partition and sort
+/// identically.
+fn build_partitions<K, V, KF, VF>(
+    ctx: &ExecContext,
+    positions: &[usize],
+    roles: &BuildRoles<'_>,
+    key_of: KF,
+    value_of: VF,
+) -> Result<Vec<SweepPartition<V>>>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync,
+    V: SweepValue,
+    KF: Fn(&[usize], usize) -> Result<K> + Sync,
+    VF: Fn(usize, usize) -> Result<V>,
+{
+    // The group-by yields indices into `positions`; remap them to slice
+    // positions right away (lists stay ascending because `positions` is).
+    let remap = |groups: HashMap<K, Vec<usize>>| -> HashMap<K, Vec<usize>> {
+        groups
+            .into_iter()
+            .map(|(k, idxs)| (k, idxs.into_iter().map(|i| positions[i]).collect()))
+            .collect()
+    };
+    let left_groups = remap(partition_by_key(ctx, positions, |p| {
+        key_of(roles.left_cols, *p)
+    })?);
+    let right_groups = if roles.symmetric {
+        None
+    } else {
+        Some(remap(partition_by_key(ctx, positions, |p| {
+            key_of(roles.right_cols, *p)
+        })?))
+    };
+
+    // Only keys present in both roles can form candidate pairs; sorting
+    // the surviving keys keeps the partition order deterministic.
+    let mut keys: Vec<&K> = match &right_groups {
+        None => left_groups.keys().collect(),
+        Some(right) => left_groups
+            .keys()
+            .filter(|k| right.contains_key(*k))
+            .collect(),
+    };
+    keys.sort();
+
+    let entries = |members: &[usize], col: Option<usize>| -> Result<Vec<SweepEntry<V>>> {
+        let mut out = Vec::with_capacity(members.len());
+        for &pos in members {
+            let value = match col {
+                Some(c) => value_of(c, pos)?,
+                None => V::null(),
+            };
+            // Order comparisons against NULL are never satisfied, so
+            // NULL-valued members cannot participate in a sweep.
+            if col.is_some() && value.is_null_value() {
+                continue;
             }
+            out.push(SweepEntry { pos, value });
         }
-        out.push(Violation::pair(self.rule, t1.id, t2.id));
-        Ok(())
+        if col.is_some() {
+            out.sort_by(|a, b| a.value.cmp(&b.value).then(a.pos.cmp(&b.pos)));
+        }
+        Ok(out)
+    };
+    let mut partitions = Vec::with_capacity(keys.len());
+    for key in keys {
+        let left = entries(&left_groups[key], roles.sweep_left)?;
+        let right = match &right_groups {
+            None => None,
+            Some(right) => Some(entries(&right[key], roles.sweep_right)?),
+        };
+        partitions.push(SweepPartition { left, right });
     }
+    Ok(partitions)
+}
+
+/// Instantiates the generic build for the row store (the PR 3 path): keys
+/// and sweep values are cloned out of the tuples, residuals are evaluated
+/// by name at detection time.
+fn build_row_kernel(
+    ctx: &ExecContext,
+    plan: &IndexPlan,
+    tuples: &[Tuple],
+    positions: &[usize],
+    roles: &BuildRoles<'_>,
+) -> Result<IndexKernel> {
+    let partitions = build_partitions::<Vec<Value>, Value, _, _>(
+        ctx,
+        positions,
+        roles,
+        |cols, pos| cols.iter().map(|&c| tuples[pos].value(c)).collect(),
+        |col, pos| tuples[pos].value(col),
+    )?;
+    Ok(IndexKernel::Rows {
+        partitions,
+        residual: plan.residual.clone(),
+    })
+}
+
+/// Instantiates the generic build for the columnar read path: keys and
+/// sweep values are snapshot ordering codes (`Copy`, no clones, no per-read
+/// schema lookups) and the residual predicates are pre-resolved
+/// [`CodedPredicate`]s.
+fn build_coded_kernel(
+    ctx: &ExecContext,
+    schema: &Schema,
+    plan: &IndexPlan,
+    snap: &ColumnSnapshot,
+    positions: &[usize],
+    roles: &BuildRoles<'_>,
+) -> Result<IndexKernel> {
+    let partitions = build_partitions::<Vec<ColumnCode>, ColumnCode, _, _>(
+        ctx,
+        positions,
+        roles,
+        |cols, pos| Ok(cols.iter().map(|&c| snap.ordering_code(pos, c)).collect()),
+        |col, pos| Ok(snap.ordering_code(pos, col)),
+    )?;
+    Ok(IndexKernel::Coded {
+        partitions,
+        residual: resolve_predicates(&plan.residual, schema, snap)?,
+    })
 }
 
 /// The contiguous slice of ascending-sorted left-role members whose sweep
-/// value satisfies `value_left op probe` for a right-role probe value.
-fn sweep_candidates<'a>(
-    left: &'a [SweepEntry],
+/// value satisfies `value_left op probe` for a right-role probe value —
+/// generic over the sweep-value type, so both read paths share it.
+fn sweep_candidates<'a, V: Ord>(
+    left: &'a [SweepEntry<V>],
     op: ComparisonOp,
-    probe: &Value,
-) -> &'a [SweepEntry] {
+    probe: &V,
+) -> &'a [SweepEntry<V>] {
     match op {
         ComparisonOp::Lt => &left[..left.partition_point(|e| e.value < *probe)],
         ComparisonOp::Le => &left[..left.partition_point(|e| e.value <= *probe)],
@@ -635,6 +861,131 @@ mod tests {
         assert_eq!(found, oracle(&table, &dc));
         // The NULL-dept pair (100, 0.9) vs (200, 0.1) violates.
         assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn coded_kernel_matches_row_kernel_and_oracle() {
+        use daisy_storage::ColumnSnapshot;
+        // Mixed content: equality key with NULLs, sweep with NULLs, a
+        // residual with a constant — the full kernel surface.
+        let schema = Schema::from_pairs(&[
+            ("dept", DataType::Int),
+            ("salary", DataType::Int),
+            ("tax", DataType::Float),
+        ])
+        .unwrap();
+        let mut rows: Vec<Vec<Value>> = (0..70)
+            .map(|i| {
+                vec![
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i % 4)
+                    },
+                    if i % 13 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(1000 + (i * 37) % 900)
+                    },
+                    Value::Float(((i * 7) % 70) as f64 / 10.0),
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            Value::Int(1),
+            Value::Int(1200),
+            Value::Float(f64::NAN),
+        ]);
+        let table = Table::from_rows("emp", schema, rows).unwrap();
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.dept = t2.dept & t1.salary < t2.salary & t1.tax > t2.tax & t1.tax > 0.5",
+        )
+        .unwrap();
+        let plan = dc.index_plan().unwrap();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+
+        let row_index =
+            ViolationIndex::build(&ctx(), table.schema(), &dc, &plan, table.tuples()).unwrap();
+        assert!(!row_index.is_coded());
+        let coded_index = ViolationIndex::build_over_with(
+            &ctx(),
+            table.schema(),
+            &dc,
+            &plan,
+            table.tuples(),
+            &(0..table.len()).collect::<Vec<_>>(),
+            Some(&snap),
+        )
+        .unwrap();
+        assert!(coded_index.is_coded());
+        assert_eq!(coded_index.partition_count(), row_index.partition_count());
+
+        let (row_found, row_pairs) = row_index
+            .detect(&ctx(), table.schema(), table.tuples())
+            .unwrap();
+        let (coded_found, coded_pairs) = coded_index
+            .detect_with(&ctx(), table.schema(), table.tuples(), Some(&snap))
+            .unwrap();
+        assert_eq!(coded_found, row_found);
+        assert_eq!(coded_pairs, row_pairs, "candidate enumeration must match");
+        assert_eq!(row_found, oracle(&table, &dc));
+        assert!(!row_found.is_empty());
+
+        // A coded index without its snapshot is a usage error, not UB.
+        assert!(coded_index
+            .detect(&ctx(), table.schema(), table.tuples())
+            .is_err());
+    }
+
+    #[test]
+    fn coded_kernel_handles_string_keys_and_subsets() {
+        use daisy_storage::ColumnSnapshot;
+        let schema = Schema::from_pairs(&[
+            ("city", DataType::Str),
+            ("salary", DataType::Int),
+            ("tax", DataType::Float),
+        ])
+        .unwrap();
+        let cities = ["berlin", "amsterdam", "zagreb", "berlin", "amsterdam"];
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| {
+                vec![
+                    Value::from(cities[i % cities.len()]),
+                    Value::Int((1000 + (i * 13) % 400) as i64),
+                    Value::Float(((i * 31) % 50) as f64),
+                ]
+            })
+            .collect();
+        let table = Table::from_rows("emp", schema, rows).unwrap();
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.city = t2.city & t1.salary < t2.salary & t1.tax > t2.tax",
+        )
+        .unwrap();
+        let plan = dc.index_plan().unwrap();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        let positions: Vec<usize> = (0..50).step_by(3).collect();
+        let run = |snapshot: Option<&ColumnSnapshot>| {
+            let index = ViolationIndex::build_over_with(
+                &ctx(),
+                table.schema(),
+                &dc,
+                &plan,
+                table.tuples(),
+                &positions,
+                snapshot,
+            )
+            .unwrap();
+            index
+                .detect_with(&ctx(), table.schema(), table.tuples(), snapshot)
+                .unwrap()
+        };
+        let (row_found, row_pairs) = run(None);
+        let (coded_found, coded_pairs) = run(Some(&snap));
+        assert_eq!(coded_found, row_found);
+        assert_eq!(coded_pairs, row_pairs);
+        assert!(!coded_found.is_empty());
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct CleaningStep {
     /// matrix is built).  FD steps always detect via hash grouping, so the
     /// field is informational for them.
     pub detection: DetectionStrategy,
+    /// `true` when the engine will run this step's detection over the
+    /// table's columnar snapshot (the [`SnapshotMode`](daisy_common::SnapshotMode)
+    /// knob resolved against the table size).  The theta build feeds this
+    /// into the detection cost model: the columnar index build is cheaper,
+    /// which can tip a borderline `Auto` towards the indexed kernel.
+    pub snapshot: bool,
 }
 
 /// The cleaning-aware plan for one query.
@@ -106,6 +112,7 @@ impl CleaningPlan {
                     filter_target,
                     placement,
                     detection: planned_detection(rule, config.detection_strategy),
+                    snapshot: config.snapshot_mode.enables(table.len()),
                 });
             }
         }
@@ -255,6 +262,25 @@ mod tests {
             .steps
             .iter()
             .all(|s| s.detection == DetectionStrategy::Indexed));
+    }
+
+    #[test]
+    fn steps_record_the_snapshot_decision() {
+        use daisy_common::SnapshotMode;
+        let (catalog, constraints) = setup();
+        let q = parse_query("SELECT suppkey FROM lineorder WHERE orderkey < 100").unwrap();
+        // Tiny catalog tables stay on the row path under Auto (pinned
+        // explicitly: the ambient DAISY_SNAPSHOT env may force a mode)…
+        let config = DaisyConfig::default().with_snapshot_mode(SnapshotMode::Auto);
+        let plan = CleaningPlan::build(&q, &constraints, &catalog, &config).unwrap();
+        assert!(plan.steps.iter().all(|s| !s.snapshot));
+        // …but forcing the knob flips every step.
+        let config = DaisyConfig::default().with_snapshot_mode(SnapshotMode::On);
+        let plan = CleaningPlan::build(&q, &constraints, &catalog, &config).unwrap();
+        assert!(plan.steps.iter().all(|s| s.snapshot));
+        let config = DaisyConfig::default().with_snapshot_mode(SnapshotMode::Off);
+        let plan = CleaningPlan::build(&q, &constraints, &catalog, &config).unwrap();
+        assert!(plan.steps.iter().all(|s| !s.snapshot));
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet};
 use daisy_common::{DaisyError, DetectionStrategy, Result, Schema, Value};
 use daisy_exec::ExecContext;
 use daisy_expr::{DenialConstraint, IndexPlan, Operand, Violation};
-use daisy_storage::Tuple;
+use daisy_storage::{ColumnSnapshot, Tuple};
 
 use crate::cost::{planned_detection, DetectionEstimate, DetectionMode};
 use crate::index::{canonicalize_violations, ViolationIndex};
@@ -43,6 +43,65 @@ pub struct AttrBounds {
     pub min: Value,
     /// Maximum value in the block.
     pub max: Value,
+}
+
+/// Row-path bounds of one attribute over a block's members: min/max under
+/// the total value order, NULLs ignored.
+fn block_bounds_rows(
+    tuples: &[Tuple],
+    members: &[usize],
+    col: usize,
+) -> Result<Option<AttrBounds>> {
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    for &pos in members {
+        let v = tuples[pos].value(col)?;
+        if v.is_null() {
+            continue;
+        }
+        min = Some(match min.take() {
+            Some(m) => Value::min_of(m, v.clone()),
+            None => v.clone(),
+        });
+        max = Some(match max.take() {
+            Some(m) => Value::max_of(m, v),
+            None => v,
+        });
+    }
+    Ok(match (min, max) {
+        (Some(min), Some(max)) => Some(AttrBounds { min, max }),
+        _ => None,
+    })
+}
+
+/// Columnar bounds: identical extrema computed over ordering codes, decoded
+/// to values only once per block.  Ties keep the earliest member, exactly
+/// like `Value::min_of` / `Value::max_of` do on the row path, so the
+/// decoded bounds are byte-identical.
+fn block_bounds_coded(snap: &ColumnSnapshot, members: &[usize], col: usize) -> Option<AttrBounds> {
+    let mut min: Option<(daisy_storage::ColumnCode, usize)> = None;
+    let mut max: Option<(daisy_storage::ColumnCode, usize)> = None;
+    for &pos in members {
+        let code = snap.ordering_code(pos, col);
+        if code.is_null() {
+            continue;
+        }
+        match &min {
+            Some((m, _)) if m.cmp(&code) != std::cmp::Ordering::Greater => {}
+            _ => min = Some((code, pos)),
+        }
+        match &max {
+            Some((m, _)) if m.cmp(&code) != std::cmp::Ordering::Less => {}
+            _ => max = Some((code, pos)),
+        }
+    }
+    match (min, max) {
+        (Some((_, min_pos)), Some((_, max_pos))) => Some(AttrBounds {
+            min: snap.value(min_pos, col),
+            max: snap.value(max_pos, col),
+        }),
+        _ => None,
+    }
 }
 
 /// One block (partition) of the theta-join matrix.
@@ -140,6 +199,31 @@ impl ThetaMatrix {
         blocks_per_side: usize,
         strategy: DetectionStrategy,
     ) -> Result<ThetaMatrix> {
+        ThetaMatrix::build_with_strategy_snap(
+            schema,
+            tuples,
+            constraint,
+            blocks_per_side,
+            strategy,
+            None,
+        )
+    }
+
+    /// [`ThetaMatrix::build_with_strategy`] over the columnar read path:
+    /// when `snapshot` covers exactly `tuples` (row `i` = `tuples[i]`), the
+    /// partition sort, the per-block attribute bounds and the `Auto`
+    /// cost-model statistics are computed from column codes instead of
+    /// cloned values, and the cost model accounts for the cheaper columnar
+    /// index build.  A snapshot of the wrong length is ignored.
+    pub fn build_with_strategy_snap(
+        schema: &Schema,
+        tuples: &[Tuple],
+        constraint: &DenialConstraint,
+        blocks_per_side: usize,
+        strategy: DetectionStrategy,
+        snapshot: Option<&ColumnSnapshot>,
+    ) -> Result<ThetaMatrix> {
+        let snapshot = snapshot.filter(|s| s.len() == tuples.len());
         let dc_columns: Vec<usize> = constraint
             .attributes()
             .iter()
@@ -161,13 +245,25 @@ impl ThetaMatrix {
         let partition_column = schema.index_of(&partition_attr)?;
 
         // Sort tuple positions by the partition attribute and slice into
-        // equal-size blocks.
+        // equal-size blocks.  The columnar sort compares `Copy` ordering
+        // codes; both comparators realise the same total order, and the
+        // sort is stable, so the resulting block layout is identical.
         let mut order: Vec<usize> = (0..tuples.len()).collect();
-        let keys: Vec<Value> = tuples
-            .iter()
-            .map(|t| t.value(partition_column))
-            .collect::<Result<_>>()?;
-        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        match snapshot {
+            Some(snap) => {
+                let keys: Vec<daisy_storage::ColumnCode> = (0..tuples.len())
+                    .map(|pos| snap.ordering_code(pos, partition_column))
+                    .collect();
+                order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+            }
+            None => {
+                let keys: Vec<Value> = tuples
+                    .iter()
+                    .map(|t| t.value(partition_column))
+                    .collect::<Result<_>>()?;
+                order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+            }
+        }
 
         let blocks_per_side = blocks_per_side.max(1);
         let ranges = daisy_exec::chunk_ranges(order.len(), blocks_per_side);
@@ -176,24 +272,12 @@ impl ThetaMatrix {
             let members: Vec<usize> = order[start..end].to_vec();
             let mut bounds: HashMap<usize, AttrBounds> = HashMap::new();
             for &col in &dc_columns {
-                let mut min: Option<Value> = None;
-                let mut max: Option<Value> = None;
-                for &pos in &members {
-                    let v = tuples[pos].value(col)?;
-                    if v.is_null() {
-                        continue;
-                    }
-                    min = Some(match min.take() {
-                        Some(m) => Value::min_of(m, v.clone()),
-                        None => v.clone(),
-                    });
-                    max = Some(match max.take() {
-                        Some(m) => Value::max_of(m, v),
-                        None => v,
-                    });
-                }
-                if let (Some(min), Some(max)) = (min, max) {
-                    bounds.insert(col, AttrBounds { min, max });
+                let attr_bounds = match snapshot {
+                    Some(snap) => block_bounds_coded(snap, &members, col),
+                    None => block_bounds_rows(tuples, &members, col)?,
+                };
+                if let Some(b) = attr_bounds {
+                    bounds.insert(col, b);
                 }
             }
             blocks.push(ThetaBlock { members, bounds });
@@ -212,15 +296,23 @@ impl ThetaMatrix {
             DetectionStrategy::Auto => {
                 // `planned_detection` only leaves `Auto` standing when the
                 // plan has an equality key; measure its selectivity and let
-                // the cost model decide.
+                // the cost model decide.  Both statistics paths count the
+                // same composite keys; the snapshot one just skips the
+                // per-cell clones, and its availability discounts the
+                // projected index-build cost.
                 let key_plan = plan.as_ref().expect("Auto implies an index plan");
                 let key_columns: Vec<usize> = key_plan
                     .key
                     .iter()
                     .map(|(l, _)| schema.index_of(l))
                     .collect::<Result<_>>()?;
-                let key_stats = daisy_storage::key_statistics(tuples, &key_columns)?;
-                DetectionEstimate::new(tuples.len(), key_stats).recommend()
+                let key_stats = match snapshot {
+                    Some(snap) => snap.key_statistics(&key_columns),
+                    None => daisy_storage::key_statistics(tuples, &key_columns)?,
+                };
+                DetectionEstimate::new(tuples.len(), key_stats)
+                    .with_columnar(snapshot.is_some())
+                    .recommend()
             }
         };
 
@@ -324,8 +416,22 @@ impl ThetaMatrix {
         schema: &Schema,
         tuples: &[Tuple],
     ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
+        self.check_all_with(ctx, schema, tuples, None)
+    }
+
+    /// [`ThetaMatrix::check_all`] over the columnar read path: when
+    /// `snapshot` covers exactly `tuples`, the indexed kernel builds and
+    /// sweeps its violation index on column codes.  Results are
+    /// byte-identical either way; mismatched snapshots are ignored.
+    pub fn check_all_with(
+        &mut self,
+        ctx: &ExecContext,
+        schema: &Schema,
+        tuples: &[Tuple],
+        snapshot: Option<&ColumnSnapshot>,
+    ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
         let rows: Vec<usize> = (0..self.blocks.len()).collect();
-        self.check_blocks(ctx, schema, tuples, &rows)
+        self.check_blocks(ctx, schema, tuples, snapshot, &rows)
     }
 
     /// Incrementally checks the sub-matrix relevant to a query whose result
@@ -339,6 +445,20 @@ impl ThetaMatrix {
         low: Option<&Value>,
         high: Option<&Value>,
     ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
+        self.check_range_with(ctx, schema, tuples, None, low, high)
+    }
+
+    /// [`ThetaMatrix::check_range`] over the columnar read path (see
+    /// [`ThetaMatrix::check_all_with`]).
+    pub fn check_range_with(
+        &mut self,
+        ctx: &ExecContext,
+        schema: &Schema,
+        tuples: &[Tuple],
+        snapshot: Option<&ColumnSnapshot>,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
         let rows: Vec<usize> = (0..self.blocks.len())
             .filter(|&i| {
                 let Some(bounds) = self.blocks[i].bounds.get(&self.partition_column) else {
@@ -347,7 +467,7 @@ impl ThetaMatrix {
                 low.is_none_or(|l| &bounds.max >= l) && high.is_none_or(|h| &bounds.min <= h)
             })
             .collect();
-        self.check_blocks(ctx, schema, tuples, &rows)
+        self.check_blocks(ctx, schema, tuples, snapshot, &rows)
     }
 
     /// Checks the not-yet-checked block pairs reachable from `rows`,
@@ -370,6 +490,7 @@ impl ThetaMatrix {
         ctx: &ExecContext,
         schema: &Schema,
         tuples: &[Tuple],
+        snapshot: Option<&ColumnSnapshot>,
         rows: &[usize],
     ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
         let mut keys: Vec<(usize, usize)> = Vec::new();
@@ -384,9 +505,12 @@ impl ThetaMatrix {
             }
         }
 
+        let snapshot = snapshot.filter(|s| s.len() == tuples.len());
         let (violations, stats) = match self.mode {
             DetectionMode::Pairwise => self.check_keys_pairwise(ctx, schema, tuples, &keys)?,
-            DetectionMode::Indexed => self.check_keys_indexed(ctx, schema, tuples, &keys)?,
+            DetectionMode::Indexed => {
+                self.check_keys_indexed(ctx, schema, tuples, snapshot, &keys)?
+            }
         };
         self.checked.extend(keys);
         Ok((canonicalize_violations(violations), stats))
@@ -441,6 +565,7 @@ impl ThetaMatrix {
         ctx: &ExecContext,
         schema: &Schema,
         tuples: &[Tuple],
+        snapshot: Option<&ColumnSnapshot>,
         keys: &[(usize, usize)],
     ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
         let plan = self
@@ -448,33 +573,53 @@ impl ThetaMatrix {
             .as_ref()
             .ok_or_else(|| DaisyError::Plan("indexed detection requires an index plan".into()))?;
         let mut stats = ThetaCheckStats::default();
-        let mut allowed: HashSet<(usize, usize)> = HashSet::with_capacity(keys.len());
+        // The admit predicate runs once per candidate binding, so the
+        // surviving-pair membership test must be a plain array index: a
+        // `blocks × blocks` bitmap keyed by the canonical `(min, max)`
+        // pair, not a hash lookup.
+        let side = self.blocks.len();
+        let mut allowed = vec![false; side * side];
+        let mut survivors = 0usize;
         for &(a, b) in keys {
             if self.blocks_can_violate(a, b) {
                 stats.blocks_checked += 1;
-                allowed.insert((a, b));
+                allowed[a * side + b] = true;
+                survivors += 1;
             } else {
                 stats.blocks_pruned += 1;
             }
         }
-        if allowed.is_empty() {
+        if survivors == 0 {
             return Ok((Vec::new(), stats));
         }
         // Only tuples of a block participating in some surviving pair can
         // appear in an admitted binding; index just those.
-        let active_blocks: HashSet<usize> = allowed.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let active_blocks: HashSet<usize> = keys
+            .iter()
+            .filter(|&&(a, b)| allowed[a * side + b])
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
         let mut positions: Vec<usize> = active_blocks
             .iter()
             .flat_map(|&b| self.blocks[b].members.iter().copied())
             .collect();
         positions.sort_unstable();
-        let index =
-            ViolationIndex::build_over(ctx, schema, &self.constraint, plan, tuples, &positions)?;
+        let index = ViolationIndex::build_over_with(
+            ctx,
+            schema,
+            &self.constraint,
+            plan,
+            tuples,
+            &positions,
+            snapshot,
+        )?;
         let block_of = &self.block_of;
-        let (violations, pairs) = index.sweep_detect(ctx, schema, tuples, |i, j| {
-            let (a, b) = (block_of[i], block_of[j]);
-            allowed.contains(&(a.min(b), a.max(b)))
-        })?;
+        let allowed = &allowed;
+        let (violations, pairs) =
+            index.sweep_detect_with(ctx, schema, tuples, snapshot, |i, j| {
+                let (a, b) = (block_of[i], block_of[j]);
+                allowed[a.min(b) * side + a.max(b)]
+            })?;
         stats.pairs_compared = pairs;
         Ok((violations, stats))
     }
@@ -738,6 +883,70 @@ mod tests {
         assert_eq!(pairwise_stats.blocks_checked, indexed_stats.blocks_checked);
         assert_eq!(pairwise_stats.blocks_pruned, indexed_stats.blocks_pruned);
         assert!(indexed_stats.pairs_compared < pairwise_stats.pairs_compared);
+    }
+
+    #[test]
+    fn snapshot_read_path_is_byte_identical_with_rows() {
+        use daisy_storage::ColumnSnapshot;
+        let schema = Schema::from_pairs(&[
+            ("dept", DataType::Int),
+            ("salary", DataType::Int),
+            ("tax", DataType::Float),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..120)
+            .map(|i| {
+                vec![
+                    if i % 17 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i % 5)
+                    },
+                    Value::Int(1000 + (i * 29) % 700),
+                    Value::Float(((i * 37) % 120) as f64 / 100.0),
+                ]
+            })
+            .collect();
+        let table = Table::from_rows("emp", schema, rows).unwrap();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.dept = t2.dept & t1.salary < t2.salary & t1.tax > t2.tax",
+        )
+        .unwrap();
+        let run = |snapshot: Option<&ColumnSnapshot>| {
+            let mut matrix = ThetaMatrix::build_with_strategy_snap(
+                table.schema(),
+                table.tuples(),
+                &dc,
+                4,
+                DetectionStrategy::Indexed,
+                snapshot,
+            )
+            .unwrap();
+            // Exercise the incremental flow too: a range, then the rest.
+            let (first, s1) = matrix
+                .check_range_with(
+                    &ctx(),
+                    table.schema(),
+                    table.tuples(),
+                    snapshot,
+                    None,
+                    Some(&Value::Int(2)),
+                )
+                .unwrap();
+            let (second, s2) = matrix
+                .check_all_with(&ctx(), table.schema(), table.tuples(), snapshot)
+                .unwrap();
+            (first, s1, second, s2)
+        };
+        let (rf, rs1, rsec, rs2) = run(None);
+        let (cf, cs1, csec, cs2) = run(Some(&snap));
+        assert_eq!(rf, cf);
+        assert_eq!(rsec, csec);
+        assert_eq!(rs1, cs1, "first-pass statistics must match");
+        assert_eq!(rs2, cs2, "second-pass statistics must match");
+        assert!(!rf.is_empty() || !rsec.is_empty());
     }
 
     #[test]

@@ -18,12 +18,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod columnar;
 pub mod constraint;
 pub mod operators;
 pub mod sat;
 pub mod scalar;
 pub mod violation;
 
+pub use columnar::{resolve_predicates, CodedPredicate};
 pub use constraint::{
     ConstraintSet, DcPredicate, DenialConstraint, FunctionalDependency, IndexPlan, Operand,
     PredicateKind,

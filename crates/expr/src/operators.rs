@@ -26,17 +26,30 @@ pub enum ComparisonOp {
 impl ComparisonOp {
     /// Evaluates the operator over two values using the total value order.
     pub fn eval(self, left: &Value, right: &Value) -> bool {
-        // Comparisons against NULL are false, except `≠` which follows the
-        // "dirty data is still data" convention: NULL ≠ v holds when v is
-        // non-NULL so that FD violations involving a NULL rhs are detectable.
-        if left.is_null() || right.is_null() {
+        self.eval_parts(left.is_null(), right.is_null(), || left.total_cmp(right))
+    }
+
+    /// The shared evaluation core of the row path and the columnar path:
+    /// NULL handling from the operands' null flags, then the ordering (only
+    /// computed when both operands are non-NULL).
+    ///
+    /// Comparisons against NULL are false, except `≠` which follows the
+    /// "dirty data is still data" convention: NULL ≠ v holds when v is
+    /// non-NULL so that FD violations involving a NULL rhs are detectable.
+    /// Routing both read paths through this one function is what keeps
+    /// their results byte-identical.
+    pub fn eval_parts<F>(self, left_null: bool, right_null: bool, ord: F) -> bool
+    where
+        F: FnOnce() -> std::cmp::Ordering,
+    {
+        if left_null || right_null {
             return match self {
-                ComparisonOp::Neq => left.is_null() != right.is_null(),
-                ComparisonOp::Eq => left.is_null() && right.is_null(),
+                ComparisonOp::Neq => left_null != right_null,
+                ComparisonOp::Eq => left_null && right_null,
                 _ => false,
             };
         }
-        let ord = left.total_cmp(right);
+        let ord = ord();
         match self {
             ComparisonOp::Eq => ord == std::cmp::Ordering::Equal,
             ComparisonOp::Neq => ord != std::cmp::Ordering::Equal,

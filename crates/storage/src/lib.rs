@@ -15,6 +15,10 @@
 //!   incremental merging when new rules appear (Table 7 of the paper),
 //! * [`statistics::TableStatistics`] — the pre-computed group-by statistics
 //!   Daisy uses to prune error checks and drive its cost model,
+//! * [`snapshot::ColumnSnapshot`] — a typed, dictionary-encoded columnar
+//!   view of a table's expected values, versioned by the table revision and
+//!   maintained incrementally from [`delta::Delta`]s; the read path of the
+//!   violation-detection kernels,
 //! * [`csv`] — minimal CSV import/export.
 //!
 //! [`Value`]: daisy_common::Value
@@ -27,6 +31,7 @@ pub mod cell;
 pub mod csv;
 pub mod delta;
 pub mod provenance;
+pub mod snapshot;
 pub mod statistics;
 pub mod table;
 pub mod tuple;
@@ -35,6 +40,7 @@ pub mod worlds;
 pub use cell::{Candidate, CandidateValue, Cell};
 pub use delta::{CellUpdate, Delta};
 pub use provenance::{CellProvenance, ProvenanceStore, RuleEvidence};
+pub use snapshot::{ColumnCode, ColumnSnapshot, ConstProbe, StringDictionary};
 pub use statistics::{
     key_statistics, ColumnStatistics, FdGroupStatistics, KeyStatistics, TableStatistics,
 };

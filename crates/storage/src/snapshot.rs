@@ -1,0 +1,906 @@
+//! Columnar snapshots: the typed, dictionary-encoded read path of the
+//! detection kernels.
+//!
+//! The hot cleaning kernels (theta checks, the violation index, FD keying)
+//! are dominated by reads: extract a value, hash it, compare it.  Doing that
+//! through `Vec<Tuple>` means cloning a dynamically typed [`Value`] out of a
+//! [`Cell`](crate::cell::Cell) per read and resolving column names through
+//! the schema per predicate.  A [`ColumnSnapshot`] materialises the
+//! *expected* value of every cell into per-column typed arrays —
+//! `Vec<Option<i64>>`, `Vec<Option<f64>>`, `Vec<Option<bool>>`, and
+//! dictionary-encoded strings — so kernels read [`ColumnCode`]s: `Copy`
+//! scalars whose equality, hash and total order mirror [`Value`]'s exactly
+//! (NULL sorts first, NaN sorts last, ints and floats coerce numerically).
+//!
+//! **Dictionary ordering invariant.**  All string columns share one
+//! [`StringDictionary`].  Stored codes are assigned in insertion order and
+//! never change; ordering is provided by a rank table (`rank[code]` = the
+//! string's position in the sorted dictionary), so [`ColumnCode::Str`]
+//! carries the *rank* and code comparisons are string comparisons.  When a
+//! delta introduces a new string, only the rank table shifts — the encoded
+//! columns stay untouched.
+//!
+//! **Delta maintenance.**  A snapshot records the [`Table::revision`] it
+//! reflects.  After the engine applies a [`Delta`] to the base table it
+//! calls [`ColumnSnapshot::absorb_delta`], which re-reads just the touched
+//! cells and patches the affected columns (and dictionary) in place —
+//! `O(|delta|)`, not `O(table)`.  Any table mutation that bypasses this
+//! protocol leaves the revision behind and [`ColumnSnapshot::is_current`]
+//! reports the snapshot stale, forcing a rebuild on next use.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use daisy_common::{DaisyError, Result, TupleId, Value};
+
+use crate::delta::Delta;
+use crate::statistics::KeyStatistics;
+use crate::table::Table;
+
+/// A cell read from a [`ColumnSnapshot`]: a `Copy` scalar whose equality,
+/// hash and total order mirror [`Value`]'s exactly.  String cells carry
+/// their dictionary *rank*, so `Str` comparisons are string comparisons
+/// without touching the dictionary.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnCode {
+    /// SQL NULL / missing value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Sorted-dictionary rank of a string (rank order == string order).
+    Str(u32),
+}
+
+impl ColumnCode {
+    /// `true` for the NULL code.
+    pub fn is_null(self) -> bool {
+        matches!(self, ColumnCode::Null)
+    }
+
+    fn type_rank(self) -> u8 {
+        match self {
+            ColumnCode::Null => 0,
+            ColumnCode::Bool(_) => 1,
+            ColumnCode::Int(_) | ColumnCode::Float(_) => 2,
+            ColumnCode::Str(_) => 3,
+        }
+    }
+
+    /// Total comparison mirroring [`Value::total_cmp`]: NULL first, exact
+    /// `i64` comparison for int/int, IEEE `total_cmp` for floats, numeric
+    /// coercion for int/float, rank (= string) order for strings, and the
+    /// fixed type rank across non-coercible types.
+    pub fn total_cmp(self, other: ColumnCode) -> Ordering {
+        use ColumnCode::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(&b),
+            (Int(a), Int(b)) => a.cmp(&b),
+            (Str(a), Str(b)) => a.cmp(&b),
+            (Float(a), Float(b)) => a.total_cmp(&b),
+            (Int(a), Float(b)) => (a as f64).total_cmp(&b),
+            (Float(a), Int(b)) => a.total_cmp(&(b as f64)),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl PartialEq for ColumnCode {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(*other) == Ordering::Equal
+    }
+}
+
+impl Eq for ColumnCode {}
+
+impl PartialOrd for ColumnCode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ColumnCode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(*other)
+    }
+}
+
+impl Hash for ColumnCode {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            ColumnCode::Null => 0u8.hash(state),
+            ColumnCode::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and numerically equal floats must hash identically, like
+            // `Value` (equality coerces them).
+            ColumnCode::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            ColumnCode::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            ColumnCode::Str(r) => {
+                3u8.hash(state);
+                r.hash(state);
+            }
+        }
+    }
+}
+
+/// A constant operand resolved against a snapshot's dictionary, for
+/// comparing predicate constants to [`ColumnCode`] cells.
+///
+/// Strings absent from the dictionary cannot be encoded exactly; the probe
+/// then carries the *insertion rank* the string would get and remembers that
+/// equality can never hold (`exact == false`), so order comparisons stay
+/// byte-identical with the row path.  Probes are only valid until the next
+/// dictionary mutation — resolve them per detection pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstProbe {
+    code: ColumnCode,
+    exact: bool,
+}
+
+impl ConstProbe {
+    /// `true` when the constant is NULL.
+    pub fn is_null(self) -> bool {
+        self.code.is_null()
+    }
+
+    /// Compares a cell code against the constant, mirroring
+    /// `cell.total_cmp(constant)` on the underlying values.
+    pub fn cmp_cell(self, cell: ColumnCode) -> Ordering {
+        let ord = cell.total_cmp(self.code);
+        if !self.exact && ord == Ordering::Equal {
+            // The constant sorts at its insertion rank but equals no
+            // dictionary string; a cell at that rank is strictly greater.
+            Ordering::Greater
+        } else {
+            ord
+        }
+    }
+}
+
+/// The shared, sorted string dictionary of a snapshot.
+///
+/// Codes are insertion-ordered and stable; `rank[code]` gives the string's
+/// position in sorted order and is the payload of [`ColumnCode::Str`].
+/// Interning a new string shifts only ranks (`O(dictionary)`), never codes.
+#[derive(Debug, Clone, Default)]
+pub struct StringDictionary {
+    /// Code → string, in insertion order.
+    strings: Vec<String>,
+    /// Code → sorted rank.
+    rank: Vec<u32>,
+    /// Sorted rank → code.
+    sorted: Vec<u32>,
+    /// String → code.
+    lookup: HashMap<String, u32>,
+}
+
+impl StringDictionary {
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when no strings are interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The string behind a code.
+    pub fn string(&self, code: u32) -> &str {
+        &self.strings[code as usize]
+    }
+
+    /// The sorted rank of a code.
+    pub fn rank(&self, code: u32) -> u32 {
+        self.rank[code as usize]
+    }
+
+    /// The code of an already-interned string.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The rank a string would occupy if inserted now: the number of
+    /// interned strings strictly smaller than it.
+    pub fn insertion_rank(&self, s: &str) -> u32 {
+        self.sorted
+            .partition_point(|&code| self.strings[code as usize].as_str() < s) as u32
+    }
+
+    /// Interns a string, maintaining the rank table incrementally: ranks at
+    /// or above the insertion point shift up by one, codes never move.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(code) = self.code_of(s) {
+            return code;
+        }
+        let code = self.strings.len() as u32;
+        let at = self.insertion_rank(s) as usize;
+        for &shifted in &self.sorted[at..] {
+            self.rank[shifted as usize] += 1;
+        }
+        self.sorted.insert(at, code);
+        self.rank.push(at as u32);
+        self.strings.push(s.to_string());
+        self.lookup.insert(s.to_string(), code);
+        code
+    }
+
+    /// Interns without maintaining ranks — the bulk-build fast path.  The
+    /// caller must invoke [`StringDictionary::rebuild_ranks`] before any
+    /// rank is read.
+    fn intern_unranked(&mut self, s: &str) -> u32 {
+        if let Some(code) = self.code_of(s) {
+            return code;
+        }
+        let code = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.lookup.insert(s.to_string(), code);
+        code
+    }
+
+    /// Recomputes the rank table from scratch (`O(n log n)`), used after a
+    /// bulk build.
+    fn rebuild_ranks(&mut self) {
+        let mut sorted: Vec<u32> = (0..self.strings.len() as u32).collect();
+        sorted.sort_by(|&a, &b| self.strings[a as usize].cmp(&self.strings[b as usize]));
+        let mut rank = vec![0u32; self.strings.len()];
+        for (r, &code) in sorted.iter().enumerate() {
+            rank[code as usize] = r as u32;
+        }
+        self.sorted = sorted;
+        self.rank = rank;
+    }
+}
+
+/// One column of a snapshot: a typed array when the column is homogeneous,
+/// a generic code array otherwise.  String payloads are dictionary *codes*
+/// (stable), converted to ranks on read.
+#[derive(Debug, Clone)]
+enum ColumnData {
+    Int(Vec<Option<i64>>),
+    Float(Vec<Option<f64>>),
+    Bool(Vec<Option<bool>>),
+    Str(Vec<Option<u32>>),
+    /// Heterogeneous fallback; `Str` payloads are dictionary codes here too.
+    Mixed(Vec<ColumnCode>),
+}
+
+impl ColumnData {
+    fn from_values(values: Vec<Value>, dict: &mut StringDictionary) -> ColumnData {
+        let mut kinds = [false; 4]; // bool, int, float, str
+        for v in &values {
+            match v {
+                Value::Null => {}
+                Value::Bool(_) => kinds[0] = true,
+                Value::Int(_) => kinds[1] = true,
+                Value::Float(_) => kinds[2] = true,
+                Value::Str(_) => kinds[3] = true,
+            }
+        }
+        match kinds {
+            [false, false, false, false] | [false, true, false, false] => ColumnData::Int(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Int(i) => Some(i),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            [false, false, true, false] => ColumnData::Float(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Float(f) => Some(f),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            [true, false, false, false] => ColumnData::Bool(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Bool(b) => Some(b),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            [false, false, false, true] => ColumnData::Str(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Str(s) => Some(dict.intern_unranked(&s)),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            _ => ColumnData::Mixed(
+                values
+                    .into_iter()
+                    .map(|v| Self::encode_stored(&v, dict))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Encodes a value as a *stored* code (string payload = dictionary
+    /// code, not rank), interning new strings.
+    fn encode_stored(v: &Value, dict: &mut StringDictionary) -> ColumnCode {
+        match v {
+            Value::Null => ColumnCode::Null,
+            Value::Bool(b) => ColumnCode::Bool(*b),
+            Value::Int(i) => ColumnCode::Int(*i),
+            Value::Float(f) => ColumnCode::Float(*f),
+            Value::Str(s) => ColumnCode::Str(dict.intern_unranked(s)),
+        }
+    }
+
+    /// The ordering code of a row (string payloads converted to ranks).
+    fn ordering_code(&self, row: usize, dict: &StringDictionary) -> ColumnCode {
+        match self {
+            ColumnData::Int(v) => v[row].map_or(ColumnCode::Null, ColumnCode::Int),
+            ColumnData::Float(v) => v[row].map_or(ColumnCode::Null, ColumnCode::Float),
+            ColumnData::Bool(v) => v[row].map_or(ColumnCode::Null, ColumnCode::Bool),
+            ColumnData::Str(v) => {
+                v[row].map_or(ColumnCode::Null, |code| ColumnCode::Str(dict.rank(code)))
+            }
+            ColumnData::Mixed(v) => match v[row] {
+                ColumnCode::Str(code) => ColumnCode::Str(dict.rank(code)),
+                other => other,
+            },
+        }
+    }
+
+    /// Decodes a row back into a [`Value`].
+    fn value(&self, row: usize, dict: &StringDictionary) -> Value {
+        match self {
+            ColumnData::Int(v) => v[row].map_or(Value::Null, Value::Int),
+            ColumnData::Float(v) => v[row].map_or(Value::Null, Value::Float),
+            ColumnData::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
+            ColumnData::Str(v) => v[row].map_or(Value::Null, |code| {
+                Value::Str(dict.string(code).to_string())
+            }),
+            ColumnData::Mixed(v) => match v[row] {
+                ColumnCode::Null => Value::Null,
+                ColumnCode::Bool(b) => Value::Bool(b),
+                ColumnCode::Int(i) => Value::Int(i),
+                ColumnCode::Float(f) => Value::Float(f),
+                ColumnCode::Str(code) => Value::Str(dict.string(code).to_string()),
+            },
+        }
+    }
+
+    /// Overwrites one cell, promoting the column to `Mixed` when the new
+    /// value does not fit the typed representation.
+    fn set(&mut self, row: usize, value: &Value, dict: &mut StringDictionary) {
+        match (&mut *self, value) {
+            (ColumnData::Int(v), Value::Int(i)) => v[row] = Some(*i),
+            (ColumnData::Int(v), Value::Null) => v[row] = None,
+            (ColumnData::Float(v), Value::Float(f)) => v[row] = Some(*f),
+            (ColumnData::Float(v), Value::Null) => v[row] = None,
+            (ColumnData::Bool(v), Value::Bool(b)) => v[row] = Some(*b),
+            (ColumnData::Bool(v), Value::Null) => v[row] = None,
+            (ColumnData::Str(v), Value::Str(s)) => v[row] = Some(dict.intern(s)),
+            (ColumnData::Str(v), Value::Null) => v[row] = None,
+            (ColumnData::Mixed(v), value) => {
+                v[row] = match value {
+                    Value::Str(s) => ColumnCode::Str(dict.intern(s)),
+                    Value::Null => ColumnCode::Null,
+                    Value::Bool(b) => ColumnCode::Bool(*b),
+                    Value::Int(i) => ColumnCode::Int(*i),
+                    Value::Float(f) => ColumnCode::Float(*f),
+                };
+            }
+            (typed, value) => {
+                // Type change: promote the whole column, then retry.
+                let mixed: Vec<ColumnCode> = match typed {
+                    ColumnData::Int(v) => v
+                        .iter()
+                        .map(|c| c.map_or(ColumnCode::Null, ColumnCode::Int))
+                        .collect(),
+                    ColumnData::Float(v) => v
+                        .iter()
+                        .map(|c| c.map_or(ColumnCode::Null, ColumnCode::Float))
+                        .collect(),
+                    ColumnData::Bool(v) => v
+                        .iter()
+                        .map(|c| c.map_or(ColumnCode::Null, ColumnCode::Bool))
+                        .collect(),
+                    ColumnData::Str(v) => v
+                        .iter()
+                        .map(|c| c.map_or(ColumnCode::Null, ColumnCode::Str))
+                        .collect(),
+                    ColumnData::Mixed(_) => unreachable!("handled above"),
+                };
+                *typed = ColumnData::Mixed(mixed);
+                typed.set(row, value, dict);
+            }
+        }
+    }
+}
+
+/// A columnar snapshot of one table's expected values, versioned by the
+/// table revision and maintained incrementally by [`Delta`]s (see the
+/// module docs for the protocol).
+#[derive(Debug, Clone)]
+pub struct ColumnSnapshot {
+    revision: u64,
+    rows: usize,
+    columns: Vec<ColumnData>,
+    dict: StringDictionary,
+    row_of: HashMap<TupleId, usize>,
+}
+
+impl ColumnSnapshot {
+    /// Materialises a snapshot from a table's current expected values.
+    pub fn build(table: &Table) -> Result<ColumnSnapshot> {
+        let rows = table.len();
+        let width = table.schema().len();
+        let mut dict = StringDictionary::default();
+        let mut columns = Vec::with_capacity(width);
+        for col in 0..width {
+            let mut values = Vec::with_capacity(rows);
+            for tuple in table.tuples() {
+                values.push(tuple.value(col)?);
+            }
+            columns.push(ColumnData::from_values(values, &mut dict));
+        }
+        dict.rebuild_ranks();
+        let row_of = table
+            .tuples()
+            .iter()
+            .enumerate()
+            .map(|(pos, t)| (t.id, pos))
+            .collect();
+        Ok(ColumnSnapshot {
+            revision: table.revision(),
+            rows,
+            columns,
+            dict,
+            row_of,
+        })
+    }
+
+    /// Number of rows the snapshot covers.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when the snapshot covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The table revision the snapshot reflects.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// `true` when the snapshot still reflects the table (same revision and
+    /// row count).
+    pub fn is_current(&self, table: &Table) -> bool {
+        self.revision == table.revision() && self.rows == table.len()
+    }
+
+    /// The snapshot row of a tuple id.
+    pub fn row_of(&self, id: TupleId) -> Option<usize> {
+        self.row_of.get(&id).copied()
+    }
+
+    /// The shared string dictionary.
+    pub fn dictionary(&self) -> &StringDictionary {
+        &self.dict
+    }
+
+    /// The ordering code of one cell.  Ordering codes of the same snapshot
+    /// compare, hash and equal exactly like the underlying [`Value`]s —
+    /// across columns, because all string columns share one dictionary.
+    pub fn ordering_code(&self, row: usize, column: usize) -> ColumnCode {
+        self.columns[column].ordering_code(row, &self.dict)
+    }
+
+    /// Decodes one cell back into a [`Value`].
+    pub fn value(&self, row: usize, column: usize) -> Value {
+        self.columns[column].value(row, &self.dict)
+    }
+
+    /// Encodes a value into an ordering code, when one exists: strings must
+    /// already be interned (a string absent from the dictionary equals no
+    /// snapshot cell, so `None` means "matches nothing").
+    pub fn encode_ordering(&self, value: &Value) -> Option<ColumnCode> {
+        match value {
+            Value::Null => Some(ColumnCode::Null),
+            Value::Bool(b) => Some(ColumnCode::Bool(*b)),
+            Value::Int(i) => Some(ColumnCode::Int(*i)),
+            Value::Float(f) => Some(ColumnCode::Float(*f)),
+            Value::Str(s) => self
+                .dict
+                .code_of(s)
+                .map(|code| ColumnCode::Str(self.dict.rank(code))),
+        }
+    }
+
+    /// Resolves a predicate constant into a [`ConstProbe`] comparable to
+    /// this snapshot's cell codes.  Valid until the dictionary next mutates.
+    pub fn probe_value(&self, value: &Value) -> ConstProbe {
+        match value {
+            Value::Str(s) => match self.dict.code_of(s) {
+                Some(code) => ConstProbe {
+                    code: ColumnCode::Str(self.dict.rank(code)),
+                    exact: true,
+                },
+                None => ConstProbe {
+                    code: ColumnCode::Str(self.dict.insertion_rank(s)),
+                    exact: false,
+                },
+            },
+            other => ConstProbe {
+                code: match other {
+                    Value::Null => ColumnCode::Null,
+                    Value::Bool(b) => ColumnCode::Bool(*b),
+                    Value::Int(i) => ColumnCode::Int(*i),
+                    Value::Float(f) => ColumnCode::Float(*f),
+                    Value::Str(_) => unreachable!("handled above"),
+                },
+                exact: true,
+            },
+        }
+    }
+
+    /// Exact composite-key statistics over the snapshot — the columnar
+    /// counterpart of [`crate::statistics::key_statistics`], producing
+    /// identical counts because code equality mirrors value equality.
+    pub fn key_statistics(&self, columns: &[usize]) -> KeyStatistics {
+        let mut counts: HashMap<Vec<ColumnCode>, usize> = HashMap::new();
+        for row in 0..self.rows {
+            let key: Vec<ColumnCode> = columns
+                .iter()
+                .map(|&c| self.ordering_code(row, c))
+                .collect();
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        KeyStatistics {
+            rows: self.rows,
+            distinct: counts.len(),
+            max_group: counts.values().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Patches the snapshot after `delta` was applied to `table`: re-reads
+    /// the touched cells' expected values and overwrites the affected column
+    /// entries (and dictionary, for new strings).  On success the snapshot
+    /// advances to the table's current revision.
+    ///
+    /// The patch is refused — the snapshot simply stays stale, to be
+    /// rebuilt by the next [`ColumnSnapshot::is_current`] check — unless
+    /// the snapshot provably reflects the state the delta was applied to:
+    /// the table must be exactly one revision ahead (the delta's own bump;
+    /// zero for an empty delta) with unchanged membership.  Anything else —
+    /// an out-of-band `tuple_mut`, a missed delta, a membership change —
+    /// would otherwise be silently masked by adopting the newer revision.
+    pub fn absorb_delta(&mut self, table: &Table, delta: &Delta) -> Result<()> {
+        let expected = self.revision + u64::from(!delta.is_empty());
+        if table.revision() != expected || table.len() != self.rows {
+            return Ok(()); // stale: the table moved past us out of band
+        }
+        for update in delta.updates() {
+            let Some(&row) = self.row_of.get(&update.tuple) else {
+                return Ok(()); // stale: membership changed under us
+            };
+            let col = update.column.index();
+            if col >= self.columns.len() {
+                return Err(DaisyError::Execution(format!(
+                    "delta column {col} out of snapshot range"
+                )));
+            }
+            let tuple = table.tuple(update.tuple).ok_or_else(|| {
+                DaisyError::Execution(format!(
+                    "delta references tuple {} unknown to the table",
+                    update.tuple
+                ))
+            })?;
+            let value = tuple.value(col)?;
+            self.columns[col].set(row, &value, &mut self.dict);
+        }
+        self.revision = table.revision();
+        self.rows = table.len();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Candidate, Cell};
+    use crate::delta::CellUpdate;
+    use daisy_common::{ColumnId, DataType, Schema};
+
+    fn mixed_table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("zip", DataType::Int),
+            ("city", DataType::Str),
+            ("rate", DataType::Float),
+        ])
+        .unwrap();
+        Table::from_rows(
+            "t",
+            schema,
+            vec![
+                vec![
+                    Value::Int(9001),
+                    Value::from("Los Angeles"),
+                    Value::Float(0.5),
+                ],
+                vec![
+                    Value::Int(9001),
+                    Value::from("San Francisco"),
+                    Value::Float(f64::NAN),
+                ],
+                vec![Value::Null, Value::from("Aachen"), Value::Float(-0.0)],
+                vec![Value::Int(10001), Value::Null, Value::Float(0.0)],
+                vec![Value::Int(-5), Value::from("Los Angeles"), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn codes_mirror_value_order_equality_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let table = mixed_table();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        let hash_of = |h: &dyn Fn(&mut DefaultHasher)| {
+            let mut s = DefaultHasher::new();
+            h(&mut s);
+            s.finish()
+        };
+        // Every pair of cells, across all columns, must compare exactly like
+        // the underlying values do.
+        let cells: Vec<(usize, usize)> = (0..snap.len())
+            .flat_map(|r| (0..snap.column_count()).map(move |c| (r, c)))
+            .collect();
+        for &(r1, c1) in &cells {
+            for &(r2, c2) in &cells {
+                let v1 = table.tuples()[r1].value(c1).unwrap();
+                let v2 = table.tuples()[r2].value(c2).unwrap();
+                let k1 = snap.ordering_code(r1, c1);
+                let k2 = snap.ordering_code(r2, c2);
+                assert_eq!(
+                    k1.total_cmp(k2),
+                    v1.total_cmp(&v2),
+                    "codes diverge from values for {v1:?} vs {v2:?}"
+                );
+                if v1 == v2 {
+                    assert_eq!(k1, k2);
+                    assert_eq!(
+                        hash_of(&|s: &mut DefaultHasher| k1.hash(s)),
+                        hash_of(&|s: &mut DefaultHasher| k2.hash(s)),
+                        "equal codes must hash equally"
+                    );
+                }
+            }
+        }
+        // Int/float coercion carries over to codes.
+        assert_eq!(ColumnCode::Int(7), ColumnCode::Float(7.0));
+        assert!(ColumnCode::Int(7) < ColumnCode::Float(7.5));
+        // NaN sorts last among floats, equal to itself.
+        assert!(ColumnCode::Float(f64::NAN) > ColumnCode::Float(1e308));
+        assert_eq!(ColumnCode::Float(f64::NAN), ColumnCode::Float(f64::NAN));
+    }
+
+    #[test]
+    fn values_decode_back_exactly() {
+        let table = mixed_table();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        for (row, tuple) in table.tuples().iter().enumerate() {
+            for col in 0..snap.column_count() {
+                let original = tuple.value(col).unwrap();
+                let decoded = snap.value(row, col);
+                // NaN == NaN under the total order, so Value equality is the
+                // right comparison here.
+                assert_eq!(decoded, original);
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_interning_preserves_rank_order() {
+        let mut dict = StringDictionary::default();
+        let b = dict.intern("banana");
+        let a = dict.intern("apple");
+        let c = dict.intern("cherry");
+        assert_eq!(dict.rank(a), 0);
+        assert_eq!(dict.rank(b), 1);
+        assert_eq!(dict.rank(c), 2);
+        // Inserting in the middle shifts ranks, never codes.
+        let almost = dict.intern("apricot");
+        assert_eq!(dict.rank(a), 0);
+        assert_eq!(dict.rank(almost), 1);
+        assert_eq!(dict.rank(b), 2);
+        assert_eq!(dict.rank(c), 3);
+        assert_eq!(dict.string(b), "banana");
+        // Re-interning is a lookup.
+        assert_eq!(dict.intern("banana"), b);
+        assert_eq!(dict.len(), 4);
+        // Insertion ranks for absent strings fall between neighbours.
+        assert_eq!(dict.insertion_rank("aaa"), 0);
+        assert_eq!(dict.insertion_rank("blueberry"), 3);
+        assert_eq!(dict.insertion_rank("zzz"), 4);
+    }
+
+    #[test]
+    fn const_probes_match_row_semantics_for_absent_strings() {
+        let table = mixed_table();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        let city = 1usize;
+        for (probe_str, row, expected) in [
+            ("Los Angeles", 0usize, Ordering::Equal),
+            ("Kyoto", 0, Ordering::Greater), // "Los Angeles" > "Kyoto"
+            ("Zurich", 0, Ordering::Less),
+            ("Aachen!", 2, Ordering::Less), // "Aachen" < "Aachen!"
+        ] {
+            let probe = snap.probe_value(&Value::from(probe_str));
+            assert_eq!(
+                probe.cmp_cell(snap.ordering_code(row, city)),
+                expected,
+                "probe `{probe_str}` vs row {row}"
+            );
+        }
+        // Absent strings equal nothing, even at their own insertion rank.
+        let probe = snap.probe_value(&Value::from("Berlin"));
+        for row in 0..snap.len() {
+            if snap.ordering_code(row, city).is_null() {
+                continue;
+            }
+            assert_ne!(
+                probe.cmp_cell(snap.ordering_code(row, city)),
+                Ordering::Equal
+            );
+        }
+        assert!(snap.probe_value(&Value::Null).is_null());
+    }
+
+    #[test]
+    fn encode_ordering_round_trips_table_values() {
+        let table = mixed_table();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        for (row, tuple) in table.tuples().iter().enumerate() {
+            for col in 0..snap.column_count() {
+                let v = tuple.value(col).unwrap();
+                let encoded = snap.encode_ordering(&v).expect("table value must encode");
+                assert_eq!(encoded, snap.ordering_code(row, col));
+            }
+        }
+        assert!(snap.encode_ordering(&Value::from("not in dict")).is_none());
+        assert_eq!(
+            snap.encode_ordering(&Value::Int(123456)),
+            Some(ColumnCode::Int(123456))
+        );
+    }
+
+    #[test]
+    fn key_statistics_match_the_row_path() {
+        let table = mixed_table();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        for cols in [vec![0usize], vec![1], vec![0, 1], vec![0, 1, 2]] {
+            let row_stats = crate::statistics::key_statistics(table.tuples(), &cols).unwrap();
+            assert_eq!(snap.key_statistics(&cols), row_stats, "columns {cols:?}");
+        }
+    }
+
+    #[test]
+    fn absorb_delta_patches_cells_and_tracks_revision() {
+        let mut table = mixed_table();
+        let mut snap = ColumnSnapshot::build(&table).unwrap();
+        assert!(snap.is_current(&table));
+
+        // A probabilistic update: the snapshot must pick up the new
+        // *expected* value, and the new string must enter the dictionary.
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(3),
+            column: ColumnId::new(1),
+            cell: Cell::probabilistic(vec![
+                Candidate::exact(Value::from("Boston"), 0.9),
+                Candidate::exact(Value::from("Aachen"), 0.1),
+            ]),
+        });
+        delta.push(CellUpdate {
+            tuple: TupleId::new(0),
+            column: ColumnId::new(0),
+            cell: Cell::Determinate(Value::Int(90210)),
+        });
+        table.apply_delta(&delta).unwrap();
+        assert!(!snap.is_current(&table));
+        snap.absorb_delta(&table, &delta).unwrap();
+        assert!(snap.is_current(&table));
+
+        // Patched snapshot equals a from-scratch rebuild, cell for cell.
+        let rebuilt = ColumnSnapshot::build(&table).unwrap();
+        for row in 0..snap.len() {
+            for col in 0..snap.column_count() {
+                assert_eq!(snap.value(row, col), rebuilt.value(row, col));
+                assert_eq!(
+                    snap.ordering_code(row, col)
+                        .total_cmp(snap.ordering_code(0, col)),
+                    rebuilt
+                        .ordering_code(row, col)
+                        .total_cmp(rebuilt.ordering_code(0, col)),
+                );
+            }
+        }
+        assert_eq!(snap.value(3, 1), Value::from("Boston"));
+        assert_eq!(snap.value(0, 0), Value::Int(90210));
+    }
+
+    #[test]
+    fn type_changing_patch_promotes_the_column() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let mut table =
+            Table::from_rows("t", schema, vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        let mut snap = ColumnSnapshot::build(&table).unwrap();
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(0),
+            column: ColumnId::new(0),
+            cell: Cell::Determinate(Value::Float(1.5)),
+        });
+        table.apply_delta(&delta).unwrap();
+        snap.absorb_delta(&table, &delta).unwrap();
+        assert_eq!(snap.value(0, 0), Value::Float(1.5));
+        assert_eq!(snap.value(1, 0), Value::Int(2));
+        assert!(snap.ordering_code(0, 0) < snap.ordering_code(1, 0));
+    }
+
+    #[test]
+    fn out_of_band_mutations_leave_the_snapshot_stale() {
+        let mut table = mixed_table();
+        let mut snap = ColumnSnapshot::build(&table).unwrap();
+        // Direct mutable access bumps the revision even without a delta.
+        table.tuple_mut(TupleId::new(0)).unwrap();
+        assert!(!snap.is_current(&table));
+        // Absorbing a delta on top of the missed mutation must not adopt
+        // the newer revision (that would mask the unpatched edit): the
+        // snapshot stays stale and untouched.
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(1),
+            column: ColumnId::new(0),
+            cell: Cell::Determinate(Value::Int(4242)),
+        });
+        table.apply_delta(&delta).unwrap();
+        snap.absorb_delta(&table, &delta).unwrap();
+        assert!(!snap.is_current(&table));
+        assert_ne!(snap.value(1, 0), Value::Int(4242), "stale patch refused");
+    }
+
+    #[test]
+    fn snapshot_of_empty_table_is_well_defined() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let table = Table::new("t", schema);
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        assert!(snap.is_empty());
+        assert_eq!(snap.key_statistics(&[0]).distinct, 0);
+        assert!(snap.is_current(&table));
+    }
+}

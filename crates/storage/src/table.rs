@@ -19,6 +19,7 @@ use crate::tuple::Tuple;
 /// [`Delta`] and the engine applies it back to the base table, gradually
 /// turning the dataset probabilistic (§4, §6).
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "TableParts")]
 pub struct Table {
     name: String,
     schema: Arc<Schema>,
@@ -27,6 +28,38 @@ pub struct Table {
     #[serde(skip)]
     index: HashMap<TupleId, usize>,
     next_id: u64,
+    /// Monotone mutation counter.  Bumped by every operation that can change
+    /// tuple contents or membership; derived read structures (the columnar
+    /// snapshot in particular) record the revision they were built at and
+    /// treat a mismatch as "stale".  Skipped by serde like the id index:
+    /// both are rehydrated together (see [`Table::from_serde_parts`]).
+    #[serde(skip)]
+    revision: u64,
+}
+
+/// The serialized fields of a [`Table`] — the deserialization waypoint.
+///
+/// `Table` derives `Deserialize` with `#[serde(from = "TableParts")]`, so a
+/// deserializer first produces this struct and then converts it through
+/// [`From`], which rebuilds the `#[serde(skip)]` state (the tuple-id index
+/// and the revision counter).  Without that hop, a round-tripped table
+/// answers `tuple(id) == None` for every id and rejects every delta.
+///
+/// The offline `serde` stub never instantiates this type (its derives emit
+/// no code); the real `serde_derive` does, hence the `dead_code` allowance.
+#[allow(dead_code)]
+#[derive(Debug, Clone, Deserialize)]
+struct TableParts {
+    name: String,
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+    next_id: u64,
+}
+
+impl From<TableParts> for Table {
+    fn from(parts: TableParts) -> Table {
+        Table::from_serde_parts(parts.name, parts.schema, parts.tuples, parts.next_id)
+    }
 }
 
 impl Table {
@@ -38,7 +71,33 @@ impl Table {
             tuples: Vec::new(),
             index: HashMap::new(),
             next_id: 0,
+            revision: 0,
         }
+    }
+
+    /// Reassembles a table from its serialized fields, rebuilding the
+    /// `#[serde(skip)]` state (the tuple-id index and the revision counter)
+    /// that a derived `Deserialize` leaves at its defaults.
+    ///
+    /// Deserializers must route through here: a table whose skipped index
+    /// was left empty answers `tuple(id) == None` for every id and rejects
+    /// every delta, which silently breaks id lookups after a round trip.
+    pub fn from_serde_parts(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        tuples: Vec<Tuple>,
+        next_id: u64,
+    ) -> Self {
+        let mut table = Table {
+            name: name.into(),
+            schema,
+            tuples,
+            index: HashMap::new(),
+            next_id,
+            revision: 0,
+        };
+        table.rebuild_index();
+        table
     }
 
     /// Creates a table and bulk-loads rows of determinate values.
@@ -79,6 +138,13 @@ impl Table {
         &self.tuples
     }
 
+    /// The table's mutation revision.  Any operation that may change tuple
+    /// contents or membership bumps it; equal revisions mean derived read
+    /// structures built against this table are still valid.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Appends a row of determinate values, returning the assigned tuple id.
     pub fn push_values(&mut self, values: Vec<Value>) -> Result<TupleId> {
         if values.len() != self.schema.len() {
@@ -91,6 +157,7 @@ impl Table {
         }
         let id = TupleId::new(self.next_id);
         self.next_id += 1;
+        self.revision += 1;
         self.index.insert(id, self.tuples.len());
         self.tuples.push(Tuple::from_values(id, values));
         Ok(id)
@@ -109,6 +176,7 @@ impl Table {
         }
         let id = TupleId::new(self.next_id);
         self.next_id += 1;
+        self.revision += 1;
         self.index.insert(id, self.tuples.len());
         self.tuples.push(Tuple::from_cells(id, cells));
         Ok(id)
@@ -119,10 +187,15 @@ impl Table {
         self.index.get(&id).map(|&pos| &self.tuples[pos])
     }
 
-    /// Looks up a tuple by id mutably.
+    /// Looks up a tuple by id mutably.  Conservatively bumps the revision:
+    /// the caller receives write access, so derived structures must assume
+    /// the tuple changed.
     pub fn tuple_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
         match self.index.get(&id) {
-            Some(&pos) => self.tuples.get_mut(pos),
+            Some(&pos) => {
+                self.revision += 1;
+                self.tuples.get_mut(pos)
+            }
             None => None,
         }
     }
@@ -155,6 +228,9 @@ impl Table {
     /// existing tuple by id; updates to unknown tuples are an execution
     /// error.  Returns the number of cells modified.
     pub fn apply_delta(&mut self, delta: &Delta) -> Result<usize> {
+        if !delta.is_empty() {
+            self.revision += 1;
+        }
         let mut applied = 0;
         for update in delta.updates() {
             let pos = *self.index.get(&update.tuple).ok_or_else(|| {
@@ -204,6 +280,7 @@ impl Table {
     /// ids are preserved from the given tuples.
     pub fn replace_tuples(&mut self, tuples: Vec<Tuple>) {
         self.next_id = tuples.iter().map(|t| t.id.raw() + 1).max().unwrap_or(0);
+        self.revision += 1;
         self.tuples = tuples;
         self.rebuild_index();
     }
@@ -331,6 +408,90 @@ mod tests {
         assert_eq!(zips.len(), 5);
         assert_eq!(zips[0], Value::Int(9001));
         assert!(t.column_values("state").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_rehydrates_the_tuple_id_index() {
+        // The tuple-id index is `#[serde(skip)]`, so deserialization routes
+        // through `TableParts` (`#[serde(from)]`) whose `From` conversion
+        // rebuilds it.  Simulate exactly what a deserializer produces — the
+        // serialized fields of a mutated table — and run the same
+        // conversion it would.
+        let mut original = cities();
+        // A non-trivial id space: drop the first two tuples so positions and
+        // ids diverge, then append one more.
+        let kept: Vec<Tuple> = original.tuples().iter().skip(2).cloned().collect();
+        original.replace_tuples(kept);
+        original
+            .push_values(vec![Value::Int(77), Value::from("Fresno")])
+            .unwrap();
+
+        let restored = Table::from(TableParts {
+            name: original.name().to_string(),
+            schema: Arc::clone(original.schema()),
+            tuples: original.tuples().to_vec(),
+            next_id: original
+                .tuples()
+                .iter()
+                .map(|t| t.id.raw() + 1)
+                .max()
+                .unwrap(),
+        });
+
+        // Lookups resolve every surviving tuple to the same contents…
+        assert_eq!(restored.len(), original.len());
+        for t in original.tuples() {
+            assert_eq!(restored.tuple(t.id), Some(t));
+        }
+        assert!(restored.tuple(TupleId::new(0)).is_none());
+        // …deltas keyed by tuple id apply…
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(4),
+            column: ColumnId::new(1),
+            cell: Cell::Determinate(Value::from("Rehydrated")),
+        });
+        let mut restored = restored;
+        assert_eq!(restored.apply_delta(&delta).unwrap(), 1);
+        assert_eq!(
+            restored.tuple(TupleId::new(4)).unwrap().value(1).unwrap(),
+            Value::from("Rehydrated")
+        );
+        // …and id assignment continues past the serialized tuples.
+        let id = restored
+            .push_values(vec![Value::Int(1), Value::from("X")])
+            .unwrap();
+        assert_eq!(id, TupleId::new(6));
+    }
+
+    #[test]
+    fn mutations_bump_the_revision_counter() {
+        let mut t = cities();
+        let r0 = t.revision();
+        t.push_values(vec![Value::Int(1), Value::from("A")])
+            .unwrap();
+        let r1 = t.revision();
+        assert!(r1 > r0);
+        // Read-only access leaves the revision alone.
+        let _ = t.tuples();
+        let _ = t.tuple(TupleId::new(0));
+        assert_eq!(t.revision(), r1);
+        // Mutable access and deltas bump it.
+        t.tuple_mut(TupleId::new(0)).unwrap();
+        let r2 = t.revision();
+        assert!(r2 > r1);
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(1),
+            column: ColumnId::new(1),
+            cell: Cell::Determinate(Value::from("B")),
+        });
+        t.apply_delta(&delta).unwrap();
+        assert!(t.revision() > r2);
+        // Empty deltas are free.
+        let r3 = t.revision();
+        t.apply_delta(&Delta::new()).unwrap();
+        assert_eq!(t.revision(), r3);
     }
 
     #[test]

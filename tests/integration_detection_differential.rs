@@ -9,11 +9,12 @@
 
 use proptest::prelude::*;
 
-use daisy::common::{DataType, DetectionStrategy, Schema, Value};
+use daisy::common::{DaisyConfig, DataType, DetectionStrategy, Schema, SnapshotMode, Value};
 use daisy::core::theta::ThetaMatrix;
+use daisy::core::DaisyEngine;
 use daisy::exec::ExecContext;
 use daisy::expr::{ComparisonOp, DcPredicate, DenialConstraint, Operand, Violation};
-use daisy::storage::Table;
+use daisy::storage::{ColumnSnapshot, Table, Tuple};
 
 /// Builds a three-column table: `a` is a low-cardinality grouping column,
 /// `b` a numeric column, `c` a float column with occasional NULLs so the
@@ -142,6 +143,116 @@ proptest! {
         let expected = oracle(&table, &dc);
         let indexed = check_all(&table, &dc, DetectionStrategy::Indexed, 4);
         prop_assert_eq!(indexed, expected);
+    }
+
+    /// Columnar read path: for random tables (with NULLs) and random
+    /// mixed-predicate DCs, detection through a `ColumnSnapshot` finds
+    /// byte-identical violations — and identical candidate-pair counts —
+    /// to the row path, under both kernels, full and incremental.
+    #[test]
+    fn snapshot_read_path_matches_row_path(
+        rows in prop::collection::vec((0i64..6, 0i64..40, 0i64..25), 2..70),
+        specs in prop::collection::vec((0usize..6, 0usize..3, 0usize..3, 0usize..5), 1..4),
+        blocks in 1usize..6,
+        split in 0i64..6,
+    ) {
+        let table = table_from_rows(&rows);
+        let snapshot = ColumnSnapshot::build(&table).unwrap();
+        let predicates: Vec<DcPredicate> = specs.iter().map(predicate_from_spec).collect();
+        let dc = DenialConstraint::new("dc", 2, predicates);
+        let expected = oracle(&table, &dc);
+        for strategy in [DetectionStrategy::Indexed, DetectionStrategy::Pairwise] {
+            let run = |snap: Option<&ColumnSnapshot>| {
+                let mut matrix = ThetaMatrix::build_with_strategy_snap(
+                    table.schema(),
+                    table.tuples(),
+                    &dc,
+                    blocks,
+                    strategy,
+                    snap,
+                )
+                .unwrap();
+                let ctx = ExecContext::new(2);
+                let full = matrix
+                    .check_all_with(&ctx, table.schema(), table.tuples(), snap)
+                    .unwrap();
+                // A fresh matrix for the incremental flow.
+                let mut matrix = ThetaMatrix::build_with_strategy_snap(
+                    table.schema(),
+                    table.tuples(),
+                    &dc,
+                    blocks,
+                    strategy,
+                    snap,
+                )
+                .unwrap();
+                let first = matrix
+                    .check_range_with(&ctx, table.schema(), table.tuples(), snap, None, Some(&Value::Int(split)))
+                    .unwrap();
+                let second = matrix
+                    .check_range_with(&ctx, table.schema(), table.tuples(), snap, Some(&Value::Int(split)), None)
+                    .unwrap();
+                (full, first, second)
+            };
+            let (row_full, row_first, row_second) = run(None);
+            let (col_full, col_first, col_second) = run(Some(&snapshot));
+            prop_assert_eq!(&row_full.0, &expected);
+            prop_assert_eq!(&col_full.0, &expected);
+            prop_assert_eq!(col_full.1, row_full.1);
+            prop_assert_eq!(&col_first.0, &row_first.0);
+            prop_assert_eq!(col_first.1, row_first.1);
+            prop_assert_eq!(&col_second.0, &row_second.0);
+            prop_assert_eq!(col_second.1, row_second.1);
+        }
+    }
+
+    /// End-to-end engine sessions: the same workload replayed under every
+    /// `DAISY_SNAPSHOT ∈ {on, off}` × `DAISY_DETECTION ∈ {pairwise,
+    /// indexed}` combination must produce byte-identical query results,
+    /// repaired tables (i.e. applied deltas) and provenance dumps.
+    #[test]
+    fn engine_sessions_agree_across_snapshot_and_detection_modes(
+        rows in prop::collection::vec((0i64..6, 0i64..40, 0i64..25), 8..50),
+        split in 0i64..6,
+    ) {
+        let table = table_from_rows(&rows);
+        let sql_first = format!("SELECT a, b, c FROM t WHERE a <= {split}");
+        let run = |snapshot: SnapshotMode, detection: DetectionStrategy| {
+            let mut engine = DaisyEngine::new(
+                DaisyConfig::default()
+                    .with_worker_threads(2)
+                    .with_cost_model(false)
+                    .with_theta_partitions(16)
+                    .with_snapshot_mode(snapshot)
+                    .with_detection_strategy(detection),
+            )
+            .unwrap();
+            engine.register_table(table.clone());
+            engine
+                .add_constraint_text("dc", "t1.a = t2.a & t1.b < t2.b & t1.c > t2.c")
+                .unwrap();
+            let first = engine.execute_sql(&sql_first).unwrap();
+            let second = engine.execute_sql("SELECT a, b, c FROM t").unwrap();
+            let final_table: Vec<Tuple> = engine.table("t").unwrap().tuples().to_vec();
+            let prov = engine.provenance("t").unwrap().dump();
+            (
+                first.result.tuples,
+                second.result.tuples,
+                first.report.errors_repaired + second.report.errors_repaired,
+                final_table,
+                prov,
+            )
+        };
+        let baseline = run(SnapshotMode::Off, DetectionStrategy::Pairwise);
+        for snapshot in [SnapshotMode::Off, SnapshotMode::On] {
+            for detection in [DetectionStrategy::Pairwise, DetectionStrategy::Indexed] {
+                let replay = run(snapshot, detection);
+                prop_assert!(
+                    replay == baseline,
+                    "session diverged under snapshot={snapshot} detection={detection}"
+                );
+            }
+        }
     }
 
     /// Incremental detection: two successive range checks (sharing the

@@ -13,7 +13,7 @@
 //! other integration suites exercise (SP cleaning, SPJ cleaning, and
 //! general-DC engine workloads).
 
-use daisy::common::{ColumnId, DetectionStrategy, TupleId};
+use daisy::common::{ColumnId, DetectionStrategy, SnapshotMode, TupleId};
 use daisy::data::errors::{inject_fd_errors, inject_inequality_errors};
 use daisy::data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
 use daisy::data::workload::non_overlapping_range_queries;
@@ -262,6 +262,76 @@ fn forced_detection_strategies_agree_and_are_thread_count_invariant() {
         per_strategy[0], per_strategy[1],
         "pairwise and indexed detection diverged"
     );
+}
+
+#[test]
+fn snapshot_modes_agree_and_are_thread_count_invariant() {
+    // The full knob matrix: columnar snapshot {on, off} × detection kernel
+    // {pairwise, indexed}, replayed at every worker count.  The workload
+    // mixes an FD (exercising the snapshot-keyed `cleanσ` grouping — 1.2k
+    // rows clears the `Auto` threshold, `On`/`Off` are forced here anyway)
+    // and an equality-bearing general DC (exercising the coded violation
+    // index and the snapshot-patched repair loop).  Every combination must
+    // produce byte-identical sessions.
+    let ssb = SsbConfig {
+        lineorder_rows: 1_200,
+        distinct_orderkeys: 120,
+        distinct_suppkeys: 20,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&ssb).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.1, 47).unwrap();
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.08, 0.5, 48).unwrap();
+    let queries: Vec<Query> = [
+        "SELECT orderkey, suppkey FROM lineorder WHERE suppkey <= 8",
+        "SELECT suppkey, extended_price, discount FROM lineorder WHERE extended_price <= 4000",
+        "SELECT suppkey, extended_price, discount FROM lineorder",
+    ]
+    .iter()
+    .map(|sql| parse_query(sql).unwrap())
+    .collect();
+
+    let mut sessions = Vec::new();
+    for snapshot_mode in [SnapshotMode::Off, SnapshotMode::On] {
+        for detection in [DetectionStrategy::Pairwise, DetectionStrategy::Indexed] {
+            let build = |workers: usize| {
+                let mut engine = DaisyEngine::new(
+                    config(workers)
+                        .with_theta_partitions(16)
+                        .with_snapshot_mode(snapshot_mode)
+                        .with_detection_strategy(detection),
+                )
+                .unwrap();
+                engine.register_table(table.clone());
+                engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+                engine
+                    .add_constraint_text(
+                        "dc",
+                        "t1.suppkey = t2.suppkey & t1.extended_price < t2.extended_price \
+                         & t1.discount > t2.discount",
+                    )
+                    .unwrap();
+                (engine, queries.clone())
+            };
+            assert_thread_count_invariant(
+                &format!("snapshot-{snapshot_mode}-{detection}"),
+                &["lineorder"],
+                build,
+            );
+            let (engine, queries) = build(1);
+            sessions.push((
+                format!("{snapshot_mode}/{detection}"),
+                snapshot(engine, &["lineorder"], &queries),
+            ));
+        }
+    }
+    let (baseline_name, baseline) = &sessions[0];
+    for (name, session) in &sessions[1..] {
+        assert_eq!(
+            baseline, session,
+            "sessions diverged between {baseline_name} and {name}"
+        );
+    }
 }
 
 #[test]
