@@ -1,0 +1,211 @@
+//! Machine-readable perf trajectory for the concurrent cleaning service.
+//!
+//! Runs a mixed SP/group-by cleaning workload through the multi-session
+//! scheduler across a `sessions × table size × scheduler workers` grid and
+//! writes `BENCH_service.json` at the repository root:
+//!
+//! * **commits/sec** — end-to-end request throughput (execute + sequenced
+//!   commit), the service's headline number;
+//! * **snapshot-reuse (clean-commit) rate** — the fraction of commits whose
+//!   optimistic execution validated against an unchanged shared world and
+//!   installed without a rebase;
+//! * **speedup over serial** — wall-clock of the same admitted requests
+//!   replayed one at a time.
+//!
+//! Determinism across worker counts is *asserted*, not assumed: every
+//! concurrent run's committed table is compared against the serial
+//! baseline's before a measurement is recorded.
+//!
+//! Note: on a single-core container the concurrent numbers show scheduling
+//! overhead only; the speedup materialises on multi-core hosts while the
+//! byte-identical outputs hold everywhere.
+//!
+//! Knobs: `DAISY_BENCH_RUNS` (iterations per measurement, min is reported;
+//! default 3) and `DAISY_BENCH_OUT` (output path override).
+
+use std::time::Instant;
+
+use daisy_common::{DaisyConfig, ServiceFairness};
+use daisy_core::DaisyEngine;
+use daisy_data::errors::inject_fd_errors;
+use daisy_data::ssb::{generate_lineorder, SsbConfig};
+use daisy_expr::FunctionalDependency;
+use daisy_service::{CleaningService, ServiceRequest};
+use daisy_storage::Table;
+
+/// One measurement row of the JSON report.
+struct Measurement {
+    rows: usize,
+    sessions: usize,
+    requests: usize,
+    workers: usize,
+    seconds: f64,
+    commits_per_sec: f64,
+    clean_commit_rate: f64,
+    speedup_over_serial: f64,
+}
+
+fn runs() -> usize {
+    std::env::var("DAISY_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+fn dirty_lineorder(rows: usize) -> Table {
+    let config = SsbConfig {
+        lineorder_rows: rows,
+        distinct_orderkeys: rows / 10,
+        distinct_suppkeys: 25,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&config).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.12, 11).unwrap();
+    table
+}
+
+fn build_service(table: &Table, workers: usize) -> CleaningService {
+    let mut engine = DaisyEngine::new(
+        DaisyConfig::default()
+            .with_worker_threads(1)
+            .with_cost_model(false)
+            .with_service_workers(workers)
+            .with_service_fairness(ServiceFairness::RoundRobin),
+    )
+    .unwrap();
+    engine.register_table(table.clone());
+    engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+    CleaningService::new(engine)
+}
+
+/// `sessions` tenants, each issuing one range query per suppkey stripe plus
+/// one aggregate — the many-small-cleaning-queries shape of the paper's
+/// target workload.
+fn workload(sessions: usize) -> Vec<ServiceRequest> {
+    let mut requests = Vec::new();
+    for session in 0..sessions {
+        let lo = (session * 25 / sessions) as i64;
+        let hi = ((session + 1) * 25 / sessions) as i64;
+        requests.push(ServiceRequest::new(
+            format!("s{session}"),
+            format!(
+                "SELECT orderkey, suppkey FROM lineorder WHERE suppkey > {lo} AND suppkey <= {hi}"
+            ),
+        ));
+        requests.push(ServiceRequest::new(
+            format!("s{session}"),
+            format!(
+                "SELECT suppkey, COUNT(*) FROM lineorder WHERE suppkey <= {hi} GROUP BY suppkey"
+            ),
+        ));
+    }
+    requests
+}
+
+fn main() {
+    let row_counts = [2_000usize, 8_000];
+    let session_counts = [2usize, 4, 8];
+    let worker_counts = [1usize, 2, 4];
+    let mut measurements = Vec::new();
+
+    for &rows in &row_counts {
+        let table = dirty_lineorder(rows);
+        for &sessions in &session_counts {
+            let requests = workload(sessions);
+
+            // Serial baseline: wall clock + committed table for the
+            // determinism assertion.
+            let mut serial_best = f64::INFINITY;
+            let mut serial_table = None;
+            for _ in 0..runs() {
+                let service = build_service(&table, 1);
+                let start = Instant::now();
+                let report = service.run_serial(&requests);
+                serial_best = serial_best.min(start.elapsed().as_secs_f64());
+                assert_eq!(report.commits as usize, requests.len());
+                serial_table = Some(service.shared().table("lineorder").unwrap());
+            }
+            let serial_table = serial_table.unwrap();
+
+            for &workers in &worker_counts {
+                let mut best = f64::INFINITY;
+                let mut clean_rate = 1.0;
+                for _ in 0..runs() {
+                    let service = build_service(&table, workers);
+                    let start = Instant::now();
+                    let report = service.run(&requests);
+                    let elapsed = start.elapsed().as_secs_f64();
+                    if elapsed < best {
+                        // Report the rate of the run whose time is reported:
+                        // unlike the committed outputs, the clean-commit rate
+                        // is scheduling-dependent and varies per run.
+                        best = elapsed;
+                        clean_rate = report.clean_commit_rate();
+                    }
+                    assert_eq!(report.commits as usize, requests.len());
+                    assert_eq!(
+                        service.shared().table("lineorder").unwrap().tuples(),
+                        serial_table.tuples(),
+                        "concurrent run diverged from serial at {workers} workers"
+                    );
+                }
+                let measurement = Measurement {
+                    rows,
+                    sessions,
+                    requests: requests.len(),
+                    workers,
+                    seconds: best,
+                    commits_per_sec: requests.len() as f64 / best,
+                    clean_commit_rate: clean_rate,
+                    speedup_over_serial: serial_best / best,
+                };
+                println!(
+                    "rows={rows:>5} sessions={sessions} workers={workers} \
+                     {:>8.2} commits/s  clean-rate {:.2}  speedup {:.2}x",
+                    measurement.commits_per_sec,
+                    measurement.clean_commit_rate,
+                    measurement.speedup_over_serial,
+                );
+                measurements.push(measurement);
+            }
+        }
+    }
+
+    let json = render_json(&measurements);
+    let out = out_path();
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("DAISY_BENCH_OUT") {
+        return path.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json")
+}
+
+fn render_json(measurements: &[Measurement]) -> String {
+    let mut json = String::from("{\n  \"bench\": \"service\",\n  \"results\": [\n");
+    let lines: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"rows\": {}, \"sessions\": {}, \"requests\": {}, \"workers\": {}, \
+                 \"seconds\": {:.6}, \"commits_per_sec\": {:.2}, \
+                 \"clean_commit_rate\": {:.4}, \"speedup_over_serial\": {:.3}}}",
+                m.rows,
+                m.sessions,
+                m.requests,
+                m.workers,
+                m.seconds,
+                m.commits_per_sec,
+                m.clean_commit_rate,
+                m.speedup_over_serial,
+            )
+        })
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    json
+}

@@ -141,6 +141,66 @@ impl fmt::Display for SnapshotMode {
 /// (`auto` / `on` / `off`).
 pub const SNAPSHOT_ENV: &str = "DAISY_SNAPSHOT";
 
+/// How the multi-session service orders concurrent cleaning requests for
+/// admission (and therefore for commit — the two orders are the same).
+///
+/// The service assigns every request a global sequence number at admission;
+/// commits are serialized in sequence order, so the admission policy *is*
+/// the externally observable execution order.  Both policies are
+/// deterministic functions of the submitted request list, which is what
+/// makes the concurrent-vs-serial differential harness possible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceFairness {
+    /// Interleave sessions round-robin (in order of first appearance), so a
+    /// burst from one session cannot starve the others (the default).
+    #[default]
+    RoundRobin,
+    /// Admit requests strictly in submission order.
+    Fifo,
+}
+
+impl ServiceFairness {
+    /// Parses the textual forms accepted by [`SERVICE_FAIRNESS_ENV`]
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn parse(text: &str) -> Option<ServiceFairness> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "round-robin" | "roundrobin" | "rr" => Some(ServiceFairness::RoundRobin),
+            "fifo" => Some(ServiceFairness::Fifo),
+            _ => None,
+        }
+    }
+
+    /// The policy forced through [`SERVICE_FAIRNESS_ENV`], if the variable
+    /// is set to a recognised value.  Invalid values are ignored
+    /// (`RoundRobin` applies).
+    pub fn from_env() -> Option<ServiceFairness> {
+        ServiceFairness::parse(&std::env::var(SERVICE_FAIRNESS_ENV).ok()?)
+    }
+}
+
+impl fmt::Display for ServiceFairness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServiceFairness::RoundRobin => "round-robin",
+            ServiceFairness::Fifo => "fifo",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Environment variable overriding the default admission-fairness policy of
+/// the multi-session service (`round-robin` / `fifo`).
+pub const SERVICE_FAIRNESS_ENV: &str = "DAISY_SERVICE_FAIRNESS";
+
+/// Environment variable overriding the default number of scheduler workers
+/// of the multi-session service (positive integers only).
+///
+/// Scheduler workers execute whole cleaning requests concurrently; the
+/// serialized commit turnstile makes the outputs byte-identical for any
+/// worker count, so — like [`WORKER_THREADS_ENV`] — forcing a value only
+/// changes wall-clock time, never results.
+pub const SERVICE_WORKERS_ENV: &str = "DAISY_SERVICE_WORKERS";
+
 /// Tunable knobs of the Daisy engine.
 ///
 /// The defaults mirror the setup of the paper's evaluation (§7): the
@@ -163,8 +223,12 @@ pub struct DaisyConfig {
     pub use_cost_model: bool,
     /// Number of worker threads used by the execution substrate.
     pub worker_threads: usize,
-    /// Number of horizontal partitions tables are split into for parallel
-    /// scans, filters and group-bys.
+    /// Sizing hint for horizontal data partitioning.  **Currently inert**:
+    /// the parallel primitives chunk their input by the worker count
+    /// (`worker_threads`), one contiguous range per worker, so this knob
+    /// changes nothing yet.  It is validated and kept for workloads that
+    /// need finer-grained chunking than one range per worker (work
+    /// stealing / skew); wiring it through `daisy-exec` is the open item.
     pub data_partitions: usize,
     /// Maximum number of relaxation iterations (safety bound for the
     /// transitive-closure loop of Algorithm 1).
@@ -179,6 +243,16 @@ pub struct DaisyConfig {
     /// snapshot; the default honours [`SNAPSHOT_ENV`] and otherwise
     /// snapshots per table size.
     pub snapshot_mode: SnapshotMode,
+    /// Number of scheduler workers the multi-session service uses to execute
+    /// cleaning requests concurrently; the default honours
+    /// [`SERVICE_WORKERS_ENV`] and otherwise matches the machine's available
+    /// parallelism.  Commits stay serialized, so this knob never changes
+    /// results.
+    pub service_workers: usize,
+    /// How the multi-session service orders concurrent requests for
+    /// admission and commit; the default honours [`SERVICE_FAIRNESS_ENV`]
+    /// and otherwise interleaves sessions round-robin.
+    pub service_fairness: ServiceFairness,
 }
 
 impl Default for DaisyConfig {
@@ -193,6 +267,8 @@ impl Default for DaisyConfig {
             push_down_cleaning: true,
             detection_strategy: DetectionStrategy::from_env().unwrap_or_default(),
             snapshot_mode: SnapshotMode::from_env().unwrap_or_default(),
+            service_workers: default_service_workers(),
+            service_fairness: ServiceFairness::from_env().unwrap_or_default(),
         }
     }
 }
@@ -212,6 +288,14 @@ fn default_threads() -> usize {
     })
 }
 
+fn default_service_workers() -> usize {
+    DaisyConfig::env_service_workers().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    })
+}
+
 /// Parses a worker-thread override value.  Split out of the env lookup so
 /// the parsing rules are testable without mutating process environment
 /// (`std::env::set_var` races with concurrent `getenv` in parallel tests).
@@ -225,6 +309,13 @@ impl DaisyConfig {
     /// values are ignored (the machine default applies).
     pub fn env_worker_threads() -> Option<usize> {
         parse_worker_threads(std::env::var(WORKER_THREADS_ENV).ok().as_deref())
+    }
+
+    /// The service-worker override from [`SERVICE_WORKERS_ENV`], if the
+    /// variable is set to a positive integer.  Invalid or non-positive
+    /// values are ignored (the machine default applies).
+    pub fn env_service_workers() -> Option<usize> {
+        parse_worker_threads(std::env::var(SERVICE_WORKERS_ENV).ok().as_deref())
     }
 
     /// Validates the configuration, returning a descriptive error for any
@@ -256,6 +347,9 @@ impl DaisyConfig {
             return Err(DaisyError::Config(
                 "max_relaxation_iterations must be > 0".into(),
             ));
+        }
+        if self.service_workers == 0 {
+            return Err(DaisyError::Config("service_workers must be > 0".into()));
         }
         Ok(())
     }
@@ -305,6 +399,18 @@ impl DaisyConfig {
     /// Builder-style setter for the columnar-snapshot mode.
     pub fn with_snapshot_mode(mut self, mode: SnapshotMode) -> Self {
         self.snapshot_mode = mode;
+        self
+    }
+
+    /// Builder-style setter for the service scheduler-worker count.
+    pub fn with_service_workers(mut self, n: usize) -> Self {
+        self.service_workers = n;
+        self
+    }
+
+    /// Builder-style setter for the service admission-fairness policy.
+    pub fn with_service_fairness(mut self, fairness: ServiceFairness) -> Self {
+        self.service_fairness = fairness;
         self
     }
 }
@@ -403,6 +509,42 @@ mod tests {
         }
         let cfg = DaisyConfig::default().with_snapshot_mode(SnapshotMode::On);
         assert_eq!(cfg.snapshot_mode, SnapshotMode::On);
+    }
+
+    #[test]
+    fn service_knobs_parse_and_validate() {
+        // Fairness parsing via the pure helper (no `set_var` races).
+        assert_eq!(
+            ServiceFairness::parse("round-robin"),
+            Some(ServiceFairness::RoundRobin)
+        );
+        assert_eq!(
+            ServiceFairness::parse(" RR "),
+            Some(ServiceFairness::RoundRobin)
+        );
+        assert_eq!(ServiceFairness::parse("fifo"), Some(ServiceFairness::Fifo));
+        assert_eq!(ServiceFairness::parse("lifo"), None);
+        for f in [ServiceFairness::RoundRobin, ServiceFairness::Fifo] {
+            assert_eq!(ServiceFairness::parse(&f.to_string()), Some(f));
+        }
+        // Worker-count validation and builders.
+        assert!(DaisyConfig::default()
+            .with_service_workers(0)
+            .validate()
+            .is_err());
+        let cfg = DaisyConfig::default()
+            .with_service_workers(3)
+            .with_service_fairness(ServiceFairness::Fifo);
+        assert_eq!(cfg.service_workers, 3);
+        assert_eq!(cfg.service_fairness, ServiceFairness::Fifo);
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = DaisyConfig::env_service_workers() {
+            assert_eq!(DaisyConfig::default().service_workers, forced);
+        }
+        if let Some(forced) = ServiceFairness::from_env() {
+            assert_eq!(DaisyConfig::default().service_fairness, forced);
+        }
     }
 
     #[test]

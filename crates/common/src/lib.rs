@@ -26,7 +26,8 @@ pub mod schema;
 pub mod value;
 
 pub use config::{
-    DaisyConfig, DetectionStrategy, SnapshotMode, DETECTION_ENV, SNAPSHOT_ENV, WORKER_THREADS_ENV,
+    DaisyConfig, DetectionStrategy, ServiceFairness, SnapshotMode, DETECTION_ENV,
+    SERVICE_FAIRNESS_ENV, SERVICE_WORKERS_ENV, SNAPSHOT_ENV, WORKER_THREADS_ENV,
 };
 pub use datatype::DataType;
 pub use error::{DaisyError, Result};

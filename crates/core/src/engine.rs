@@ -27,9 +27,9 @@ use std::time::Instant;
 
 use daisy_common::{DaisyConfig, DaisyError, Result, RuleId, Schema, TupleId, Value};
 use daisy_exec::ExecContext;
-use daisy_expr::{BoolExpr, ConstraintSet, DenialConstraint, FunctionalDependency};
+use daisy_expr::{BoolExpr, DenialConstraint, FunctionalDependency};
 use daisy_query::physical::{aggregate, filter_tuples, hash_join, project, PredicateMode};
-use daisy_query::{parse_query, Catalog, Query, QueryResult, SelectItem};
+use daisy_query::{parse_query, Query, QueryResult, SelectItem};
 use daisy_storage::{ColumnSnapshot, Delta, ProvenanceStore, Table, Tuple};
 
 use crate::accuracy::{estimate_accuracy, CleaningDecision};
@@ -40,7 +40,9 @@ use crate::fd_index::FdIndex;
 use crate::planner::CleaningPlan;
 use crate::relaxation::FilterTarget;
 use crate::report::{CleaningReport, CleaningStrategy, SessionReport};
+use crate::session::EngineShared;
 use crate::theta::ThetaMatrix;
+use crate::world::WorldState;
 
 /// The outcome of one query: its (cleaned) result plus the cleaning report.
 #[derive(Debug, Clone)]
@@ -52,43 +54,48 @@ pub struct QueryOutcome {
 }
 
 /// The query-driven cleaning engine.
+///
+/// An engine owns a [`WorldState`] — tables plus every derived cleaning
+/// structure — and executes queries against it with cleaning woven into the
+/// plan.  All repairs flow through one write path
+/// (`apply_delta_patching`) that advances
+/// [`Table::revision`] and patches the maintained [`ColumnSnapshot`] via
+/// `absorb_delta`.  To serve many concurrent requests over the same tables,
+/// convert the engine with [`DaisyEngine::into_shared`] and open cheap
+/// copy-on-write [`CleaningSession`](crate::session::CleaningSession)
+/// handles.
+#[derive(Debug)]
 pub struct DaisyEngine {
     config: DaisyConfig,
     ctx: ExecContext,
-    catalog: Catalog,
-    constraints: ConstraintSet,
-    fd_indexes: HashMap<(String, u64), FdIndex>,
-    theta_matrices: HashMap<(String, u64), ThetaMatrix>,
-    provenance: HashMap<String, ProvenanceStore>,
-    trackers: HashMap<(String, u64), CostTracker>,
-    fully_cleaned: HashSet<(String, u64)>,
-    /// Columnar snapshots per table, maintained by the delta protocol: the
-    /// engine is the only component that mutates registered tables, and
-    /// every mutation goes through [`apply_delta_patching`], which patches
-    /// the cached snapshot with the same delta it applies to the table.
-    /// Anything that slips past (or a disabled knob) is caught by the
-    /// revision check in [`DaisyEngine::refresh_snapshot`].
-    snapshots: HashMap<String, ColumnSnapshot>,
+    world: WorldState,
     session: SessionReport,
+    /// When `true`, every delta applied through [`apply_delta_patching`] is
+    /// also appended to `delta_log` — the copy-on-write overlay a
+    /// [`CleaningSession`](crate::session::CleaningSession) stages for its
+    /// commit.
+    record_deltas: bool,
+    delta_log: Vec<(String, Delta)>,
 }
 
 impl DaisyEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: DaisyConfig) -> Result<Self> {
+        DaisyEngine::from_world(config, WorldState::default())
+    }
+
+    /// Creates an engine over an existing world (the session layer clones a
+    /// shared world and wraps it in a private engine).
+    pub(crate) fn from_world(config: DaisyConfig, world: WorldState) -> Result<Self> {
         config.validate()?;
         let ctx = ExecContext::new(config.worker_threads);
         Ok(DaisyEngine {
             config,
             ctx,
-            catalog: Catalog::new(),
-            constraints: ConstraintSet::new(),
-            fd_indexes: HashMap::new(),
-            theta_matrices: HashMap::new(),
-            provenance: HashMap::new(),
-            trackers: HashMap::new(),
-            fully_cleaned: HashSet::new(),
-            snapshots: HashMap::new(),
+            world,
             session: SessionReport::default(),
+            record_deltas: false,
+            delta_log: Vec::new(),
         })
     }
 
@@ -97,40 +104,104 @@ impl DaisyEngine {
         DaisyEngine::new(DaisyConfig::default()).expect("default config is valid")
     }
 
+    /// Converts this engine into a shared, versioned core that concurrent
+    /// [`CleaningSession`](crate::session::CleaningSession)s clean against.
+    ///
+    /// Register tables and constraints first; the shared core is immutable
+    /// except through the serialized session-commit path.
+    pub fn into_shared(self) -> Arc<EngineShared> {
+        EngineShared::from_engine(self)
+    }
+
+    /// The engine's world (session/commit layer access).
+    pub(crate) fn world(&self) -> &WorldState {
+        &self.world
+    }
+
+    /// Replaces the engine's world and resets per-session accumulations
+    /// (report and staged deltas) — used when a session rebases onto a newer
+    /// shared world.
+    pub(crate) fn reset_world(&mut self, world: WorldState) {
+        self.world = world;
+        self.session = SessionReport::default();
+        self.delta_log.clear();
+    }
+
+    /// Turns on staged-delta recording (sessions stage their repairs as
+    /// copy-on-write overlays and publish them at commit).
+    pub(crate) fn set_record_deltas(&mut self, record: bool) {
+        self.record_deltas = record;
+    }
+
+    /// Rolls the engine back to a pre-query checkpoint: restores the world
+    /// and truncates the staged-delta log.  Used by sessions to make each
+    /// query transactional — a failed execution must not leak partially
+    /// applied repairs into a later commit.
+    pub(crate) fn rollback_to(&mut self, world: WorldState, staged_len: usize) {
+        self.world = world;
+        self.delta_log.truncate(staged_len);
+    }
+
+    /// Clears the accumulated per-session report (after a session publishes
+    /// a commit, its report starts fresh).
+    pub(crate) fn clear_session_report(&mut self) {
+        self.session = SessionReport::default();
+    }
+
+    /// The staged deltas recorded since the last [`reset_world`] /
+    /// [`take_delta_log`], in application order.
+    ///
+    /// [`reset_world`]: DaisyEngine::reset_world
+    /// [`take_delta_log`]: DaisyEngine::take_delta_log
+    pub(crate) fn delta_log(&self) -> &[(String, Delta)] {
+        &self.delta_log
+    }
+
+    /// Drains the staged-delta log.
+    pub(crate) fn take_delta_log(&mut self) -> Vec<(String, Delta)> {
+        std::mem::take(&mut self.delta_log)
+    }
+
     /// Registers a (dirty) table.
     pub fn register_table(&mut self, table: Table) {
-        self.provenance.entry(table.name().to_string()).or_default();
-        self.catalog.add(table);
+        self.world
+            .provenance
+            .entry(table.name().to_string())
+            .or_default();
+        self.world.catalog.add(table);
     }
 
     /// Registers a denial constraint, returning its rule id.
     pub fn add_constraint(&mut self, dc: DenialConstraint) -> RuleId {
-        self.constraints.add(dc)
+        self.world.constraints.add(dc)
     }
 
     /// Registers a constraint given its compact textual form.
     pub fn add_constraint_text(&mut self, name: &str, text: &str) -> Result<RuleId> {
-        Ok(self.constraints.add(DenialConstraint::parse(name, text)?))
+        Ok(self
+            .world
+            .constraints
+            .add(DenialConstraint::parse(name, text)?))
     }
 
     /// Registers a functional dependency.
     pub fn add_fd(&mut self, fd: &FunctionalDependency, name: &str) -> RuleId {
-        self.constraints.add_fd(fd, name)
+        self.world.constraints.add_fd(fd, name)
     }
 
     /// Access to a registered table (possibly already partially cleaned).
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.catalog.table(name)
+        self.world.catalog.table(name)
     }
 
     /// The registered constraints.
-    pub fn constraints(&self) -> &ConstraintSet {
-        &self.constraints
+    pub fn constraints(&self) -> &daisy_expr::ConstraintSet {
+        &self.world.constraints
     }
 
     /// The per-table provenance store.
     pub fn provenance(&self, table: &str) -> Option<&ProvenanceStore> {
-        self.provenance.get(table)
+        self.world.provenance.get(table).map(Arc::as_ref)
     }
 
     /// The session report accumulated so far.
@@ -145,7 +216,7 @@ impl DaisyEngine {
 
     /// The cached columnar snapshot of a table, if one is maintained.
     pub fn snapshot(&self, table: &str) -> Option<&ColumnSnapshot> {
-        self.snapshots.get(table)
+        self.world.snapshot_ref(table)
     }
 
     /// Brings the table's columnar snapshot in line with the snapshot knob
@@ -153,18 +224,21 @@ impl DaisyEngine {
     /// or stale (an out-of-band mutation bumped the revision), drops it
     /// when the knob disables snapshots for this table.
     fn refresh_snapshot(&mut self, table_name: &str) -> Result<()> {
-        let table = self.catalog.table(table_name)?;
+        let table = self.world.catalog.table(table_name)?;
         if !self.config.snapshot_mode.enables(table.len()) {
-            self.snapshots.remove(table_name);
+            self.world.snapshots.remove(table_name);
             return Ok(());
         }
         let current = self
+            .world
             .snapshots
             .get(table_name)
             .is_some_and(|snap| snap.is_current(table));
         if !current {
-            self.snapshots
-                .insert(table_name.to_string(), ColumnSnapshot::build(table)?);
+            self.world.snapshots.insert(
+                table_name.to_string(),
+                Arc::new(ColumnSnapshot::build(table)?),
+            );
         }
         Ok(())
     }
@@ -178,7 +252,12 @@ impl DaisyEngine {
     /// Executes a parsed query with cleaning woven into the plan.
     pub fn execute(&mut self, query: &Query) -> Result<QueryOutcome> {
         let start = Instant::now();
-        let plan = CleaningPlan::build(query, &self.constraints, &self.catalog, &self.config)?;
+        let plan = CleaningPlan::build(
+            query,
+            &self.world.constraints,
+            &self.world.catalog,
+            &self.config,
+        )?;
 
         let mut report = CleaningReport::not_needed(query.to_string(), 0, start.elapsed());
         report.strategy = if plan.is_empty() {
@@ -189,7 +268,13 @@ impl DaisyEngine {
 
         // ---- driving table: filter + clean ---------------------------------
         let driving = query.from.clone();
-        let driving_schema = Arc::new(self.catalog.table(&driving)?.schema().qualify(&driving));
+        let driving_schema = Arc::new(
+            self.world
+                .catalog
+                .table(&driving)?
+                .schema()
+                .qualify(&driving),
+        );
         let driving_filter = filter_for_table(query, &driving, query.joins.is_empty());
         let mut current = self.clean_table_subset(
             &driving,
@@ -204,7 +289,8 @@ impl DaisyEngine {
         for join in &query.joins {
             let right_name = join.table.clone();
             let right_schema = Arc::new(
-                self.catalog
+                self.world
+                    .catalog
                     .table(&right_name)?
                     .schema()
                     .qualify(&right_name),
@@ -232,6 +318,7 @@ impl DaisyEngine {
                 .collect();
             let right_key_idx = right_schema.index_of(&join.right_key)?;
             let qualifying: Vec<Tuple> = self
+                .world
                 .catalog
                 .table(&right_name)?
                 .tuples()
@@ -251,7 +338,7 @@ impl DaisyEngine {
                 &mut report,
             )?;
 
-            let right_tuples = self.catalog.table(&right_name)?.tuples().to_vec();
+            let right_tuples = self.world.catalog.table(&right_name)?.tuples().to_vec();
             let joined = hash_join(
                 &self.ctx,
                 &current_schema,
@@ -348,7 +435,7 @@ impl DaisyEngine {
         report: &mut CleaningReport,
     ) -> Result<Vec<Tuple>> {
         let answer = {
-            let table = self.catalog.table(table_name)?;
+            let table = self.world.catalog.table(table_name)?;
             filter_tuples(
                 &self.ctx,
                 schema,
@@ -383,7 +470,7 @@ impl DaisyEngine {
         let mut working = answer;
         for step in steps {
             let key = (table_name.to_string(), step.rule.raw());
-            if self.fully_cleaned.contains(&key) {
+            if self.world.fully_cleaned.contains(&key) {
                 continue;
             }
             match &step.fd {
@@ -399,6 +486,7 @@ impl DaisyEngine {
                 }
                 None => {
                     let rule = self
+                        .world
                         .constraints
                         .rule(step.rule)
                         .cloned()
@@ -433,33 +521,45 @@ impl DaisyEngine {
         // The index is computed over original values (via provenance) so a
         // rule added after other rules already repaired cells still sees the
         // dirty groups of the original data (§4.3).
-        if !self.fd_indexes.contains_key(&key) {
-            let provenance = self.provenance.entry(table_name.to_string()).or_default();
-            let table = self.catalog.table(table_name)?;
-            let index = FdIndex::build_with_provenance(table, fd, provenance)?;
+        if !self.world.fd_indexes.contains_key(&key) {
+            let provenance = Arc::clone(
+                self.world
+                    .provenance
+                    .entry(table_name.to_string())
+                    .or_default(),
+            );
+            let table = self.world.catalog.table(table_name)?;
+            let index = FdIndex::build_with_provenance(table, fd, &provenance)?;
             let params = CostParameters {
                 n: table.len(),
                 epsilon: index.dirty_tuple_count(),
                 p: index.mean_candidates().max(index.mean_lhs_fanout()),
                 is_fd: true,
             };
-            self.trackers.insert(key.clone(), CostTracker::new(params));
-            self.fd_indexes.insert(key.clone(), index);
+            self.world
+                .trackers
+                .insert(key.clone(), CostTracker::new(params));
+            self.world.fd_indexes.insert(key.clone(), Arc::new(index));
         }
-        let index = self.fd_indexes.get(&key).expect("just inserted");
-        let provenance = self.provenance.entry(table_name.to_string()).or_default();
+        let index = Arc::clone(self.world.fd_indexes.get(&key).expect("just inserted"));
         let outcome = {
-            let table = self.catalog.table(table_name)?;
+            let provenance = Arc::make_mut(
+                self.world
+                    .provenance
+                    .entry(table_name.to_string())
+                    .or_default(),
+            );
+            let table = self.world.catalog.table(table_name)?;
             clean_select_fd_with(
                 &self.ctx,
                 rule,
-                index,
+                &index,
                 &answer,
                 table.tuples(),
                 filter_target,
                 self.config.max_relaxation_iterations,
                 provenance,
-                self.snapshots.get(table_name),
+                self.world.snapshots.get(table_name).map(Arc::as_ref),
             )?
         };
         // Apply the delta back to the base table (in-place update), keeping
@@ -467,12 +567,7 @@ impl DaisyEngine {
         let cells_updated = outcome.delta.len();
         let candidates_written = outcome.delta.total_candidates();
         if !outcome.delta.is_empty() {
-            apply_delta_patching(
-                &mut self.catalog,
-                &mut self.snapshots,
-                table_name,
-                &outcome.delta,
-            )?;
+            self.apply_delta_patching(table_name, &outcome.delta)?;
         }
         report.extra_tuples += outcome.cleaned.len() - outcome.answer_len;
         report.relaxation_iterations += outcome.relaxation.iterations;
@@ -480,7 +575,7 @@ impl DaisyEngine {
         report.cells_updated += cells_updated;
 
         // Cost model: record and possibly switch to full cleaning.
-        if let Some(tracker) = self.trackers.get_mut(&key) {
+        if let Some(tracker) = self.world.trackers.get_mut(&key) {
             tracker.record_query(
                 outcome.answer_len,
                 outcome.cleaned.len() - outcome.answer_len,
@@ -492,7 +587,7 @@ impl DaisyEngine {
             if self.config.use_cost_model && tracker.should_switch_to_full() {
                 report.strategy = CleaningStrategy::FullRemaining;
                 self.clean_remaining_fd(table_name, fd, rule)?;
-                self.fully_cleaned.insert(key.clone());
+                self.world.fully_cleaned.insert(key.clone());
             }
         }
         Ok(outcome.cleaned)
@@ -510,15 +605,15 @@ impl DaisyEngine {
     ) -> Result<Vec<Tuple>> {
         let key = (table_name.to_string(), rule.id.raw());
         self.refresh_snapshot(table_name)?;
-        if !self.theta_matrices.contains_key(&key) {
-            let table = self.catalog.table(table_name)?;
+        if !self.world.theta_matrices.contains_key(&key) {
+            let table = self.world.catalog.table(table_name)?;
             let matrix = ThetaMatrix::build_with_strategy_snap(
                 schema,
                 table.tuples(),
                 rule,
                 self.config.theta_blocks_per_side(),
                 detection,
-                self.snapshots.get(table_name),
+                self.world.snapshots.get(table_name).map(Arc::as_ref),
             )?;
             let params = CostParameters {
                 n: table.len(),
@@ -526,13 +621,18 @@ impl DaisyEngine {
                 p: 2.0,
                 is_fd: false,
             };
-            self.trackers.insert(key.clone(), CostTracker::new(params));
-            self.theta_matrices.insert(key.clone(), matrix);
+            self.world
+                .trackers
+                .insert(key.clone(), CostTracker::new(params));
+            self.world
+                .theta_matrices
+                .insert(key.clone(), Arc::new(matrix));
         }
 
         // The value range the answer spans on the partition attribute drives
         // both the incremental matrix check and Algorithm 2's estimate.
         let partition_column = self
+            .world
             .theta_matrices
             .get(&key)
             .expect("just inserted")
@@ -554,7 +654,15 @@ impl DaisyEngine {
             });
         }
 
-        let matrix = self.theta_matrices.get_mut(&key).expect("just inserted");
+        // The matrix is detached copy-on-write: a session touching this rule
+        // for the first time pays one matrix copy, after which the checked
+        // block bookkeeping is private to its world.
+        let matrix = Arc::make_mut(
+            self.world
+                .theta_matrices
+                .get_mut(&key)
+                .expect("just inserted"),
+        );
         let estimate = estimate_accuracy(
             matrix,
             answer.len(),
@@ -566,8 +674,8 @@ impl DaisyEngine {
 
         // The snapshot was refreshed before any borrow of the matrix, so it
         // reflects exactly the tuples cloned here.
-        let table_tuples: Vec<Tuple> = self.catalog.table(table_name)?.tuples().to_vec();
-        let snapshot = self.snapshots.get(table_name);
+        let table_tuples: Vec<Tuple> = self.world.catalog.table(table_name)?.tuples().to_vec();
+        let snapshot = self.world.snapshots.get(table_name).map(Arc::as_ref);
         let (violations, stats) = if estimate.decision == CleaningDecision::Full {
             report.strategy = CleaningStrategy::FullRemaining;
             matrix.check_all_with(&self.ctx, schema, &table_tuples, snapshot)?
@@ -585,7 +693,12 @@ impl DaisyEngine {
         // Resolve the violations' tuples through the parallel id index of
         // the violation-index subsystem before computing candidate ranges.
         let by_id: HashMap<TupleId, &Tuple> = crate::index::id_index(&self.ctx, &table_tuples);
-        let provenance = self.provenance.entry(table_name.to_string()).or_default();
+        let provenance = Arc::make_mut(
+            self.world
+                .provenance
+                .entry(table_name.to_string())
+                .or_default(),
+        );
         let outcome =
             repair_dc_violations(&self.ctx, schema, rule, &violations, &by_id, provenance)?;
         drop(by_id);
@@ -593,16 +706,11 @@ impl DaisyEngine {
         let cells_updated = outcome.delta.len();
         let candidates_written = outcome.delta.total_candidates();
         if !outcome.delta.is_empty() {
-            apply_delta_patching(
-                &mut self.catalog,
-                &mut self.snapshots,
-                table_name,
-                &outcome.delta,
-            )?;
+            self.apply_delta_patching(table_name, &outcome.delta)?;
         }
         report.errors_repaired += outcome.errors_detected;
         report.cells_updated += cells_updated;
-        if let Some(tracker) = self.trackers.get_mut(&key) {
+        if let Some(tracker) = self.world.trackers.get_mut(&key) {
             tracker.record_query(
                 answer.len(),
                 0,
@@ -615,7 +723,7 @@ impl DaisyEngine {
 
         // Return the answer with the fresh candidate cells (re-read the
         // updated tuples from the base table so later operators see them).
-        let table = self.catalog.table(table_name)?;
+        let table = self.world.catalog.table(table_name)?;
         Ok(answer
             .iter()
             .map(|t| table.tuple(t.id).cloned().unwrap_or_else(|| t.clone()))
@@ -632,41 +740,46 @@ impl DaisyEngine {
     ) -> Result<usize> {
         let key = (table_name.to_string(), rule.raw());
         self.refresh_snapshot(table_name)?;
-        if !self.fd_indexes.contains_key(&key) {
-            let provenance = self.provenance.entry(table_name.to_string()).or_default();
-            let table = self.catalog.table(table_name)?;
-            self.fd_indexes.insert(
+        if !self.world.fd_indexes.contains_key(&key) {
+            let provenance = Arc::clone(
+                self.world
+                    .provenance
+                    .entry(table_name.to_string())
+                    .or_default(),
+            );
+            let table = self.world.catalog.table(table_name)?;
+            self.world.fd_indexes.insert(
                 key.clone(),
-                FdIndex::build_with_provenance(table, fd, provenance)?,
+                Arc::new(FdIndex::build_with_provenance(table, fd, &provenance)?),
             );
         }
-        let index = self.fd_indexes.get(&key).expect("present");
-        let provenance = self.provenance.entry(table_name.to_string()).or_default();
+        let index = Arc::clone(self.world.fd_indexes.get(&key).expect("present"));
         let outcome = {
-            let table = self.catalog.table(table_name)?;
+            let provenance = Arc::make_mut(
+                self.world
+                    .provenance
+                    .entry(table_name.to_string())
+                    .or_default(),
+            );
+            let table = self.world.catalog.table(table_name)?;
             let all = table.tuples().to_vec();
             clean_select_fd_with(
                 &self.ctx,
                 rule,
-                index,
+                &index,
                 &all,
                 table.tuples(),
                 FilterTarget::Other,
                 self.config.max_relaxation_iterations,
                 provenance,
-                self.snapshots.get(table_name),
+                self.world.snapshots.get(table_name).map(Arc::as_ref),
             )?
         };
         let repaired = outcome.errors_detected;
         if !outcome.delta.is_empty() {
-            apply_delta_patching(
-                &mut self.catalog,
-                &mut self.snapshots,
-                table_name,
-                &outcome.delta,
-            )?;
+            self.apply_delta_patching(table_name, &outcome.delta)?;
         }
-        self.fully_cleaned.insert(key);
+        self.world.fully_cleaned.insert(key);
         Ok(repaired)
     }
 
@@ -679,15 +792,27 @@ impl DaisyEngine {
         table_name: &str,
         dc: DenialConstraint,
     ) -> Result<usize> {
-        let rule = self.constraints.add(dc);
-        let constraint = self.constraints.rule(rule).cloned().expect("just added");
+        let rule = self.world.constraints.add(dc);
+        let constraint = self
+            .world
+            .constraints
+            .rule(rule)
+            .cloned()
+            .expect("just added");
         match constraint.as_fd() {
             Some(fd) => self.clean_remaining_fd(table_name, &fd, rule),
             None => {
-                let schema = Arc::new(self.catalog.table(table_name)?.schema().qualify(table_name));
+                let schema = Arc::new(
+                    self.world
+                        .catalog
+                        .table(table_name)?
+                        .schema()
+                        .qualify(table_name),
+                );
                 self.refresh_snapshot(table_name)?;
-                let table_tuples: Vec<Tuple> = self.catalog.table(table_name)?.tuples().to_vec();
-                let snapshot = self.snapshots.get(table_name);
+                let table_tuples: Vec<Tuple> =
+                    self.world.catalog.table(table_name)?.tuples().to_vec();
+                let snapshot = self.world.snapshots.get(table_name).map(Arc::as_ref);
                 let mut matrix = ThetaMatrix::build_with_strategy_snap(
                     &schema,
                     &table_tuples,
@@ -700,7 +825,12 @@ impl DaisyEngine {
                     matrix.check_all_with(&self.ctx, &schema, &table_tuples, snapshot)?;
                 let by_id: HashMap<TupleId, &Tuple> =
                     crate::index::id_index(&self.ctx, &table_tuples);
-                let provenance = self.provenance.entry(table_name.to_string()).or_default();
+                let provenance = Arc::make_mut(
+                    self.world
+                        .provenance
+                        .entry(table_name.to_string())
+                        .or_default(),
+                );
                 let outcome = repair_dc_violations(
                     &self.ctx,
                     &schema,
@@ -712,39 +842,38 @@ impl DaisyEngine {
                 drop(by_id);
                 let repaired = outcome.errors_detected;
                 if !outcome.delta.is_empty() {
-                    apply_delta_patching(
-                        &mut self.catalog,
-                        &mut self.snapshots,
-                        table_name,
-                        &outcome.delta,
-                    )?;
+                    self.apply_delta_patching(table_name, &outcome.delta)?;
                 }
-                self.fully_cleaned
+                self.world
+                    .fully_cleaned
                     .insert((table_name.to_string(), rule.raw()));
                 Ok(repaired)
             }
         }
     }
-}
 
-/// Applies a delta to a base table and keeps its columnar snapshot in sync:
-/// the snapshot is patched cell-by-cell (`O(|delta|)`).  `absorb_delta`
-/// itself refuses the patch — leaving the snapshot stale for the next
-/// refresh to rebuild — when the snapshot did not reflect the pre-delta
-/// table.  This is the single write path through which engine repairs reach
-/// registered tables.
-fn apply_delta_patching(
-    catalog: &mut Catalog,
-    snapshots: &mut HashMap<String, ColumnSnapshot>,
-    table_name: &str,
-    delta: &Delta,
-) -> Result<usize> {
-    let table = catalog.table_mut(table_name)?;
-    let applied = table.apply_delta(delta)?;
-    if let Some(snap) = snapshots.get_mut(table_name) {
-        snap.absorb_delta(table, delta)?;
+    /// Applies a delta to a base table and keeps its columnar snapshot in
+    /// sync: the snapshot is patched cell-by-cell (`O(|delta|)`).
+    /// `absorb_delta` itself refuses the patch — leaving the snapshot stale
+    /// for the next refresh to rebuild — when the snapshot did not reflect
+    /// the pre-delta table.  This is the single write path through which
+    /// engine repairs reach registered tables; both the table and its
+    /// snapshot detach copy-on-write from any concurrent sharer first, so
+    /// other sessions keep observing their consistent pre-delta world.
+    ///
+    /// When staged-delta recording is on (sessions), the delta is also
+    /// appended to the session's overlay log for publication at commit.
+    fn apply_delta_patching(&mut self, table_name: &str, delta: &Delta) -> Result<usize> {
+        let table = self.world.catalog.table_mut(table_name)?;
+        let applied = table.apply_delta(delta)?;
+        if let Some(snap) = self.world.snapshots.get_mut(table_name) {
+            Arc::make_mut(snap).absorb_delta(table, delta)?;
+        }
+        if self.record_deltas {
+            self.delta_log.push((table_name.to_string(), delta.clone()));
+        }
+        Ok(applied)
     }
-    Ok(applied)
 }
 
 /// The part of the WHERE clause relevant before joining: for the driving

@@ -25,7 +25,13 @@
 //! * [`cost`] — the cost model and the incremental-vs-full decision (§5.2),
 //! * [`planner`] — the cleaning-aware logical planner (§5.1),
 //! * [`engine`] — [`engine::DaisyEngine`], the query-driven cleaning session
-//!   that gradually turns a dirty dataset probabilistic (§6).
+//!   that gradually turns a dirty dataset probabilistic (§6),
+//! * [`world`] — [`world::WorldState`], the engine's cheaply cloneable
+//!   (copy-on-write) bundle of tables and derived cleaning structures,
+//! * [`session`] — the concurrent multi-session layer:
+//!   [`session::EngineShared`] (the versioned canonical world) and
+//!   [`session::CleaningSession`] (per-request copy-on-write handles with a
+//!   serialized, optimistic commit path).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,7 +49,9 @@ pub mod planner;
 pub mod relaxation;
 pub mod repair;
 pub mod report;
+pub mod session;
 pub mod theta;
+pub mod world;
 
 pub use cost::{DetectionEstimate, DetectionMode};
 pub use engine::{DaisyEngine, QueryOutcome};
@@ -55,3 +63,5 @@ pub use repair::{
     RepairPolicy,
 };
 pub use report::{CleaningReport, CleaningStrategy, SessionReport};
+pub use session::{CleaningSession, CommitReceipt, EngineShared};
+pub use world::WorldState;

@@ -1,0 +1,550 @@
+//! Concurrent multi-session cleaning: a shared, versioned engine core plus
+//! cheap copy-on-write session handles.
+//!
+//! [`DaisyEngine`] owns its tables exclusively — one session, one mutable
+//! world.  This module splits that ownership for multi-tenant serving:
+//!
+//! * [`EngineShared`] is the canonical core: the current [`WorldState`]
+//!   (tables, snapshots, violation-index caches, provenance — all behind
+//!   `Arc`) tagged with a monotonically increasing **commit version**.
+//! * [`CleaningSession`] is a per-request handle: opening one clones the
+//!   shared world (reference-count bumps only — a *consistent snapshot*),
+//!   executes queries against it with repairs staged as copy-on-write
+//!   overlays (the engine's existing [`Delta`] machinery, recorded per
+//!   session), and publishes everything back through
+//!   [`CleaningSession::commit`].
+//!
+//! # The commit protocol
+//!
+//! Commits are **serialized and optimistic**.  A session remembers the
+//! version it branched from; `commit` takes the shared lock and
+//!
+//! 1. **validates** — if the shared version still equals the session's base
+//!    version, nothing committed in between: the session's world *is* the
+//!    serial successor state, and installing it is a pointer swap (the
+//!    table revisions and columnar snapshots inside were already advanced
+//!    through the engine's `apply_delta_patching`/`absorb_delta` write
+//!    path);
+//! 2. **rebases** otherwise — the session re-clones the now-current shared
+//!    world and replays its request log against it (still holding the
+//!    lock, so the replay cannot be invalidated), then installs.
+//!
+//! Because every commit lands against the exact world a serial execution
+//! would have seen, **any interleaving of sessions whose commits happen in
+//! a fixed order produces byte-identical tables, reports and provenance to
+//! replaying the same requests serially in that order** — the property the
+//! scheduler in `daisy-service` relies on and
+//! `tests/integration_service.rs` enforces.
+//!
+//! ```
+//! use daisy_core::DaisyEngine;
+//! use daisy_common::{DaisyConfig, DataType, Schema, Value};
+//! use daisy_expr::FunctionalDependency;
+//! use daisy_storage::Table;
+//!
+//! let schema = Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+//! let table = Table::from_rows("cities", schema, vec![
+//!     vec![Value::Int(9001), Value::from("Los Angeles")],
+//!     vec![Value::Int(9001), Value::from("San Francisco")],
+//!     vec![Value::Int(10001), Value::from("New York")],
+//! ]).unwrap();
+//!
+//! let mut engine = DaisyEngine::new(DaisyConfig::default().with_worker_threads(2)).unwrap();
+//! engine.register_table(table);
+//! engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+//!
+//! // Freeze the engine into a shared core and clean through a session.
+//! let shared = engine.into_shared();
+//! let mut session = shared.session();
+//! let outcome = session
+//!     .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+//!     .unwrap();
+//! assert!(outcome.report.errors_repaired > 0);
+//!
+//! // Until the session commits, the shared table is untouched…
+//! assert_eq!(shared.table("cities").unwrap().probabilistic_tuple_count(), 0);
+//! let receipt = session.commit().unwrap();
+//! // …after it, the staged repairs are the canonical state.
+//! assert!(!receipt.rebased);
+//! assert!(receipt.cells_committed > 0);
+//! assert!(shared.table("cities").unwrap().probabilistic_tuple_count() > 0);
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use daisy_common::{DaisyConfig, Result};
+use daisy_query::Query;
+use daisy_storage::{Delta, DeltaOverlay, ProvenanceStore, Table};
+
+use crate::engine::{DaisyEngine, QueryOutcome};
+use crate::report::SessionReport;
+use crate::world::WorldState;
+
+/// The canonical, versioned world that concurrent sessions clean against.
+///
+/// Constructed with [`DaisyEngine::into_shared`] after tables and
+/// constraints are registered.  All mutation happens through the serialized
+/// commit path of [`CleaningSession::commit`].
+#[derive(Debug)]
+pub struct EngineShared {
+    config: DaisyConfig,
+    state: Mutex<SharedState>,
+}
+
+#[derive(Debug)]
+struct SharedState {
+    /// Number of commits applied so far; sessions validate against it.
+    version: u64,
+    world: WorldState,
+}
+
+impl EngineShared {
+    /// Wraps an engine's world into a shared core (see
+    /// [`DaisyEngine::into_shared`]).
+    pub(crate) fn from_engine(engine: DaisyEngine) -> Arc<EngineShared> {
+        let config = engine.config().clone();
+        let world = engine.world().clone();
+        Arc::new(EngineShared {
+            config,
+            state: Mutex::new(SharedState { version: 0, world }),
+        })
+    }
+
+    /// The configuration every session inherits.
+    pub fn config(&self) -> &DaisyConfig {
+        &self.config
+    }
+
+    /// The current commit version (starts at 0, +1 per commit).
+    pub fn version(&self) -> u64 {
+        self.lock().version
+    }
+
+    /// Opens a new session over a consistent snapshot of the current world.
+    ///
+    /// This is cheap — `O(#tables + #cached rules)` reference-count bumps,
+    /// independent of data size — which is what makes a per-request session
+    /// handle viable.
+    pub fn session(self: &Arc<Self>) -> CleaningSession {
+        let (version, world) = {
+            let state = self.lock();
+            (state.version, state.world.clone())
+        };
+        let mut engine = DaisyEngine::from_world(self.config.clone(), world)
+            .expect("shared config was validated at construction");
+        engine.set_record_deltas(true);
+        CleaningSession {
+            shared: Arc::clone(self),
+            engine,
+            base_version: version,
+            log: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// A shared handle to the current committed state of a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.lock().world.catalog.shared(name)
+    }
+
+    /// The committed provenance store of a table, if any cell was cleaned.
+    pub fn provenance(&self, table: &str) -> Option<Arc<ProvenanceStore>> {
+        self.lock().world.provenance.get(table).cloned()
+    }
+
+    /// The committed table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.lock()
+            .world
+            .catalog
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedState> {
+        self.state.lock().expect("engine shared state poisoned")
+    }
+}
+
+/// What one commit published.
+#[derive(Debug, Clone)]
+pub struct CommitReceipt {
+    /// The shared version after this commit.
+    pub version: u64,
+    /// `true` when the commit found the shared world advanced and had to
+    /// replay its request log against the newer state (the serial
+    /// fallback); `false` means the optimistic execution was installed
+    /// as-is — the "snapshot reuse" fast path.
+    pub rebased: bool,
+    /// The final outcome of every request in this commit, in execution
+    /// order.  When `rebased`, these supersede the speculative outcomes
+    /// returned by [`CleaningSession::execute`].
+    pub outcomes: Vec<QueryOutcome>,
+    /// The staged deltas that were published, `(table, delta)` in
+    /// application order.
+    pub staged: Vec<(String, Delta)>,
+    /// Total cells across the staged deltas.
+    pub cells_committed: usize,
+}
+
+/// A per-request cleaning handle over a consistent snapshot of the shared
+/// world.  See the [module docs](self) for the lifecycle and an example.
+#[derive(Debug)]
+pub struct CleaningSession {
+    shared: Arc<EngineShared>,
+    engine: DaisyEngine,
+    base_version: u64,
+    /// Requests executed since the last commit, for rebase replay.
+    log: Vec<Query>,
+    /// Speculative outcomes matching `log`.
+    outcomes: Vec<QueryOutcome>,
+}
+
+impl CleaningSession {
+    /// Parses and executes a SQL query against the session's private world,
+    /// staging any repairs.  The outcome is *speculative* until
+    /// [`commit`](CleaningSession::commit) validates it against the shared
+    /// world.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutcome> {
+        let query = daisy_query::parse_query(sql)?;
+        self.execute(&query)
+    }
+
+    /// Executes a parsed query against the session's private world, staging
+    /// any repairs.
+    ///
+    /// Each query is transactional within the session: if execution fails
+    /// partway (e.g. the projection references an unknown column after the
+    /// driving table was already cleaned), the private world and the staged
+    /// overlay are rolled back to their pre-query state — a failed query
+    /// can never leak repairs into a later commit.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryOutcome> {
+        let checkpoint = self.engine.world().clone();
+        let staged_len = self.engine.delta_log().len();
+        match self.engine.execute(query) {
+            Ok(outcome) => {
+                self.log.push(query.clone());
+                self.outcomes.push(outcome.clone());
+                Ok(outcome)
+            }
+            Err(err) => {
+                self.engine.rollback_to(checkpoint, staged_len);
+                Err(err)
+            }
+        }
+    }
+
+    /// The shared version this session's current world branched from.
+    pub fn base_version(&self) -> u64 {
+        self.base_version
+    }
+
+    /// The session's private view of a table (staged repairs included).
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.engine.table(name)
+    }
+
+    /// The session's private provenance store for a table.
+    pub fn provenance(&self, table: &str) -> Option<&ProvenanceStore> {
+        self.engine.provenance(table)
+    }
+
+    /// The per-query cleaning reports accumulated since the last commit.
+    pub fn report(&self) -> &SessionReport {
+        self.engine.session()
+    }
+
+    /// The repairs staged since the last commit, `(table, delta)` in
+    /// application order — the session's copy-on-write overlay.
+    pub fn staged(&self) -> &[(String, Delta)] {
+        self.engine.delta_log()
+    }
+
+    /// `true` when the session has staged repairs that a commit would
+    /// publish.
+    pub fn has_staged_changes(&self) -> bool {
+        !self.engine.delta_log().is_empty()
+    }
+
+    /// The session's staged repairs for one table as a sparse
+    /// [`DeltaOverlay`] over the **shared** base table it branched from —
+    /// "what would this commit change?" without cloning either world.
+    ///
+    /// Reading a base tuple through the overlay
+    /// ([`DeltaOverlay::patched_tuple`]) yields exactly the session's
+    /// private state of that tuple, and overlay-aware predicate evaluation
+    /// (`CodedPredicate::eval_overlay` in `daisy-expr`) reads the shared
+    /// columnar snapshot with these patches on top.
+    ///
+    /// Fails if the shared table has been advanced past this session's
+    /// branch point by another commit (the overlay would mix worlds); a
+    /// fresh session or a commit resolves that.
+    pub fn staged_overlay(&self, table: &str) -> Result<DeltaOverlay> {
+        let base = self.shared.table(table)?;
+        if self.base_version != self.shared.version() {
+            return Err(daisy_common::DaisyError::Execution(format!(
+                "session branched at version {} but the shared world is at {}; \
+                 the staged overlay is only meaningful against its own base",
+                self.base_version,
+                self.shared.version()
+            )));
+        }
+        let deltas = self
+            .engine
+            .delta_log()
+            .iter()
+            .filter(|(name, _)| name == table)
+            .map(|(_, delta)| delta);
+        DeltaOverlay::build(&base, deltas)
+    }
+
+    /// Publishes the session's world back into the shared core.
+    ///
+    /// Validates optimistically and rebases on conflict (see the
+    /// [module docs](self)); either way, on success the shared world equals
+    /// the state a serial execution of all committed requests would have
+    /// produced, and this session continues from the freshly committed
+    /// version with an empty log.
+    ///
+    /// # Errors
+    ///
+    /// Replay errors propagate and nothing is installed; the shared world
+    /// is left exactly as the previous commit published it.  The session
+    /// itself should be discarded after a commit error.
+    pub fn commit(&mut self) -> Result<CommitReceipt> {
+        let shared = Arc::clone(&self.shared);
+        let mut state = shared.lock();
+        let mut rebased = false;
+        if state.version != self.base_version {
+            // Conflict: somebody committed since this session branched.
+            // Re-execute the log against the now-current world while holding
+            // the lock — the serial fallback that makes interleavings
+            // order-equivalent.
+            rebased = true;
+            self.engine.reset_world(state.world.clone());
+            self.outcomes.clear();
+            for query in &self.log {
+                let outcome = self.engine.execute(query)?;
+                self.outcomes.push(outcome);
+            }
+        }
+        let staged = self.engine.take_delta_log();
+        let cells_committed = staged.iter().map(|(_, d)| d.len()).sum();
+        state.world = self.engine.world().clone();
+        state.version += 1;
+        self.base_version = state.version;
+        let receipt = CommitReceipt {
+            version: state.version,
+            rebased,
+            outcomes: std::mem::take(&mut self.outcomes),
+            staged,
+            cells_committed,
+        };
+        drop(state);
+        self.log.clear();
+        self.engine.clear_session_report();
+        Ok(receipt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{DataType, Schema, Value};
+    use daisy_expr::FunctionalDependency;
+
+    fn shared_cities() -> Arc<EngineShared> {
+        let schema =
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let table = Table::from_rows(
+            "cities",
+            schema,
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(9001), Value::from("San Francisco")],
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(10001), Value::from("San Francisco")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap();
+        let mut engine = DaisyEngine::new(
+            DaisyConfig::default()
+                .with_worker_threads(2)
+                .with_cost_model(false),
+        )
+        .unwrap();
+        engine.register_table(table);
+        engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+        engine.into_shared()
+    }
+
+    #[test]
+    fn session_stages_then_commit_publishes() {
+        let shared = shared_cities();
+        let mut session = shared.session();
+        let outcome = session
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        assert!(outcome.report.errors_repaired > 0);
+        assert!(session.has_staged_changes());
+        // Isolation: the shared world is untouched pre-commit.
+        assert_eq!(
+            shared.table("cities").unwrap().probabilistic_tuple_count(),
+            0
+        );
+        assert_eq!(shared.version(), 0);
+        assert!(shared.provenance("cities").is_none_or(|p| p.is_empty()));
+
+        let receipt = session.commit().unwrap();
+        assert!(!receipt.rebased);
+        assert_eq!(receipt.version, 1);
+        assert!(receipt.cells_committed > 0);
+        assert_eq!(receipt.outcomes.len(), 1);
+        assert!(shared.table("cities").unwrap().probabilistic_tuple_count() > 0);
+        assert!(!shared.provenance("cities").unwrap().is_empty());
+        assert!(!session.has_staged_changes());
+    }
+
+    #[test]
+    fn conflicting_commit_rebases_to_serial_state() {
+        let shared = shared_cities();
+
+        // Two sessions branch from version 0 and race on the same rows.
+        let mut first = shared.session();
+        let mut second = shared.session();
+        let sql = "SELECT zip FROM cities WHERE city = 'Los Angeles'";
+        first.execute_sql(sql).unwrap();
+        second.execute_sql(sql).unwrap();
+
+        let first_receipt = first.commit().unwrap();
+        assert!(!first_receipt.rebased);
+        let second_receipt = second.commit().unwrap();
+        assert!(second_receipt.rebased, "stale session must rebase");
+        assert_eq!(shared.version(), 2);
+
+        // The rebased world must equal a serial replay of both requests.
+        let serial = {
+            let shared = shared_cities();
+            let mut session = shared.session();
+            session.execute_sql(sql).unwrap();
+            session.commit().unwrap();
+            session.execute_sql(sql).unwrap();
+            session.commit().unwrap();
+            shared
+        };
+        assert_eq!(
+            shared.table("cities").unwrap().tuples(),
+            serial.table("cities").unwrap().tuples()
+        );
+        assert_eq!(
+            shared.provenance("cities").unwrap().dump(),
+            serial.provenance("cities").unwrap().dump()
+        );
+    }
+
+    #[test]
+    fn sessions_snapshot_cheaply_and_read_consistently() {
+        let shared = shared_cities();
+        let reader = shared.session();
+        // A writer commits new probabilistic state…
+        let mut writer = shared.session();
+        writer
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        writer.commit().unwrap();
+        // …but the reader's snapshot still observes its branch point.
+        assert_eq!(
+            reader.table("cities").unwrap().probabilistic_tuple_count(),
+            0
+        );
+        assert!(shared.table("cities").unwrap().probabilistic_tuple_count() > 0);
+        assert_eq!(reader.base_version(), 0);
+    }
+
+    #[test]
+    fn staged_overlay_over_shared_base_equals_private_world() {
+        let shared = shared_cities();
+        let mut session = shared.session();
+        session
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        assert!(session.has_staged_changes());
+        let overlay = session.staged_overlay("cities").unwrap();
+        assert!(!overlay.is_empty());
+        // Invariant: shared base + overlay == the session's private table.
+        let base = shared.table("cities").unwrap();
+        for tuple in base.tuples() {
+            assert_eq!(
+                &overlay.patched_tuple(tuple),
+                session.table("cities").unwrap().tuple(tuple.id).unwrap()
+            );
+        }
+        // After another session commits, the overlay's base is gone.
+        let mut other = shared.session();
+        other.execute_sql("SELECT city FROM cities").unwrap();
+        other.commit().unwrap();
+        assert!(session.staged_overlay("cities").is_err());
+    }
+
+    #[test]
+    fn failed_query_rolls_back_partial_repairs() {
+        // The projection fails on an unknown column, but only *after* the
+        // driving table was filtered and cleaned — the session must roll
+        // everything back so no repairs leak into a later commit.
+        let shared = shared_cities();
+        let mut session = shared.session();
+        let err = session.execute_sql("SELECT bogus FROM cities WHERE city = 'Los Angeles'");
+        assert!(err.is_err());
+        assert!(!session.has_staged_changes());
+        assert_eq!(
+            session.table("cities").unwrap().probabilistic_tuple_count(),
+            0
+        );
+        assert!(session.report().queries.is_empty());
+        // A commit after the failure publishes nothing.
+        let receipt = session.commit().unwrap();
+        assert_eq!(receipt.cells_committed, 0);
+        assert!(receipt.outcomes.is_empty());
+        assert_eq!(
+            shared.table("cities").unwrap().probabilistic_tuple_count(),
+            0
+        );
+        // The session remains fully usable afterwards.
+        let outcome = session
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        assert!(outcome.report.errors_repaired > 0);
+        session.commit().unwrap();
+        assert!(shared.table("cities").unwrap().probabilistic_tuple_count() > 0);
+    }
+
+    #[test]
+    fn session_report_resets_after_every_commit() {
+        let shared = shared_cities();
+        let mut session = shared.session();
+        session
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+        assert_eq!(session.report().queries.len(), 1);
+        session.commit().unwrap();
+        // Clean (non-rebased) commits reset the report too.
+        assert!(session.report().queries.is_empty());
+        session
+            .execute_sql("SELECT city FROM cities WHERE zip = 9001")
+            .unwrap();
+        assert_eq!(session.report().queries.len(), 1);
+    }
+
+    #[test]
+    fn empty_commit_still_advances_the_version() {
+        let shared = shared_cities();
+        let mut session = shared.session();
+        let receipt = session.commit().unwrap();
+        assert_eq!(receipt.version, 1);
+        assert_eq!(receipt.cells_committed, 0);
+        assert!(receipt.staged.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! The engine's mutable world: tables, constraints and every derived
+//! cleaning structure, packaged so that cloning it is cheap.
+//!
+//! A [`WorldState`] is the complete, self-consistent state a cleaning
+//! computation runs against: the catalog of (gradually probabilistic)
+//! tables, the registered constraints, and the per-`(table, rule)` derived
+//! structures the engine maintains incrementally — FD group indexes, theta
+//! matrices with their incremental checked-block bookkeeping, provenance
+//! stores, cost trackers and columnar snapshots.
+//!
+//! Every heavy member sits behind an [`Arc`], so `WorldState::clone` is a
+//! handful of map clones plus reference-count bumps — `O(#tables + #rules)`
+//! regardless of data size.  Mutation goes through [`Arc::make_mut`]
+//! (copy-on-write): the first write a clone makes to a table, snapshot,
+//! matrix, index or provenance store detaches a private copy, leaving all
+//! other clones untouched.  That is what makes a clone a **consistent
+//! snapshot**: concurrent sessions each clone the shared world, clean
+//! against their copy, and publish the mutated world back through the
+//! serialized commit path of [`EngineShared`](crate::session::EngineShared).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use daisy_expr::ConstraintSet;
+use daisy_query::Catalog;
+use daisy_storage::{ColumnSnapshot, ProvenanceStore};
+
+use crate::cost::CostTracker;
+use crate::fd_index::FdIndex;
+use crate::theta::ThetaMatrix;
+
+/// The key under which per-rule derived structures are cached: the table
+/// name plus the raw rule id.
+pub(crate) type RuleKey = (String, u64);
+
+/// The complete mutable state of a cleaning engine, cheap to clone.
+///
+/// See the [module docs](self) for the copy-on-write contract.  The fields
+/// are crate-private: the engine and the session/commit layer are the only
+/// components that may mutate a world, and they do so exclusively through
+/// [`Arc::make_mut`] so sharing is never observable.
+#[derive(Debug, Clone, Default)]
+pub struct WorldState {
+    /// Named base tables (`Arc<Table>` inside the catalog).
+    pub(crate) catalog: Catalog,
+    /// The registered denial constraints and FDs.
+    pub(crate) constraints: ConstraintSet,
+    /// FD group indexes per (table, rule), built over original values.
+    pub(crate) fd_indexes: HashMap<RuleKey, Arc<FdIndex>>,
+    /// Incremental theta matrices per (table, rule); mutated by every
+    /// partial check (blocks get marked), hence copy-on-write.
+    pub(crate) theta_matrices: HashMap<RuleKey, Arc<ThetaMatrix>>,
+    /// Per-table provenance stores (Table 7).
+    pub(crate) provenance: HashMap<String, Arc<ProvenanceStore>>,
+    /// Per-(table, rule) cost-model trackers; small, cloned by value.
+    pub(crate) trackers: HashMap<RuleKey, CostTracker>,
+    /// (table, rule) pairs already cleaned in full.
+    pub(crate) fully_cleaned: HashSet<RuleKey>,
+    /// Maintained columnar snapshots per table.
+    pub(crate) snapshots: HashMap<String, Arc<ColumnSnapshot>>,
+}
+
+impl WorldState {
+    /// The columnar snapshot of `table`, if one is maintained.
+    pub(crate) fn snapshot_ref(&self, table: &str) -> Option<&ColumnSnapshot> {
+        self.snapshots.get(table).map(Arc::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{DataType, Schema, Value};
+    use daisy_storage::Table;
+
+    #[test]
+    fn cloning_a_world_shares_tables_until_written() {
+        let mut world = WorldState::default();
+        let table = Table::from_rows(
+            "t",
+            Schema::from_pairs(&[("x", DataType::Int)]).unwrap(),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        world.catalog.add(table);
+
+        let mut session = world.clone();
+        assert!(Arc::ptr_eq(
+            &world.catalog.shared("t").unwrap(),
+            &session.catalog.shared("t").unwrap()
+        ));
+        session
+            .catalog
+            .table_mut("t")
+            .unwrap()
+            .push_values(vec![Value::Int(3)])
+            .unwrap();
+        // The session's write detached a private copy; the original world
+        // still observes the pre-write table.
+        assert_eq!(session.catalog.table("t").unwrap().len(), 3);
+        assert_eq!(world.catalog.table("t").unwrap().len(), 2);
+    }
+}

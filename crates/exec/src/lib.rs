@@ -20,6 +20,7 @@
 pub mod parallel;
 pub mod partitioning;
 pub mod pool;
+pub mod schedule;
 
 pub use parallel::{
     par_filter, par_flat_map, par_flat_map_chunks, par_group_by, par_group_by_sharded, par_map,
@@ -27,3 +28,4 @@ pub use parallel::{
 };
 pub use partitioning::{chunk_ranges, Partitioning};
 pub use pool::ExecContext;
+pub use schedule::{fair_order, AdmissionOrder, CommitTurnstile};

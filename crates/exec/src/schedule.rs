@@ -1,0 +1,288 @@
+//! Scheduling primitives for the multi-session cleaning service: fair
+//! admission ordering and a sequenced commit turnstile.
+//!
+//! The service executes whole cleaning requests concurrently but commits
+//! them in one fixed, deterministic order (assigned at admission).  Two
+//! pieces make that work:
+//!
+//! * [`fair_order`] — turns a submission list of `(lane, item)` pairs into
+//!   the canonical admission order: FIFO, or round-robin across lanes
+//!   (sessions) so one chatty tenant cannot starve the rest.  The order is
+//!   a pure function of the input, which is what lets a serial replay
+//!   reproduce a concurrent run exactly.
+//! * [`CommitTurnstile`] — a deposit-and-drain gate that releases finished
+//!   work strictly in sequence order, in batches.  Workers never block on
+//!   it: they deposit a finished item and, if the next expected sequence
+//!   number is ready and nobody else is draining, become the *drainer* and
+//!   process the whole consecutive run (a batched commit).  Items that
+//!   arrive while a drainer is active are picked up when it completes.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Admission policies understood by [`fair_order`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOrder {
+    /// Strict submission order.
+    Fifo,
+    /// Round-robin across lanes, lanes ordered by first appearance.
+    RoundRobin,
+}
+
+/// Computes the canonical admission order of a submission list.
+///
+/// Returns the indices of `lanes` in admission order.  `lanes[i]` is the
+/// lane (session) of the `i`-th submitted request; requests within a lane
+/// always keep their relative order.
+///
+/// ```
+/// use daisy_exec::schedule::{fair_order, AdmissionOrder};
+///
+/// // Session "a" submits three requests, then "b" submits two.
+/// let lanes = ["a", "a", "a", "b", "b"];
+/// assert_eq!(fair_order(&lanes, AdmissionOrder::Fifo), vec![0, 1, 2, 3, 4]);
+/// // Round-robin interleaves the sessions: a, b, a, b, a.
+/// assert_eq!(fair_order(&lanes, AdmissionOrder::RoundRobin), vec![0, 3, 1, 4, 2]);
+/// ```
+pub fn fair_order<L: Eq + std::hash::Hash + Clone>(
+    lanes: &[L],
+    order: AdmissionOrder,
+) -> Vec<usize> {
+    match order {
+        AdmissionOrder::Fifo => (0..lanes.len()).collect(),
+        AdmissionOrder::RoundRobin => {
+            // Per-lane FIFO queues, lanes kept in first-appearance order.
+            let mut lane_keys: Vec<&L> = Vec::new();
+            let mut queues: std::collections::HashMap<&L, VecDeque<usize>> =
+                std::collections::HashMap::new();
+            for (idx, lane) in lanes.iter().enumerate() {
+                let queue = queues.entry(lane).or_insert_with(|| {
+                    lane_keys.push(lane);
+                    VecDeque::new()
+                });
+                queue.push_back(idx);
+            }
+            let mut admitted = Vec::with_capacity(lanes.len());
+            while admitted.len() < lanes.len() {
+                for lane in &lane_keys {
+                    if let Some(idx) = queues.get_mut(lane).and_then(VecDeque::pop_front) {
+                        admitted.push(idx);
+                    }
+                }
+            }
+            admitted
+        }
+    }
+}
+
+/// A deposit-and-drain gate releasing items strictly in sequence order.
+///
+/// Sequence numbers start at 0 and must each be deposited exactly once.
+/// [`CommitTurnstile::deposit`] stores a finished item and tries to claim
+/// the drainer role; [`CommitTurnstile::complete`] releases the role and
+/// immediately re-claims if more consecutive items became ready.  At most
+/// one drainer is active at any time, and batches are handed out in strict
+/// sequence order, so processing the batches in hand-out order serializes
+/// the items exactly.
+///
+/// ```
+/// use daisy_exec::schedule::CommitTurnstile;
+///
+/// let turnstile: CommitTurnstile<&str> = CommitTurnstile::new();
+/// // Sequence 1 finishes first: nothing to drain yet (0 is missing).
+/// assert!(turnstile.deposit(1, "b").is_none());
+/// // Sequence 0 arrives and claims both as one in-order batch.
+/// let batch = turnstile.deposit(0, "a").unwrap();
+/// assert_eq!(batch, vec![(0, "a"), (1, "b")]);
+/// // Draining done, nothing new became ready.
+/// assert!(turnstile.complete().is_none());
+/// ```
+#[derive(Debug)]
+pub struct CommitTurnstile<T> {
+    state: Mutex<TurnstileState<T>>,
+}
+
+#[derive(Debug)]
+struct TurnstileState<T> {
+    /// The next sequence number to release.
+    next: u64,
+    /// Finished items waiting for their turn.
+    pending: BTreeMap<u64, T>,
+    /// `true` while some thread holds a claimed batch.
+    draining: bool,
+}
+
+impl<T> CommitTurnstile<T> {
+    /// Creates a turnstile expecting sequence numbers from 0.
+    pub fn new() -> Self {
+        CommitTurnstile {
+            state: Mutex::new(TurnstileState {
+                next: 0,
+                pending: BTreeMap::new(),
+                draining: false,
+            }),
+        }
+    }
+
+    /// Deposits a finished item.  Returns the batch to process if this
+    /// thread became the drainer (the batch always starts at the next
+    /// expected sequence number and is consecutive); `None` if the item
+    /// must wait for earlier sequences or another drainer is active.
+    ///
+    /// A caller that receives a batch **must** process it and then call
+    /// [`CommitTurnstile::complete`] (repeatedly, until it returns `None`).
+    pub fn deposit(&self, seq: u64, item: T) -> Option<Vec<(u64, T)>> {
+        let mut state = self.lock();
+        state.pending.insert(seq, item);
+        Self::try_claim(&mut state)
+    }
+
+    /// Releases the drainer role after processing a batch, immediately
+    /// re-claiming items that became ready in the meantime.  Loop until
+    /// `None`.
+    pub fn complete(&self) -> Option<Vec<(u64, T)>> {
+        let mut state = self.lock();
+        state.draining = false;
+        Self::try_claim(&mut state)
+    }
+
+    /// The next sequence number that has not been released yet.
+    pub fn next_pending(&self) -> u64 {
+        self.lock().next
+    }
+
+    /// `true` when no deposited item is waiting and no drainer is active.
+    pub fn is_idle(&self) -> bool {
+        let state = self.lock();
+        !state.draining && state.pending.is_empty()
+    }
+
+    fn try_claim(state: &mut TurnstileState<T>) -> Option<Vec<(u64, T)>> {
+        if state.draining || state.pending.keys().next().is_none_or(|&s| s != state.next) {
+            return None;
+        }
+        let mut batch = Vec::new();
+        while let Some(entry) = state.pending.first_entry() {
+            if *entry.key() != state.next {
+                break;
+            }
+            batch.push(entry.remove_entry());
+            state.next += 1;
+        }
+        state.draining = true;
+        Some(batch)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TurnstileState<T>> {
+        self.state.lock().expect("commit turnstile poisoned")
+    }
+}
+
+impl<T> Default for CommitTurnstile<T> {
+    fn default() -> Self {
+        CommitTurnstile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fifo_order_is_identity() {
+        let lanes = [1, 2, 1, 3, 2];
+        assert_eq!(
+            fair_order(&lanes, AdmissionOrder::Fifo),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn round_robin_interleaves_lanes_by_first_appearance() {
+        let lanes = ["s1", "s1", "s1", "s2", "s3", "s2"];
+        // Rounds: (s1, s2, s3), (s1, s2), (s1).
+        assert_eq!(
+            fair_order(&lanes, AdmissionOrder::RoundRobin),
+            vec![0, 3, 4, 1, 5, 2]
+        );
+    }
+
+    #[test]
+    fn round_robin_preserves_per_lane_order() {
+        let lanes = ["b", "a", "b", "a", "b"];
+        let order = fair_order(&lanes, AdmissionOrder::RoundRobin);
+        let positions = |lane: &str| -> Vec<usize> {
+            order
+                .iter()
+                .copied()
+                .filter(|&i| lanes[i] == lane)
+                .collect()
+        };
+        assert_eq!(positions("a"), vec![1, 3]);
+        assert_eq!(positions("b"), vec![0, 2, 4]);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn empty_submission_lists_are_fine() {
+        let empty: [&str; 0] = [];
+        assert!(fair_order(&empty, AdmissionOrder::RoundRobin).is_empty());
+        assert!(fair_order(&empty, AdmissionOrder::Fifo).is_empty());
+    }
+
+    #[test]
+    fn turnstile_releases_in_sequence_order_with_batching() {
+        let t: CommitTurnstile<&str> = CommitTurnstile::new();
+        assert!(t.deposit(2, "c").is_none());
+        assert!(t.deposit(1, "b").is_none());
+        let batch = t.deposit(0, "a").expect("0 unlocks the run");
+        assert_eq!(batch, vec![(0, "a"), (1, "b"), (2, "c")]);
+        // While draining, later deposits wait…
+        assert!(t.deposit(3, "d").is_none());
+        // …and are handed to the completing drainer.
+        assert_eq!(t.complete().expect("3 became ready"), vec![(3, "d")]);
+        assert!(t.complete().is_none());
+        assert!(t.is_idle());
+        assert_eq!(t.next_pending(), 4);
+    }
+
+    #[test]
+    fn turnstile_serializes_under_contention() {
+        // Many threads deposit out of order; the released order must still
+        // be exactly 0..N, with every batch processed before the next one
+        // is handed out.
+        const N: u64 = 200;
+        let t: CommitTurnstile<u64> = CommitTurnstile::new();
+        let released = Mutex::new(Vec::new());
+        let in_flight = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let t = &t;
+                let released = &released;
+                let in_flight = &in_flight;
+                scope.spawn(move || {
+                    let mut seq = worker;
+                    while seq < N {
+                        let mut batch = t.deposit(seq, seq);
+                        while let Some(items) = batch {
+                            // Only one drainer may ever be active.
+                            assert_eq!(in_flight.fetch_add(1, Ordering::SeqCst), 0);
+                            released
+                                .lock()
+                                .unwrap()
+                                .extend(items.iter().map(|&(s, _)| s));
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            batch = t.complete();
+                        }
+                        seq += 4;
+                    }
+                });
+            }
+        });
+        let released = released.into_inner().unwrap();
+        assert_eq!(released, (0..N).collect::<Vec<_>>());
+        assert!(t.is_idle());
+    }
+}

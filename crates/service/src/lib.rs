@@ -1,0 +1,478 @@
+//! # daisy-service
+//!
+//! The concurrent multi-session cleaning service: many tenants issuing
+//! small cleaning queries against shared base tables, scheduled over the
+//! copy-on-write session layer of `daisy-core`.
+//!
+//! The paper's relaxation approach cleans only the fragment of the data a
+//! query touches — exactly the access pattern of a multi-tenant service.
+//! This crate turns the single-owner [`DaisyEngine`] into such a service:
+//!
+//! * requests are admitted in a **canonical order** — FIFO or round-robin
+//!   across sessions ([`ServiceFairness`]), a pure function of the
+//!   submission list;
+//! * scheduler workers execute whole requests **concurrently and
+//!   speculatively**, each against a consistent copy-on-write snapshot of
+//!   the shared world ([`CleaningSession`]);
+//! * commits pass through a **sequenced turnstile**
+//!   ([`daisy_exec::CommitTurnstile`]) in admission order,
+//!   in batches: a commit whose snapshot is still current installs
+//!   directly (the *clean commit* fast path), a stale one rebases onto the
+//!   canonical world first.
+//!
+//! The result is the service's defining guarantee, enforced by
+//! `tests/integration_service.rs` and the concurrent scenarios of
+//! `tests/integration_determinism.rs`:
+//!
+//! > **Any number of scheduler workers produces byte-identical tables,
+//! > reports and provenance to replaying the admitted requests serially.**
+//!
+//! Requests are transactional: a request whose execution fails leaves the
+//! shared world untouched (its session overlay is discarded) and reports
+//! its error; everything else commits atomically.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use daisy_common::{DaisyConfig, DataType, Schema, Value};
+//! use daisy_core::DaisyEngine;
+//! use daisy_expr::FunctionalDependency;
+//! use daisy_service::{CleaningService, ServiceRequest};
+//! use daisy_storage::Table;
+//!
+//! let schema = Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+//! let table = Table::from_rows("cities", schema, vec![
+//!     vec![Value::Int(9001), Value::from("Los Angeles")],
+//!     vec![Value::Int(9001), Value::from("San Francisco")],
+//!     vec![Value::Int(10001), Value::from("New York")],
+//! ]).unwrap();
+//!
+//! let mut engine = DaisyEngine::new(
+//!     DaisyConfig::default().with_worker_threads(2).with_service_workers(2),
+//! ).unwrap();
+//! engine.register_table(table);
+//! engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+//!
+//! let service = CleaningService::new(engine);
+//! let report = service.run(&[
+//!     ServiceRequest::new("tenant-a", "SELECT zip FROM cities WHERE city = 'Los Angeles'"),
+//!     ServiceRequest::new("tenant-b", "SELECT city FROM cities WHERE zip = 9001"),
+//! ]);
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert!(report.outcomes.iter().all(|o| o.outcome.is_ok()));
+//! assert_eq!(report.commits, 2);
+//! // The shared world now carries the committed candidate fixes.
+//! assert!(service.shared().table("cities").unwrap().probabilistic_tuple_count() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use daisy_common::ServiceFairness;
+use daisy_core::{CleaningSession, DaisyEngine, EngineShared, QueryOutcome};
+use daisy_exec::{fair_order, AdmissionOrder, CommitTurnstile};
+
+/// One cleaning request: a session (tenant) name plus the SQL to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRequest {
+    /// The session (tenant) this request belongs to; drives admission
+    /// fairness and per-session accounting.
+    pub session: String,
+    /// The SQL query to execute with cleaning woven in.
+    pub sql: String,
+}
+
+impl ServiceRequest {
+    /// Creates a request.
+    pub fn new(session: impl Into<String>, sql: impl Into<String>) -> Self {
+        ServiceRequest {
+            session: session.into(),
+            sql: sql.into(),
+        }
+    }
+}
+
+/// The final, committed outcome of one admitted request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The session (tenant) that submitted the request.
+    pub session: String,
+    /// The request's SQL.
+    pub sql: String,
+    /// The request's index in the original submission list (admission may
+    /// reorder across sessions under round-robin fairness).
+    pub submitted: usize,
+    /// The committed query outcome, or the error that made the request a
+    /// no-op (its staged repairs were discarded).
+    pub outcome: Result<QueryOutcome, String>,
+    /// `true` when the optimistic execution had to be replayed against a
+    /// newer world at commit time.
+    pub rebased: bool,
+    /// The shared version this request's commit produced (`None` for
+    /// failed, discarded requests).
+    pub committed_version: Option<u64>,
+}
+
+/// Everything a [`CleaningService::run`] call did, in admission order.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Per-request outcomes, in admission (= commit) order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Number of commits applied (successful requests).
+    pub commits: u64,
+    /// Number of commits that had to rebase (stale snapshot at commit).
+    pub rebases: u64,
+    /// The shared version after the run.
+    pub final_version: u64,
+}
+
+impl ServiceReport {
+    /// The fraction of commits that installed their speculative execution
+    /// as-is (snapshot still current at commit) — the scheduler's
+    /// snapshot-reuse hit rate.  1.0 when every commit was clean, 0.0 when
+    /// every commit rebased; returns 1.0 for an empty run.
+    pub fn clean_commit_rate(&self) -> f64 {
+        if self.commits == 0 {
+            1.0
+        } else {
+            (self.commits - self.rebases) as f64 / self.commits as f64
+        }
+    }
+}
+
+/// A concurrent multi-session cleaning service over a shared engine core.
+///
+/// See the [crate docs](self) for the scheduling and determinism contract.
+#[derive(Debug)]
+pub struct CleaningService {
+    shared: Arc<EngineShared>,
+}
+
+impl CleaningService {
+    /// Builds a service from a fully registered engine (tables and
+    /// constraints in place).  The engine's
+    /// [`service_workers`](daisy_common::DaisyConfig::service_workers) and
+    /// [`service_fairness`](daisy_common::DaisyConfig::service_fairness)
+    /// knobs drive [`CleaningService::run`].
+    pub fn new(engine: DaisyEngine) -> Self {
+        CleaningService {
+            shared: engine.into_shared(),
+        }
+    }
+
+    /// Builds a service over an existing shared core.
+    pub fn from_shared(shared: Arc<EngineShared>) -> Self {
+        CleaningService { shared }
+    }
+
+    /// The shared core (current committed tables, provenance, version).
+    pub fn shared(&self) -> &Arc<EngineShared> {
+        &self.shared
+    }
+
+    /// The canonical admission order for `requests` under the configured
+    /// fairness policy: indices into `requests`, one per request.
+    pub fn admission_order(&self, requests: &[ServiceRequest]) -> Vec<usize> {
+        let lanes: Vec<&str> = requests.iter().map(|r| r.session.as_str()).collect();
+        let order = match self.shared.config().service_fairness {
+            ServiceFairness::Fifo => AdmissionOrder::Fifo,
+            ServiceFairness::RoundRobin => AdmissionOrder::RoundRobin,
+        };
+        fair_order(&lanes, order)
+    }
+
+    /// Runs `requests` with the configured number of scheduler workers.
+    pub fn run(&self, requests: &[ServiceRequest]) -> ServiceReport {
+        self.run_with_workers(requests, self.shared.config().service_workers)
+    }
+
+    /// Replays `requests` strictly serially (one at a time, in admission
+    /// order) — the baseline the concurrent scheduler is differentially
+    /// tested against.
+    pub fn run_serial(&self, requests: &[ServiceRequest]) -> ServiceReport {
+        self.run_with_workers(requests, 1)
+    }
+
+    /// Runs `requests` with an explicit scheduler-worker count.
+    ///
+    /// The worker count trades wall-clock time only: commits pass through a
+    /// sequenced turnstile in admission order, so the outputs are
+    /// byte-identical for any count.
+    pub fn run_with_workers(&self, requests: &[ServiceRequest], workers: usize) -> ServiceReport {
+        let admission = self.admission_order(requests);
+        let total = admission.len();
+        let workers = workers.clamp(1, total.max(1));
+
+        let next_request = AtomicUsize::new(0);
+        let turnstile: CommitTurnstile<Executed<'_>> = CommitTurnstile::new();
+        let results: Mutex<Vec<Option<RequestOutcome>>> = Mutex::new(vec![None; total]);
+        let commit_stats = Mutex::new((0u64, 0u64)); // (commits, rebases)
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        let slot = next_request.fetch_add(1, Ordering::SeqCst);
+                        if slot >= total {
+                            break;
+                        }
+                        let submitted = admission[slot];
+                        let request = &requests[submitted];
+                        // Speculative execution against a consistent
+                        // snapshot of the shared world.
+                        let mut session = self.shared.session();
+                        let speculative = session.execute_sql(&request.sql).map(|_| ());
+                        let executed = Executed {
+                            submitted,
+                            request,
+                            session,
+                            speculative,
+                        };
+                        // Deposit; whoever claims the drain commits the
+                        // whole consecutive run in admission order.
+                        let mut batch = turnstile.deposit(slot as u64, executed);
+                        while let Some(items) = batch {
+                            for (seq, executed) in items {
+                                let outcome = self.commit_one(executed);
+                                {
+                                    let mut stats =
+                                        commit_stats.lock().expect("stats mutex poisoned");
+                                    if outcome.committed_version.is_some() {
+                                        stats.0 += 1;
+                                        if outcome.rebased {
+                                            stats.1 += 1;
+                                        }
+                                    }
+                                }
+                                results.lock().expect("results mutex poisoned")[seq as usize] =
+                                    Some(outcome);
+                            }
+                            batch = turnstile.complete();
+                        }
+                    }
+                });
+            }
+        });
+
+        let outcomes: Vec<RequestOutcome> = results
+            .into_inner()
+            .expect("results mutex poisoned")
+            .into_iter()
+            .map(|o| o.expect("every admitted request commits or is discarded"))
+            .collect();
+        let (commits, rebases) = commit_stats.into_inner().expect("stats mutex poisoned");
+        ServiceReport {
+            outcomes,
+            commits,
+            rebases,
+            final_version: self.shared.version(),
+        }
+    }
+
+    /// Commits (or discards) one executed request.  Runs inside the
+    /// turnstile drain, so this thread is the only committer; the shared
+    /// version cannot move underneath it.
+    fn commit_one(&self, executed: Executed<'_>) -> RequestOutcome {
+        let Executed {
+            submitted,
+            request,
+            mut session,
+            speculative,
+        } = executed;
+        let stale = session.base_version() != self.shared.version();
+        let (outcome, rebased, committed_version) = match speculative {
+            Ok(()) => match session.commit() {
+                Ok(receipt) => {
+                    let outcome = receipt
+                        .outcomes
+                        .into_iter()
+                        .next()
+                        .expect("one executed query per request");
+                    (Ok(outcome), receipt.rebased, Some(receipt.version))
+                }
+                // The rebase replay failed: in the serial order this request
+                // errors — discard its overlay, world untouched.
+                Err(err) => (Err(err.to_string()), true, None),
+            },
+            Err(err) if !stale => {
+                // Failed against the exact world its serial turn sees.
+                (Err(err.to_string()), false, None)
+            }
+            Err(_) => {
+                // Failed speculatively, but the world moved on: its serial
+                // turn sees the newer state, so replay against it.
+                let mut fresh = self.shared.session();
+                match fresh.execute_sql(&request.sql) {
+                    Ok(_) => match fresh.commit() {
+                        Ok(receipt) => {
+                            let outcome = receipt
+                                .outcomes
+                                .into_iter()
+                                .next()
+                                .expect("one executed query per request");
+                            (Ok(outcome), true, Some(receipt.version))
+                        }
+                        Err(err) => (Err(err.to_string()), true, None),
+                    },
+                    Err(err) => (Err(err.to_string()), true, None),
+                }
+            }
+        };
+        RequestOutcome {
+            session: request.session.clone(),
+            sql: request.sql.clone(),
+            submitted,
+            outcome,
+            rebased,
+            committed_version,
+        }
+    }
+}
+
+/// A speculatively executed request waiting for its commit turn.
+#[derive(Debug)]
+struct Executed<'a> {
+    submitted: usize,
+    request: &'a ServiceRequest,
+    session: CleaningSession,
+    speculative: Result<(), daisy_common::DaisyError>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_common::{DaisyConfig, DataType, Schema, Value};
+    use daisy_expr::FunctionalDependency;
+    use daisy_storage::Table;
+
+    fn service(workers: usize, fairness: ServiceFairness) -> CleaningService {
+        let schema =
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let table = Table::from_rows(
+            "cities",
+            schema,
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(9001), Value::from("San Francisco")],
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(10001), Value::from("San Francisco")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap();
+        let mut engine = DaisyEngine::new(
+            DaisyConfig::default()
+                .with_worker_threads(1)
+                .with_cost_model(false)
+                .with_service_workers(workers)
+                .with_service_fairness(fairness),
+        )
+        .unwrap();
+        engine.register_table(table);
+        engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+        CleaningService::new(engine)
+    }
+
+    fn requests() -> Vec<ServiceRequest> {
+        vec![
+            ServiceRequest::new("a", "SELECT zip FROM cities WHERE city = 'Los Angeles'"),
+            ServiceRequest::new("a", "SELECT city FROM cities WHERE zip = 9001"),
+            ServiceRequest::new("b", "SELECT zip FROM cities WHERE city = 'New York'"),
+            ServiceRequest::new("b", "SELECT city, COUNT(*) FROM cities GROUP BY city"),
+            ServiceRequest::new("c", "SELECT zip FROM cities"),
+        ]
+    }
+
+    fn observable(report: &ServiceReport) -> Vec<(usize, Option<Vec<daisy_storage::Tuple>>)> {
+        report
+            .outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.submitted,
+                    o.outcome.as_ref().ok().map(|q| q.result.tuples.clone()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_admission_interleaves_sessions() {
+        let rr = service(2, ServiceFairness::RoundRobin);
+        let order = rr.admission_order(&requests());
+        assert_eq!(order, vec![0, 2, 4, 1, 3]);
+        let fifo = service(2, ServiceFairness::Fifo);
+        assert_eq!(fifo.admission_order(&requests()), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_run_matches_serial_replay() {
+        for workers in [2, 4, 7] {
+            let concurrent = service(workers, ServiceFairness::RoundRobin);
+            let concurrent_report = concurrent.run(&requests());
+            let serial = service(workers, ServiceFairness::RoundRobin);
+            let serial_report = serial.run_serial(&requests());
+
+            assert_eq!(
+                observable(&concurrent_report),
+                observable(&serial_report),
+                "outcomes diverged at {workers} workers"
+            );
+            assert_eq!(
+                concurrent.shared().table("cities").unwrap().tuples(),
+                serial.shared().table("cities").unwrap().tuples(),
+                "tables diverged at {workers} workers"
+            );
+            assert_eq!(
+                concurrent.shared().provenance("cities").unwrap().dump(),
+                serial.shared().provenance("cities").unwrap().dump(),
+                "provenance diverged at {workers} workers"
+            );
+            assert_eq!(concurrent_report.commits, 5);
+            assert_eq!(concurrent_report.final_version, 5);
+        }
+    }
+
+    #[test]
+    fn failed_requests_are_discarded_not_committed() {
+        let svc = service(2, ServiceFairness::Fifo);
+        let report = svc.run(&[
+            ServiceRequest::new("a", "SELECT zip FROM cities WHERE city = 'Los Angeles'"),
+            ServiceRequest::new("a", "SELECT nope FROM missing_table"),
+            ServiceRequest::new("b", "SELECT city FROM cities WHERE zip = 9001"),
+        ]);
+        assert_eq!(report.commits, 2);
+        assert_eq!(report.final_version, 2);
+        assert!(report.outcomes[1].outcome.is_err());
+        assert!(report.outcomes[1].committed_version.is_none());
+        // The failure left the committed world fully usable.
+        assert!(
+            svc.shared()
+                .table("cities")
+                .unwrap()
+                .probabilistic_tuple_count()
+                > 0
+        );
+    }
+
+    #[test]
+    fn clean_commit_rate_reflects_rebases() {
+        let report = ServiceReport {
+            outcomes: Vec::new(),
+            commits: 4,
+            rebases: 1,
+            final_version: 4,
+        };
+        assert!((report.clean_commit_rate() - 0.75).abs() < 1e-12);
+        let empty = ServiceReport {
+            outcomes: Vec::new(),
+            commits: 0,
+            rebases: 0,
+            final_version: 0,
+        };
+        assert!((empty.clean_commit_rate() - 1.0).abs() < 1e-12);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod cell;
 pub mod csv;
 pub mod delta;
+pub mod overlay;
 pub mod provenance;
 pub mod snapshot;
 pub mod statistics;
@@ -39,6 +40,7 @@ pub mod worlds;
 
 pub use cell::{Candidate, CandidateValue, Cell};
 pub use delta::{CellUpdate, Delta};
+pub use overlay::DeltaOverlay;
 pub use provenance::{CellProvenance, ProvenanceStore, RuleEvidence};
 pub use snapshot::{ColumnCode, ColumnSnapshot, ConstProbe, StringDictionary};
 pub use statistics::{

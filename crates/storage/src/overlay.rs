@@ -1,0 +1,227 @@
+//! Delta overlays: an uncommitted, copy-on-write view of staged repairs.
+//!
+//! A concurrent cleaning session stages its repairs as [`Delta`]s and only
+//! publishes them at commit.  A [`DeltaOverlay`] folds those staged deltas
+//! over a *base* table — typically the shared, committed table the session
+//! branched from — into a sparse `(tuple, column) → Cell` map, so readers
+//! can answer "what will this commit change?" without materialising a
+//! table copy:
+//!
+//! * patched cells are read through [`DeltaOverlay::cell`] /
+//!   [`DeltaOverlay::expected_value`];
+//! * untouched cells fall through to the base table (the overlay stores
+//!   nothing for them);
+//! * [`DeltaOverlay::patched_tuple`] assembles a single tuple's
+//!   post-commit state on demand.
+//!
+//! The fold applies exactly the merge semantics of
+//! [`Table::apply_delta`] — probabilistic updates merge candidate sets
+//! into the current cell, determinate updates overwrite — so an overlay
+//! over the pre-commit base is byte-identical to the committed table
+//! (`tests` below and `tests/integration_service.rs` pin this down).
+
+use std::collections::HashMap;
+
+use daisy_common::{ColumnId, DaisyError, Result, TupleId, Value};
+
+use crate::cell::Cell;
+use crate::delta::Delta;
+use crate::table::Table;
+use crate::tuple::Tuple;
+
+/// A sparse, read-only view of staged deltas over a base table.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaOverlay {
+    cells: HashMap<(TupleId, ColumnId), Cell>,
+    updates: usize,
+}
+
+impl DeltaOverlay {
+    /// Folds `deltas` (in application order) over `base`'s current cells.
+    ///
+    /// Fails — like [`Table::apply_delta`] — when an update targets a tuple
+    /// the base table does not contain or a column outside its schema.
+    pub fn build<'a>(base: &Table, deltas: impl IntoIterator<Item = &'a Delta>) -> Result<Self> {
+        let mut overlay = DeltaOverlay::default();
+        for delta in deltas {
+            for update in delta.updates() {
+                let key = (update.tuple, update.column);
+                let current = match overlay.cells.get(&key) {
+                    Some(cell) => cell.clone(),
+                    None => base
+                        .tuple(update.tuple)
+                        .ok_or_else(|| {
+                            DaisyError::Execution(format!(
+                                "overlay delta references unknown tuple {} in table `{}`",
+                                update.tuple,
+                                base.name()
+                            ))
+                        })?
+                        .cell(update.column.index())?
+                        .clone(),
+                };
+                let patched = match &update.cell {
+                    Cell::Probabilistic(incoming) => {
+                        let mut merged = current;
+                        merged.merge_candidates(incoming.clone());
+                        merged
+                    }
+                    Cell::Determinate(v) => Cell::Determinate(v.clone()),
+                };
+                overlay.cells.insert(key, patched);
+                overlay.updates += 1;
+            }
+        }
+        Ok(overlay)
+    }
+
+    /// The staged state of one cell, or `None` when the overlay leaves it
+    /// untouched (read the base table instead).
+    pub fn cell(&self, tuple: TupleId, column: ColumnId) -> Option<&Cell> {
+        self.cells.get(&(tuple, column))
+    }
+
+    /// The staged *expected* value of one cell, or `None` when untouched.
+    pub fn expected_value(&self, tuple: TupleId, column: ColumnId) -> Option<Value> {
+        self.cell(tuple, column).map(Cell::expected_value)
+    }
+
+    /// Assembles a base tuple's post-commit state: every patched cell is
+    /// substituted, everything else is carried over.
+    pub fn patched_tuple(&self, base: &Tuple) -> Tuple {
+        let cells = (0..base.arity())
+            .map(|idx| {
+                self.cell(base.id, ColumnId::new(idx as u64))
+                    .cloned()
+                    .unwrap_or_else(|| base.cell(idx).expect("index bounded by arity").clone())
+            })
+            .collect();
+        Tuple::from_cells(base.id, cells)
+    }
+
+    /// Number of distinct cells the overlay patches.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the overlay patches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of staged updates folded in (≥ [`len`](DeltaOverlay::len):
+    /// several updates may hit the same cell).
+    pub fn update_count(&self) -> usize {
+        self.updates
+    }
+
+    /// The distinct tuples with at least one patched cell, sorted.
+    pub fn touched_tuples(&self) -> Vec<TupleId> {
+        let mut ids: Vec<TupleId> = self.cells.keys().map(|&(t, _)| t).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Candidate;
+    use crate::delta::CellUpdate;
+    use daisy_common::{DataType, Schema};
+
+    fn cities() -> Table {
+        Table::from_rows(
+            "cities",
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap(),
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(9001), Value::from("San Francisco")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn prob_update(t: u64, c: u64, values: &[(&str, f64)]) -> Delta {
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(t),
+            column: ColumnId::new(c),
+            cell: Cell::probabilistic(
+                values
+                    .iter()
+                    .map(|(v, p)| Candidate::exact(Value::from(*v), *p))
+                    .collect(),
+            ),
+        });
+        delta
+    }
+
+    #[test]
+    fn overlay_reads_match_applying_the_deltas() {
+        let base = cities();
+        let deltas = vec![
+            prob_update(1, 1, &[("Los Angeles", 2.0), ("San Francisco", 1.0)]),
+            prob_update(1, 1, &[("Los Angeles", 1.0)]),
+            prob_update(2, 1, &[("NYC", 1.0), ("New York", 1.0)]),
+        ];
+        let overlay = DeltaOverlay::build(&base, &deltas).unwrap();
+        assert_eq!(overlay.len(), 2);
+        assert_eq!(overlay.update_count(), 3);
+        assert_eq!(
+            overlay.touched_tuples(),
+            vec![TupleId::new(1), TupleId::new(2)]
+        );
+
+        // Ground truth: actually apply the same deltas.
+        let mut committed = base.clone();
+        for delta in &deltas {
+            committed.apply_delta(delta).unwrap();
+        }
+        for tuple in base.tuples() {
+            let expected = committed.tuple(tuple.id).unwrap();
+            assert_eq!(&overlay.patched_tuple(tuple), expected);
+            for idx in 0..tuple.arity() {
+                let column = ColumnId::new(idx as u64);
+                if let Some(value) = overlay.expected_value(tuple.id, column) {
+                    assert_eq!(value, expected.value(idx).unwrap());
+                }
+            }
+        }
+        // Untouched cells read through to the base.
+        assert!(overlay.cell(TupleId::new(0), ColumnId::new(1)).is_none());
+    }
+
+    #[test]
+    fn determinate_updates_overwrite() {
+        let base = cities();
+        let mut delta = Delta::new();
+        delta.push(CellUpdate {
+            tuple: TupleId::new(0),
+            column: ColumnId::new(1),
+            cell: Cell::Determinate(Value::from("LA")),
+        });
+        let overlay = DeltaOverlay::build(&base, [&delta]).unwrap();
+        assert_eq!(
+            overlay.expected_value(TupleId::new(0), ColumnId::new(1)),
+            Some(Value::from("LA"))
+        );
+    }
+
+    #[test]
+    fn unknown_tuple_is_an_error() {
+        let base = cities();
+        let delta = prob_update(77, 1, &[("X", 1.0)]);
+        assert!(DeltaOverlay::build(&base, [&delta]).is_err());
+    }
+
+    #[test]
+    fn empty_overlay_is_empty() {
+        let overlay = DeltaOverlay::build(&cities(), []).unwrap();
+        assert!(overlay.is_empty());
+        assert_eq!(overlay.len(), 0);
+        assert!(overlay.touched_tuples().is_empty());
+    }
+}

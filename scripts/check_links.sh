@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Link check for the repository's markdown documentation.
+#
+# Verifies that every relative markdown link target in the given files
+# exists on disk, and that every intra-document anchor (`#section`) matches
+# a heading.  External links (http/https) are intentionally not fetched —
+# the build environment is offline and CI must stay hermetic.
+#
+# Usage: scripts/check_links.sh [files...]   (default: README.md ARCHITECTURE.md)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md)
+fi
+
+failures=0
+
+# GitHub-style anchor slug: lowercase, spaces to dashes, drop punctuation.
+slugify() {
+    printf '%s\n' "$1" \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+for file in "${files[@]}"; do
+    if [ ! -f "$file" ]; then
+        echo "MISSING FILE: $file"
+        failures=$((failures + 1))
+        continue
+    fi
+    # Extract inline markdown link targets: [text](target).
+    targets=$(grep -oE '\]\([^)]+\)' "$file" | sed -e 's/^](//' -e 's/)$//' || true)
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        path="${target%%#*}"
+        anchor=""
+        case "$target" in
+            *'#'*) anchor="${target#*#}" ;;
+        esac
+        if [ -n "$path" ]; then
+            if [ ! -e "$path" ]; then
+                echo "$file: broken link target '$target' (no such path '$path')"
+                failures=$((failures + 1))
+                continue
+            fi
+        fi
+        if [ -n "$anchor" ]; then
+            # Anchors are only checkable for markdown targets (or self-links).
+            anchor_file="${path:-$file}"
+            case "$anchor_file" in
+                *.md)
+                    file_anchors=$(grep -E '^#{1,6} ' "$anchor_file" | sed -E 's/^#{1,6} +//' | while IFS= read -r h; do slugify "$h"; done)
+                    if ! printf '%s\n' "$file_anchors" | grep -qx "$anchor"; then
+                        echo "$file: broken anchor '#$anchor' in '$anchor_file'"
+                        failures=$((failures + 1))
+                    fi
+                    ;;
+            esac
+        fi
+    done <<< "$targets"
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "link check failed: $failures broken reference(s)"
+    exit 1
+fi
+echo "link check passed for: ${files[*]}"

@@ -335,6 +335,75 @@ fn snapshot_modes_agree_and_are_thread_count_invariant() {
 }
 
 #[test]
+fn interleaved_session_commits_are_thread_count_invariant() {
+    // Two sessions branch from the same shared world, execute overlapping
+    // cleaning queries *before* either commits, then commit in a fixed
+    // order — the second validates stale and rebases.  The committed world
+    // and both final outcomes must equal the strictly serial execution of
+    // the same two requests, at every worker count.
+    let ssb = SsbConfig {
+        lineorder_rows: 600,
+        distinct_orderkeys: 60,
+        distinct_suppkeys: 15,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&ssb).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.15, 49).unwrap();
+    let sql_a = "SELECT orderkey, suppkey FROM lineorder WHERE suppkey <= 7";
+    let sql_b = "SELECT orderkey, suppkey FROM lineorder WHERE suppkey <= 12";
+
+    let shared_for = |workers: usize| {
+        let mut engine = DaisyEngine::new(config(workers)).unwrap();
+        engine.register_table(table.clone());
+        engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+        engine.into_shared()
+    };
+
+    let interleaved = |workers: usize| {
+        let shared = shared_for(workers);
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.execute_sql(sql_a).unwrap();
+        b.execute_sql(sql_b).unwrap();
+        let ra = a.commit().unwrap();
+        let rb = b.commit().unwrap();
+        assert!(!ra.rebased);
+        assert!(rb.rebased, "the second commit must detect the conflict");
+        (
+            ra.outcomes[0].result.tuples.clone(),
+            rb.outcomes[0].result.tuples.clone(),
+            shared.table("lineorder").unwrap().tuples().to_vec(),
+            shared.provenance("lineorder").unwrap().dump(),
+        )
+    };
+    let serial = || {
+        let shared = shared_for(1);
+        let mut a = shared.session();
+        a.execute_sql(sql_a).unwrap();
+        let ra = a.commit().unwrap();
+        let mut b = shared.session();
+        b.execute_sql(sql_b).unwrap();
+        let rb = b.commit().unwrap();
+        assert!(!rb.rebased);
+        (
+            ra.outcomes[0].result.tuples.clone(),
+            rb.outcomes[0].result.tuples.clone(),
+            shared.table("lineorder").unwrap().tuples().to_vec(),
+            shared.provenance("lineorder").unwrap().dump(),
+        )
+    };
+
+    let baseline = serial();
+    for workers in WORKER_COUNTS {
+        assert_eq!(
+            interleaved(workers),
+            baseline,
+            "interleaved sessions diverged from serial at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn worker_thread_env_override_preserves_results() {
     // The CI matrix forces DAISY_WORKER_THREADS; when it is set, the forced
     // count must flow into `DaisyConfig::default()` (the plumbing this test

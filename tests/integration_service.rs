@@ -1,0 +1,308 @@
+//! Integration tests: the concurrent multi-session cleaning service.
+//!
+//! The service's defining guarantee is that **the number of scheduler
+//! workers never changes any observable output**: N interleaved sessions
+//! committed through the sequenced turnstile produce byte-identical query
+//! results, cleaning reports, provenance dumps and final tables to the same
+//! admitted requests replayed strictly serially.  These tests pin that down
+//! over the SSB workload the other suites use, plus a proptest that throws
+//! random session schedules at the scheduler.
+
+use proptest::prelude::*;
+
+use daisy::common::{ColumnId, ServiceFairness, TupleId};
+use daisy::data::errors::{inject_fd_errors, inject_inequality_errors};
+use daisy::data::ssb::{generate_lineorder, SsbConfig};
+use daisy::prelude::*;
+use daisy::storage::{CellProvenance, Tuple};
+
+/// The scheduler worker counts every scenario is replayed at; 1 is the
+/// serial baseline, 7 deliberately exceeds the request-lane count.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// A canonical provenance dump, as produced by `ProvenanceStore::dump`.
+type ProvenanceDump = Vec<((TupleId, ColumnId), CellProvenance)>;
+
+/// Everything observable about one service run, wall-clock excluded.
+#[derive(Debug, Clone, PartialEq)]
+struct ServiceSnapshot {
+    /// Per-request: (submitted index, session, result tuples or error).
+    outcomes: Vec<(usize, String, Result<Vec<Tuple>, String>)>,
+    /// Per-request report counters for successful requests.
+    counters: Vec<Option<(usize, usize, usize, usize)>>,
+    commits: u64,
+    final_version: u64,
+    /// Final base-table tuples and provenance, per table in name order.
+    tables: Vec<(String, Vec<Tuple>)>,
+    provenance: Vec<(String, ProvenanceDump)>,
+}
+
+fn snapshot_service(service: &CleaningService, report: &ServiceReport) -> ServiceSnapshot {
+    let outcomes = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.submitted,
+                o.session.clone(),
+                o.outcome
+                    .as_ref()
+                    .map(|q| q.result.tuples.clone())
+                    .map_err(|e| e.clone()),
+            )
+        })
+        .collect();
+    let counters = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            o.outcome.as_ref().ok().map(|q| {
+                (
+                    q.result.len(),
+                    q.report.extra_tuples,
+                    q.report.errors_repaired,
+                    q.report.cells_updated,
+                )
+            })
+        })
+        .collect();
+    let shared = service.shared();
+    let names = shared.table_names();
+    let tables = names
+        .iter()
+        .map(|n| (n.clone(), shared.table(n).unwrap().tuples().to_vec()))
+        .collect();
+    let provenance = names
+        .iter()
+        .map(|n| {
+            (
+                n.clone(),
+                shared.provenance(n).map(|p| p.dump()).unwrap_or_default(),
+            )
+        })
+        .collect();
+    ServiceSnapshot {
+        outcomes,
+        counters,
+        commits: report.commits,
+        final_version: report.final_version,
+        tables,
+        provenance,
+    }
+}
+
+fn dirty_lineorder(rows: usize, seed: u64) -> Table {
+    let ssb = SsbConfig {
+        lineorder_rows: rows,
+        distinct_orderkeys: rows / 10,
+        distinct_suppkeys: 20,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&ssb).unwrap();
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.15, seed).unwrap();
+    inject_inequality_errors(
+        &mut table,
+        "extended_price",
+        "discount",
+        0.05,
+        0.5,
+        seed + 1,
+    )
+    .unwrap();
+    table
+}
+
+fn build_service(table: &Table, fairness: ServiceFairness, workers: usize) -> CleaningService {
+    let mut engine = DaisyEngine::new(
+        DaisyConfig::default()
+            .with_worker_threads(2)
+            .with_cost_model(false)
+            .with_theta_partitions(16)
+            .with_service_workers(workers)
+            .with_service_fairness(fairness),
+    )
+    .unwrap();
+    engine.register_table(table.clone());
+    engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+    engine
+        .add_constraint_text(
+            "dc",
+            "t1.suppkey = t2.suppkey & t1.extended_price < t2.extended_price \
+             & t1.discount > t2.discount",
+        )
+        .unwrap();
+    CleaningService::new(engine)
+}
+
+fn mixed_requests() -> Vec<ServiceRequest> {
+    vec![
+        ServiceRequest::new(
+            "a",
+            "SELECT orderkey, suppkey FROM lineorder WHERE suppkey <= 8",
+        ),
+        ServiceRequest::new(
+            "b",
+            "SELECT suppkey, extended_price, discount FROM lineorder WHERE extended_price <= 4000",
+        ),
+        ServiceRequest::new(
+            "a",
+            "SELECT orderkey, suppkey FROM lineorder WHERE suppkey > 8",
+        ),
+        ServiceRequest::new(
+            "c",
+            "SELECT suppkey, COUNT(*) FROM lineorder GROUP BY suppkey",
+        ),
+        ServiceRequest::new(
+            "b",
+            "SELECT suppkey, extended_price, discount FROM lineorder",
+        ),
+        ServiceRequest::new("c", "SELECT orderkey FROM lineorder WHERE orderkey <= 40"),
+    ]
+}
+
+/// N interleaved sessions under the scheduler must be byte-identical to the
+/// serial replay, at every worker count and under both fairness policies.
+#[test]
+fn concurrent_sessions_match_serial_replay() {
+    let table = dirty_lineorder(600, 51);
+    let requests = mixed_requests();
+    for fairness in [ServiceFairness::RoundRobin, ServiceFairness::Fifo] {
+        let serial_service = build_service(&table, fairness, 1);
+        let serial_report = serial_service.run_serial(&requests);
+        let baseline = snapshot_service(&serial_service, &serial_report);
+        assert!(
+            baseline
+                .counters
+                .iter()
+                .flatten()
+                .any(|&(_, _, repaired, _)| repaired > 0),
+            "scenario must repair something to be a meaningful probe"
+        );
+        for workers in WORKER_COUNTS {
+            let service = build_service(&table, fairness, workers);
+            let report = service.run(&requests);
+            let replay = snapshot_service(&service, &report);
+            assert_eq!(
+                baseline, replay,
+                "service diverged at {workers} workers under {fairness} fairness"
+            );
+        }
+    }
+}
+
+/// Failed requests must be transactional no-ops at every worker count.
+#[test]
+fn failed_requests_are_nops_at_any_worker_count() {
+    let table = dirty_lineorder(400, 52);
+    let mut requests = mixed_requests();
+    requests.insert(2, ServiceRequest::new("a", "SELECT broken FROM nowhere"));
+    requests.insert(5, ServiceRequest::new("b", "SELECT FROM"));
+
+    let serial_service = build_service(&table, ServiceFairness::RoundRobin, 1);
+    let serial_report = serial_service.run_serial(&requests);
+    let baseline = snapshot_service(&serial_service, &serial_report);
+    assert_eq!(
+        baseline
+            .outcomes
+            .iter()
+            .filter(|(_, _, o)| o.is_err())
+            .count(),
+        2
+    );
+    assert_eq!(baseline.commits, 6);
+    for workers in &WORKER_COUNTS[1..] {
+        let service = build_service(&table, ServiceFairness::RoundRobin, *workers);
+        let report = service.run(&requests);
+        assert_eq!(
+            baseline,
+            snapshot_service(&service, &report),
+            "failure handling diverged at {workers} workers"
+        );
+    }
+}
+
+/// The `DAISY_SERVICE_WORKERS` override must flow into the default config;
+/// whatever it says, the scheduler's outputs stay invariant.
+#[test]
+fn service_worker_env_override_preserves_results() {
+    if let Some(forced) = DaisyConfig::env_service_workers() {
+        assert_eq!(
+            DaisyConfig::default().service_workers,
+            forced,
+            "DAISY_SERVICE_WORKERS must size the default config"
+        );
+    }
+    if let Some(forced) = ServiceFairness::from_env() {
+        assert_eq!(DaisyConfig::default().service_fairness, forced);
+    }
+    let table = dirty_lineorder(300, 53);
+    let requests = mixed_requests();
+    let default_workers = DaisyConfig::default().service_workers;
+    let env_sized = build_service(&table, ServiceFairness::RoundRobin, default_workers);
+    let env_report = env_sized.run(&requests);
+    let other = build_service(&table, ServiceFairness::RoundRobin, default_workers + 3);
+    let other_report = other.run(&requests);
+    assert_eq!(
+        snapshot_service(&env_sized, &env_report),
+        snapshot_service(&other, &other_report)
+    );
+}
+
+/// Builds a small dirty FD table for the proptest schedules.
+fn fd_table(pairs: &[(i64, i64)]) -> Table {
+    let schema = Schema::from_pairs(&[("lhs", DataType::Int), ("rhs", DataType::Int)]).unwrap();
+    Table::from_rows(
+        "t",
+        schema,
+        pairs
+            .iter()
+            .map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)])
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random session schedules — random table, random per-session request
+    /// interleavings, random worker counts — always match serial replay.
+    #[test]
+    fn random_session_schedules_match_serial_replay(
+        pairs in prop::collection::vec((0i64..12, 0i64..6), 8..80),
+        // Each request: (session 0..3, predicate threshold).
+        plan in prop::collection::vec((0usize..3, 0i64..12), 1..10),
+        workers in 2usize..6,
+    ) {
+        let table = fd_table(&pairs);
+        let requests: Vec<ServiceRequest> = plan
+            .iter()
+            .map(|(session, threshold)| {
+                ServiceRequest::new(
+                    format!("s{session}"),
+                    format!("SELECT lhs, rhs FROM t WHERE lhs <= {threshold}"),
+                )
+            })
+            .collect();
+        let build = || {
+            let mut engine = DaisyEngine::new(
+                DaisyConfig::default()
+                    .with_worker_threads(1)
+                    .with_cost_model(false)
+                    .with_service_workers(workers),
+            )
+            .unwrap();
+            engine.register_table(table.clone());
+            engine.add_fd(&FunctionalDependency::new(&["lhs"], "rhs"), "phi");
+            CleaningService::new(engine)
+        };
+        let serial = build();
+        let serial_report = serial.run_serial(&requests);
+        let concurrent = build();
+        let concurrent_report = concurrent.run(&requests);
+        prop_assert_eq!(
+            snapshot_service(&serial, &serial_report),
+            snapshot_service(&concurrent, &concurrent_report)
+        );
+    }
+}
