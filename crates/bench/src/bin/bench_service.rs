@@ -1,20 +1,37 @@
 //! Machine-readable perf trajectory for the concurrent cleaning service.
 //!
-//! Runs a mixed SP/group-by cleaning workload through the multi-session
-//! scheduler across a `sessions × table size × scheduler workers` grid and
-//! writes `BENCH_service.json` at the repository root:
+//! Runs cleaning workloads through the multi-session scheduler across a
+//! `workload shape × table size × scheduler workers × validation mode` grid
+//! and writes `BENCH_service.json` at the repository root.
 //!
-//! * **commits/sec** — end-to-end request throughput (execute + sequenced
-//!   commit), the service's headline number;
-//! * **snapshot-reuse (clean-commit) rate** — the fraction of commits whose
-//!   optimistic execution validated against an unchanged shared world and
-//!   installed without a rebase;
-//! * **speedup over serial** — wall-clock of the same admitted requests
-//!   replayed one at a time.
+//! Workload axes:
 //!
-//! Determinism across worker counts is *asserted*, not assumed: every
-//! concurrent run's committed table is compared against the serial
-//! baseline's before a measurement is recorded.
+//! * **shared** — every session stripes the same `lineorder` table, the
+//!   fully contended shape (shared table, shared rule: footprint
+//!   validation degrades to version validation);
+//! * **disjoint** — one table per session, same FD on each: rule keys and
+//!   footprints never overlap, so footprint validation installs every
+//!   conflicted commit in `O(|delta|)`;
+//! * **skewed** — a hot shared table plus one satellite table per session;
+//!   contention concentrates on the hot stripe while satellite commits
+//!   stay conflict-free.
+//!
+//! Per measurement:
+//!
+//! * **commits/sec** and **speedup over serial** — wall-clock of the same
+//!   admitted requests replayed one at a time;
+//! * **clean-commit rate** — the fraction of commits that installed
+//!   without replaying their request log;
+//! * **commit-cause counters** — clean / footprint-clean / delta-recheck /
+//!   full-rebase, straight from [`daisy_service::CommitCauseCounts`].
+//!
+//! Two things are *asserted*, not assumed, on every run:
+//!
+//! * determinism — every concurrent run's committed tables are compared
+//!   byte-for-byte against the serial baseline's;
+//! * the headline claim — on the disjoint workload under footprint
+//!   validation, **zero** commits replay (`full_rebase == 0`) and the
+//!   clean-commit rate is ≥ 0.9.
 //!
 //! Note: on a single-core container the concurrent numbers show scheduling
 //! overhead only; the speedup materialises on multi-core hosts while the
@@ -25,16 +42,18 @@
 
 use std::time::Instant;
 
-use daisy_common::{DaisyConfig, ServiceFairness};
+use daisy_common::{CommitValidation, DaisyConfig, ServiceFairness};
 use daisy_core::DaisyEngine;
 use daisy_data::errors::inject_fd_errors;
 use daisy_data::ssb::{generate_lineorder, SsbConfig};
 use daisy_expr::FunctionalDependency;
-use daisy_service::{CleaningService, ServiceRequest};
+use daisy_service::{CleaningService, CommitCauseCounts, ServiceRequest};
 use daisy_storage::Table;
 
 /// One measurement row of the JSON report.
 struct Measurement {
+    workload: &'static str,
+    validation: CommitValidation,
     rows: usize,
     sessions: usize,
     requests: usize,
@@ -43,6 +62,7 @@ struct Measurement {
     commits_per_sec: f64,
     clean_commit_rate: f64,
     speedup_over_serial: f64,
+    causes: CommitCauseCounts,
 }
 
 fn runs() -> usize {
@@ -53,36 +73,40 @@ fn runs() -> usize {
         .unwrap_or(3)
 }
 
-fn dirty_lineorder(rows: usize) -> Table {
+fn dirty_lineorder(name: &str, rows: usize, seed: u64) -> Table {
     let config = SsbConfig {
         lineorder_rows: rows,
-        distinct_orderkeys: rows / 10,
+        distinct_orderkeys: (rows / 10).max(1),
         distinct_suppkeys: 25,
         ..SsbConfig::default()
     };
     let mut table = generate_lineorder(&config).unwrap();
-    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.12, 11).unwrap();
-    table
+    inject_fd_errors(&mut table, "orderkey", "suppkey", 1.0, 0.12, seed).unwrap();
+    if table.name() == name {
+        table
+    } else {
+        let next_id = table.tuples().len() as u64;
+        Table::from_serde_parts(
+            name,
+            table.schema().clone(),
+            table.tuples().to_vec(),
+            next_id,
+        )
+    }
 }
 
-fn build_service(table: &Table, workers: usize) -> CleaningService {
-    let mut engine = DaisyEngine::new(
-        DaisyConfig::default()
-            .with_worker_threads(1)
-            .with_cost_model(false)
-            .with_service_workers(workers)
-            .with_service_fairness(ServiceFairness::RoundRobin),
-    )
-    .unwrap();
-    engine.register_table(table.clone());
-    engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
-    CleaningService::new(engine)
+/// A workload shape: its tables plus the requests `sessions` tenants issue.
+struct Workload {
+    name: &'static str,
+    tables: Vec<Table>,
+    requests: Vec<ServiceRequest>,
+    /// Disjoint rule keys and footprints: under footprint validation no
+    /// commit may ever replay, and the bench asserts it.
+    expect_zero_replays: bool,
 }
 
-/// `sessions` tenants, each issuing one range query per suppkey stripe plus
-/// one aggregate — the many-small-cleaning-queries shape of the paper's
-/// target workload.
-fn workload(sessions: usize) -> Vec<ServiceRequest> {
+/// Every session stripes the same table — the fully contended shape.
+fn shared_workload(rows: usize, sessions: usize) -> Workload {
     let mut requests = Vec::new();
     for session in 0..sessions {
         let lo = (session * 25 / sessions) as i64;
@@ -100,74 +124,198 @@ fn workload(sessions: usize) -> Vec<ServiceRequest> {
             ),
         ));
     }
-    requests
+    Workload {
+        name: "shared",
+        tables: vec![dirty_lineorder("lineorder", rows, 11)],
+        requests,
+        expect_zero_replays: false,
+    }
+}
+
+/// One table per session, same FD on each: rule keys and footprints are
+/// disjoint by table name.  One request per session — a second request on
+/// the same table could legitimately replay when it speculates before its
+/// predecessor's repairs land, which would blur the zero-replay claim.
+fn disjoint_workload(rows: usize, sessions: usize) -> Workload {
+    let per_table = (rows / sessions).max(10);
+    let tables = (0..sessions)
+        .map(|s| dirty_lineorder(&format!("lineorder_{s}"), per_table, 11 + s as u64))
+        .collect();
+    let requests = (0..sessions)
+        .map(|s| {
+            ServiceRequest::new(
+                format!("s{s}"),
+                format!("SELECT orderkey, suppkey FROM lineorder_{s} WHERE suppkey <= 25"),
+            )
+        })
+        .collect();
+    Workload {
+        name: "disjoint",
+        tables,
+        requests,
+        expect_zero_replays: true,
+    }
+}
+
+/// A hot shared table plus one satellite per session: contention
+/// concentrates on the hot stripe, satellite commits stay conflict-free.
+fn skewed_workload(rows: usize, sessions: usize) -> Workload {
+    let satellite_rows = (rows / (2 * sessions)).max(10);
+    let mut tables = vec![dirty_lineorder("hot", rows / 2, 11)];
+    tables.extend(
+        (0..sessions)
+            .map(|s| dirty_lineorder(&format!("satellite_{s}"), satellite_rows, 31 + s as u64)),
+    );
+    let mut requests = Vec::new();
+    for session in 0..sessions {
+        let lo = (session * 25 / sessions) as i64;
+        let hi = ((session + 1) * 25 / sessions) as i64;
+        requests.push(ServiceRequest::new(
+            format!("s{session}"),
+            format!("SELECT orderkey, suppkey FROM satellite_{session} WHERE suppkey <= 25"),
+        ));
+        requests.push(ServiceRequest::new(
+            format!("s{session}"),
+            format!("SELECT orderkey, suppkey FROM hot WHERE suppkey > {lo} AND suppkey <= {hi}"),
+        ));
+    }
+    Workload {
+        name: "skewed",
+        tables,
+        requests,
+        expect_zero_replays: false,
+    }
+}
+
+fn build_service(
+    workload: &Workload,
+    workers: usize,
+    validation: CommitValidation,
+) -> CleaningService {
+    let mut engine = DaisyEngine::new(
+        DaisyConfig::default()
+            .with_worker_threads(1)
+            .with_cost_model(false)
+            .with_service_workers(workers)
+            .with_service_fairness(ServiceFairness::RoundRobin)
+            .with_commit_validation(validation),
+    )
+    .unwrap();
+    for table in &workload.tables {
+        engine.register_table(table.clone());
+    }
+    engine.add_fd(&FunctionalDependency::new(&["orderkey"], "suppkey"), "phi");
+    CleaningService::new(engine)
+}
+
+fn committed_tables(service: &CleaningService) -> Vec<(String, Vec<daisy_storage::Tuple>)> {
+    let shared = service.shared();
+    shared
+        .table_names()
+        .iter()
+        .map(|n| (n.clone(), shared.table(n).unwrap().tuples().to_vec()))
+        .collect()
 }
 
 fn main() {
     let row_counts = [2_000usize, 8_000];
-    let session_counts = [2usize, 4, 8];
+    let session_counts = [4usize, 8];
     let worker_counts = [1usize, 2, 4];
+    let validations = [CommitValidation::Version, CommitValidation::Footprint];
     let mut measurements = Vec::new();
 
     for &rows in &row_counts {
-        let table = dirty_lineorder(rows);
         for &sessions in &session_counts {
-            let requests = workload(sessions);
-
-            // Serial baseline: wall clock + committed table for the
-            // determinism assertion.
-            let mut serial_best = f64::INFINITY;
-            let mut serial_table = None;
-            for _ in 0..runs() {
-                let service = build_service(&table, 1);
-                let start = Instant::now();
-                let report = service.run_serial(&requests);
-                serial_best = serial_best.min(start.elapsed().as_secs_f64());
-                assert_eq!(report.commits as usize, requests.len());
-                serial_table = Some(service.shared().table("lineorder").unwrap());
-            }
-            let serial_table = serial_table.unwrap();
-
-            for &workers in &worker_counts {
-                let mut best = f64::INFINITY;
-                let mut clean_rate = 1.0;
+            let workloads = [
+                shared_workload(rows, sessions),
+                disjoint_workload(rows, sessions),
+                skewed_workload(rows, sessions),
+            ];
+            for workload in &workloads {
+                // Serial baseline: wall clock + committed tables for the
+                // determinism assertion.  Validation mode is irrelevant to a
+                // serial replay, so one baseline serves both modes.
+                let mut serial_best = f64::INFINITY;
+                let mut serial_tables = None;
                 for _ in 0..runs() {
-                    let service = build_service(&table, workers);
+                    let service = build_service(workload, 1, CommitValidation::Version);
                     let start = Instant::now();
-                    let report = service.run(&requests);
-                    let elapsed = start.elapsed().as_secs_f64();
-                    if elapsed < best {
-                        // Report the rate of the run whose time is reported:
-                        // unlike the committed outputs, the clean-commit rate
-                        // is scheduling-dependent and varies per run.
-                        best = elapsed;
-                        clean_rate = report.clean_commit_rate();
-                    }
-                    assert_eq!(report.commits as usize, requests.len());
-                    assert_eq!(
-                        service.shared().table("lineorder").unwrap().tuples(),
-                        serial_table.tuples(),
-                        "concurrent run diverged from serial at {workers} workers"
-                    );
+                    let report = service.run_serial(&workload.requests);
+                    serial_best = serial_best.min(start.elapsed().as_secs_f64());
+                    assert_eq!(report.commits as usize, workload.requests.len());
+                    serial_tables = Some(committed_tables(&service));
                 }
-                let measurement = Measurement {
-                    rows,
-                    sessions,
-                    requests: requests.len(),
-                    workers,
-                    seconds: best,
-                    commits_per_sec: requests.len() as f64 / best,
-                    clean_commit_rate: clean_rate,
-                    speedup_over_serial: serial_best / best,
-                };
-                println!(
-                    "rows={rows:>5} sessions={sessions} workers={workers} \
-                     {:>8.2} commits/s  clean-rate {:.2}  speedup {:.2}x",
-                    measurement.commits_per_sec,
-                    measurement.clean_commit_rate,
-                    measurement.speedup_over_serial,
-                );
-                measurements.push(measurement);
+                let serial_tables = serial_tables.unwrap();
+
+                for &validation in &validations {
+                    for &workers in &worker_counts {
+                        let mut best = f64::INFINITY;
+                        let mut clean_rate = 1.0;
+                        let mut causes = CommitCauseCounts::default();
+                        for _ in 0..runs() {
+                            let service = build_service(workload, workers, validation);
+                            let start = Instant::now();
+                            let report = service.run(&workload.requests);
+                            let elapsed = start.elapsed().as_secs_f64();
+                            if elapsed < best {
+                                // Report the rate and causes of the run whose
+                                // time is reported: unlike the committed
+                                // outputs, they are scheduling-dependent.
+                                best = elapsed;
+                                clean_rate = report.clean_commit_rate();
+                                causes = report.causes;
+                            }
+                            assert_eq!(report.commits as usize, workload.requests.len());
+                            assert_eq!(
+                                committed_tables(&service),
+                                serial_tables,
+                                "{} workload diverged from serial at {workers} workers \
+                                 under {validation} validation",
+                                workload.name,
+                            );
+                            if workload.expect_zero_replays
+                                && validation == CommitValidation::Footprint
+                            {
+                                assert_eq!(
+                                    report.causes.full_rebase, 0,
+                                    "disjoint workload replayed a commit at {workers} workers"
+                                );
+                                assert!(
+                                    report.clean_commit_rate() >= 0.9,
+                                    "disjoint clean-commit rate fell below 0.9"
+                                );
+                            }
+                        }
+                        let measurement = Measurement {
+                            workload: workload.name,
+                            validation,
+                            rows,
+                            sessions,
+                            requests: workload.requests.len(),
+                            workers,
+                            seconds: best,
+                            commits_per_sec: workload.requests.len() as f64 / best,
+                            clean_commit_rate: clean_rate,
+                            speedup_over_serial: serial_best / best,
+                            causes,
+                        };
+                        println!(
+                            "{:>8} {:>9} rows={rows:>5} sessions={sessions} workers={workers} \
+                             {:>8.2} commits/s  clean-rate {:.2}  speedup {:.2}x  \
+                             causes clean={} fp={} recheck={} rebase={}",
+                            measurement.workload,
+                            measurement.validation.to_string(),
+                            measurement.commits_per_sec,
+                            measurement.clean_commit_rate,
+                            measurement.speedup_over_serial,
+                            measurement.causes.clean,
+                            measurement.causes.footprint_clean,
+                            measurement.causes.delta_recheck,
+                            measurement.causes.full_rebase,
+                        );
+                        measurements.push(measurement);
+                    }
+                }
             }
         }
     }
@@ -191,9 +339,14 @@ fn render_json(measurements: &[Measurement]) -> String {
         .iter()
         .map(|m| {
             format!(
-                "    {{\"rows\": {}, \"sessions\": {}, \"requests\": {}, \"workers\": {}, \
+                "    {{\"workload\": \"{}\", \"validation\": \"{}\", \"rows\": {}, \
+                 \"sessions\": {}, \"requests\": {}, \"workers\": {}, \
                  \"seconds\": {:.6}, \"commits_per_sec\": {:.2}, \
-                 \"clean_commit_rate\": {:.4}, \"speedup_over_serial\": {:.3}}}",
+                 \"clean_commit_rate\": {:.4}, \"speedup_over_serial\": {:.3}, \
+                 \"causes\": {{\"clean\": {}, \"footprint_clean\": {}, \
+                 \"delta_recheck\": {}, \"full_rebase\": {}}}}}",
+                m.workload,
+                m.validation,
                 m.rows,
                 m.sessions,
                 m.requests,
@@ -202,6 +355,10 @@ fn render_json(measurements: &[Measurement]) -> String {
                 m.commits_per_sec,
                 m.clean_commit_rate,
                 m.speedup_over_serial,
+                m.causes.clean,
+                m.causes.footprint_clean,
+                m.causes.delta_recheck,
+                m.causes.full_rebase,
             )
         })
         .collect();

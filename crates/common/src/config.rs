@@ -192,6 +192,78 @@ impl fmt::Display for ServiceFairness {
 /// the multi-session service (`round-robin` / `fifo`).
 pub const SERVICE_FAIRNESS_ENV: &str = "DAISY_SERVICE_FAIRNESS";
 
+/// How a [`CleaningSession`] commit validates its optimistic execution when
+/// the shared world advanced underneath it.
+///
+/// * `Version` — whole-world version equality: any intervening commit, no
+///   matter how unrelated, forces a full replay of the session's request
+///   log (the conservative baseline).
+/// * `Footprint` — per-session read/write footprints are intersected
+///   against the log of intervening commits: disjoint commits install
+///   without any replay (`O(|delta|)`), value-stable overlaps pass a
+///   delta-restricted re-check, and only genuine conflicts replay.
+/// * `Auto` — currently resolves to `Footprint`; the footprint validator
+///   replays in exactly the cases version validation would have needed to,
+///   so there is no workload where `Version` wins on correctness, only on
+///   bookkeeping overhead.
+///
+/// Both validators install byte-identical worlds for any schedule — the
+/// knob trades validation work, never results — which is what lets CI run
+/// the whole test suite under each forced mode.
+///
+/// [`CleaningSession`]: https://docs.rs/daisy-core
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommitValidation {
+    /// Pick the validator automatically (the default; currently footprint).
+    #[default]
+    Auto,
+    /// Whole-world version equality; replay on any intervening commit.
+    Version,
+    /// Footprint intersection with semi-naive delta re-check.
+    Footprint,
+}
+
+impl CommitValidation {
+    /// Parses the textual forms accepted by [`COMMIT_VALIDATION_ENV`]
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn parse(text: &str) -> Option<CommitValidation> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(CommitValidation::Auto),
+            "version" => Some(CommitValidation::Version),
+            "footprint" => Some(CommitValidation::Footprint),
+            _ => None,
+        }
+    }
+
+    /// The mode forced through [`COMMIT_VALIDATION_ENV`], if the variable is
+    /// set to a recognised value.  Invalid values are ignored (`Auto`
+    /// applies).
+    pub fn from_env() -> Option<CommitValidation> {
+        CommitValidation::parse(&std::env::var(COMMIT_VALIDATION_ENV).ok()?)
+    }
+
+    /// `true` when sessions should record read footprints and commits
+    /// should validate by footprint intersection (`Auto` and `Footprint`).
+    pub fn uses_footprints(self) -> bool {
+        !matches!(self, CommitValidation::Version)
+    }
+}
+
+impl fmt::Display for CommitValidation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommitValidation::Auto => "auto",
+            CommitValidation::Version => "version",
+            CommitValidation::Footprint => "footprint",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Environment variable overriding the default commit-validation mode of
+/// concurrent cleaning sessions (`auto` / `version` / `footprint`).
+pub const COMMIT_VALIDATION_ENV: &str = "DAISY_COMMIT_VALIDATION";
+
 /// Environment variable overriding the default number of scheduler workers
 /// of the multi-session service (positive integers only).
 ///
@@ -253,6 +325,11 @@ pub struct DaisyConfig {
     /// admission and commit; the default honours [`SERVICE_FAIRNESS_ENV`]
     /// and otherwise interleaves sessions round-robin.
     pub service_fairness: ServiceFairness,
+    /// How concurrent session commits validate against intervening commits;
+    /// the default honours [`COMMIT_VALIDATION_ENV`] and otherwise picks
+    /// footprint intersection.  Either validator installs byte-identical
+    /// worlds; the knob only trades validation work.
+    pub commit_validation: CommitValidation,
 }
 
 impl Default for DaisyConfig {
@@ -269,6 +346,7 @@ impl Default for DaisyConfig {
             snapshot_mode: SnapshotMode::from_env().unwrap_or_default(),
             service_workers: default_service_workers(),
             service_fairness: ServiceFairness::from_env().unwrap_or_default(),
+            commit_validation: CommitValidation::from_env().unwrap_or_default(),
         }
     }
 }
@@ -413,6 +491,12 @@ impl DaisyConfig {
         self.service_fairness = fairness;
         self
     }
+
+    /// Builder-style setter for the commit-validation mode.
+    pub fn with_commit_validation(mut self, validation: CommitValidation) -> Self {
+        self.commit_validation = validation;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -544,6 +628,43 @@ mod tests {
         }
         if let Some(forced) = ServiceFairness::from_env() {
             assert_eq!(DaisyConfig::default().service_fairness, forced);
+        }
+    }
+
+    #[test]
+    fn commit_validation_parses_and_resolves() {
+        // Parsing rules via the pure helper (no `set_var` races).
+        assert_eq!(
+            CommitValidation::parse("footprint"),
+            Some(CommitValidation::Footprint)
+        );
+        assert_eq!(
+            CommitValidation::parse(" Version "),
+            Some(CommitValidation::Version)
+        );
+        assert_eq!(
+            CommitValidation::parse("auto"),
+            Some(CommitValidation::Auto)
+        );
+        assert_eq!(CommitValidation::parse("optimistic"), None);
+        assert_eq!(CommitValidation::parse(""), None);
+        for v in [
+            CommitValidation::Auto,
+            CommitValidation::Version,
+            CommitValidation::Footprint,
+        ] {
+            assert_eq!(CommitValidation::parse(&v.to_string()), Some(v));
+        }
+        // Auto resolves to footprint validation; only `version` opts out.
+        assert!(CommitValidation::Auto.uses_footprints());
+        assert!(CommitValidation::Footprint.uses_footprints());
+        assert!(!CommitValidation::Version.uses_footprints());
+        let cfg = DaisyConfig::default().with_commit_validation(CommitValidation::Version);
+        assert_eq!(cfg.commit_validation, CommitValidation::Version);
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = CommitValidation::from_env() {
+            assert_eq!(DaisyConfig::default().commit_validation, forced);
         }
     }
 

@@ -22,6 +22,18 @@ pub enum DaisyError {
     Io(String),
     /// An invalid configuration value.
     Config(String),
+    /// A session operation that requires an up-to-date branch point found
+    /// the shared world advanced by other commits.  Carries everything a
+    /// caller needs to retry-or-fail deliberately: which session went
+    /// stale and how far behind it is.
+    StaleSession {
+        /// The session (request) identifier, as named at open time.
+        session: String,
+        /// The shared version the session branched from.
+        base_version: u64,
+        /// The shared version at the time of the failed operation.
+        shared_version: u64,
+    },
 }
 
 impl DaisyError {
@@ -35,6 +47,21 @@ impl DaisyError {
             DaisyError::Execution(_) => "execution",
             DaisyError::Io(_) => "io",
             DaisyError::Config(_) => "config",
+            DaisyError::StaleSession { .. } => "stale-session",
+        }
+    }
+
+    /// The number of commits the shared world advanced past the session's
+    /// branch point, for [`DaisyError::StaleSession`]; `None` for every
+    /// other error.
+    pub fn elapsed_commits(&self) -> Option<u64> {
+        match self {
+            DaisyError::StaleSession {
+                base_version,
+                shared_version,
+                ..
+            } => Some(shared_version.saturating_sub(*base_version)),
+            _ => None,
         }
     }
 }
@@ -49,6 +76,17 @@ impl fmt::Display for DaisyError {
             DaisyError::Execution(msg) => write!(f, "execution error: {msg}"),
             DaisyError::Io(msg) => write!(f, "io error: {msg}"),
             DaisyError::Config(msg) => write!(f, "configuration error: {msg}"),
+            DaisyError::StaleSession {
+                session,
+                base_version,
+                shared_version,
+            } => write!(
+                f,
+                "stale session: `{session}` branched at version {base_version} but the \
+                 shared world is at {shared_version} ({} commits elapsed); commit to \
+                 rebase or open a fresh session",
+                shared_version.saturating_sub(*base_version)
+            ),
         }
     }
 }
@@ -84,5 +122,22 @@ mod tests {
     fn errors_are_comparable_in_tests() {
         assert_eq!(DaisyError::Type("x".into()), DaisyError::Type("x".into()));
         assert_ne!(DaisyError::Type("x".into()), DaisyError::Plan("x".into()));
+    }
+
+    #[test]
+    fn stale_session_names_request_and_elapsed_commits() {
+        let err = DaisyError::StaleSession {
+            session: "tenant-a".into(),
+            base_version: 3,
+            shared_version: 7,
+        };
+        assert_eq!(err.category(), "stale-session");
+        assert_eq!(err.elapsed_commits(), Some(4));
+        let rendered = err.to_string();
+        assert!(rendered.contains("`tenant-a`"));
+        assert!(rendered.contains("version 3"));
+        assert!(rendered.contains("at 7"));
+        assert!(rendered.contains("4 commits elapsed"));
+        assert_eq!(DaisyError::Io("x".into()).elapsed_commits(), None);
     }
 }

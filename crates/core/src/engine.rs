@@ -25,12 +25,12 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-use daisy_common::{DaisyConfig, DaisyError, Result, RuleId, Schema, TupleId, Value};
+use daisy_common::{ColumnId, DaisyConfig, DaisyError, Result, RuleId, Schema, TupleId, Value};
 use daisy_exec::ExecContext;
 use daisy_expr::{BoolExpr, DenialConstraint, FunctionalDependency};
 use daisy_query::physical::{aggregate, filter_tuples, hash_join, project, PredicateMode};
 use daisy_query::{parse_query, Query, QueryResult, SelectItem};
-use daisy_storage::{ColumnSnapshot, Delta, ProvenanceStore, Table, Tuple};
+use daisy_storage::{ColumnSnapshot, Delta, Footprint, ProvenanceStore, Table, Tuple};
 
 use crate::accuracy::{estimate_accuracy, CleaningDecision};
 use crate::clean_dc::repair_dc_violations;
@@ -42,7 +42,7 @@ use crate::relaxation::FilterTarget;
 use crate::report::{CleaningReport, CleaningStrategy, SessionReport};
 use crate::session::EngineShared;
 use crate::theta::ThetaMatrix;
-use crate::world::WorldState;
+use crate::world::{RuleKey, WorldState};
 
 /// The outcome of one query: its (cleaned) result plus the cleaning report.
 #[derive(Debug, Clone)]
@@ -76,6 +76,12 @@ pub struct DaisyEngine {
     /// commit.
     record_deltas: bool,
     delta_log: Vec<(String, Delta)>,
+    /// When `true`, execution records which cells it consulted (`reads`) and
+    /// which `(table, rule)` cleaning states it advanced (`touched_rules`) —
+    /// the inputs of footprint-based commit validation.
+    record_footprints: bool,
+    reads: Footprint,
+    touched_rules: HashSet<RuleKey>,
 }
 
 impl DaisyEngine {
@@ -96,6 +102,9 @@ impl DaisyEngine {
             session: SessionReport::default(),
             record_deltas: false,
             delta_log: Vec::new(),
+            record_footprints: false,
+            reads: Footprint::new(),
+            touched_rules: HashSet::new(),
         })
     }
 
@@ -125,12 +134,61 @@ impl DaisyEngine {
         self.world = world;
         self.session = SessionReport::default();
         self.delta_log.clear();
+        self.clear_footprints();
+    }
+
+    /// Installs a merged world after a footprint-validated commit *without*
+    /// clearing the already-drained staged log or the session report (the
+    /// caller resets those explicitly once the receipt is built).
+    pub(crate) fn install_world(&mut self, world: WorldState) {
+        self.world = world;
     }
 
     /// Turns on staged-delta recording (sessions stage their repairs as
     /// copy-on-write overlays and publish them at commit).
     pub(crate) fn set_record_deltas(&mut self, record: bool) {
         self.record_deltas = record;
+    }
+
+    /// Turns on read-footprint and touched-rule recording (sessions under
+    /// footprint-based commit validation).
+    pub(crate) fn set_record_footprints(&mut self, record: bool) {
+        self.record_footprints = record;
+    }
+
+    /// The cells consulted since the footprints were last cleared.
+    pub(crate) fn reads(&self) -> &Footprint {
+        &self.reads
+    }
+
+    /// The `(table, rule)` cleaning states advanced since the footprints
+    /// were last cleared.
+    pub(crate) fn touched_rules(&self) -> &HashSet<RuleKey> {
+        &self.touched_rules
+    }
+
+    /// Drains the touched-rule set.
+    pub(crate) fn take_touched_rules(&mut self) -> HashSet<RuleKey> {
+        std::mem::take(&mut self.touched_rules)
+    }
+
+    /// Snapshot of the footprint state, paired with
+    /// [`restore_footprints`](DaisyEngine::restore_footprints) to make a
+    /// failed query transactional for the read set too.
+    pub(crate) fn footprint_checkpoint(&self) -> (Footprint, HashSet<RuleKey>) {
+        (self.reads.clone(), self.touched_rules.clone())
+    }
+
+    /// Restores a footprint checkpoint taken before a failed query.
+    pub(crate) fn restore_footprints(&mut self, reads: Footprint, touched: HashSet<RuleKey>) {
+        self.reads = reads;
+        self.touched_rules = touched;
+    }
+
+    /// Clears the recorded footprints (after a commit publishes them).
+    pub(crate) fn clear_footprints(&mut self) {
+        self.reads = Footprint::new();
+        self.touched_rules.clear();
     }
 
     /// Rolls the engine back to a pre-query checkpoint: restores the world
@@ -276,6 +334,20 @@ impl DaisyEngine {
                 .qualify(&driving),
         );
         let driving_filter = filter_for_table(query, &driving, query.joins.is_empty());
+        // Footprint of the scan itself: without joins the query consults the
+        // filter columns across every row (plus the answer rows, recorded
+        // below); joins consult whole relations (key columns drive
+        // qualification, and joined output carries every column).
+        if self.record_footprints {
+            if query.joins.is_empty() {
+                self.record_filter_columns(&driving, &driving_schema, &driving_filter);
+            } else {
+                self.reads.record_table(&driving);
+                for join in &query.joins {
+                    self.reads.record_table(&join.table);
+                }
+            }
+        }
         let mut current = self.clean_table_subset(
             &driving,
             &driving_schema,
@@ -284,6 +356,10 @@ impl DaisyEngine {
             &mut report,
         )?;
         let mut current_schema = driving_schema;
+        if self.record_footprints && query.joins.is_empty() {
+            self.reads
+                .record_rows(&driving, current.iter().map(|t| t.id));
+        }
 
         // ---- joins: clean each joined table's qualifying part, then join ---
         for join in &query.joins {
@@ -516,6 +592,10 @@ impl DaisyEngine {
         report: &mut CleaningReport,
     ) -> Result<Vec<Tuple>> {
         let key = (table_name.to_string(), rule.raw());
+        if self.record_footprints {
+            self.touched_rules.insert(key.clone());
+            self.record_rule_columns(table_name, &fd.attributes());
+        }
         self.refresh_snapshot(table_name)?;
         // Build (or reuse) the FD group index: the pre-computed statistics.
         // The index is computed over original values (via provenance) so a
@@ -590,6 +670,10 @@ impl DaisyEngine {
                 self.world.fully_cleaned.insert(key.clone());
             }
         }
+        if self.record_footprints {
+            self.reads
+                .record_rows(table_name, outcome.cleaned.iter().map(|t| t.id));
+        }
         Ok(outcome.cleaned)
     }
 
@@ -604,6 +688,12 @@ impl DaisyEngine {
         report: &mut CleaningReport,
     ) -> Result<Vec<Tuple>> {
         let key = (table_name.to_string(), rule.id.raw());
+        if self.record_footprints {
+            self.touched_rules.insert(key.clone());
+            self.record_rule_columns(table_name, &rule.attributes());
+            self.reads
+                .record_rows(table_name, answer.iter().map(|t| t.id));
+        }
         self.refresh_snapshot(table_name)?;
         if !self.world.theta_matrices.contains_key(&key) {
             let table = self.world.catalog.table(table_name)?;
@@ -739,6 +829,10 @@ impl DaisyEngine {
         rule: RuleId,
     ) -> Result<usize> {
         let key = (table_name.to_string(), rule.raw());
+        if self.record_footprints {
+            self.touched_rules.insert(key.clone());
+            self.reads.record_table(table_name);
+        }
         self.refresh_snapshot(table_name)?;
         if !self.world.fd_indexes.contains_key(&key) {
             let provenance = Arc::clone(
@@ -802,6 +896,11 @@ impl DaisyEngine {
         match constraint.as_fd() {
             Some(fd) => self.clean_remaining_fd(table_name, &fd, rule),
             None => {
+                if self.record_footprints {
+                    self.touched_rules
+                        .insert((table_name.to_string(), rule.raw()));
+                    self.reads.record_table(table_name);
+                }
                 let schema = Arc::new(
                     self.world
                         .catalog
@@ -863,7 +962,11 @@ impl DaisyEngine {
     ///
     /// When staged-delta recording is on (sessions), the delta is also
     /// appended to the session's overlay log for publication at commit.
-    fn apply_delta_patching(&mut self, table_name: &str, delta: &Delta) -> Result<usize> {
+    pub(crate) fn apply_delta_patching(
+        &mut self,
+        table_name: &str,
+        delta: &Delta,
+    ) -> Result<usize> {
         let table = self.world.catalog.table_mut(table_name)?;
         let applied = table.apply_delta(delta)?;
         if let Some(snap) = self.world.snapshots.get_mut(table_name) {
@@ -873,6 +976,43 @@ impl DaisyEngine {
             self.delta_log.push((table_name.to_string(), delta.clone()));
         }
         Ok(applied)
+    }
+
+    /// Records `filter columns × all rows` reads; any column that does not
+    /// resolve against the schema degrades the footprint to the whole table
+    /// (conservative, never unsound).
+    fn record_filter_columns(&mut self, table: &str, schema: &Schema, filter: &BoolExpr) {
+        for column in filter.columns() {
+            match schema.index_of(&column) {
+                Ok(idx) => self
+                    .reads
+                    .record_columns(table, [ColumnId::new(idx as u64)]),
+                Err(_) => {
+                    self.reads.record_table(table);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Records a rule's attribute columns (across all rows) as read;
+    /// unresolved attributes degrade to a whole-table read.
+    fn record_rule_columns(&mut self, table: &str, attributes: &[String]) {
+        let Ok(schema) = self.world.catalog.table(table).map(|t| t.schema().clone()) else {
+            self.reads.record_table(table);
+            return;
+        };
+        for attr in attributes {
+            match schema.index_of(attr) {
+                Ok(idx) => self
+                    .reads
+                    .record_columns(table, [ColumnId::new(idx as u64)]),
+                Err(_) => {
+                    self.reads.record_table(table);
+                    return;
+                }
+            }
+        }
     }
 }
 

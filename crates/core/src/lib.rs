@@ -63,5 +63,5 @@ pub use repair::{
     RepairPolicy,
 };
 pub use report::{CleaningReport, CleaningStrategy, SessionReport};
-pub use session::{CleaningSession, CommitReceipt, EngineShared};
+pub use session::{CleaningSession, CommitCause, CommitReceipt, EngineShared};
 pub use world::WorldState;

@@ -25,16 +25,34 @@
 //!    table revisions and columnar snapshots inside were already advanced
 //!    through the engine's `apply_delta_patching`/`absorb_delta` write
 //!    path);
-//! 2. **rebases** otherwise — the session re-clones the now-current shared
-//!    world and replays its request log against it (still holding the
-//!    lock, so the replay cannot be invalidated), then installs.
+//! 2. otherwise consults the **commit log** — a bounded ring of recent
+//!    `(version, write Footprint, touched rules, staged deltas)` records —
+//!    when [footprint validation](daisy_common::config::CommitValidation)
+//!    is on: if no intervening commit advanced a `(table, rule)` cleaning
+//!    state this session touched, wrote a cell this session wrote
+//!    (write–write), or wrote a cell this session read, the session's
+//!    staged deltas are **rebased onto the current world in
+//!    `O(|delta|)`** — deltas re-applied, provenance grafted cell-by-cell,
+//!    derived rule state swapped in — with no re-execution at all;
+//! 3. if intervening writes *did* land on cells this session read, a
+//!    **semi-naive re-validation** restricted to exactly those conflicting
+//!    cells runs first: when every such cell still holds the value the
+//!    session observed (byte-identical, candidate sets included), the
+//!    session's execution is provably unaffected and the `O(|delta|)`
+//!    install above still applies;
+//! 4. **rebases fully** only when the cheap checks fail (or under
+//!    version-only validation) — the session re-clones the now-current
+//!    shared world and replays its request log against it (still holding
+//!    the lock, so the replay cannot be invalidated), then installs.
 //!
-//! Because every commit lands against the exact world a serial execution
-//! would have seen, **any interleaving of sessions whose commits happen in
-//! a fixed order produces byte-identical tables, reports and provenance to
-//! replaying the same requests serially in that order** — the property the
+//! Because every commit lands in a state byte-identical to what a serial
+//! execution would have produced, **any interleaving of sessions whose
+//! commits happen in a fixed order produces byte-identical tables, reports
+//! and provenance to replaying the same requests serially in that order**
+//! — at any validation mode and any worker count; the property the
 //! scheduler in `daisy-service` relies on and
-//! `tests/integration_service.rs` enforces.
+//! `tests/integration_service.rs` / `tests/integration_footprint.rs`
+//! enforce.  [`CommitReceipt::cause`] reports which path each commit took.
 //!
 //! ```
 //! use daisy_core::DaisyEngine;
@@ -70,15 +88,21 @@
 //! assert!(shared.table("cities").unwrap().probabilistic_tuple_count() > 0);
 //! ```
 
+use std::collections::{HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use daisy_common::{DaisyConfig, Result};
+use daisy_common::{ColumnId, DaisyConfig, DaisyError, Result, TupleId};
 use daisy_query::Query;
-use daisy_storage::{Delta, DeltaOverlay, ProvenanceStore, Table};
+use daisy_storage::{Delta, DeltaOverlay, Footprint, ProvenanceStore, Table};
 
 use crate::engine::{DaisyEngine, QueryOutcome};
 use crate::report::SessionReport;
-use crate::world::WorldState;
+use crate::world::{RuleKey, WorldState};
+
+/// How many recent commit records the shared core retains for footprint
+/// validation.  A session that branched more than this many commits ago
+/// cannot be validated cell-by-cell and falls back to a full rebase.
+const COMMIT_LOG_CAPACITY: usize = 128;
 
 /// The canonical, versioned world that concurrent sessions clean against.
 ///
@@ -96,6 +120,42 @@ struct SharedState {
     /// Number of commits applied so far; sessions validate against it.
     version: u64,
     world: WorldState,
+    /// Ring of the most recent commits (bounded by
+    /// [`COMMIT_LOG_CAPACITY`]), newest last — what footprint validation
+    /// intersects against.
+    log: VecDeque<CommitRecord>,
+}
+
+/// What one published commit looked like, for later sessions to validate
+/// against without replaying anything.
+#[derive(Debug)]
+struct CommitRecord {
+    /// The exact cells the commit wrote ([`Footprint::from_deltas`]).
+    write: Footprint,
+    /// The `(table, rule)` cleaning states the commit advanced.
+    touched_rules: HashSet<RuleKey>,
+    /// The staged deltas, kept for cell-level conflict enumeration and the
+    /// semi-naive recheck.
+    staged: Vec<(String, Delta)>,
+}
+
+impl SharedState {
+    /// The records of every commit after `base`, oldest first; `None` when
+    /// the ring no longer reaches back that far.
+    fn records_since(&self, base: u64) -> Option<Vec<&CommitRecord>> {
+        let needed = usize::try_from(self.version.saturating_sub(base)).ok()?;
+        if needed > self.log.len() {
+            return None;
+        }
+        Some(self.log.iter().skip(self.log.len() - needed).collect())
+    }
+
+    fn push_record(&mut self, record: CommitRecord) {
+        if self.log.len() == COMMIT_LOG_CAPACITY {
+            self.log.pop_front();
+        }
+        self.log.push_back(record);
+    }
 }
 
 impl EngineShared {
@@ -106,7 +166,11 @@ impl EngineShared {
         let world = engine.world().clone();
         Arc::new(EngineShared {
             config,
-            state: Mutex::new(SharedState { version: 0, world }),
+            state: Mutex::new(SharedState {
+                version: 0,
+                world,
+                log: VecDeque::new(),
+            }),
         })
     }
 
@@ -126,6 +190,14 @@ impl EngineShared {
     /// independent of data size — which is what makes a per-request session
     /// handle viable.
     pub fn session(self: &Arc<Self>) -> CleaningSession {
+        self.session_named("anonymous")
+    }
+
+    /// Opens a session like [`EngineShared::session`], labelled with a
+    /// request identifier — the name a
+    /// [`DaisyError::StaleSession`] diagnostic carries if the session goes
+    /// stale.
+    pub fn session_named(self: &Arc<Self>, label: &str) -> CleaningSession {
         let (version, world) = {
             let state = self.lock();
             (state.version, state.world.clone())
@@ -133,10 +205,12 @@ impl EngineShared {
         let mut engine = DaisyEngine::from_world(self.config.clone(), world)
             .expect("shared config was validated at construction");
         engine.set_record_deltas(true);
+        engine.set_record_footprints(self.config.commit_validation.uses_footprints());
         CleaningSession {
             shared: Arc::clone(self),
             engine,
             base_version: version,
+            label: label.to_string(),
             log: Vec::new(),
             outcomes: Vec::new(),
         }
@@ -168,6 +242,51 @@ impl EngineShared {
     }
 }
 
+/// Which validation path a commit took (see the
+/// [module docs](self#the-commit-protocol)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommitCause {
+    /// No commit intervened since the session branched: pointer-swap
+    /// install.
+    Clean,
+    /// Commits intervened, but their footprints were disjoint from
+    /// everything this session read, wrote or cleaned: the staged deltas
+    /// were rebased onto the current world in `O(|delta|)`.
+    FootprintClean,
+    /// Intervening writes landed on cells this session read, but the
+    /// semi-naive recheck found every such cell value-stable: same
+    /// `O(|delta|)` install as [`CommitCause::FootprintClean`].
+    DeltaRecheck,
+    /// Validation failed (or version-only validation saw any intervening
+    /// commit): the session's request log was replayed against the
+    /// current world — the serial fallback.
+    FullRebase,
+}
+
+impl CommitCause {
+    /// Short machine-readable name, used by benchmark and service
+    /// counters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommitCause::Clean => "clean",
+            CommitCause::FootprintClean => "footprint-clean",
+            CommitCause::DeltaRecheck => "delta-recheck",
+            CommitCause::FullRebase => "full-rebase",
+        }
+    }
+
+    /// `true` only for the full replay path.
+    pub fn is_rebase(self) -> bool {
+        matches!(self, CommitCause::FullRebase)
+    }
+}
+
+impl std::fmt::Display for CommitCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// What one commit published.
 #[derive(Debug, Clone)]
 pub struct CommitReceipt {
@@ -176,8 +295,10 @@ pub struct CommitReceipt {
     /// `true` when the commit found the shared world advanced and had to
     /// replay its request log against the newer state (the serial
     /// fallback); `false` means the optimistic execution was installed
-    /// as-is — the "snapshot reuse" fast path.
+    /// as-is or rebased in `O(|delta|)` without re-execution.
     pub rebased: bool,
+    /// Which validation path the commit took.
+    pub cause: CommitCause,
     /// The final outcome of every request in this commit, in execution
     /// order.  When `rebased`, these supersede the speculative outcomes
     /// returned by [`CleaningSession::execute`].
@@ -196,6 +317,8 @@ pub struct CleaningSession {
     shared: Arc<EngineShared>,
     engine: DaisyEngine,
     base_version: u64,
+    /// The request identifier stale-session diagnostics carry.
+    label: String,
     /// Requests executed since the last commit, for rebase replay.
     log: Vec<Query>,
     /// Speculative outcomes matching `log`.
@@ -223,6 +346,7 @@ impl CleaningSession {
     pub fn execute(&mut self, query: &Query) -> Result<QueryOutcome> {
         let checkpoint = self.engine.world().clone();
         let staged_len = self.engine.delta_log().len();
+        let (reads, touched) = self.engine.footprint_checkpoint();
         match self.engine.execute(query) {
             Ok(outcome) => {
                 self.log.push(query.clone());
@@ -231,9 +355,34 @@ impl CleaningSession {
             }
             Err(err) => {
                 self.engine.rollback_to(checkpoint, staged_len);
+                self.engine.restore_footprints(reads, touched);
                 Err(err)
             }
         }
+    }
+
+    /// `Ok(())` while the session's branch point is still the current
+    /// shared version; a typed [`DaisyError::StaleSession`] — naming this
+    /// session and how many commits it fell behind — once another commit
+    /// advanced the shared world.  Callers use it to retry-or-fail
+    /// deliberately instead of parsing diagnostics.
+    pub fn verify_current(&self) -> Result<()> {
+        let shared_version = self.shared.version();
+        if shared_version == self.base_version {
+            Ok(())
+        } else {
+            Err(DaisyError::StaleSession {
+                session: self.label.clone(),
+                base_version: self.base_version,
+                shared_version,
+            })
+        }
+    }
+
+    /// The label this session was opened with (see
+    /// [`EngineShared::session_named`]).
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// The shared version this session's current world branched from.
@@ -283,14 +432,7 @@ impl CleaningSession {
     /// fresh session or a commit resolves that.
     pub fn staged_overlay(&self, table: &str) -> Result<DeltaOverlay> {
         let base = self.shared.table(table)?;
-        if self.base_version != self.shared.version() {
-            return Err(daisy_common::DaisyError::Execution(format!(
-                "session branched at version {} but the shared world is at {}; \
-                 the staged overlay is only meaningful against its own base",
-                self.base_version,
-                self.shared.version()
-            )));
-        }
+        self.verify_current()?;
         let deltas = self
             .engine
             .delta_log()
@@ -316,13 +458,17 @@ impl CleaningSession {
     pub fn commit(&mut self) -> Result<CommitReceipt> {
         let shared = Arc::clone(&self.shared);
         let mut state = shared.lock();
-        let mut rebased = false;
-        if state.version != self.base_version {
-            // Conflict: somebody committed since this session branched.
+        let cause = if state.version == self.base_version {
+            CommitCause::Clean
+        } else if shared.config.commit_validation.uses_footprints() {
+            self.classify_conflict(&state)
+        } else {
+            CommitCause::FullRebase
+        };
+        if cause == CommitCause::FullRebase {
             // Re-execute the log against the now-current world while holding
             // the lock — the serial fallback that makes interleavings
             // order-equivalent.
-            rebased = true;
             self.engine.reset_world(state.world.clone());
             self.outcomes.clear();
             for query in &self.log {
@@ -331,13 +477,32 @@ impl CleaningSession {
             }
         }
         let staged = self.engine.take_delta_log();
+        let touched = self.engine.take_touched_rules();
+        let write = Footprint::from_deltas(&staged);
         let cells_committed = staged.iter().map(|(_, d)| d.len()).sum();
-        state.world = self.engine.world().clone();
+        match cause {
+            CommitCause::Clean | CommitCause::FullRebase => {
+                state.world = self.engine.world().clone();
+            }
+            CommitCause::FootprintClean | CommitCause::DeltaRecheck => {
+                // The cheap path: rebase the staged overlay onto the current
+                // world in O(|delta|) — no re-execution.
+                let merged = merge_world(&state.world, self.engine.world(), &staged, &touched)?;
+                state.world = merged.clone();
+                self.engine.install_world(merged);
+            }
+        }
         state.version += 1;
         self.base_version = state.version;
+        state.push_record(CommitRecord {
+            write,
+            touched_rules: touched,
+            staged: staged.clone(),
+        });
         let receipt = CommitReceipt {
             version: state.version,
-            rebased,
+            rebased: cause.is_rebase(),
+            cause,
             outcomes: std::mem::take(&mut self.outcomes),
             staged,
             cells_committed,
@@ -345,15 +510,155 @@ impl CleaningSession {
         drop(state);
         self.log.clear();
         self.engine.clear_session_report();
+        self.engine.clear_footprints();
         Ok(receipt)
     }
+
+    /// Decides, under footprint validation, which commit path a conflicted
+    /// session can take (the shared version is known to have advanced).
+    fn classify_conflict(&self, state: &SharedState) -> CommitCause {
+        // The ring must reach back to the session's branch point.
+        let Some(records) = state.records_since(self.base_version) else {
+            return CommitCause::FullRebase;
+        };
+        // Any `(table, rule)` cleaning state both an intervening commit and
+        // this session advanced makes the session's derived structures
+        // (group indexes, θ-matrices, cost trackers, fully-cleaned marks)
+        // unmergeable: full replay.
+        let touched = self.engine.touched_rules();
+        if records
+            .iter()
+            .any(|r| r.touched_rules.iter().any(|k| touched.contains(k)))
+        {
+            return CommitCause::FullRebase;
+        }
+        // Coarse footprint intersection first: a record whose write
+        // footprint is disjoint from everything this session read or wrote
+        // is dismissed in O(ranges) without looking at a single update.
+        let writes = Footprint::from_deltas(self.engine.delta_log());
+        let reads = self.engine.reads();
+        let mut dependencies = reads.clone();
+        dependencies.union(&writes);
+        let mut conflicts: Vec<(&str, TupleId, ColumnId)> = Vec::new();
+        for record in &records {
+            if !record.write.intersects(&dependencies) {
+                continue;
+            }
+            // Cell-level sweep, only for records that coarsely overlap.
+            for (table, delta) in &record.staged {
+                for update in delta.updates() {
+                    if writes.covers_cell(table, update.tuple, update.column) {
+                        // Write–write: install order would matter.
+                        return CommitCause::FullRebase;
+                    }
+                    if reads.covers_cell(table, update.tuple, update.column) {
+                        conflicts.push((table.as_str(), update.tuple, update.column));
+                    }
+                }
+            }
+        }
+        if conflicts.is_empty() {
+            return CommitCause::FootprintClean;
+        }
+        // Semi-naive recheck, restricted to the conflicting cells: if every
+        // cell this session read still holds the exact value it observed
+        // (candidate sets included), the execution is provably unaffected.
+        if conflicts.iter().all(|(table, tuple, column)| {
+            cell_equal(self.engine.world(), &state.world, table, *tuple, *column)
+        }) {
+            CommitCause::DeltaRecheck
+        } else {
+            CommitCause::FullRebase
+        }
+    }
+}
+
+/// `true` when both worlds hold byte-identical cells at the given
+/// coordinate (missing table or tuple on either side counts as unstable).
+fn cell_equal(
+    a: &WorldState,
+    b: &WorldState,
+    table: &str,
+    tuple: TupleId,
+    column: ColumnId,
+) -> bool {
+    let (Ok(ta), Ok(tb)) = (a.catalog.table(table), b.catalog.table(table)) else {
+        return false;
+    };
+    let idx = column.raw() as usize;
+    match (ta.tuple(tuple), tb.tuple(tuple)) {
+        (Some(ra), Some(rb)) => ra.cell(idx) == rb.cell(idx),
+        _ => false,
+    }
+}
+
+/// Rebases a validated session's effects onto the current shared world in
+/// `O(|delta| + |touched rules|)`:
+///
+/// * staged deltas re-apply through the same table/snapshot write protocol
+///   the engine uses (`apply_delta` + `absorb_delta`),
+/// * provenance entries graft cell-by-cell (the session's additions are
+///   confined to its staged cells),
+/// * derived cleaning state (`FdIndex`, `ThetaMatrix`, cost trackers,
+///   fully-cleaned marks) swaps in wholesale for the rules only this
+///   session touched,
+/// * session-built columnar snapshots carry over when their revision still
+///   matches the merged table.
+///
+/// Footprint validation already proved the inputs of all of the above are
+/// identical to what a serial replay would have consumed, so the merged
+/// world is byte-identical to the serial successor state.
+fn merge_world(
+    current: &WorldState,
+    session: &WorldState,
+    staged: &[(String, Delta)],
+    touched: &HashSet<RuleKey>,
+) -> Result<WorldState> {
+    let mut merged = current.clone();
+    for key in touched {
+        if let Some(index) = session.fd_indexes.get(key) {
+            merged.fd_indexes.insert(key.clone(), Arc::clone(index));
+        }
+        if let Some(matrix) = session.theta_matrices.get(key) {
+            merged
+                .theta_matrices
+                .insert(key.clone(), Arc::clone(matrix));
+        }
+        if let Some(tracker) = session.trackers.get(key) {
+            merged.trackers.insert(key.clone(), tracker.clone());
+        }
+        if session.fully_cleaned.contains(key) {
+            merged.fully_cleaned.insert(key.clone());
+        }
+    }
+    for (name, delta) in staged {
+        let table = merged.catalog.table_mut(name)?;
+        table.apply_delta(delta)?;
+        if let Some(snap) = merged.snapshots.get_mut(name) {
+            Arc::make_mut(snap).absorb_delta(table, delta)?;
+        }
+        if let Some(session_prov) = session.provenance.get(name) {
+            let entry = merged.provenance.entry(name.clone()).or_default();
+            Arc::make_mut(entry).merge_cells_from(
+                session_prov,
+                delta.updates().iter().map(|u| (u.tuple, u.column)),
+            );
+        }
+    }
+    for (name, snap) in &session.snapshots {
+        if !merged.snapshots.contains_key(name) && snap.is_current(merged.catalog.table(name)?) {
+            merged.snapshots.insert(name.clone(), Arc::clone(snap));
+        }
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daisy_common::{DataType, Schema, Value};
+    use daisy_common::{CommitValidation, DataType, Schema, Value};
     use daisy_expr::FunctionalDependency;
+    use daisy_storage::Cell;
 
     fn shared_cities() -> Arc<EngineShared> {
         let schema =
@@ -421,8 +726,12 @@ mod tests {
 
         let first_receipt = first.commit().unwrap();
         assert!(!first_receipt.rebased);
+        assert_eq!(first_receipt.cause, CommitCause::Clean);
         let second_receipt = second.commit().unwrap();
         assert!(second_receipt.rebased, "stale session must rebase");
+        // Both sessions advanced the same (table, rule) cleaning state, so
+        // even footprint validation must take the full-replay path.
+        assert_eq!(second_receipt.cause, CommitCause::FullRebase);
         assert_eq!(shared.version(), 2);
 
         // The rebased world must equal a serial replay of both requests.
@@ -546,5 +855,247 @@ mod tests {
         assert_eq!(receipt.version, 1);
         assert_eq!(receipt.cells_committed, 0);
         assert!(receipt.staged.is_empty());
+    }
+
+    /// Two tables with the same dirty shape, cleaned by different sessions:
+    /// disjoint rule keys and disjoint footprints.
+    fn shared_two_regions() -> Arc<EngineShared> {
+        let rows = || {
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(9001), Value::from("San Francisco")],
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(10001), Value::from("San Francisco")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ]
+        };
+        let schema =
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let mut engine = DaisyEngine::new(
+            DaisyConfig::default()
+                .with_worker_threads(2)
+                .with_cost_model(false)
+                // Pinned: these tests assert footprint-specific causes and
+                // must not flip when DAISY_COMMIT_VALIDATION=version is
+                // forced (e.g. by the CI knob matrix).
+                .with_commit_validation(CommitValidation::Footprint),
+        )
+        .unwrap();
+        engine.register_table(Table::from_rows("east", schema.clone(), rows()).unwrap());
+        engine.register_table(Table::from_rows("west", schema, rows()).unwrap());
+        engine.add_fd(&FunctionalDependency::new(&["zip"], "city"), "phi");
+        engine.into_shared()
+    }
+
+    /// A constraint-free table: sessions over it are pure readers/writers
+    /// with no `(table, rule)` cleaning state in play.
+    fn shared_plain() -> Arc<EngineShared> {
+        let schema =
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let table = Table::from_rows(
+            "plain",
+            schema,
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap();
+        let mut engine = DaisyEngine::new(
+            DaisyConfig::default()
+                .with_worker_threads(2)
+                .with_cost_model(false)
+                // Pinned for the same reason as `shared_two_regions`.
+                .with_commit_validation(CommitValidation::Footprint),
+        )
+        .unwrap();
+        engine.register_table(table);
+        engine.into_shared()
+    }
+
+    #[test]
+    fn disjoint_table_commits_install_without_replay() {
+        let east_sql = "SELECT zip FROM east WHERE city = 'Los Angeles'";
+        let west_sql = "SELECT zip FROM west WHERE city = 'Los Angeles'";
+
+        let shared = shared_two_regions();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.execute_sql(east_sql).unwrap();
+        b.execute_sql(west_sql).unwrap();
+        assert_eq!(a.commit().unwrap().cause, CommitCause::Clean);
+        let receipt = b.commit().unwrap();
+        // The interleaved cleaning of a *different* table never replays.
+        assert_eq!(receipt.cause, CommitCause::FootprintClean);
+        assert!(!receipt.rebased);
+        assert!(receipt.cells_committed > 0);
+        assert_eq!(shared.version(), 2);
+
+        // The merged world is byte-identical to the serial replay.
+        let serial = {
+            let shared = shared_two_regions();
+            let mut s = shared.session();
+            s.execute_sql(east_sql).unwrap();
+            s.commit().unwrap();
+            s.execute_sql(west_sql).unwrap();
+            s.commit().unwrap();
+            shared
+        };
+        for table in ["east", "west"] {
+            assert_eq!(
+                shared.table(table).unwrap().tuples(),
+                serial.table(table).unwrap().tuples(),
+                "table `{table}` diverged from serial replay"
+            );
+            assert_eq!(
+                shared.provenance(table).unwrap().dump(),
+                serial.provenance(table).unwrap().dump(),
+                "provenance of `{table}` diverged from serial replay"
+            );
+        }
+
+        // The session stays fully usable on the merged world.
+        let again = b.execute_sql(west_sql).unwrap();
+        assert_eq!(again.report.errors_repaired, 0, "west is already cleaned");
+        assert_eq!(b.commit().unwrap().cause, CommitCause::Clean);
+    }
+
+    #[test]
+    fn stable_intervening_write_passes_the_delta_recheck() {
+        let shared = shared_plain();
+        let mut reader = shared.session();
+        // The reader consults `zip` (filter column) and the matching row.
+        reader
+            .execute_sql("SELECT city FROM plain WHERE zip = 9001")
+            .unwrap();
+
+        // An intervener rewrites the very cell the reader filtered on —
+        // with the value it already held.
+        let mut writer = shared.session();
+        let mut delta = Delta::new();
+        delta.push_update(
+            daisy_common::TupleId::new(0),
+            ColumnId::new(0),
+            Cell::Determinate(Value::Int(9001)),
+        );
+        writer.engine.apply_delta_patching("plain", &delta).unwrap();
+        assert_eq!(writer.commit().unwrap().cause, CommitCause::Clean);
+
+        // Footprints overlap, but the cell is value-stable: the recheck —
+        // restricted to that one cell — admits the commit without replay.
+        let receipt = reader.commit().unwrap();
+        assert_eq!(receipt.cause, CommitCause::DeltaRecheck);
+        assert!(!receipt.rebased);
+    }
+
+    #[test]
+    fn unstable_intervening_write_forces_full_rebase() {
+        let shared = shared_plain();
+        let mut reader = shared.session();
+        reader
+            .execute_sql("SELECT city FROM plain WHERE zip = 9001")
+            .unwrap();
+
+        let mut writer = shared.session();
+        let mut delta = Delta::new();
+        delta.push_update(
+            daisy_common::TupleId::new(0),
+            ColumnId::new(0),
+            Cell::Determinate(Value::Int(7777)),
+        );
+        writer.engine.apply_delta_patching("plain", &delta).unwrap();
+        writer.commit().unwrap();
+
+        // The reader's filter saw zip = 9001; the cell now reads 7777 —
+        // its answer is invalid and must be recomputed.
+        let receipt = reader.commit().unwrap();
+        assert_eq!(receipt.cause, CommitCause::FullRebase);
+        assert!(receipt.rebased);
+        // The replayed outcome reflects the new value: no row matches.
+        assert_eq!(receipt.outcomes[0].result.len(), 0);
+    }
+
+    #[test]
+    fn write_write_conflicts_force_full_rebase() {
+        let shared = shared_plain();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        let stage = |s: &mut CleaningSession, city: &str| {
+            let mut delta = Delta::new();
+            delta.push_update(
+                daisy_common::TupleId::new(0),
+                ColumnId::new(1),
+                Cell::Determinate(Value::from(city)),
+            );
+            s.engine.apply_delta_patching("plain", &delta).unwrap();
+        };
+        stage(&mut a, "Pasadena");
+        stage(&mut b, "Glendale");
+        assert_eq!(a.commit().unwrap().cause, CommitCause::Clean);
+        // Same cell written on both sides: install order matters, so the
+        // second commit must take the serial path (whose replay of the
+        // empty request log drops the manually staged delta).
+        let receipt = b.commit().unwrap();
+        assert_eq!(receipt.cause, CommitCause::FullRebase);
+        assert_eq!(
+            shared
+                .table("plain")
+                .unwrap()
+                .tuple(daisy_common::TupleId::new(0))
+                .unwrap()
+                .cell(1)
+                .unwrap(),
+            &Cell::Determinate(Value::from("Pasadena"))
+        );
+    }
+
+    #[test]
+    fn commit_log_overflow_falls_back_to_full_rebase() {
+        let shared = shared_plain();
+        let mut ancient = shared.session();
+        ancient.execute_sql("SELECT city FROM plain").unwrap();
+        // Push the ring past capacity: the ancient session's branch point
+        // is no longer covered by the retained records.
+        for _ in 0..(COMMIT_LOG_CAPACITY + 2) {
+            shared.session().commit().unwrap();
+        }
+        let receipt = ancient.commit().unwrap();
+        assert_eq!(receipt.cause, CommitCause::FullRebase);
+    }
+
+    #[test]
+    fn stale_sessions_surface_typed_errors() {
+        let shared = shared_cities();
+        let mut fresh = shared.session_named("req-42");
+        assert!(fresh.verify_current().is_ok());
+        assert_eq!(fresh.label(), "req-42");
+        fresh
+            .execute_sql("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            .unwrap();
+
+        let mut other = shared.session();
+        other.execute_sql("SELECT city FROM cities").unwrap();
+        other.commit().unwrap();
+
+        let err = fresh.verify_current().unwrap_err();
+        assert_eq!(err.category(), "stale-session");
+        assert_eq!(err.elapsed_commits(), Some(1));
+        match &err {
+            DaisyError::StaleSession {
+                session,
+                base_version,
+                shared_version,
+            } => {
+                assert_eq!(session, "req-42");
+                assert_eq!(*base_version, 0);
+                assert_eq!(*shared_version, 1);
+            }
+            other => panic!("expected StaleSession, got {other:?}"),
+        }
+        // The overlay path surfaces the same typed error.
+        assert_eq!(
+            fresh.staged_overlay("cities").unwrap_err().category(),
+            "stale-session"
+        );
     }
 }

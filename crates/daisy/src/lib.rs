@@ -78,13 +78,17 @@ pub use daisy_storage as storage;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use daisy_common::{DaisyConfig, DataType, Field, Schema, ServiceFairness, Value};
+    pub use daisy_common::{
+        CommitValidation, DaisyConfig, DataType, Field, Schema, ServiceFairness, Value,
+    };
     pub use daisy_core::{
-        CleaningReport, CleaningSession, CleaningStrategy, CommitReceipt, DaisyEngine,
+        CleaningReport, CleaningSession, CleaningStrategy, CommitCause, CommitReceipt, DaisyEngine,
         EngineShared, QueryOutcome,
     };
     pub use daisy_expr::{BoolExpr, ConstraintSet, DenialConstraint, FunctionalDependency};
     pub use daisy_query::{parse_query, Query};
-    pub use daisy_service::{CleaningService, RequestOutcome, ServiceReport, ServiceRequest};
-    pub use daisy_storage::{Cell, Table};
+    pub use daisy_service::{
+        CleaningService, CommitCauseCounts, RequestOutcome, ServiceReport, ServiceRequest,
+    };
+    pub use daisy_storage::{Cell, Footprint, Table};
 }

@@ -72,7 +72,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use daisy_common::ServiceFairness;
-use daisy_core::{CleaningSession, DaisyEngine, EngineShared, QueryOutcome};
+use daisy_core::{CleaningSession, CommitCause, DaisyEngine, EngineShared, QueryOutcome};
 use daisy_exec::{fair_order, AdmissionOrder, CommitTurnstile};
 
 /// One cleaning request: a session (tenant) name plus the SQL to run.
@@ -111,9 +111,45 @@ pub struct RequestOutcome {
     /// `true` when the optimistic execution had to be replayed against a
     /// newer world at commit time.
     pub rebased: bool,
+    /// Which validation path the commit took (`None` for failed, discarded
+    /// requests).
+    pub cause: Option<CommitCause>,
     /// The shared version this request's commit produced (`None` for
     /// failed, discarded requests).
     pub committed_version: Option<u64>,
+}
+
+/// Per-cause commit counters: how many commits took each validation path
+/// (see [`CommitCause`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitCauseCounts {
+    /// Commits whose snapshot was still current (pointer-swap install).
+    pub clean: u64,
+    /// Conflicted commits admitted because every intervening footprint was
+    /// disjoint (`O(|delta|)` install, no replay).
+    pub footprint_clean: u64,
+    /// Conflicted commits admitted after the semi-naive recheck found every
+    /// contested cell value-stable (`O(|delta|)` install, no replay).
+    pub delta_recheck: u64,
+    /// Commits that replayed their request log against the current world.
+    pub full_rebase: u64,
+}
+
+impl CommitCauseCounts {
+    /// Bumps the counter for one commit.
+    pub fn record(&mut self, cause: CommitCause) {
+        match cause {
+            CommitCause::Clean => self.clean += 1,
+            CommitCause::FootprintClean => self.footprint_clean += 1,
+            CommitCause::DeltaRecheck => self.delta_recheck += 1,
+            CommitCause::FullRebase => self.full_rebase += 1,
+        }
+    }
+
+    /// Total commits counted.
+    pub fn total(&self) -> u64 {
+        self.clean + self.footprint_clean + self.delta_recheck + self.full_rebase
+    }
 }
 
 /// Everything a [`CleaningService::run`] call did, in admission order.
@@ -123,8 +159,11 @@ pub struct ServiceReport {
     pub outcomes: Vec<RequestOutcome>,
     /// Number of commits applied (successful requests).
     pub commits: u64,
-    /// Number of commits that had to rebase (stale snapshot at commit).
+    /// Number of commits that had to replay their request log (stale
+    /// snapshot that footprint validation could not admit).
     pub rebases: u64,
+    /// Per-cause breakdown of every commit's validation path.
+    pub causes: CommitCauseCounts,
     /// The shared version after the run.
     pub final_version: u64,
 }
@@ -209,7 +248,6 @@ impl CleaningService {
         let next_request = AtomicUsize::new(0);
         let turnstile: CommitTurnstile<Executed<'_>> = CommitTurnstile::new();
         let results: Mutex<Vec<Option<RequestOutcome>>> = Mutex::new(vec![None; total]);
-        let commit_stats = Mutex::new((0u64, 0u64)); // (commits, rebases)
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -223,7 +261,7 @@ impl CleaningService {
                         let request = &requests[submitted];
                         // Speculative execution against a consistent
                         // snapshot of the shared world.
-                        let mut session = self.shared.session();
+                        let mut session = self.shared.session_named(&request.session);
                         let speculative = session.execute_sql(&request.sql).map(|_| ());
                         let executed = Executed {
                             submitted,
@@ -237,16 +275,6 @@ impl CleaningService {
                         while let Some(items) = batch {
                             for (seq, executed) in items {
                                 let outcome = self.commit_one(executed);
-                                {
-                                    let mut stats =
-                                        commit_stats.lock().expect("stats mutex poisoned");
-                                    if outcome.committed_version.is_some() {
-                                        stats.0 += 1;
-                                        if outcome.rebased {
-                                            stats.1 += 1;
-                                        }
-                                    }
-                                }
                                 results.lock().expect("results mutex poisoned")[seq as usize] =
                                     Some(outcome);
                             }
@@ -263,11 +291,27 @@ impl CleaningService {
             .into_iter()
             .map(|o| o.expect("every admitted request commits or is discarded"))
             .collect();
-        let (commits, rebases) = commit_stats.into_inner().expect("stats mutex poisoned");
+        // Fold the commit statistics from the outcomes (in admission order,
+        // so the counters are deterministic for any worker count).
+        let mut commits = 0u64;
+        let mut rebases = 0u64;
+        let mut causes = CommitCauseCounts::default();
+        for outcome in &outcomes {
+            if outcome.committed_version.is_some() {
+                commits += 1;
+                if outcome.rebased {
+                    rebases += 1;
+                }
+                if let Some(cause) = outcome.cause {
+                    causes.record(cause);
+                }
+            }
+        }
         ServiceReport {
             outcomes,
             commits,
             rebases,
+            causes,
             final_version: self.shared.version(),
         }
     }
@@ -282,8 +326,7 @@ impl CleaningService {
             mut session,
             speculative,
         } = executed;
-        let stale = session.base_version() != self.shared.version();
-        let (outcome, rebased, committed_version) = match speculative {
+        let (outcome, rebased, cause, committed_version) = match speculative {
             Ok(()) => match session.commit() {
                 Ok(receipt) => {
                     let outcome = receipt
@@ -291,35 +334,48 @@ impl CleaningService {
                         .into_iter()
                         .next()
                         .expect("one executed query per request");
-                    (Ok(outcome), receipt.rebased, Some(receipt.version))
+                    (
+                        Ok(outcome),
+                        receipt.rebased,
+                        Some(receipt.cause),
+                        Some(receipt.version),
+                    )
                 }
                 // The rebase replay failed: in the serial order this request
                 // errors — discard its overlay, world untouched.
-                Err(err) => (Err(err.to_string()), true, None),
+                Err(err) => (Err(err.to_string()), true, None, None),
             },
-            Err(err) if !stale => {
+            // A speculative failure is only final if the session is still
+            // current; the typed stale-session check decides deliberately.
+            Err(err) => match session.verify_current() {
                 // Failed against the exact world its serial turn sees.
-                (Err(err.to_string()), false, None)
-            }
-            Err(_) => {
-                // Failed speculatively, but the world moved on: its serial
-                // turn sees the newer state, so replay against it.
-                let mut fresh = self.shared.session();
-                match fresh.execute_sql(&request.sql) {
-                    Ok(_) => match fresh.commit() {
-                        Ok(receipt) => {
-                            let outcome = receipt
-                                .outcomes
-                                .into_iter()
-                                .next()
-                                .expect("one executed query per request");
-                            (Ok(outcome), true, Some(receipt.version))
-                        }
-                        Err(err) => (Err(err.to_string()), true, None),
-                    },
-                    Err(err) => (Err(err.to_string()), true, None),
+                Ok(()) => (Err(err.to_string()), false, None, None),
+                // Stale: its serial turn sees the newer state, so replay
+                // against it through a fresh session — the retry the typed
+                // error exists for.
+                Err(_stale) => {
+                    let mut fresh = self.shared.session_named(&request.session);
+                    match fresh.execute_sql(&request.sql) {
+                        Ok(_) => match fresh.commit() {
+                            Ok(receipt) => {
+                                let outcome = receipt
+                                    .outcomes
+                                    .into_iter()
+                                    .next()
+                                    .expect("one executed query per request");
+                                (
+                                    Ok(outcome),
+                                    true,
+                                    Some(CommitCause::FullRebase),
+                                    Some(receipt.version),
+                                )
+                            }
+                            Err(err) => (Err(err.to_string()), true, None, None),
+                        },
+                        Err(err) => (Err(err.to_string()), true, None, None),
+                    }
                 }
-            }
+            },
         };
         RequestOutcome {
             session: request.session.clone(),
@@ -327,6 +383,7 @@ impl CleaningService {
             submitted,
             outcome,
             rebased,
+            cause,
             committed_version,
         }
     }
@@ -460,10 +517,20 @@ mod tests {
 
     #[test]
     fn clean_commit_rate_reflects_rebases() {
+        let mut causes = CommitCauseCounts::default();
+        causes.record(CommitCause::Clean);
+        causes.record(CommitCause::Clean);
+        causes.record(CommitCause::FootprintClean);
+        causes.record(CommitCause::FullRebase);
+        assert_eq!(causes.total(), 4);
+        assert_eq!(causes.clean, 2);
+        assert_eq!(causes.footprint_clean, 1);
+        assert_eq!(causes.full_rebase, 1);
         let report = ServiceReport {
             outcomes: Vec::new(),
             commits: 4,
             rebases: 1,
+            causes,
             final_version: 4,
         };
         assert!((report.clean_commit_rate() - 0.75).abs() < 1e-12);
@@ -471,8 +538,26 @@ mod tests {
             outcomes: Vec::new(),
             commits: 0,
             rebases: 0,
+            causes: CommitCauseCounts::default(),
             final_version: 0,
         };
         assert!((empty.clean_commit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cause_counters_track_every_commit() {
+        let svc = service(2, ServiceFairness::Fifo);
+        let report = svc.run(&requests());
+        assert_eq!(report.causes.total(), report.commits);
+        assert_eq!(report.causes.full_rebase, report.rebases);
+        // Shared-table contention: every conflicted commit replays, and at
+        // least the first commit of the run is clean.
+        assert!(report.causes.clean >= 1);
+        assert_eq!(report.causes.footprint_clean, 0);
+        assert!(report
+            .outcomes
+            .iter()
+            .filter(|o| o.committed_version.is_some())
+            .all(|o| o.cause.is_some()));
     }
 }

@@ -1,0 +1,516 @@
+//! Commit footprints: which cells a cleaning session read and wrote.
+//!
+//! The concurrent session layer validates optimistic commits by asking one
+//! question: *did anything the session depended on change underneath it?*
+//! A [`Footprint`] answers it at three granularities —
+//!
+//! * **table** — the session consulted the whole relation (joins, full
+//!   scans, detection-kernel builds),
+//! * **column** — a filter or a rule consulted one attribute across every
+//!   tuple (`column × all rows`),
+//! * **row interval** — the answer tuples a query actually returned and
+//!   cleaned (`all columns × tuple-id ranges`).
+//!
+//! Rows are kept as sorted, coalesced, half-open [`TupleId`] intervals
+//! ([`RowSet`]), so union / intersection / overlap tests cost
+//! `O(ranges)` — cheap enough to run inside the serialized commit path.
+//! The **write** footprint of a commit is derived exactly from its staged
+//! [`Delta`]s ([`Footprint::from_deltas`]); the **read** footprint is
+//! recorded during execution by the engine.  Two commits conflict when one
+//! wrote a cell the other read or wrote — [`Footprint::intersects`] /
+//! [`Footprint::covers_cell`] decide that without touching any data.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use daisy_common::{ColumnId, TupleId};
+
+use crate::delta::Delta;
+
+/// A set of tuple ids, either *every* row or sorted, disjoint, coalesced
+/// half-open `[start, end)` intervals of raw [`TupleId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowSet {
+    /// No rows (the identity of [`RowSet::union`]).
+    #[default]
+    Empty,
+    /// Every row of the table, whatever its size.
+    All,
+    /// Sorted, disjoint, coalesced half-open intervals over raw tuple ids.
+    Ranges(Vec<(u64, u64)>),
+}
+
+impl RowSet {
+    /// The set containing every row.
+    pub fn all() -> RowSet {
+        RowSet::All
+    }
+
+    /// Builds a set from arbitrary (unsorted, possibly duplicated) ids.
+    pub fn from_ids(ids: impl IntoIterator<Item = TupleId>) -> RowSet {
+        let mut raw: Vec<u64> = ids.into_iter().map(|t| t.raw()).collect();
+        if raw.is_empty() {
+            return RowSet::Empty;
+        }
+        raw.sort_unstable();
+        raw.dedup();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for id in raw {
+            match ranges.last_mut() {
+                Some((_, end)) if *end == id => *end = id + 1,
+                _ => ranges.push((id, id + 1)),
+            }
+        }
+        RowSet::Ranges(ranges)
+    }
+
+    /// Builds a set from one half-open `[start, end)` interval.
+    pub fn from_range(start: u64, end: u64) -> RowSet {
+        if start >= end {
+            RowSet::Empty
+        } else {
+            RowSet::Ranges(vec![(start, end)])
+        }
+    }
+
+    /// `true` when the set holds no rows.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            RowSet::Empty => true,
+            RowSet::All => false,
+            RowSet::Ranges(r) => r.is_empty(),
+        }
+    }
+
+    /// `true` when the set holds the given id.
+    pub fn contains(&self, id: TupleId) -> bool {
+        match self {
+            RowSet::Empty => false,
+            RowSet::All => true,
+            RowSet::Ranges(ranges) => {
+                let raw = id.raw();
+                ranges
+                    .binary_search_by(|&(start, end)| {
+                        if raw < start {
+                            std::cmp::Ordering::Greater
+                        } else if raw >= end {
+                            std::cmp::Ordering::Less
+                        } else {
+                            std::cmp::Ordering::Equal
+                        }
+                    })
+                    .is_ok()
+            }
+        }
+    }
+
+    /// Unions `other` into `self` (ranges are re-coalesced; adjacent
+    /// intervals merge into one).
+    pub fn union(&mut self, other: &RowSet) {
+        match (&mut *self, other) {
+            (_, RowSet::Empty) => {}
+            (RowSet::All, _) => {}
+            (_, RowSet::All) => *self = RowSet::All,
+            (RowSet::Empty, r) => *self = r.clone(),
+            (RowSet::Ranges(mine), RowSet::Ranges(theirs)) => {
+                mine.extend_from_slice(theirs);
+                mine.sort_unstable();
+                let mut merged: Vec<(u64, u64)> = Vec::with_capacity(mine.len());
+                for &(start, end) in mine.iter() {
+                    match merged.last_mut() {
+                        // Overlapping or adjacent intervals coalesce.
+                        Some((_, last_end)) if start <= *last_end => {
+                            *last_end = (*last_end).max(end)
+                        }
+                        _ => merged.push((start, end)),
+                    }
+                }
+                *mine = merged;
+            }
+        }
+    }
+
+    /// `true` when the two sets share at least one row.
+    pub fn intersects(&self, other: &RowSet) -> bool {
+        match (self, other) {
+            (RowSet::Empty, _) | (_, RowSet::Empty) => false,
+            (RowSet::All, r) | (r, RowSet::All) => !r.is_empty(),
+            (RowSet::Ranges(a), RowSet::Ranges(b)) => {
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    let (sa, ea) = a[i];
+                    let (sb, eb) = b[j];
+                    if sa < eb && sb < ea {
+                        return true;
+                    }
+                    if ea <= eb {
+                        i += 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// The rows present in both sets.
+    pub fn intersection(&self, other: &RowSet) -> RowSet {
+        match (self, other) {
+            (RowSet::Empty, _) | (_, RowSet::Empty) => RowSet::Empty,
+            (RowSet::All, r) | (r, RowSet::All) => r.clone(),
+            (RowSet::Ranges(a), RowSet::Ranges(b)) => {
+                let mut out: Vec<(u64, u64)> = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    let (sa, ea) = a[i];
+                    let (sb, eb) = b[j];
+                    let (start, end) = (sa.max(sb), ea.min(eb));
+                    if start < end {
+                        out.push((start, end));
+                    }
+                    if ea <= eb {
+                        i += 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+                if out.is_empty() {
+                    RowSet::Empty
+                } else {
+                    RowSet::Ranges(out)
+                }
+            }
+        }
+    }
+}
+
+/// One table's footprint: rows consulted across *every* column plus rows
+/// consulted per individual column.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableFootprint {
+    /// Rows whose every cell counts as consulted (answer tuples, whole-table
+    /// scans).  `RowSet::All` means the entire relation.
+    pub all_columns: RowSet,
+    /// Per-column row sets, keyed by raw [`ColumnId`] (filter columns, rule
+    /// attributes — typically `column × all rows`).
+    pub columns: BTreeMap<u64, RowSet>,
+}
+
+impl TableFootprint {
+    /// The *effective* row set of one column: its own entry unioned with the
+    /// all-column rows.
+    fn effective(&self, column: u64) -> RowSet {
+        let mut rows = self.all_columns.clone();
+        if let Some(col) = self.columns.get(&column) {
+            rows.union(col);
+        }
+        rows
+    }
+
+    /// `true` when a specific cell is covered.
+    pub fn covers_cell(&self, tuple: TupleId, column: ColumnId) -> bool {
+        self.all_columns.contains(tuple)
+            || self
+                .columns
+                .get(&column.raw())
+                .is_some_and(|rows| rows.contains(tuple))
+    }
+
+    /// `true` when the two footprints share at least one cell.
+    pub fn intersects(&self, other: &TableFootprint) -> bool {
+        if self.all_columns.intersects(&other.all_columns) {
+            return true;
+        }
+        for (column, rows) in &self.columns {
+            if rows.intersects(&other.all_columns) {
+                return true;
+            }
+            if let Some(theirs) = other.columns.get(column) {
+                if rows.intersects(theirs) {
+                    return true;
+                }
+            }
+        }
+        other
+            .columns
+            .iter()
+            .any(|(_, rows)| rows.intersects(&self.all_columns))
+    }
+
+    /// The cells covered by both footprints.
+    pub fn intersection(&self, other: &TableFootprint) -> TableFootprint {
+        let mut out = TableFootprint {
+            all_columns: self.all_columns.intersection(&other.all_columns),
+            columns: BTreeMap::new(),
+        };
+        for column in self.columns.keys().chain(other.columns.keys()) {
+            let rows = self
+                .effective(*column)
+                .intersection(&other.effective(*column));
+            if !rows.is_empty() {
+                out.columns.insert(*column, rows);
+            }
+        }
+        out
+    }
+
+    /// Folds `other` into `self`.
+    pub fn union(&mut self, other: &TableFootprint) {
+        self.all_columns.union(&other.all_columns);
+        for (column, rows) in &other.columns {
+            self.columns.entry(*column).or_default().union(rows);
+        }
+    }
+
+    /// `true` when no cell is covered.
+    pub fn is_empty(&self) -> bool {
+        self.all_columns.is_empty() && self.columns.values().all(RowSet::is_empty)
+    }
+}
+
+/// The read or write set of one cleaning session, at table / column /
+/// tuple-interval granularity.  See the [module docs](self).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Footprint {
+    tables: BTreeMap<String, TableFootprint>,
+}
+
+impl Footprint {
+    /// An empty footprint.
+    pub fn new() -> Footprint {
+        Footprint::default()
+    }
+
+    /// The exact write footprint of staged deltas: one cell per update.
+    pub fn from_deltas<'a>(staged: impl IntoIterator<Item = &'a (String, Delta)>) -> Footprint {
+        let mut fp = Footprint::new();
+        for (table, delta) in staged {
+            for update in delta.updates() {
+                fp.record_cell(table, update.tuple, update.column);
+            }
+        }
+        fp
+    }
+
+    /// Records a whole-table read (every cell of every row).
+    pub fn record_table(&mut self, table: &str) {
+        self.entry(table).all_columns = RowSet::All;
+    }
+
+    /// Records `columns × all rows` reads (filter columns, rule attributes).
+    pub fn record_columns(&mut self, table: &str, columns: impl IntoIterator<Item = ColumnId>) {
+        let entry = self.entry(table);
+        for column in columns {
+            entry.columns.insert(column.raw(), RowSet::All);
+        }
+    }
+
+    /// Records `all columns × rows` reads (answer / cleaned tuples).
+    pub fn record_rows(&mut self, table: &str, rows: impl IntoIterator<Item = TupleId>) {
+        let rows = RowSet::from_ids(rows);
+        if !rows.is_empty() {
+            self.entry(table).all_columns.union(&rows);
+        }
+    }
+
+    /// Records a single cell.
+    pub fn record_cell(&mut self, table: &str, tuple: TupleId, column: ColumnId) {
+        let set = RowSet::from_ids([tuple]);
+        self.entry(table)
+            .columns
+            .entry(column.raw())
+            .or_default()
+            .union(&set);
+    }
+
+    fn entry(&mut self, table: &str) -> &mut TableFootprint {
+        if !self.tables.contains_key(table) {
+            self.tables
+                .insert(table.to_string(), TableFootprint::default());
+        }
+        self.tables.get_mut(table).expect("just inserted")
+    }
+
+    /// The footprint of one table, if any cell of it is covered.
+    pub fn table(&self, table: &str) -> Option<&TableFootprint> {
+        self.tables.get(table)
+    }
+
+    /// The covered table names, sorted.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// `true` when no cell is covered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.values().all(TableFootprint::is_empty)
+    }
+
+    /// Folds `other` into `self`.
+    pub fn union(&mut self, other: &Footprint) {
+        for (table, theirs) in &other.tables {
+            self.entry(table).union(theirs);
+        }
+    }
+
+    /// `true` when the two footprints share at least one cell — the commit
+    /// conflict test.
+    pub fn intersects(&self, other: &Footprint) -> bool {
+        self.tables
+            .iter()
+            .any(|(table, mine)| other.tables.get(table).is_some_and(|t| mine.intersects(t)))
+    }
+
+    /// The cells covered by both footprints (per shared table).
+    pub fn intersection(&self, other: &Footprint) -> Footprint {
+        let mut out = Footprint::new();
+        for (table, mine) in &self.tables {
+            if let Some(theirs) = other.tables.get(table) {
+                let shared = mine.intersection(theirs);
+                if !shared.is_empty() {
+                    out.tables.insert(table.clone(), shared);
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` when a specific cell is covered.
+    pub fn covers_cell(&self, table: &str, tuple: TupleId, column: ColumnId) -> bool {
+        self.tables
+            .get(table)
+            .is_some_and(|t| t.covers_cell(tuple, column))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use daisy_common::Value;
+
+    fn t(id: u64) -> TupleId {
+        TupleId::new(id)
+    }
+
+    fn c(id: u64) -> ColumnId {
+        ColumnId::new(id)
+    }
+
+    #[test]
+    fn empty_footprints_never_intersect() {
+        let empty = Footprint::new();
+        assert!(empty.is_empty());
+        assert!(!empty.intersects(&empty));
+        let mut full = Footprint::new();
+        full.record_table("t");
+        assert!(!full.is_empty());
+        assert!(!empty.intersects(&full));
+        assert!(!full.intersects(&empty));
+        assert!(full.intersection(&empty).is_empty());
+        // An entry whose row sets are all empty still counts as empty.
+        let mut hollow = Footprint::new();
+        hollow.record_rows("t", []);
+        assert!(hollow.is_empty());
+        assert!(!hollow.intersects(&full));
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let mut rows = RowSet::from_range(0, 5);
+        rows.union(&RowSet::from_range(5, 9));
+        assert_eq!(rows, RowSet::Ranges(vec![(0, 9)]));
+        // Consecutive ids collapse into one interval too.
+        let ids = RowSet::from_ids([t(3), t(1), t(2), t(2), t(7)]);
+        assert_eq!(ids, RowSet::Ranges(vec![(1, 4), (7, 8)]));
+        // Overlapping unions re-coalesce.
+        let mut mixed = RowSet::from_range(10, 14);
+        mixed.union(&RowSet::from_range(12, 20));
+        mixed.union(&RowSet::from_range(0, 2));
+        assert_eq!(mixed, RowSet::Ranges(vec![(0, 2), (10, 20)]));
+        assert!(mixed.contains(t(19)));
+        assert!(!mixed.contains(t(5)));
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_intersect() {
+        let a = RowSet::from_range(0, 10);
+        let b = RowSet::from_range(10, 20);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection(&b), RowSet::Empty);
+        let c = RowSet::from_range(9, 11);
+        assert!(a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert_eq!(a.intersection(&c), RowSet::Ranges(vec![(9, 10)]));
+        assert_eq!(RowSet::All.intersection(&b), b);
+        assert_eq!(RowSet::from_range(7, 7), RowSet::Empty);
+    }
+
+    #[test]
+    fn full_column_overlaps_row_range() {
+        // Session A read column 1 across all rows; session B touched all
+        // columns of rows [5, 8).  They share cells (1, 5..8).
+        let mut a = Footprint::new();
+        a.record_columns("t", [c(1)]);
+        let mut b = Footprint::new();
+        b.record_rows("t", [t(5), t(6), t(7)]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        let shared = a.intersection(&b);
+        assert!(shared.covers_cell("t", t(5), c(1)));
+        assert!(!shared.covers_cell("t", t(5), c(0)));
+        assert!(!shared.covers_cell("t", t(4), c(1)));
+        // A different column misses the range entirely.
+        let mut other_col = Footprint::new();
+        other_col.record_columns("t", [c(2)]);
+        let mut rows_only_col1 = Footprint::new();
+        rows_only_col1.record_cell("t", t(5), c(1));
+        assert!(!other_col.intersects(&rows_only_col1));
+        // Different tables never intersect.
+        let mut elsewhere = Footprint::new();
+        elsewhere.record_table("u");
+        assert!(!a.intersects(&elsewhere));
+    }
+
+    #[test]
+    fn whole_table_covers_everything() {
+        let mut whole = Footprint::new();
+        whole.record_table("t");
+        assert!(whole.covers_cell("t", t(123), c(7)));
+        let mut cell = Footprint::new();
+        cell.record_cell("t", t(123), c(7));
+        assert!(whole.intersects(&cell));
+        assert!(whole.intersection(&cell).covers_cell("t", t(123), c(7)));
+    }
+
+    #[test]
+    fn union_accumulates_across_granularities() {
+        let mut fp = Footprint::new();
+        fp.record_columns("t", [c(0)]);
+        let mut other = Footprint::new();
+        other.record_rows("t", [t(1), t(2)]);
+        other.record_table("u");
+        fp.union(&other);
+        assert!(fp.covers_cell("t", t(9), c(0)));
+        assert!(fp.covers_cell("t", t(1), c(5)));
+        assert!(!fp.covers_cell("t", t(9), c(5)));
+        assert!(fp.covers_cell("u", t(0), c(0)));
+        assert_eq!(fp.tables().collect::<Vec<_>>(), vec!["t", "u"]);
+    }
+
+    #[test]
+    fn write_footprint_is_exact_cells() {
+        let mut delta = Delta::new();
+        delta.push_update(t(4), c(1), Cell::Determinate(Value::Int(1)));
+        delta.push_update(t(9), c(0), Cell::Determinate(Value::Int(2)));
+        let staged = vec![("t".to_string(), delta)];
+        let writes = Footprint::from_deltas(&staged);
+        assert!(writes.covers_cell("t", t(4), c(1)));
+        assert!(writes.covers_cell("t", t(9), c(0)));
+        assert!(!writes.covers_cell("t", t(4), c(0)));
+        assert!(!writes.covers_cell("t", t(5), c(1)));
+        assert!(!writes.covers_cell("u", t(4), c(1)));
+    }
+}

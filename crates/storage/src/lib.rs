@@ -19,6 +19,9 @@
 //!   view of a table's expected values, versioned by the table revision and
 //!   maintained incrementally from [`delta::Delta`]s; the read path of the
 //!   violation-detection kernels,
+//! * [`footprint::Footprint`] — per-session read/write sets at table /
+//!   column / tuple-interval granularity, the conflict test of the
+//!   optimistic commit protocol,
 //! * [`csv`] — minimal CSV import/export.
 //!
 //! [`Value`]: daisy_common::Value
@@ -30,6 +33,7 @@
 pub mod cell;
 pub mod csv;
 pub mod delta;
+pub mod footprint;
 pub mod overlay;
 pub mod provenance;
 pub mod snapshot;
@@ -40,6 +44,7 @@ pub mod worlds;
 
 pub use cell::{Candidate, CandidateValue, Cell};
 pub use delta::{CellUpdate, Delta};
+pub use footprint::{Footprint, RowSet, TableFootprint};
 pub use overlay::DeltaOverlay;
 pub use provenance::{CellProvenance, ProvenanceStore, RuleEvidence};
 pub use snapshot::{ColumnCode, ColumnSnapshot, ConstProbe, StringDictionary};

@@ -168,6 +168,26 @@ impl ProvenanceStore {
         entries
     }
 
+    /// Replaces this store's entries for `cells` with `other`'s (cells
+    /// `other` has no entry for are left untouched).
+    ///
+    /// This is the provenance half of a footprint-validated commit install:
+    /// a session's provenance additions are confined to the cells of its
+    /// staged deltas, so when those cells are disjoint from every
+    /// intervening commit, grafting exactly the session's entries onto the
+    /// current store reproduces what a serial replay would have recorded.
+    pub fn merge_cells_from(
+        &mut self,
+        other: &ProvenanceStore,
+        cells: impl IntoIterator<Item = (TupleId, ColumnId)>,
+    ) {
+        for cell in cells {
+            if let Some(entry) = other.cells.get(&cell) {
+                self.cells.insert(cell, entry.clone());
+            }
+        }
+    }
+
     /// All cells that have evidence from a specific rule.
     pub fn cells_for_rule(&self, rule: RuleId) -> Vec<(TupleId, ColumnId)> {
         let mut keys: Vec<(TupleId, ColumnId)> = self
