@@ -264,6 +264,76 @@ impl fmt::Display for CommitValidation {
 /// concurrent cleaning sessions (`auto` / `version` / `footprint`).
 pub const COMMIT_VALIDATION_ENV: &str = "DAISY_COMMIT_VALIDATION";
 
+/// Whether streaming ingest detects violations through the **maintained**
+/// per-rule violation index (absorbing each delta in `O(|Δ| · log group)`)
+/// or rebuilds the index from scratch for every batch.
+///
+/// * `On` — always maintain; every ingest batch runs delta-restricted
+///   detection (`Δ × (T ∪ Δ)` candidates) against the persistent index.
+/// * `Off` — never maintain; every batch rebuilds the index over the whole
+///   table and restricts detection to the batch (the baseline the
+///   `bench_detection` sustained-ingest axis compares against).
+/// * `Auto` — ask the detection cost model per batch
+///   (`DetectionEstimate::prefers_incremental` in `daisy-core`).
+///
+/// Both paths emit byte-identical violations and repairs for any worker
+/// count — the knob only trades maintenance work against rebuild work —
+/// which is what lets CI run the whole test suite under each forced mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IncrementalMode {
+    /// Decide per batch via the detection cost model (the default).
+    #[default]
+    Auto,
+    /// Always detect through the maintained index.
+    On,
+    /// Always rebuild the index per batch.
+    Off,
+}
+
+impl IncrementalMode {
+    /// Parses the textual forms accepted by [`INCREMENTAL_ENV`]
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn parse(text: &str) -> Option<IncrementalMode> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(IncrementalMode::Auto),
+            "on" => Some(IncrementalMode::On),
+            "off" => Some(IncrementalMode::Off),
+            _ => None,
+        }
+    }
+
+    /// The mode forced through [`INCREMENTAL_ENV`], if the variable is set
+    /// to a recognised value.  Invalid values are ignored (`Auto` applies).
+    pub fn from_env() -> Option<IncrementalMode> {
+        IncrementalMode::parse(&std::env::var(INCREMENTAL_ENV).ok()?)
+    }
+}
+
+impl fmt::Display for IncrementalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IncrementalMode::Auto => "auto",
+            IncrementalMode::On => "on",
+            IncrementalMode::Off => "off",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Environment variable overriding the default incremental-detection mode
+/// of streaming ingest (`auto` / `on` / `off`).
+pub const INCREMENTAL_ENV: &str = "DAISY_INCREMENTAL";
+
+/// Environment variable overriding the commit-log capacity of the shared
+/// session core (positive integers only).
+///
+/// The commit log is the bounded ring of recent commit records footprint
+/// validation intersects against; a session that branched further back than
+/// the ring reaches falls back to a full rebase.  Larger values admit more
+/// long-running sessions to the cheap commit paths at the cost of retaining
+/// more staged deltas.
+pub const COMMIT_LOG_ENV: &str = "DAISY_COMMIT_LOG";
+
 /// Environment variable overriding the default number of scheduler workers
 /// of the multi-session service (positive integers only).
 ///
@@ -330,6 +400,16 @@ pub struct DaisyConfig {
     /// footprint intersection.  Either validator installs byte-identical
     /// worlds; the knob only trades validation work.
     pub commit_validation: CommitValidation,
+    /// Whether streaming ingest detects through the maintained violation
+    /// index or rebuilds per batch; the default honours [`INCREMENTAL_ENV`]
+    /// and otherwise asks the detection cost model per batch.  Both paths
+    /// emit byte-identical results; the knob only trades maintenance work.
+    pub incremental_detection: IncrementalMode,
+    /// How many recent commit records the shared session core retains for
+    /// footprint validation; the default honours [`COMMIT_LOG_ENV`] and
+    /// otherwise keeps 128.  Sessions branched further back than the ring
+    /// reaches fall back to a full rebase.
+    pub commit_log_capacity: usize,
 }
 
 impl Default for DaisyConfig {
@@ -347,6 +427,9 @@ impl Default for DaisyConfig {
             service_workers: default_service_workers(),
             service_fairness: ServiceFairness::from_env().unwrap_or_default(),
             commit_validation: CommitValidation::from_env().unwrap_or_default(),
+            incremental_detection: IncrementalMode::from_env().unwrap_or_default(),
+            commit_log_capacity: DaisyConfig::env_commit_log_capacity()
+                .unwrap_or(DaisyConfig::DEFAULT_COMMIT_LOG_CAPACITY),
         }
     }
 }
@@ -382,11 +465,22 @@ fn parse_worker_threads(raw: Option<&str>) -> Option<usize> {
 }
 
 impl DaisyConfig {
+    /// The commit-log capacity used when neither [`COMMIT_LOG_ENV`] nor a
+    /// builder overrides it.
+    pub const DEFAULT_COMMIT_LOG_CAPACITY: usize = 128;
+
     /// The worker-thread override from [`WORKER_THREADS_ENV`], if the
     /// variable is set to a positive integer.  Invalid or non-positive
     /// values are ignored (the machine default applies).
     pub fn env_worker_threads() -> Option<usize> {
         parse_worker_threads(std::env::var(WORKER_THREADS_ENV).ok().as_deref())
+    }
+
+    /// The commit-log-capacity override from [`COMMIT_LOG_ENV`], if the
+    /// variable is set to a positive integer.  Invalid or non-positive
+    /// values are ignored (the default capacity applies).
+    pub fn env_commit_log_capacity() -> Option<usize> {
+        parse_worker_threads(std::env::var(COMMIT_LOG_ENV).ok().as_deref())
     }
 
     /// The service-worker override from [`SERVICE_WORKERS_ENV`], if the
@@ -428,6 +522,9 @@ impl DaisyConfig {
         }
         if self.service_workers == 0 {
             return Err(DaisyError::Config("service_workers must be > 0".into()));
+        }
+        if self.commit_log_capacity == 0 {
+            return Err(DaisyError::Config("commit_log_capacity must be > 0".into()));
         }
         Ok(())
     }
@@ -495,6 +592,18 @@ impl DaisyConfig {
     /// Builder-style setter for the commit-validation mode.
     pub fn with_commit_validation(mut self, validation: CommitValidation) -> Self {
         self.commit_validation = validation;
+        self
+    }
+
+    /// Builder-style setter for the incremental-detection mode.
+    pub fn with_incremental_detection(mut self, mode: IncrementalMode) -> Self {
+        self.incremental_detection = mode;
+        self
+    }
+
+    /// Builder-style setter for the commit-log capacity.
+    pub fn with_commit_log_capacity(mut self, n: usize) -> Self {
+        self.commit_log_capacity = n;
         self
     }
 }
@@ -665,6 +774,51 @@ mod tests {
         assert!(DaisyConfig::default().validate().is_ok());
         if let Some(forced) = CommitValidation::from_env() {
             assert_eq!(DaisyConfig::default().commit_validation, forced);
+        }
+    }
+
+    #[test]
+    fn incremental_mode_parses_and_round_trips() {
+        // Parsing rules via the pure helper (no `set_var` races).
+        assert_eq!(IncrementalMode::parse("on"), Some(IncrementalMode::On));
+        assert_eq!(IncrementalMode::parse(" OFF "), Some(IncrementalMode::Off));
+        assert_eq!(IncrementalMode::parse("auto"), Some(IncrementalMode::Auto));
+        assert_eq!(IncrementalMode::parse("incremental"), None);
+        assert_eq!(IncrementalMode::parse(""), None);
+        for m in [
+            IncrementalMode::Auto,
+            IncrementalMode::On,
+            IncrementalMode::Off,
+        ] {
+            assert_eq!(IncrementalMode::parse(&m.to_string()), Some(m));
+        }
+        let cfg = DaisyConfig::default().with_incremental_detection(IncrementalMode::On);
+        assert_eq!(cfg.incremental_detection, IncrementalMode::On);
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = IncrementalMode::from_env() {
+            assert_eq!(DaisyConfig::default().incremental_detection, forced);
+        }
+    }
+
+    #[test]
+    fn commit_log_capacity_parses_and_validates() {
+        // The capacity override shares the positive-integer parsing rules of
+        // the worker-thread knob; both are tested via the pure helper.
+        assert_eq!(parse_worker_threads(Some("256")), Some(256));
+        assert_eq!(parse_worker_threads(Some("0")), None);
+        // Zero capacity would make every commit a full rebase — rejected.
+        assert!(DaisyConfig::default()
+            .with_commit_log_capacity(0)
+            .validate()
+            .is_err());
+        let cfg = DaisyConfig::default().with_commit_log_capacity(8);
+        assert_eq!(cfg.commit_log_capacity, 8);
+        assert!(cfg.validate().is_ok());
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = DaisyConfig::env_commit_log_capacity() {
+            assert_eq!(DaisyConfig::default().commit_log_capacity, forced);
         }
     }
 

@@ -36,6 +36,10 @@
 //! * [`id_index`] — the tuple-id lookup index used by the candidate-range
 //!   repair path to resolve the tuples of a violation.
 
+mod maintained;
+
+pub use maintained::MaintainedIndex;
+
 use std::collections::HashMap;
 use std::hash::Hash;
 

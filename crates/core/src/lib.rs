@@ -56,7 +56,7 @@ pub mod world;
 pub use cost::{DetectionEstimate, DetectionMode};
 pub use engine::{DaisyEngine, QueryOutcome};
 pub use fd_index::FdIndex;
-pub use index::ViolationIndex;
+pub use index::{MaintainedIndex, ViolationIndex};
 pub use planner::{CleaningPlan, CleaningStep};
 pub use repair::{
     accept_candidate, materialize_repairs, restore_originals, AppliedRepair, MaterializeOutcome,

@@ -91,18 +91,13 @@
 use std::collections::{HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use daisy_common::{ColumnId, DaisyConfig, DaisyError, Result, TupleId};
+use daisy_common::{ColumnId, DaisyConfig, DaisyError, Result, TupleId, Value};
 use daisy_query::Query;
 use daisy_storage::{Delta, DeltaOverlay, Footprint, ProvenanceStore, Table};
 
 use crate::engine::{DaisyEngine, QueryOutcome};
 use crate::report::SessionReport;
 use crate::world::{RuleKey, WorldState};
-
-/// How many recent commit records the shared core retains for footprint
-/// validation.  A session that branched more than this many commits ago
-/// cannot be validated cell-by-cell and falls back to a full rebase.
-const COMMIT_LOG_CAPACITY: usize = 128;
 
 /// The canonical, versioned world that concurrent sessions clean against.
 ///
@@ -120,10 +115,14 @@ struct SharedState {
     /// Number of commits applied so far; sessions validate against it.
     version: u64,
     world: WorldState,
-    /// Ring of the most recent commits (bounded by
-    /// [`COMMIT_LOG_CAPACITY`]), newest last — what footprint validation
-    /// intersects against.
+    /// Ring of the most recent commits (bounded by `capacity`), newest
+    /// last — what footprint validation intersects against.
     log: VecDeque<CommitRecord>,
+    /// Ring bound ([`DaisyConfig::commit_log_capacity`] /
+    /// `DAISY_COMMIT_LOG`).  A session that branched more than this many
+    /// commits ago cannot be validated cell-by-cell and falls back to a
+    /// full rebase.
+    capacity: usize,
 }
 
 /// What one published commit looked like, for later sessions to validate
@@ -151,7 +150,7 @@ impl SharedState {
     }
 
     fn push_record(&mut self, record: CommitRecord) {
-        if self.log.len() == COMMIT_LOG_CAPACITY {
+        while self.log.len() >= self.capacity {
             self.log.pop_front();
         }
         self.log.push_back(record);
@@ -164,12 +163,14 @@ impl EngineShared {
     pub(crate) fn from_engine(engine: DaisyEngine) -> Arc<EngineShared> {
         let config = engine.config().clone();
         let world = engine.world().clone();
+        let capacity = config.commit_log_capacity;
         Arc::new(EngineShared {
             config,
             state: Mutex::new(SharedState {
                 version: 0,
                 world,
                 log: VecDeque::new(),
+                capacity,
             }),
         })
     }
@@ -310,6 +311,19 @@ pub struct CommitReceipt {
     pub cells_committed: usize,
 }
 
+/// One replayable request of a session: a parsed query or a streaming
+/// ingest batch.  The rebase path replays these in order against the
+/// current world — a replayed ingest mints fresh tuple ids there, which is
+/// exactly what a serial execution would have done.
+#[derive(Debug, Clone)]
+enum SessionOp {
+    Query(Query),
+    Ingest {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+}
+
 /// A per-request cleaning handle over a consistent snapshot of the shared
 /// world.  See the [module docs](self) for the lifecycle and an example.
 #[derive(Debug)]
@@ -320,7 +334,7 @@ pub struct CleaningSession {
     /// The request identifier stale-session diagnostics carry.
     label: String,
     /// Requests executed since the last commit, for rebase replay.
-    log: Vec<Query>,
+    log: Vec<SessionOp>,
     /// Speculative outcomes matching `log`.
     outcomes: Vec<QueryOutcome>,
 }
@@ -349,7 +363,36 @@ impl CleaningSession {
         let (reads, touched) = self.engine.footprint_checkpoint();
         match self.engine.execute(query) {
             Ok(outcome) => {
-                self.log.push(query.clone());
+                self.log.push(SessionOp::Query(query.clone()));
+                self.outcomes.push(outcome.clone());
+                Ok(outcome)
+            }
+            Err(err) => {
+                self.engine.rollback_to(checkpoint, staged_len);
+                self.engine.restore_footprints(reads, touched);
+                Err(err)
+            }
+        }
+    }
+
+    /// Streams a batch of new rows into `table` through the session's
+    /// private world: the rows are staged as an append [`Delta`] and only
+    /// the `Δ × (T ∪ Δ)` candidate pairs are detected and repaired against
+    /// the world's maintained violation indexes (see
+    /// [`DaisyEngine::ingest_rows`]).  Transactional and speculative like
+    /// [`execute`](CleaningSession::execute): a failed batch rolls back
+    /// completely, a successful one is validated (and replayed with fresh
+    /// tuple ids if necessary) at [`commit`](CleaningSession::commit).
+    pub fn ingest_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<QueryOutcome> {
+        let checkpoint = self.engine.world().clone();
+        let staged_len = self.engine.delta_log().len();
+        let (reads, touched) = self.engine.footprint_checkpoint();
+        match self.engine.ingest_rows(table, rows.clone()) {
+            Ok(outcome) => {
+                self.log.push(SessionOp::Ingest {
+                    table: table.to_string(),
+                    rows,
+                });
                 self.outcomes.push(outcome.clone());
                 Ok(outcome)
             }
@@ -471,8 +514,13 @@ impl CleaningSession {
             // order-equivalent.
             self.engine.reset_world(state.world.clone());
             self.outcomes.clear();
-            for query in &self.log {
-                let outcome = self.engine.execute(query)?;
+            for op in &self.log {
+                let outcome = match op {
+                    SessionOp::Query(query) => self.engine.execute(query)?,
+                    SessionOp::Ingest { table, rows } => {
+                        self.engine.ingest_rows(table, rows.clone())?
+                    }
+                };
                 self.outcomes.push(outcome);
             }
         }
@@ -535,12 +583,32 @@ impl CleaningSession {
         // Coarse footprint intersection first: a record whose write
         // footprint is disjoint from everything this session read or wrote
         // is dismissed in O(ranges) without looking at a single update.
+        // `Footprint::from_deltas` covers both the updated cells and every
+        // appended row, so `writes` (and each record's `write`) already
+        // carries append extents.  Notably, two sessions that branched from
+        // the same world and both appended to one table necessarily claimed
+        // the same tuple ids — their write footprints collide and the later
+        // commit replays, minting fresh ids.
         let writes = Footprint::from_deltas(self.engine.delta_log());
         let reads = self.engine.reads();
         let mut dependencies = reads.clone();
         dependencies.union(&writes);
         let mut conflicts: Vec<(&str, TupleId, ColumnId)> = Vec::new();
         for record in &records {
+            // Intervening appends are invisible to the cell-level update
+            // sweep below and can never be proven value-stable (the session
+            // never saw the row at all), so any overlap with what this
+            // session read, wrote or appended forces a replay.
+            for (table, delta) in &record.staged {
+                if delta.appends().is_empty() {
+                    continue;
+                }
+                let mut appended = Footprint::new();
+                appended.record_rows(table, delta.appends().iter().map(|a| a.id));
+                if appended.intersects(&dependencies) {
+                    return CommitCause::FullRebase;
+                }
+            }
             if !record.write.intersects(&dependencies) {
                 continue;
             }
@@ -595,8 +663,9 @@ fn cell_equal(
 /// Rebases a validated session's effects onto the current shared world in
 /// `O(|delta| + |touched rules|)`:
 ///
-/// * staged deltas re-apply through the same table/snapshot write protocol
-///   the engine uses (`apply_delta` + `absorb_delta`),
+/// * staged deltas re-apply through the same table/snapshot/index write
+///   protocol the engine uses (`apply_delta` + `absorb_delta`, for the
+///   columnar snapshot and every maintained violation index alike),
 /// * provenance entries graft cell-by-cell (the session's additions are
 ///   confined to its staged cells),
 /// * derived cleaning state (`FdIndex`, `ThetaMatrix`, cost trackers,
@@ -637,6 +706,11 @@ fn merge_world(
         if let Some(snap) = merged.snapshots.get_mut(name) {
             Arc::make_mut(snap).absorb_delta(table, delta)?;
         }
+        for (key, index) in merged.violation_indexes.iter_mut() {
+            if key.0 == *name {
+                Arc::make_mut(index).absorb_delta(table, delta)?;
+            }
+        }
         if let Some(session_prov) = session.provenance.get(name) {
             let entry = merged.provenance.entry(name.clone()).or_default();
             Arc::make_mut(entry).merge_cells_from(
@@ -650,13 +724,25 @@ fn merge_world(
             merged.snapshots.insert(name.clone(), Arc::clone(snap));
         }
     }
+    // Maintained violation indexes carry over like snapshots: an index the
+    // session built rides along when its revision matches the merged table
+    // (stale ones are dropped on the floor — the next ingest rebuilds).
+    for (key, index) in &session.violation_indexes {
+        if !merged.violation_indexes.contains_key(key)
+            && index.is_current(merged.catalog.table(&key.0)?)
+        {
+            merged
+                .violation_indexes
+                .insert(key.clone(), Arc::clone(index));
+        }
+    }
     Ok(merged)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daisy_common::{CommitValidation, DataType, Schema, Value};
+    use daisy_common::{CommitValidation, DataType, IncrementalMode, Schema, Value};
     use daisy_expr::FunctionalDependency;
     use daisy_storage::Cell;
 
@@ -876,9 +962,11 @@ mod tests {
                 .with_worker_threads(2)
                 .with_cost_model(false)
                 // Pinned: these tests assert footprint-specific causes and
-                // must not flip when DAISY_COMMIT_VALIDATION=version is
-                // forced (e.g. by the CI knob matrix).
-                .with_commit_validation(CommitValidation::Footprint),
+                // maintained-index carry-over, and must not flip when
+                // DAISY_COMMIT_VALIDATION=version or DAISY_INCREMENTAL=off
+                // is forced (e.g. by the CI knob matrix).
+                .with_commit_validation(CommitValidation::Footprint)
+                .with_incremental_detection(IncrementalMode::On),
         )
         .unwrap();
         engine.register_table(Table::from_rows("east", schema.clone(), rows()).unwrap());
@@ -1051,15 +1139,152 @@ mod tests {
 
     #[test]
     fn commit_log_overflow_falls_back_to_full_rebase() {
-        let shared = shared_plain();
+        // The ring bound comes from the config now; a tiny capacity makes
+        // the overflow cheap to provoke.
+        let capacity = 4;
+        let schema =
+            Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let table = Table::from_rows(
+            "plain",
+            schema,
+            vec![
+                vec![Value::Int(9001), Value::from("Los Angeles")],
+                vec![Value::Int(10001), Value::from("New York")],
+            ],
+        )
+        .unwrap();
+        let mut engine = DaisyEngine::new(
+            DaisyConfig::default()
+                .with_worker_threads(2)
+                .with_cost_model(false)
+                .with_commit_validation(CommitValidation::Footprint)
+                .with_commit_log_capacity(capacity),
+        )
+        .unwrap();
+        engine.register_table(table);
+        let shared = engine.into_shared();
+
         let mut ancient = shared.session();
         ancient.execute_sql("SELECT city FROM plain").unwrap();
         // Push the ring past capacity: the ancient session's branch point
         // is no longer covered by the retained records.
-        for _ in 0..(COMMIT_LOG_CAPACITY + 2) {
+        for _ in 0..(capacity + 2) {
             shared.session().commit().unwrap();
         }
         let receipt = ancient.commit().unwrap();
+        assert_eq!(receipt.cause, CommitCause::FullRebase);
+
+        // A session still inside the retained window keeps the cheap path.
+        let mut recent = shared.session();
+        recent.execute_sql("SELECT city FROM plain").unwrap();
+        shared.session().commit().unwrap();
+        assert_eq!(recent.commit().unwrap().cause, CommitCause::FootprintClean);
+    }
+
+    #[test]
+    fn session_ingest_stages_commits_and_replays_with_fresh_ids() {
+        let shared = shared_cities();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        let batch_a = vec![vec![Value::Int(9001), Value::from("Pasadena")]];
+        let batch_b = vec![vec![Value::Int(10001), Value::from("Albany")]];
+        let outcome = a.ingest_rows("cities", batch_a.clone()).unwrap();
+        assert!(outcome.report.errors_repaired > 0);
+        b.ingest_rows("cities", batch_b.clone()).unwrap();
+        // Staged only: the shared table has not grown yet.
+        assert_eq!(shared.table("cities").unwrap().len(), 5);
+
+        assert_eq!(a.commit().unwrap().cause, CommitCause::Clean);
+        // Both sessions branched from the same next tuple id, so their
+        // appends collide — the second commit must replay (minting a fresh
+        // id for its row) rather than merge.
+        let receipt = b.commit().unwrap();
+        assert_eq!(receipt.cause, CommitCause::FullRebase);
+        assert_eq!(shared.table("cities").unwrap().len(), 7);
+
+        // The committed world equals the serial execution of both ingests.
+        let serial = {
+            let shared = shared_cities();
+            let mut s = shared.session();
+            s.ingest_rows("cities", batch_a).unwrap();
+            s.commit().unwrap();
+            s.ingest_rows("cities", batch_b).unwrap();
+            s.commit().unwrap();
+            shared
+        };
+        assert_eq!(
+            shared.table("cities").unwrap().tuples(),
+            serial.table("cities").unwrap().tuples()
+        );
+        assert_eq!(
+            shared.provenance("cities").unwrap().dump(),
+            serial.provenance("cities").unwrap().dump()
+        );
+    }
+
+    #[test]
+    fn disjoint_ingests_merge_without_replay_and_carry_their_indexes() {
+        let shared = shared_two_regions();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.ingest_rows(
+            "east",
+            vec![vec![Value::Int(9001), Value::from("Pasadena")]],
+        )
+        .unwrap();
+        b.ingest_rows("west", vec![vec![Value::Int(10001), Value::from("Albany")]])
+            .unwrap();
+        assert_eq!(a.commit().unwrap().cause, CommitCause::Clean);
+        // Different tables: appends and footprints are disjoint, so the
+        // second ingest installs in O(|delta|) without replay.
+        let receipt = b.commit().unwrap();
+        assert_eq!(receipt.cause, CommitCause::FootprintClean);
+        assert_eq!(shared.table("east").unwrap().len(), 6);
+        assert_eq!(shared.table("west").unwrap().len(), 6);
+        // The merged world kept b's maintained index for west, current.
+        let state = shared.lock();
+        let west = state.world.catalog.table("west").unwrap();
+        let index = state
+            .world
+            .violation_indexes
+            .iter()
+            .find(|((table, _), _)| table == "west")
+            .map(|(_, index)| index)
+            .expect("west's maintained index carried through the merge");
+        assert!(index.is_current(west));
+    }
+
+    #[test]
+    fn failed_ingest_rolls_back_completely() {
+        let shared = shared_cities();
+        let mut session = shared.session();
+        // Wrong arity: the append delta fails to apply.
+        let err = session.ingest_rows("cities", vec![vec![Value::Int(1)]]);
+        assert!(err.is_err());
+        assert!(!session.has_staged_changes());
+        assert_eq!(session.table("cities").unwrap().len(), 5);
+        let receipt = session.commit().unwrap();
+        assert_eq!(receipt.cells_committed, 0);
+    }
+
+    #[test]
+    fn intervening_append_forces_a_reader_to_replay() {
+        let shared = shared_plain();
+        let mut reader = shared.session();
+        // The reader scans the whole table: its answer depends on the
+        // table's extent, not just existing cell values.
+        reader.execute_sql("SELECT city FROM plain").unwrap();
+
+        let mut writer = shared.session();
+        writer
+            .ingest_rows("plain", vec![vec![Value::Int(123), Value::from("Fresno")]])
+            .unwrap();
+        assert_eq!(writer.commit().unwrap().cause, CommitCause::Clean);
+
+        // No cell the reader saw changed — but a row appeared.  The
+        // update-level recheck cannot prove the read stable, so the commit
+        // must take the serial path.
+        let receipt = reader.commit().unwrap();
         assert_eq!(receipt.cause, CommitCause::FullRebase);
     }
 

@@ -162,6 +162,14 @@ pub struct ThetaMatrix {
     /// Block id per tuple position, used to restrict the indexed kernel to
     /// the not-yet-checked block pairs.
     block_of: Vec<usize>,
+    /// The coded violation index of the last snapshot revision the indexed
+    /// kernel swept, keyed by [`ColumnSnapshot::revision`].  Consecutive
+    /// checks within one request hit the same revision, so the index is
+    /// built once and reused instead of rebuilt per call.
+    index_cache: Option<(u64, ViolationIndex)>,
+    /// How many violation-index builds this matrix has paid for — the
+    /// counter the cache-reuse regression test pins.
+    index_builds: u64,
 }
 
 impl ThetaMatrix {
@@ -325,12 +333,21 @@ impl ThetaMatrix {
             mode,
             plan,
             block_of,
+            index_cache: None,
+            index_builds: 0,
         })
     }
 
     /// The candidate-enumeration kernel this matrix resolved to.
     pub fn detection_mode(&self) -> DetectionMode {
         self.mode
+    }
+
+    /// How many violation-index builds the indexed kernel has paid for.
+    /// Checks at an unchanged snapshot revision reuse the cached index, so
+    /// this counter advances once per revision, not once per call.
+    pub fn index_builds(&self) -> u64 {
+        self.index_builds
     }
 
     /// Number of blocks per side.
@@ -553,15 +570,20 @@ impl ThetaMatrix {
     /// tuples of the surviving block pairs, admitting only bindings whose
     /// blocks form one of those pairs.
     ///
-    /// The index is rebuilt per call against the tuples passed *now*, so —
-    /// like the pairwise kernel, which re-evaluates predicates on the
-    /// current tuples — it always sees fresh expected values even after
-    /// earlier repairs turned cells probabilistic.  The build covers only
-    /// the blocks still under consideration, which keeps incremental range
-    /// checks against a mostly-checked matrix proportional to their
-    /// submatrix rather than the whole table.
+    /// On the columnar path the index is **cached per snapshot revision**:
+    /// a snapshot is immutable between table revisions, so consecutive
+    /// checks within one request (range check, then the rest; or one check
+    /// per cleaning step) sweep the same build instead of rebuilding it
+    /// per call — the admit predicate filters candidate bindings *before*
+    /// the pair counter, so sweeping the full cached index emits exactly
+    /// the violations and statistics of a fresh per-subset build.  The row
+    /// path has no revision to validate against and keeps the per-call
+    /// build over only the blocks still under consideration; either way
+    /// the kernel always sees fresh expected values after earlier repairs
+    /// turned cells probabilistic (stale snapshots are filtered out by the
+    /// caller).
     fn check_keys_indexed(
-        &self,
+        &mut self,
         ctx: &ExecContext,
         schema: &Schema,
         tuples: &[Tuple],
@@ -570,7 +592,7 @@ impl ThetaMatrix {
     ) -> Result<(Vec<Violation>, ThetaCheckStats)> {
         let plan = self
             .plan
-            .as_ref()
+            .clone()
             .ok_or_else(|| DaisyError::Plan("indexed detection requires an index plan".into()))?;
         let mut stats = ThetaCheckStats::default();
         // The admit predicate runs once per candidate binding, so the
@@ -592,27 +614,54 @@ impl ThetaMatrix {
         if survivors == 0 {
             return Ok((Vec::new(), stats));
         }
-        // Only tuples of a block participating in some surviving pair can
-        // appear in an admitted binding; index just those.
-        let active_blocks: HashSet<usize> = keys
-            .iter()
-            .filter(|&&(a, b)| allowed[a * side + b])
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
-        let mut positions: Vec<usize> = active_blocks
-            .iter()
-            .flat_map(|&b| self.blocks[b].members.iter().copied())
-            .collect();
-        positions.sort_unstable();
-        let index = ViolationIndex::build_over_with(
-            ctx,
-            schema,
-            &self.constraint,
-            plan,
-            tuples,
-            &positions,
-            snapshot,
-        )?;
+        let row_index;
+        let index: &ViolationIndex = match snapshot {
+            Some(snap) => {
+                let current = self
+                    .index_cache
+                    .as_ref()
+                    .is_some_and(|(rev, _)| *rev == snap.revision());
+                if !current {
+                    let all: Vec<usize> = (0..tuples.len()).collect();
+                    let built = ViolationIndex::build_over_with(
+                        ctx,
+                        schema,
+                        &self.constraint,
+                        &plan,
+                        tuples,
+                        &all,
+                        Some(snap),
+                    )?;
+                    self.index_builds += 1;
+                    self.index_cache = Some((snap.revision(), built));
+                }
+                &self.index_cache.as_ref().expect("just cached").1
+            }
+            None => {
+                // Only tuples of a block participating in some surviving
+                // pair can appear in an admitted binding; index just those.
+                let active_blocks: HashSet<usize> = keys
+                    .iter()
+                    .filter(|&&(a, b)| allowed[a * side + b])
+                    .flat_map(|&(a, b)| [a, b])
+                    .collect();
+                let mut positions: Vec<usize> = active_blocks
+                    .iter()
+                    .flat_map(|&b| self.blocks[b].members.iter().copied())
+                    .collect();
+                positions.sort_unstable();
+                row_index = ViolationIndex::build_over(
+                    ctx,
+                    schema,
+                    &self.constraint,
+                    &plan,
+                    tuples,
+                    &positions,
+                )?;
+                self.index_builds += 1;
+                &row_index
+            }
+        };
         let block_of = &self.block_of;
         let allowed = &allowed;
         let (violations, pairs) =
@@ -947,6 +996,80 @@ mod tests {
         assert_eq!(rs1, cs1, "first-pass statistics must match");
         assert_eq!(rs2, cs2, "second-pass statistics must match");
         assert!(!rf.is_empty() || !rsec.is_empty());
+    }
+
+    #[test]
+    fn unchanged_revision_reuses_the_cached_index() {
+        use daisy_storage::ColumnSnapshot;
+        // Regression: consecutive indexed checks in one request used to
+        // rebuild the violation index per call even though the snapshot
+        // revision never moved between them.
+        let schema = Schema::from_pairs(&[
+            ("dept", DataType::Int),
+            ("salary", DataType::Int),
+            ("tax", DataType::Float),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..80)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 4),
+                    Value::Int(1000 + (i * 29) % 600),
+                    Value::Float(((i * 37) % 80) as f64 / 100.0),
+                ]
+            })
+            .collect();
+        let table = Table::from_rows("emp", schema, rows).unwrap();
+        let snap = ColumnSnapshot::build(&table).unwrap();
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.dept = t2.dept & t1.salary < t2.salary & t1.tax > t2.tax",
+        )
+        .unwrap();
+        let mut matrix = ThetaMatrix::build_with_strategy_snap(
+            table.schema(),
+            table.tuples(),
+            &dc,
+            4,
+            DetectionStrategy::Indexed,
+            Some(&snap),
+        )
+        .unwrap();
+        assert_eq!(matrix.index_builds(), 0);
+        let (first, _) = matrix
+            .check_range_with(
+                &ctx(),
+                table.schema(),
+                table.tuples(),
+                Some(&snap),
+                None,
+                Some(&Value::Int(1)),
+            )
+            .unwrap();
+        assert_eq!(matrix.index_builds(), 1);
+        let (second, _) = matrix
+            .check_all_with(&ctx(), table.schema(), table.tuples(), Some(&snap))
+            .unwrap();
+        assert_eq!(
+            matrix.index_builds(),
+            1,
+            "an unchanged snapshot revision must reuse the cached index"
+        );
+        // The cached sweep finds exactly what a pairwise matrix finds.
+        let mut pairwise = ThetaMatrix::build_with_strategy(
+            table.schema(),
+            table.tuples(),
+            &dc,
+            4,
+            DetectionStrategy::Pairwise,
+        )
+        .unwrap();
+        let (expected, _) = pairwise
+            .check_all(&ctx(), table.schema(), table.tuples())
+            .unwrap();
+        let combined = canonicalize_violations(first.into_iter().chain(second).collect());
+        assert_eq!(combined, expected);
+        assert!(!combined.is_empty());
     }
 
     #[test]

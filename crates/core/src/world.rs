@@ -27,6 +27,7 @@ use daisy_storage::{ColumnSnapshot, ProvenanceStore};
 
 use crate::cost::CostTracker;
 use crate::fd_index::FdIndex;
+use crate::index::MaintainedIndex;
 use crate::theta::ThetaMatrix;
 
 /// The key under which per-rule derived structures are cached: the table
@@ -58,6 +59,10 @@ pub struct WorldState {
     pub(crate) fully_cleaned: HashSet<RuleKey>,
     /// Maintained columnar snapshots per table.
     pub(crate) snapshots: HashMap<String, Arc<ColumnSnapshot>>,
+    /// Maintained violation indexes per (table, rule), absorbed delta by
+    /// delta like the snapshots and rebuilt when stale — the streaming
+    /// ingest path detects against these instead of rebuilding per batch.
+    pub(crate) violation_indexes: HashMap<RuleKey, Arc<MaintainedIndex>>,
 }
 
 impl WorldState {

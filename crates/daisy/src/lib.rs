@@ -88,7 +88,8 @@ pub mod prelude {
     pub use daisy_expr::{BoolExpr, ConstraintSet, DenialConstraint, FunctionalDependency};
     pub use daisy_query::{parse_query, Query};
     pub use daisy_service::{
-        CleaningService, CommitCauseCounts, RequestOutcome, ServiceReport, ServiceRequest,
+        CleaningService, CommitCauseCounts, RequestOp, RequestOutcome, ServiceReport,
+        ServiceRequest,
     };
     pub use daisy_storage::{Cell, Footprint, Table};
 }

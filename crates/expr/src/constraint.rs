@@ -401,6 +401,30 @@ impl IndexPlan {
     pub fn symmetric_key(&self) -> bool {
         self.key.iter().all(|(l, r)| l == r)
     }
+
+    /// The column names whose values determine a tuple's placement in the
+    /// index — every key column of either role plus the sweep attributes.
+    /// A cell update outside this set leaves the tuple's partition and sort
+    /// position untouched, so a maintained index only has to re-place a
+    /// tuple when one of these columns changes (residual predicates read
+    /// the tuples directly at detection time).  Sorted and de-duplicated.
+    pub fn maintenance_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = Vec::new();
+        for (l, r) in &self.key {
+            cols.push(l.clone());
+            cols.push(r.clone());
+        }
+        if let Some(sweep) = &self.sweep {
+            for operand in [&sweep.left, &sweep.right] {
+                if let Some(name) = operand.column() {
+                    cols.push(name.to_string());
+                }
+            }
+        }
+        cols.sort();
+        cols.dedup();
+        cols
+    }
 }
 
 impl fmt::Display for DenialConstraint {
@@ -894,5 +918,29 @@ mod tests {
             .unwrap();
         assert!(!no_eq.has_equality_key());
         assert!(no_eq.sweep.is_some());
+    }
+
+    #[test]
+    fn maintenance_columns_cover_keys_and_sweep_only() {
+        let dc = DenialConstraint::parse(
+            "phi",
+            "t1.zip = t2.zip & t1.salary < t2.salary & t1.tax > t2.tax",
+        )
+        .unwrap();
+        let plan = dc.index_plan().unwrap();
+        // `tax` is residual: updating it never moves a tuple in the index.
+        assert_eq!(plan.maintenance_columns(), vec!["salary", "zip"]);
+
+        // Asymmetric keys and sweeps contribute both roles' columns.
+        let asym = DenialConstraint::parse("phi", "t1.zip = t2.city & t1.lo < t2.hi").unwrap();
+        let plan = asym.index_plan().unwrap();
+        assert_eq!(plan.maintenance_columns(), vec!["city", "hi", "lo", "zip"]);
+
+        // Equality-free plans still cover their sweep attribute.
+        let no_eq = DenialConstraint::parse("c", "t1.salary < t2.salary")
+            .unwrap()
+            .index_plan()
+            .unwrap();
+        assert_eq!(no_eq.maintenance_columns(), vec!["salary"]);
     }
 }

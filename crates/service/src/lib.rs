@@ -71,26 +71,88 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use daisy_common::ServiceFairness;
+use daisy_common::{ServiceFairness, Value};
 use daisy_core::{CleaningSession, CommitCause, DaisyEngine, EngineShared, QueryOutcome};
 use daisy_exec::{fair_order, AdmissionOrder, CommitTurnstile};
 
-/// One cleaning request: a session (tenant) name plus the SQL to run.
+/// What one admitted request asks the engine to do.
+///
+/// Both kinds go through the same speculative-execute / sequenced-commit
+/// scheduler; an [`Ingest`](RequestOp::Ingest) batch appends rows and cleans
+/// only the delta against the world's maintained violation indexes
+/// (semi-naive streaming ingest), instead of parsing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOp {
+    /// A SQL query to execute with cleaning woven in.
+    Sql(String),
+    /// A batch of rows to append to a table, cleaned incrementally.
+    Ingest {
+        /// The table receiving the batch.
+        table: String,
+        /// The rows to append, one `Vec<Value>` per row in schema order.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl RequestOp {
+    /// A short, human-readable description of the operation — the SQL text
+    /// for queries, a synthesized `INGEST INTO …` line for ingest batches.
+    /// Mirrors the query text the engine records for provenance.
+    pub fn describe(&self) -> String {
+        match self {
+            RequestOp::Sql(sql) => sql.clone(),
+            RequestOp::Ingest { table, rows } => {
+                format!("INGEST INTO {table} ({count} rows)", count = rows.len())
+            }
+        }
+    }
+
+    /// Runs the operation on `session`, discarding the outcome payload (the
+    /// committed outcome is re-derived from the commit receipt).
+    fn run_on(&self, session: &mut CleaningSession) -> Result<(), daisy_common::DaisyError> {
+        match self {
+            RequestOp::Sql(sql) => session.execute_sql(sql).map(|_| ()),
+            RequestOp::Ingest { table, rows } => {
+                session.ingest_rows(table, rows.clone()).map(|_| ())
+            }
+        }
+    }
+}
+
+/// One cleaning request: a session (tenant) name plus the operation to run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceRequest {
     /// The session (tenant) this request belongs to; drives admission
     /// fairness and per-session accounting.
     pub session: String,
-    /// The SQL query to execute with cleaning woven in.
-    pub sql: String,
+    /// The operation to execute: SQL with cleaning woven in, or a streaming
+    /// ingest batch.
+    pub op: RequestOp,
 }
 
 impl ServiceRequest {
-    /// Creates a request.
+    /// Creates a SQL request.
     pub fn new(session: impl Into<String>, sql: impl Into<String>) -> Self {
         ServiceRequest {
             session: session.into(),
-            sql: sql.into(),
+            op: RequestOp::Sql(sql.into()),
+        }
+    }
+
+    /// Creates a streaming-ingest request: append `rows` to `table` and
+    /// clean only the delta (see
+    /// [`CleaningSession::ingest_rows`](daisy_core::CleaningSession::ingest_rows)).
+    pub fn ingest(
+        session: impl Into<String>,
+        table: impl Into<String>,
+        rows: Vec<Vec<Value>>,
+    ) -> Self {
+        ServiceRequest {
+            session: session.into(),
+            op: RequestOp::Ingest {
+                table: table.into(),
+                rows,
+            },
         }
     }
 }
@@ -100,7 +162,8 @@ impl ServiceRequest {
 pub struct RequestOutcome {
     /// The session (tenant) that submitted the request.
     pub session: String,
-    /// The request's SQL.
+    /// The request's SQL, or the synthesized `INGEST INTO …` description
+    /// for ingest requests (see [`RequestOp::describe`]).
     pub sql: String,
     /// The request's index in the original submission list (admission may
     /// reorder across sessions under round-robin fairness).
@@ -262,7 +325,7 @@ impl CleaningService {
                         // Speculative execution against a consistent
                         // snapshot of the shared world.
                         let mut session = self.shared.session_named(&request.session);
-                        let speculative = session.execute_sql(&request.sql).map(|_| ());
+                        let speculative = request.op.run_on(&mut session);
                         let executed = Executed {
                             submitted,
                             request,
@@ -355,8 +418,8 @@ impl CleaningService {
                 // error exists for.
                 Err(_stale) => {
                     let mut fresh = self.shared.session_named(&request.session);
-                    match fresh.execute_sql(&request.sql) {
-                        Ok(_) => match fresh.commit() {
+                    match request.op.run_on(&mut fresh) {
+                        Ok(()) => match fresh.commit() {
                             Ok(receipt) => {
                                 let outcome = receipt
                                     .outcomes
@@ -379,7 +442,7 @@ impl CleaningService {
         };
         RequestOutcome {
             session: request.session.clone(),
-            sql: request.sql.clone(),
+            sql: request.op.describe(),
             submitted,
             outcome,
             rebased,
@@ -491,6 +554,88 @@ mod tests {
             assert_eq!(concurrent_report.commits, 5);
             assert_eq!(concurrent_report.final_version, 5);
         }
+    }
+
+    fn mixed_requests_with_ingest() -> Vec<ServiceRequest> {
+        vec![
+            ServiceRequest::new("a", "SELECT zip FROM cities WHERE city = 'Los Angeles'"),
+            ServiceRequest::ingest(
+                "b",
+                "cities",
+                vec![
+                    vec![Value::Int(9001), Value::from("Pasadena")],
+                    vec![Value::Int(10001), Value::from("Albany")],
+                ],
+            ),
+            ServiceRequest::new("a", "SELECT city FROM cities WHERE zip = 9001"),
+            ServiceRequest::ingest(
+                "c",
+                "cities",
+                vec![vec![Value::Int(10001), Value::from("Albany")]],
+            ),
+            ServiceRequest::new("b", "SELECT city, COUNT(*) FROM cities GROUP BY city"),
+        ]
+    }
+
+    #[test]
+    fn ingest_requests_commit_deterministically_at_any_worker_count() {
+        let baseline = service(1, ServiceFairness::Fifo);
+        let baseline_report = baseline.run_serial(&mixed_requests_with_ingest());
+        assert!(baseline_report.outcomes.iter().all(|o| o.outcome.is_ok()));
+        // Both ingest batches landed: 5 base rows + 3 appended.
+        assert_eq!(baseline.shared().table("cities").unwrap().len(), 8);
+        // The ingest outcome carries the synthesized description and a
+        // delta-restricted cleaning report.
+        let ingest_outcome = baseline_report
+            .outcomes
+            .iter()
+            .find(|o| o.sql.starts_with("INGEST INTO cities"))
+            .expect("an ingest request committed");
+        assert_eq!(ingest_outcome.sql, "INGEST INTO cities (2 rows)");
+        assert!(
+            ingest_outcome
+                .outcome
+                .as_ref()
+                .expect("ingest succeeds")
+                .report
+                .errors_repaired
+                > 0,
+            "the appended rows conflict with resident groups and get repaired"
+        );
+
+        for workers in [2, 4, 7] {
+            let concurrent = service(workers, ServiceFairness::Fifo);
+            let report = concurrent.run(&mixed_requests_with_ingest());
+            assert_eq!(
+                observable(&report),
+                observable(&baseline_report),
+                "outcomes diverged at {workers} workers"
+            );
+            assert_eq!(
+                concurrent.shared().table("cities").unwrap().tuples(),
+                baseline.shared().table("cities").unwrap().tuples(),
+                "tables diverged at {workers} workers"
+            );
+            assert_eq!(
+                concurrent.shared().provenance("cities").unwrap().dump(),
+                baseline.shared().provenance("cities").unwrap().dump(),
+                "provenance diverged at {workers} workers"
+            );
+            assert_eq!(report.commits, 5);
+        }
+    }
+
+    #[test]
+    fn ingest_into_missing_table_is_discarded() {
+        let svc = service(2, ServiceFairness::Fifo);
+        let report = svc.run(&[
+            ServiceRequest::ingest("a", "nowhere", vec![vec![Value::Int(1)]]),
+            ServiceRequest::new("b", "SELECT city FROM cities WHERE zip = 9001"),
+        ]);
+        assert_eq!(report.commits, 1);
+        assert!(report.outcomes[0].outcome.is_err());
+        assert!(report.outcomes[0].committed_version.is_none());
+        assert_eq!(svc.shared().table("cities").unwrap().len(), 5);
     }
 
     #[test]

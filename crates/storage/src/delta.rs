@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use daisy_common::{ColumnId, TupleId};
+use daisy_common::{ColumnId, TupleId, Value};
 
 use crate::cell::Cell;
 
@@ -24,10 +24,29 @@ pub struct CellUpdate {
     pub cell: Cell,
 }
 
-/// A batch of cell updates produced by one cleaning step.
+/// A whole appended row: the id the table will assign plus its determinate
+/// values.  Ids are pre-assigned (sequential from the table's id counter at
+/// staging time) so re-applying the delta during a commit merge is
+/// deterministic — [`Table::apply_delta`](crate::table::Table::apply_delta)
+/// refuses an append whose id does not match the id it would assign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowAppend {
+    /// The tuple id the append expects the table to assign.
+    pub id: TupleId,
+    /// The determinate values of the new row, in schema order.
+    pub values: Vec<Value>,
+}
+
+/// A batch of row appends and cell updates produced by one cleaning step.
+///
+/// Appends are applied before updates, so a delta may both insert rows and
+/// patch them (the streaming-ingest path stages exactly that shape).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Delta {
     updates: Vec<CellUpdate>,
+    /// Rows appended by this delta (empty for classic repair deltas).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    appends: Vec<RowAppend>,
 }
 
 impl Delta {
@@ -50,19 +69,31 @@ impl Delta {
         });
     }
 
+    /// Stages a row append from its parts (see [`RowAppend`] for the id
+    /// contract).
+    pub fn push_append(&mut self, id: TupleId, values: Vec<Value>) {
+        self.appends.push(RowAppend { id, values });
+    }
+
     /// The updates in insertion order.
     pub fn updates(&self) -> &[CellUpdate] {
         &self.updates
     }
 
-    /// Number of cell updates.
+    /// The row appends in insertion order (applied before the updates).
+    pub fn appends(&self) -> &[RowAppend] {
+        &self.appends
+    }
+
+    /// Number of cell updates (appends are counted separately, see
+    /// [`Delta::appends`]).
     pub fn len(&self) -> usize {
         self.updates.len()
     }
 
-    /// `true` when the delta carries no updates.
+    /// `true` when the delta carries neither updates nor appends.
     pub fn is_empty(&self) -> bool {
-        self.updates.is_empty()
+        self.updates.is_empty() && self.appends.is_empty()
     }
 
     /// Merges another delta into this one (updates are concatenated; the
@@ -70,20 +101,25 @@ impl Delta {
     /// same cell).
     pub fn merge(&mut self, other: Delta) {
         self.updates.extend(other.updates);
+        self.appends.extend(other.appends);
     }
 
-    /// The distinct tuples touched by this delta.
+    /// The distinct tuples touched by this delta, appended rows included.
     pub fn touched_tuples(&self) -> Vec<TupleId> {
         let mut ids: Vec<TupleId> = self.updates.iter().map(|u| u.tuple).collect();
+        ids.extend(self.appends.iter().map(|a| a.id));
         ids.sort_unstable();
         ids.dedup();
         ids
     }
 
-    /// Total number of candidate values carried by the delta; feeds the
-    /// update-cost term of the cost model (§5.2.2).
+    /// Total number of candidate values carried by the delta (one per
+    /// determinate appended value); feeds the update-cost term of the cost
+    /// model (§5.2.2).
     pub fn total_candidates(&self) -> usize {
-        self.updates.iter().map(|u| u.cell.candidate_count()).sum()
+        let updated: usize = self.updates.iter().map(|u| u.cell.candidate_count()).sum();
+        let appended: usize = self.appends.iter().map(|a| a.values.len()).sum();
+        updated + appended
     }
 }
 
@@ -91,6 +127,7 @@ impl FromIterator<CellUpdate> for Delta {
     fn from_iter<I: IntoIterator<Item = CellUpdate>>(iter: I) -> Self {
         Delta {
             updates: iter.into_iter().collect(),
+            appends: Vec::new(),
         }
     }
 }
@@ -129,5 +166,23 @@ mod tests {
     fn total_candidates_counts_all_cells() {
         let d: Delta = vec![upd(1, 0), upd(2, 0)].into_iter().collect();
         assert_eq!(d.total_candidates(), 4);
+    }
+
+    #[test]
+    fn appends_count_toward_emptiness_and_touched_tuples() {
+        let mut d = Delta::new();
+        assert!(d.is_empty());
+        d.push_append(TupleId::new(7), vec![Value::Int(1), Value::Int(2)]);
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 0, "appends are not cell updates");
+        assert_eq!(d.appends().len(), 1);
+        assert_eq!(d.touched_tuples(), vec![TupleId::new(7)]);
+        assert_eq!(d.total_candidates(), 2);
+        let mut other = Delta::new();
+        other.push_append(TupleId::new(8), vec![Value::Int(3)]);
+        other.push(upd(7, 0));
+        d.merge(other);
+        assert_eq!(d.appends().len(), 2);
+        assert_eq!(d.touched_tuples(), vec![TupleId::new(7), TupleId::new(8)]);
     }
 }

@@ -283,13 +283,15 @@ impl Footprint {
         Footprint::default()
     }
 
-    /// The exact write footprint of staged deltas: one cell per update.
+    /// The exact write footprint of staged deltas: one cell per update, and
+    /// every cell (all columns) of each appended row.
     pub fn from_deltas<'a>(staged: impl IntoIterator<Item = &'a (String, Delta)>) -> Footprint {
         let mut fp = Footprint::new();
         for (table, delta) in staged {
             for update in delta.updates() {
                 fp.record_cell(table, update.tuple, update.column);
             }
+            fp.record_rows(table, delta.appends().iter().map(|a| a.id));
         }
         fp
     }
@@ -512,5 +514,27 @@ mod tests {
         assert!(!writes.covers_cell("t", t(4), c(0)));
         assert!(!writes.covers_cell("t", t(5), c(1)));
         assert!(!writes.covers_cell("u", t(4), c(1)));
+    }
+
+    #[test]
+    fn write_footprint_covers_every_cell_of_appended_rows() {
+        let mut delta = Delta::new();
+        delta.push_append(t(10), vec![Value::Int(1), Value::Int(2)]);
+        delta.push_append(t(11), vec![Value::Int(3), Value::Int(4)]);
+        delta.push_update(t(2), c(0), Cell::Determinate(Value::Int(5)));
+        let staged = vec![("t".to_string(), delta)];
+        let writes = Footprint::from_deltas(&staged);
+        // Appended rows are written across all columns…
+        assert!(writes.covers_cell("t", t(10), c(0)));
+        assert!(writes.covers_cell("t", t(11), c(7)));
+        // …updates stay cell-exact…
+        assert!(writes.covers_cell("t", t(2), c(0)));
+        assert!(!writes.covers_cell("t", t(2), c(1)));
+        // …and untouched rows stay uncovered.
+        assert!(!writes.covers_cell("t", t(9), c(0)));
+        // An append conflicts with a whole-column read of the same table.
+        let mut reader = Footprint::new();
+        reader.record_columns("t", [c(1)]);
+        assert!(writes.intersects(&reader));
     }
 }

@@ -43,7 +43,7 @@ pub mod tuple;
 pub mod worlds;
 
 pub use cell::{Candidate, CandidateValue, Cell};
-pub use delta::{CellUpdate, Delta};
+pub use delta::{CellUpdate, Delta, RowAppend};
 pub use footprint::{Footprint, RowSet, TableFootprint};
 pub use overlay::DeltaOverlay;
 pub use provenance::{CellProvenance, ProvenanceStore, RuleEvidence};

@@ -187,6 +187,14 @@ pub struct StringDictionary {
     sorted: Vec<u32>,
     /// String → code.
     lookup: HashMap<String, u32>,
+    /// Number of rank-maintenance events: full [`rebuild_ranks`] passes plus
+    /// incremental shifts from [`intern`]ing a novel string.  Purely
+    /// observational — delta absorption is expected to cost **one** event
+    /// per batch, however many novel strings the batch carries.
+    ///
+    /// [`rebuild_ranks`]: StringDictionary::rebuild_ranks
+    /// [`intern`]: StringDictionary::intern
+    rank_rebuilds: u64,
 }
 
 impl StringDictionary {
@@ -222,12 +230,21 @@ impl StringDictionary {
             .partition_point(|&code| self.strings[code as usize].as_str() < s) as u32
     }
 
+    /// Number of rank-maintenance events so far (full rebuilds plus
+    /// incremental shifts from novel-string interns).  Lets callers assert
+    /// that absorbing a delta with many novel strings pays one batched
+    /// rebuild instead of one `O(dictionary)` shift per string.
+    pub fn rank_rebuilds(&self) -> u64 {
+        self.rank_rebuilds
+    }
+
     /// Interns a string, maintaining the rank table incrementally: ranks at
     /// or above the insertion point shift up by one, codes never move.
     pub fn intern(&mut self, s: &str) -> u32 {
         if let Some(code) = self.code_of(s) {
             return code;
         }
+        self.rank_rebuilds += 1;
         let code = self.strings.len() as u32;
         let at = self.insertion_rank(s) as usize;
         for &shifted in &self.sorted[at..] {
@@ -256,6 +273,7 @@ impl StringDictionary {
     /// Recomputes the rank table from scratch (`O(n log n)`), used after a
     /// bulk build.
     fn rebuild_ranks(&mut self) {
+        self.rank_rebuilds += 1;
         let mut sorted: Vec<u32> = (0..self.strings.len() as u32).collect();
         sorted.sort_by(|&a, &b| self.strings[a as usize].cmp(&self.strings[b as usize]));
         let mut rank = vec![0u32; self.strings.len()];
@@ -382,6 +400,18 @@ impl ColumnData {
                 ColumnCode::Float(f) => Value::Float(f),
                 ColumnCode::Str(code) => Value::Str(dict.string(code).to_string()),
             },
+        }
+    }
+
+    /// Appends one NULL cell; callers [`set`](ColumnData::set) the real
+    /// value right after, so type promotion is handled in a single place.
+    fn push_null(&mut self) {
+        match self {
+            ColumnData::Int(v) => v.push(None),
+            ColumnData::Float(v) => v.push(None),
+            ColumnData::Bool(v) => v.push(None),
+            ColumnData::Str(v) => v.push(None),
+            ColumnData::Mixed(v) => v.push(ColumnCode::Null),
         }
     }
 
@@ -586,29 +616,56 @@ impl ColumnSnapshot {
         }
     }
 
-    /// Patches the snapshot after `delta` was applied to `table`: re-reads
-    /// the touched cells' expected values and overwrites the affected column
-    /// entries (and dictionary, for new strings).  On success the snapshot
-    /// advances to the table's current revision.
+    /// Patches the snapshot after `delta` was applied to `table`: appended
+    /// rows extend the columns, touched cells are re-read and overwritten
+    /// (and novel strings enter the dictionary, batched).  On success the
+    /// snapshot advances to the table's current revision.
     ///
     /// The patch is refused — the snapshot simply stays stale, to be
     /// rebuilt by the next [`ColumnSnapshot::is_current`] check — unless
     /// the snapshot provably reflects the state the delta was applied to:
     /// the table must be exactly one revision ahead (the delta's own bump;
-    /// zero for an empty delta) with unchanged membership.  Anything else —
-    /// an out-of-band `tuple_mut`, a missed delta, a membership change —
-    /// would otherwise be silently masked by adopting the newer revision.
+    /// zero for an empty delta) and have grown by exactly the delta's
+    /// appends.  Anything else — an out-of-band `tuple_mut`, a missed
+    /// delta, a membership change — would otherwise be silently masked by
+    /// adopting the newer revision.
     pub fn absorb_delta(&mut self, table: &Table, delta: &Delta) -> Result<()> {
         let expected = self.revision + u64::from(!delta.is_empty());
-        if table.revision() != expected || table.len() != self.rows {
+        if table.revision() != expected || table.len() != self.rows + delta.appends().len() {
             return Ok(()); // stale: the table moved past us out of band
         }
-        for update in delta.updates() {
-            let Some(&row) = self.row_of.get(&update.tuple) else {
+        let width = self.columns.len();
+        // Pass 1: validate every touched cell and collect its new expected
+        // value, *before* mutating anything — a stale delta leaves the
+        // snapshot untouched, and the collected values let the dictionary
+        // batch-intern the delta's novel strings in one go.
+        let mut appended: Vec<(TupleId, Vec<Value>)> = Vec::with_capacity(delta.appends().len());
+        for append in delta.appends() {
+            let Some(tuple) = table.tuple(append.id) else {
                 return Ok(()); // stale: membership changed under us
             };
+            let mut values = Vec::with_capacity(width);
+            for col in 0..width {
+                values.push(tuple.value(col)?);
+            }
+            appended.push((append.id, values));
+        }
+        let appended_row: HashMap<TupleId, usize> = appended
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, self.rows + i))
+            .collect();
+        let mut patched: Vec<(usize, usize, Value)> = Vec::with_capacity(delta.len());
+        for update in delta.updates() {
+            let row = match self.row_of.get(&update.tuple) {
+                Some(&row) => row,
+                None => match appended_row.get(&update.tuple) {
+                    Some(&row) => row,
+                    None => return Ok(()), // stale: membership changed under us
+                },
+            };
             let col = update.column.index();
-            if col >= self.columns.len() {
+            if col >= width {
                 return Err(DaisyError::Execution(format!(
                     "delta column {col} out of snapshot range"
                 )));
@@ -619,7 +676,41 @@ impl ColumnSnapshot {
                     update.tuple
                 ))
             })?;
-            let value = tuple.value(col)?;
+            patched.push((row, col, tuple.value(col)?));
+        }
+        // Batch-intern the delta's novel strings, then rebuild the rank
+        // table once.  Without this, every `set` below would `intern`
+        // incrementally — k novel strings would shift ranks k times,
+        // O(k · dictionary) instead of one O(dict log dict) rebuild.
+        let mut novel = false;
+        let new_values = appended
+            .iter()
+            .flat_map(|(_, values)| values.iter())
+            .chain(patched.iter().map(|(_, _, value)| value));
+        for value in new_values {
+            if let Value::Str(s) = value {
+                if self.dict.code_of(s).is_none() {
+                    self.dict.intern_unranked(s);
+                    novel = true;
+                }
+            }
+        }
+        if novel {
+            self.dict.rebuild_ranks();
+        }
+        // Pass 2: apply.  Appended rows extend the columns first (updates
+        // may target them); every string is interned by now, so `set` hits
+        // the dictionary's lookup fast path.
+        for (id, values) in appended {
+            let row = self.rows;
+            for (col, value) in values.iter().enumerate() {
+                self.columns[col].push_null();
+                self.columns[col].set(row, value, &mut self.dict);
+            }
+            self.row_of.insert(id, row);
+            self.rows += 1;
+        }
+        for (row, col, value) in patched {
             self.columns[col].set(row, &value, &mut self.dict);
         }
         self.revision = table.revision();
@@ -851,6 +942,82 @@ mod tests {
         }
         assert_eq!(snap.value(3, 1), Value::from("Boston"));
         assert_eq!(snap.value(0, 0), Value::Int(90210));
+    }
+
+    #[test]
+    fn absorbing_novel_strings_rebuilds_ranks_once_per_delta() {
+        let mut table = mixed_table();
+        let mut snap = ColumnSnapshot::build(&table).unwrap();
+        let base = snap.dictionary().rank_rebuilds();
+        // k = 4 novel strings in one delta must cost exactly one batched
+        // rank rebuild, not one O(dict) shift per string.
+        let mut delta = Delta::new();
+        for (i, city) in ["Ulm", "Bonn", "Mainz", "Trier"].iter().enumerate() {
+            delta.push(CellUpdate {
+                tuple: TupleId::new(i as u64),
+                column: ColumnId::new(1),
+                cell: Cell::Determinate(Value::from(*city)),
+            });
+        }
+        table.apply_delta(&delta).unwrap();
+        snap.absorb_delta(&table, &delta).unwrap();
+        assert!(snap.is_current(&table));
+        assert_eq!(snap.dictionary().rank_rebuilds(), base + 1);
+        // A delta with no novel strings costs zero rank maintenance.
+        let mut rerun = Delta::new();
+        rerun.push(CellUpdate {
+            tuple: TupleId::new(4),
+            column: ColumnId::new(1),
+            cell: Cell::Determinate(Value::from("Bonn")),
+        });
+        table.apply_delta(&rerun).unwrap();
+        snap.absorb_delta(&table, &rerun).unwrap();
+        assert_eq!(snap.dictionary().rank_rebuilds(), base + 1);
+        // The batched path patched exactly like a from-scratch rebuild.
+        // (Values, not codes: the rebuilt dictionary no longer carries the
+        // overwritten strings, so ranks legitimately differ.)
+        let rebuilt = ColumnSnapshot::build(&table).unwrap();
+        for row in 0..snap.len() {
+            for col in 0..snap.column_count() {
+                assert_eq!(snap.value(row, col), rebuilt.value(row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_delta_extends_the_snapshot_with_appended_rows() {
+        let mut table = mixed_table();
+        let mut snap = ColumnSnapshot::build(&table).unwrap();
+        let id = table.next_tuple_id();
+        let mut delta = Delta::new();
+        delta.push_append(
+            id,
+            vec![Value::Int(11), Value::from("Ghent"), Value::Float(1.5)],
+        );
+        // The same delta may patch the row it appends.
+        delta.push(CellUpdate {
+            tuple: id,
+            column: ColumnId::new(0),
+            cell: Cell::Determinate(Value::Int(12)),
+        });
+        table.apply_delta(&delta).unwrap();
+        assert!(!snap.is_current(&table));
+        snap.absorb_delta(&table, &delta).unwrap();
+        assert!(snap.is_current(&table));
+        assert_eq!(snap.len(), 6);
+        assert_eq!(snap.row_of(id), Some(5));
+        assert_eq!(snap.value(5, 0), Value::Int(12));
+        assert_eq!(snap.value(5, 1), Value::from("Ghent"));
+        let rebuilt = ColumnSnapshot::build(&table).unwrap();
+        for row in 0..snap.len() {
+            for col in 0..snap.column_count() {
+                assert_eq!(snap.value(row, col), rebuilt.value(row, col));
+                assert_eq!(
+                    snap.ordering_code(row, col),
+                    rebuilt.ordering_code(row, col)
+                );
+            }
+        }
     }
 
     #[test]

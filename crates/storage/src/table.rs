@@ -145,6 +145,12 @@ impl Table {
         self.revision
     }
 
+    /// The id the next appended row will receive.  Staged appends
+    /// (see [`Delta::push_append`]) pre-assign ids starting here.
+    pub fn next_tuple_id(&self) -> TupleId {
+        TupleId::new(self.next_id)
+    }
+
     /// Appends a row of determinate values, returning the assigned tuple id.
     pub fn push_values(&mut self, values: Vec<Value>) -> Result<TupleId> {
         if values.len() != self.schema.len() {
@@ -187,6 +193,13 @@ impl Table {
         self.index.get(&id).map(|&pos| &self.tuples[pos])
     }
 
+    /// The slice position of a tuple id, if present.  Positional structures
+    /// (snapshots, maintained violation indexes) use this to translate the
+    /// tuple ids of a [`Delta`] into the rows they maintain.
+    pub fn position_of(&self, id: TupleId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
     /// Looks up a tuple by id mutably.  Conservatively bumps the revision:
     /// the caller receives write access, so derived structures must assume
     /// the tuple changed.
@@ -221,17 +234,44 @@ impl Table {
         self.tuples.iter().map(|t| t.value(idx)).collect()
     }
 
-    /// Applies a delta of cell updates in place.
+    /// Applies a delta of row appends and cell updates in place.
     ///
-    /// This is the "left-outer-join between the dataset and the fixed
-    /// values" of the cost analysis (§5.2.1): every update targets an
-    /// existing tuple by id; updates to unknown tuples are an execution
-    /// error.  Returns the number of cells modified.
+    /// Appends go first (so the updates may target the appended rows), and
+    /// the whole delta costs a **single** revision bump — derived read
+    /// structures absorb it as one step.  Each append's pre-assigned id must
+    /// be exactly the id the table would assign (sequential from the id
+    /// counter); a mismatch means the delta was staged against a different
+    /// table state and is an execution error.  Updates are the
+    /// "left-outer-join between the dataset and the fixed values" of the
+    /// cost analysis (§5.2.1): every update targets an existing tuple by id;
+    /// updates to unknown tuples are an execution error.  Returns the number
+    /// of cells modified (appended rows count one per cell).
     pub fn apply_delta(&mut self, delta: &Delta) -> Result<usize> {
         if !delta.is_empty() {
             self.revision += 1;
         }
         let mut applied = 0;
+        for append in delta.appends() {
+            if append.values.len() != self.schema.len() {
+                return Err(DaisyError::Schema(format!(
+                    "appended row arity {} does not match schema arity {} of table `{}`",
+                    append.values.len(),
+                    self.schema.len(),
+                    self.name
+                )));
+            }
+            if append.id != TupleId::new(self.next_id) {
+                return Err(DaisyError::Execution(format!(
+                    "append id {} does not match the next id {} of table `{}`",
+                    append.id, self.next_id, self.name
+                )));
+            }
+            self.next_id += 1;
+            self.index.insert(append.id, self.tuples.len());
+            self.tuples
+                .push(Tuple::from_values(append.id, append.values.clone()));
+            applied += append.values.len();
+        }
         for update in delta.updates() {
             let pos = *self.index.get(&update.tuple).ok_or_else(|| {
                 DaisyError::Execution(format!(
@@ -359,6 +399,44 @@ mod tests {
         assert!(cell.could_equal(&Value::from("Los Angeles")));
         assert_eq!(t.probabilistic_tuple_count(), 1);
         assert_eq!(t.total_candidates(), 11);
+    }
+
+    #[test]
+    fn apply_delta_appends_rows_before_updates() {
+        let mut t = cities();
+        let r0 = t.revision();
+        let first = t.next_tuple_id();
+        let mut delta = Delta::new();
+        delta.push_append(first, vec![Value::Int(60601), Value::from("Chicago")]);
+        delta.push_append(
+            TupleId::new(first.raw() + 1),
+            vec![Value::Int(60601), Value::from("Evanston")],
+        );
+        // An update may target a row the same delta appends.
+        delta.push(CellUpdate {
+            tuple: first,
+            column: ColumnId::new(1),
+            cell: Cell::Determinate(Value::from("Chicago Loop")),
+        });
+        let applied = t.apply_delta(&delta).unwrap();
+        assert_eq!(applied, 5); // 2 rows × 2 cells + 1 update
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.revision(), r0 + 1, "one bump for the whole delta");
+        assert_eq!(
+            t.tuple(first).unwrap().value(1).unwrap(),
+            Value::from("Chicago Loop")
+        );
+        // Id assignment continues past the appended rows.
+        assert_eq!(t.next_tuple_id(), TupleId::new(first.raw() + 2));
+
+        // Appends staged against a different id space are refused.
+        let mut stale = Delta::new();
+        stale.push_append(first, vec![Value::Int(1), Value::from("X")]);
+        assert!(t.apply_delta(&stale).is_err());
+        // As are arity mismatches.
+        let mut bad = Delta::new();
+        bad.push_append(t.next_tuple_id(), vec![Value::Int(1)]);
+        assert!(t.apply_delta(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Differential tests for the streaming-ingest path: the persistent
+//! [`MaintainedIndex`] absorbed delta by delta must be indistinguishable —
+//! violations, candidate-pair counts, repaired tables, provenance — from
+//! rebuilding the violation index on every check, and from a brute-force
+//! quadratic oracle; and the service scheduler must replay ingest streams
+//! byte-identically at any worker count.
+//!
+//! Three layers, matching how the incremental path is assembled:
+//!
+//! 1. **Index layer** — `absorb_delta` + `detect_delta` versus a fresh
+//!    [`ViolationIndex`] swept with the delta admit filter, versus the
+//!    quadratic oracle restricted to pairs touching the delta.
+//! 2. **Engine layer** — `DaisyEngine::ingest_rows` under
+//!    `IncrementalMode::On` versus `Off` (per-batch rebuild): identical
+//!    final tuples, provenance and cleaning reports.
+//! 3. **Service layer** — mixed SQL + ingest request streams at 1/2/4/7
+//!    scheduler workers: identical outcomes, tables and provenance.
+
+use proptest::prelude::*;
+
+use daisy::common::{DaisyConfig, DataType, IncrementalMode, Schema, Value};
+use daisy::core::index::{canonicalize_violations, MaintainedIndex, ViolationIndex};
+use daisy::core::DaisyEngine;
+use daisy::exec::ExecContext;
+use daisy::expr::{ComparisonOp, DcPredicate, DenialConstraint, Operand, Violation};
+use daisy::service::{CleaningService, ServiceRequest};
+use daisy::storage::{Delta, Table};
+
+/// Builds the shared three-column test table: `a` is a low-cardinality
+/// grouping column, `b` numeric, `c` a float column with occasional NULLs
+/// so NULL sweep exclusion is exercised through the maintained path too.
+fn row_values(row: &(i64, i64, i64)) -> Vec<Value> {
+    let (a, b, c) = *row;
+    let c = if c % 5 == 0 {
+        Value::Null
+    } else {
+        Value::Float(c as f64 / 2.0)
+    };
+    vec![Value::Int(a), Value::Int(b), c]
+}
+
+fn table_from_rows(rows: &[(i64, i64, i64)]) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("a", DataType::Int),
+        ("b", DataType::Int),
+        ("c", DataType::Float),
+    ])
+    .unwrap();
+    Table::from_rows("t", schema, rows.iter().map(row_values).collect()).unwrap()
+}
+
+const COLUMNS: [&str; 3] = ["a", "b", "c"];
+
+/// Decodes one `(op, left column, right column, shape)` spec into a
+/// predicate, same scheme as `integration_detection_differential`.
+fn predicate_from_spec(spec: &(usize, usize, usize, usize)) -> DcPredicate {
+    let (op, lcol, rcol, shape) = *spec;
+    let op = [
+        ComparisonOp::Eq,
+        ComparisonOp::Neq,
+        ComparisonOp::Lt,
+        ComparisonOp::Le,
+        ComparisonOp::Gt,
+        ComparisonOp::Ge,
+    ][op % 6];
+    let left_col = COLUMNS[lcol % 3];
+    let right_col = COLUMNS[rcol % 3];
+    match shape % 5 {
+        0 => DcPredicate::new(Operand::attr(0, left_col), op, Operand::attr(1, right_col)),
+        1 => DcPredicate::new(Operand::attr(1, left_col), op, Operand::attr(0, right_col)),
+        2 => DcPredicate::new(Operand::attr(0, left_col), op, Operand::attr(0, right_col)),
+        3 => DcPredicate::new(Operand::attr(1, left_col), op, Operand::attr(1, right_col)),
+        _ => DcPredicate::new(
+            Operand::attr(0, left_col),
+            op,
+            Operand::Const(Value::Int((rcol % 3) as i64 * 2)),
+        ),
+    }
+}
+
+/// An equality-bearing DC with a random residual tail: the shape the index
+/// subsystem is built for, and one that reliably produces repairs.
+fn equality_dc(tail: &[(usize, usize, usize, usize)]) -> DenialConstraint {
+    let mut predicates = vec![
+        DcPredicate::new(
+            Operand::attr(0, "a"),
+            ComparisonOp::Eq,
+            Operand::attr(1, "a"),
+        ),
+        DcPredicate::new(
+            Operand::attr(0, "b"),
+            ComparisonOp::Lt,
+            Operand::attr(1, "b"),
+        ),
+    ];
+    predicates.extend(tail.iter().map(predicate_from_spec));
+    DenialConstraint::new("dc", 2, predicates)
+}
+
+/// Brute-force delta-restricted oracle: every ordered pair of distinct
+/// tuples with at least one member at a delta position, canonicalised.
+fn delta_oracle(table: &Table, dc: &DenialConstraint, delta_from: usize) -> Vec<Violation> {
+    let tuples = table.tuples();
+    let mut expected = Vec::new();
+    for (i, x) in tuples.iter().enumerate() {
+        for (j, y) in tuples.iter().enumerate() {
+            if i == j || (i < delta_from && j < delta_from) {
+                continue;
+            }
+            if dc.violated_by(table.schema(), &[x, y]).unwrap() {
+                expected.push(Violation::pair(dc.id, x.id, y.id).canonical());
+            }
+        }
+    }
+    expected.sort_by(|a, b| a.tuples.cmp(&b.tuples));
+    expected.dedup();
+    expected
+}
+
+/// Appends `rows` to `table` as one append delta with fresh sequential
+/// ids — the same delta `DaisyEngine::ingest_rows` stages.
+fn append_batch(table: &mut Table, rows: &[(i64, i64, i64)]) -> Delta {
+    let mut delta = Delta::new();
+    let base = table.next_tuple_id().raw();
+    for (k, row) in rows.iter().enumerate() {
+        delta.push_append(
+            daisy::common::TupleId::new(base + k as u64),
+            row_values(row),
+        );
+    }
+    table.apply_delta(&delta).unwrap();
+    delta
+}
+
+fn engine_with(
+    mode: IncrementalMode,
+    base: &[(i64, i64, i64)],
+    dc: &DenialConstraint,
+) -> DaisyEngine {
+    let mut engine = DaisyEngine::new(
+        DaisyConfig::default()
+            .with_worker_threads(1)
+            .with_incremental_detection(mode),
+    )
+    .unwrap();
+    engine.register_table(table_from_rows(base));
+    engine.add_constraint(dc.clone());
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Index layer: across a stream of append batches, the maintained
+    /// index (absorbed delta by delta, never rebuilt) finds exactly the
+    /// violations of (a) a fresh per-batch index rebuild swept with the
+    /// delta admit filter `i ∈ Δ ∨ j ∈ Δ` — including the candidate-pair
+    /// counts — and (b) the brute-force quadratic oracle restricted to
+    /// pairs touching the delta.
+    #[test]
+    fn maintained_index_matches_rebuild_and_oracle_across_batches(
+        base in prop::collection::vec((0i64..5, 0i64..30, 0i64..25), 2..50),
+        tail in prop::collection::vec((0usize..6, 0usize..3, 0usize..3, 0usize..5), 0..3),
+        batches in prop::collection::vec(
+            prop::collection::vec((0i64..5, 0i64..30, 0i64..25), 1..8),
+            1..4,
+        ),
+    ) {
+        let ctx = ExecContext::new(2);
+        let dc = equality_dc(&tail);
+        let plan = dc.index_plan().expect("two-tuple DCs always have a plan");
+        let mut table = table_from_rows(&base);
+        let schema = table.schema().as_ref().clone();
+        let mut maintained = MaintainedIndex::build(&schema, &dc, &plan, &table).unwrap();
+
+        for batch in &batches {
+            let delta = append_batch(&mut table, batch);
+            maintained.absorb_delta(&table, &delta).unwrap();
+            prop_assert!(maintained.is_current(&table));
+            let delta_from = table.len() - batch.len();
+            let positions: Vec<usize> = (delta_from..table.len()).collect();
+            let (incremental, incremental_pairs) = maintained
+                .detect_delta(&schema, table.tuples(), &positions)
+                .unwrap();
+
+            let rebuilt = ViolationIndex::build(&ctx, &schema, &dc, &plan, table.tuples()).unwrap();
+            let (found, rebuild_pairs) = rebuilt
+                .sweep_detect(&ctx, &schema, table.tuples(), |i, j| {
+                    i >= delta_from || j >= delta_from
+                })
+                .unwrap();
+            let rebuild = canonicalize_violations(found);
+
+            prop_assert_eq!(&incremental, &rebuild);
+            prop_assert_eq!(incremental_pairs, rebuild_pairs);
+            prop_assert_eq!(&incremental, &delta_oracle(&table, &dc, delta_from));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine layer: the same ingest stream through `IncrementalMode::On`
+    /// (persistent maintained index) and `IncrementalMode::Off` (per-batch
+    /// index rebuild) produces byte-identical repaired tables, provenance
+    /// and per-batch cleaning reports.
+    #[test]
+    fn incremental_ingest_matches_rebuild_mode_end_to_end(
+        base in prop::collection::vec((0i64..5, 0i64..30, 0i64..25), 2..40),
+        tail in prop::collection::vec((0usize..6, 0usize..3, 0usize..3, 0usize..5), 0..2),
+        batches in prop::collection::vec(
+            prop::collection::vec((0i64..5, 0i64..30, 0i64..25), 0..6),
+            1..4,
+        ),
+    ) {
+        let dc = equality_dc(&tail);
+        let mut on = engine_with(IncrementalMode::On, &base, &dc);
+        let mut off = engine_with(IncrementalMode::Off, &base, &dc);
+        for batch in &batches {
+            let rows: Vec<Vec<Value>> = batch.iter().map(row_values).collect();
+            let on_outcome = on.ingest_rows("t", rows.clone()).unwrap();
+            let off_outcome = off.ingest_rows("t", rows).unwrap();
+            prop_assert_eq!(
+                on_outcome.report.errors_repaired,
+                off_outcome.report.errors_repaired
+            );
+            prop_assert_eq!(
+                on_outcome.report.cells_updated,
+                off_outcome.report.cells_updated
+            );
+        }
+        prop_assert_eq!(on.table("t").unwrap().tuples(), off.table("t").unwrap().tuples());
+        prop_assert_eq!(
+            on.provenance("t").map(|p| p.dump()),
+            off.provenance("t").map(|p| p.dump())
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Service layer: a mixed SQL + ingest request stream commits
+    /// byte-identically at 1, 2, 4 and 7 scheduler workers — the streaming
+    /// ingest path composes with speculative execution and footprint-based
+    /// commit validation without breaking the determinism guarantee.
+    #[test]
+    fn ingest_request_streams_are_deterministic_at_any_worker_count(
+        base in prop::collection::vec((0i64..5, 0i64..30, 0i64..25), 2..30),
+        batches in prop::collection::vec(
+            prop::collection::vec((0i64..5, 0i64..30, 0i64..25), 0..5),
+            1..4,
+        ),
+    ) {
+        let dc = equality_dc(&[]);
+        let requests: Vec<ServiceRequest> = batches
+            .iter()
+            .enumerate()
+            .flat_map(|(k, batch)| {
+                let rows: Vec<Vec<Value>> = batch.iter().map(row_values).collect();
+                vec![
+                    ServiceRequest::ingest(format!("s{}", k % 3), "t", rows),
+                    ServiceRequest::new(format!("s{}", (k + 1) % 3), "SELECT b FROM t WHERE a = 1"),
+                ]
+            })
+            .collect();
+
+        let run = |workers: usize| {
+            let service = CleaningService::new(engine_with(IncrementalMode::On, &base, &dc));
+            let report = service.run_with_workers(&requests, workers);
+            let observable: Vec<(usize, Option<Vec<daisy::storage::Tuple>>)> = report
+                .outcomes
+                .iter()
+                .map(|o| (o.submitted, o.outcome.as_ref().ok().map(|q| q.result.tuples.clone())))
+                .collect();
+            let table = service.shared().table("t").unwrap().tuples().to_vec();
+            let provenance = service.shared().provenance("t").map(|p| p.dump());
+            (observable, table, provenance)
+        };
+
+        let serial = run(1);
+        for workers in [2usize, 4, 7] {
+            let concurrent = run(workers);
+            prop_assert!(concurrent == serial, "diverged at {} workers", workers);
+        }
+    }
+}
