@@ -18,8 +18,10 @@
 //! default 3) and `DAISY_BENCH_OUT` (output path override).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
+use daisy_bench::skew::{generate_skewed_table, key_histogram};
 use daisy_common::{DetectionStrategy, RuleId, TupleId, Value};
 use daisy_core::clean_dc::repair_dc_violations;
 use daisy_core::clean_select::clean_select_fd_with;
@@ -29,7 +31,7 @@ use daisy_core::relaxation::FilterTarget;
 use daisy_core::theta::ThetaMatrix;
 use daisy_data::errors::{inject_fd_errors, inject_inequality_errors};
 use daisy_data::ssb::{generate_lineorder, SsbConfig};
-use daisy_exec::ExecContext;
+use daisy_exec::{chunk_ranges, ExecContext, MorselCounters};
 use daisy_expr::{DenialConstraint, FunctionalDependency};
 use daisy_storage::{ColumnSnapshot, Delta, ProvenanceStore, Table, Tuple};
 
@@ -43,6 +45,36 @@ struct Measurement {
     seconds: f64,
     /// Kernel-specific work counter (violations found / errors detected).
     work: usize,
+}
+
+/// One row of the `skewed_keys` axis: a full skew-adversarial sweep at a
+/// given `(workers, data_partitions)` point, with the morsel-scheduler
+/// counters from an instrumented (un-timed) pass.
+struct SkewEntry {
+    workers: usize,
+    data_partitions: usize,
+    seconds: f64,
+    violations: usize,
+    pairs: usize,
+    morsels: u64,
+    steals: u64,
+    per_worker: Vec<u64>,
+    work_imbalance: f64,
+}
+
+/// The `skewed_keys` axis report for the JSON output.
+struct SkewReport {
+    rows: usize,
+    distinct_keys: usize,
+    zipf_exponent: f64,
+    /// Candidate-mass imbalance static per-worker chunking would suffer at
+    /// 4 workers on this workload (computed analytically from the key
+    /// histogram, not measured).
+    static_imbalance: f64,
+    /// Which scaling assertion applied (multi-core speedup vs single-core
+    /// overhead bound) and the observed number.
+    scaling: String,
+    entries: Vec<SkewEntry>,
 }
 
 fn runs() -> usize {
@@ -403,7 +435,7 @@ fn main() {
                 let positions: Vec<usize> = (start..table.len()).collect();
                 maintained_out.push(
                     index
-                        .detect_delta(&schema, table.tuples(), &positions)
+                        .detect_delta(&ctx, &schema, table.tuples(), &positions)
                         .unwrap(),
                 );
                 let rebuilt =
@@ -433,7 +465,7 @@ fn main() {
                 index.absorb_delta(&table, &delta).unwrap();
                 let positions: Vec<usize> = (table.len() - batch.len()..table.len()).collect();
                 let (found, _) = index
-                    .detect_delta(&schema, table.tuples(), &positions)
+                    .detect_delta(&ctx, &schema, table.tuples(), &positions)
                     .unwrap();
                 violations += found.len();
             }
@@ -497,6 +529,156 @@ fn main() {
         );
     }
 
+    // Kernel 6: skew-adversarial detection.  A zipfian-hot equality key
+    // concentrates nearly all candidate-pair mass in one hash partition;
+    // static per-worker chunking pins that partition to a single worker
+    // (per-worker imbalance approaches the worker count), while the
+    // weighted morsel cuts split it across stealable tasks.  Every
+    // (workers, data_partitions) point must produce byte-identical
+    // violations and candidate-pair counts — asserted below.
+    let skew_report = {
+        let rows = 8_000usize;
+        let distinct = 40usize;
+        let exponent = 1.0f64;
+        let table = generate_skewed_table(rows, distinct, exponent, 7);
+        let dc = equality_dc();
+        let plan = dc.index_plan().expect("the bench DC has an index plan");
+        let schema = table.schema().as_ref().clone();
+
+        // What static chunking would do at 4 workers: candidate mass per
+        // key with group size g is g(g-1)/2 (the sweep enumerates ordered
+        // pairs), and chunking hands contiguous runs of partitions to
+        // workers, so the worker owning the hot key owns almost all of it.
+        let histogram = key_histogram(&table, distinct);
+        let masses: Vec<u64> = histogram
+            .iter()
+            .map(|&g| (g as u64) * (g as u64).saturating_sub(1) / 2)
+            .collect();
+        let chunk_masses: Vec<u64> = chunk_ranges(distinct, 4)
+            .into_iter()
+            .map(|(start, end)| masses[start..end].iter().sum())
+            .collect();
+        let mean_mass = chunk_masses.iter().sum::<u64>() as f64 / chunk_masses.len() as f64;
+        let static_imbalance = *chunk_masses.iter().max().unwrap() as f64 / mean_mass.max(1e-9);
+
+        let index = ViolationIndex::build(&ctx, &schema, &dc, &plan, table.tuples()).unwrap();
+        let mut entries: Vec<SkewEntry> = Vec::new();
+        let mut reference: Option<(Vec<_>, usize)> = None;
+        for &workers in &[1usize, 4] {
+            for &partitions in &[1usize, 16] {
+                let run_ctx = ExecContext::new(workers).with_data_partitions(partitions);
+                let (seconds, _) = time_min(|| {
+                    let (found, _) = index
+                        .sweep_detect(&run_ctx, &schema, table.tuples(), |_, _| true)
+                        .unwrap();
+                    found.len()
+                });
+                // One instrumented, un-timed pass for the scheduler
+                // counters (the single-worker fast path bypasses the
+                // morsel scheduler entirely, so it reports zero morsels).
+                let counters = Arc::new(MorselCounters::new());
+                let run_ctx = run_ctx.with_morsel_counters(Arc::clone(&counters));
+                let (found, pairs) = index
+                    .sweep_detect(&run_ctx, &schema, table.tuples(), |_, _| true)
+                    .unwrap();
+                eprintln!(
+                    "skewed_keys workers={workers} partitions={partitions}: {seconds:.4}s \
+                     ({} violations, {pairs} pairs, {} morsels, {} steals, \
+                     imbalance {:.2})",
+                    found.len(),
+                    counters.morsels(),
+                    counters.steals(),
+                    counters.work_imbalance().unwrap_or(1.0)
+                );
+                entries.push(SkewEntry {
+                    workers,
+                    data_partitions: partitions,
+                    seconds,
+                    violations: found.len(),
+                    pairs,
+                    morsels: counters.morsels(),
+                    steals: counters.steals(),
+                    per_worker: counters.per_worker(),
+                    work_imbalance: counters.work_imbalance().unwrap_or(1.0),
+                });
+                match &reference {
+                    None => reference = Some((found, pairs)),
+                    Some((ref_found, ref_pairs)) => {
+                        assert_eq!(
+                            ref_found, &found,
+                            "skewed sweep violations diverged at workers={workers} \
+                             data_partitions={partitions}"
+                        );
+                        assert_eq!(
+                            *ref_pairs, pairs,
+                            "skewed sweep pair counts diverged at workers={workers} \
+                             data_partitions={partitions}"
+                        );
+                    }
+                }
+            }
+        }
+
+        // The weighted cuts must keep per-morsel work within 2x of the
+        // mean at 16 partitions even though one key owns most of the mass.
+        let fine = entries
+            .iter()
+            .find(|e| e.workers == 4 && e.data_partitions == 16)
+            .unwrap();
+        assert!(
+            fine.work_imbalance <= 2.0,
+            "morsel work imbalance {:.2} exceeds 2x at 16 data partitions \
+             (static chunking imbalance on this workload: {static_imbalance:.2})",
+            fine.work_imbalance
+        );
+
+        let secs = |w: usize, p: usize| {
+            entries
+                .iter()
+                .find(|e| e.workers == w && e.data_partitions == p)
+                .unwrap()
+                .seconds
+        };
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let scaling = if cores >= 4 {
+            // Static chunking at 4 workers degenerates to the single-worker
+            // time on this workload (one worker owns the hot partition), so
+            // the single-worker sweep is its lower bound.
+            let speedup = secs(1, 1) / secs(4, 16).max(1e-9);
+            assert!(
+                speedup > 1.5,
+                "skewed sweep at 4 workers x 16 partitions must beat the \
+                 static-chunking bound by > 1.5x on a multi-core host, got {speedup:.2}x"
+            );
+            format!(
+                "multicore host ({cores} cores): {speedup:.2}x over the \
+                 single-worker sweep, the static-chunking lower bound"
+            )
+        } else {
+            let overhead = secs(4, 16) / secs(1, 1).max(1e-9);
+            assert!(
+                overhead <= 3.0,
+                "morsel scheduling overhead {overhead:.2}x exceeds the 3x bound \
+                 on a single-core host"
+            );
+            format!(
+                "single-core host: scheduling overhead bounded at {overhead:.2}x \
+                 the single-worker sweep; the > 1.5x speedup assertion needs >= 4 cores"
+            )
+        };
+        eprintln!("skewed_keys scaling: {scaling}");
+        SkewReport {
+            rows,
+            distinct_keys: distinct,
+            zipf_exponent: exponent,
+            static_imbalance,
+            scaling,
+            entries,
+        }
+    };
+
     // Sanity: every read-path combination agrees on the work it found.
     for &rows in &row_counts {
         for kernel in ["theta_check", "clean_select", "dc_repair", "repair_loop"] {
@@ -512,7 +694,7 @@ fn main() {
         }
     }
 
-    let json = render_json(&row_counts, &measurements);
+    let json = render_json(&row_counts, &measurements, &skew_report);
     let out = output_path();
     std::fs::write(&out, json).unwrap();
     eprintln!("wrote {}", out.display());
@@ -526,7 +708,7 @@ fn output_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detection.json")
 }
 
-fn render_json(row_counts: &[usize], measurements: &[Measurement]) -> String {
+fn render_json(row_counts: &[usize], measurements: &[Measurement], skew: &SkewReport) -> String {
     let mut json = String::from("{\n  \"bench\": \"detection\",\n  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
@@ -614,6 +796,48 @@ fn render_json(row_counts: &[usize], measurements: &[Measurement]) -> String {
             rebuild_s / maintained_s.max(1e-9)
         ));
     }
-    json.push_str("\n  }\n}\n");
+
+    // The skew axis: the morsel scheduler on a zipfian-hot equality key.
+    // Violations and pair counts are identical across every combination
+    // (asserted in main); what varies is wall-clock and how evenly the
+    // candidate mass spread over morsels.
+    json.push_str("\n  },\n  \"skewed_keys\": {\n");
+    json.push_str(&format!("    \"rows\": {},\n", skew.rows));
+    json.push_str(&format!("    \"distinct_keys\": {},\n", skew.distinct_keys));
+    json.push_str(&format!(
+        "    \"zipf_exponent\": {:.2},\n",
+        skew.zipf_exponent
+    ));
+    json.push_str(&format!(
+        "    \"static_chunking_imbalance_at_4_workers\": {:.2},\n",
+        skew.static_imbalance
+    ));
+    json.push_str(&format!("    \"scaling\": \"{}\",\n", skew.scaling));
+    json.push_str("    \"results\": [\n");
+    for (i, e) in skew.entries.iter().enumerate() {
+        let comma = if i + 1 == skew.entries.len() { "" } else { "," };
+        let per_worker = e
+            .per_worker
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "      {{\"workers\": {}, \"data_partitions\": {}, \"seconds\": {:.6}, \
+             \"violations\": {}, \"pairs\": {}, \"morsels\": {}, \"steals\": {}, \
+             \"per_worker_morsels\": [{}], \"work_imbalance\": {:.3}}}{}\n",
+            e.workers,
+            e.data_partitions,
+            e.seconds,
+            e.violations,
+            e.pairs,
+            e.morsels,
+            e.steals,
+            per_worker,
+            e.work_imbalance,
+            comma
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     json
 }

@@ -18,5 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod skew;
 
 pub use harness::{run_daisy_workload, run_offline_then_query, BenchScale, WorkloadMeasurement};
+pub use skew::{generate_skewed_table, key_histogram, ZipfSampler};

@@ -1,0 +1,180 @@
+//! Seeded zipfian/skewed table generation for the skew-adversarial
+//! detection benches.
+//!
+//! The detection kernels' cost concentrates wherever equality keys collide:
+//! one zipfian-hot key turns its hash partition into almost all of the
+//! candidate-pair mass, which is exactly the workload shape where static
+//! per-worker chunking collapses (one worker owns the hot partition while
+//! the others idle).  This module generates such tables deterministically —
+//! same parameters and seed, same table, on every platform — so the
+//! `skewed_keys` axis of `bench_detection` is reproducible.
+
+use daisy_common::{DataType, Schema, Value};
+use daisy_storage::Table;
+
+/// A deterministic zipf-like sampler over ranks `0..distinct`: rank `r` is
+/// drawn with probability proportional to `1 / (r + 1)^exponent`, via
+/// inverse-CDF lookup on a precomputed cumulative table driven by a
+/// splitmix64 stream.  No platform-dependent floating-point libm calls
+/// beyond `powf`, whose inputs are small and whose rounding cannot flip a
+/// cumulative-table binary search in practice on any IEEE-754 target.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `distinct` ranks with the given skew
+    /// `exponent` (`0.0` = uniform; `~1.0` = classic zipf) and RNG `seed`.
+    ///
+    /// # Panics
+    /// Panics if `distinct` is zero.
+    pub fn new(distinct: usize, exponent: f64, seed: u64) -> ZipfSampler {
+        assert!(distinct > 0, "distinct must be > 0");
+        let mut cdf = Vec::with_capacity(distinct);
+        let mut total = 0.0f64;
+        for r in 0..distinct {
+            total += 1.0 / ((r + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        ZipfSampler { cdf, state: seed }
+    }
+
+    /// The next uniform `u64` of the underlying splitmix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Draws the next rank in `0..distinct` under the zipfian law.
+    pub fn next_rank(&mut self) -> usize {
+        // 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// Generates a deterministic skew-keyed table shaped like the equality DC
+/// the detection benches target: `suppkey` (the zipfian equality key, rank
+/// `r` maps to key value `r` so rank 0 is the hottest), `extended_price`
+/// (the sweep attribute, pseudo-uniform in `[1000, 9999]`) and `discount`
+/// (correlated with the price, `price / 10` plus a small jitter, so the
+/// inverted price/discount pairs the DC flags exist but stay rare — the
+/// candidate mass is what is skewed, not the violation count).
+pub fn generate_skewed_table(rows: usize, distinct_keys: usize, exponent: f64, seed: u64) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("suppkey", DataType::Int),
+        ("extended_price", DataType::Int),
+        ("discount", DataType::Int),
+    ])
+    .expect("static schema is valid");
+    let mut sampler = ZipfSampler::new(distinct_keys, exponent, seed);
+    let mut table_rows = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let key = sampler.next_rank() as i64;
+        let price = 1_000 + (sampler.next_u64() % 9_000) as i64;
+        let jitter = (sampler.next_u64() % 7) as i64 - 3;
+        table_rows.push(vec![
+            Value::Int(key),
+            Value::Int(price),
+            Value::Int(price / 10 + jitter),
+        ]);
+    }
+    Table::from_rows("skewed", schema, table_rows).expect("generated rows match the schema")
+}
+
+/// The per-key frequency histogram of a generated table's `suppkey`
+/// column, indexed by key value (= zipf rank).
+pub fn key_histogram(table: &Table, distinct_keys: usize) -> Vec<usize> {
+    let mut histogram = vec![0usize; distinct_keys];
+    for tuple in table.tuples() {
+        let key = tuple.value(0).expect("column 0 exists");
+        let k = key.as_int().expect("suppkey is an Int") as usize;
+        histogram[k] += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generate_skewed_table(500, 20, 1.1, 42);
+        let b = generate_skewed_table(500, 20, 1.1, 42);
+        assert_eq!(a.tuples().len(), b.tuples().len());
+        for (ta, tb) in a.tuples().iter().zip(b.tuples()) {
+            assert_eq!(ta.cells, tb.cells);
+        }
+        // A different seed must actually change the stream.
+        let c = generate_skewed_table(500, 20, 1.1, 43);
+        assert!(a
+            .tuples()
+            .iter()
+            .zip(c.tuples())
+            .any(|(ta, tc)| ta.cells != tc.cells));
+    }
+
+    #[test]
+    fn key_frequencies_follow_the_zipfian_shape() {
+        let rows = 20_000;
+        let distinct = 50;
+        let table = generate_skewed_table(rows, distinct, 1.0, 7);
+        let histogram = key_histogram(&table, distinct);
+        assert_eq!(histogram.iter().sum::<usize>(), rows);
+        // Rank 0 carries ~1/H(50) ≈ 22% of the mass under s = 1.0; pin a
+        // generous band so the sampler cannot silently degrade to uniform
+        // (uniform would put ~2% on every key).
+        assert!(
+            histogram[0] > rows / 6 && histogram[0] < rows / 3,
+            "hot key carries {} of {rows} rows",
+            histogram[0]
+        );
+        // The head dominates the tail: rank 0 at least 10× the median key.
+        let mut sorted = histogram.clone();
+        sorted.sort_unstable();
+        let median = sorted[distinct / 2];
+        assert!(
+            histogram[0] >= 10 * median.max(1),
+            "hot key {} vs median {median}",
+            histogram[0]
+        );
+        // Expected frequencies decay with rank: the first rank outweighs
+        // the second, which outweighs the tenth.
+        assert!(histogram[0] > histogram[1]);
+        assert!(histogram[1] > histogram[9]);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let rows = 10_000;
+        let distinct = 10;
+        let table = generate_skewed_table(rows, distinct, 0.0, 11);
+        let histogram = key_histogram(&table, distinct);
+        let expected = rows / distinct;
+        for (k, &count) in histogram.iter().enumerate() {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "key {k} has {count} rows, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_ranks_stay_in_range() {
+        let mut sampler = ZipfSampler::new(5, 1.5, 99);
+        for _ in 0..10_000 {
+            assert!(sampler.next_rank() < 5);
+        }
+    }
+}

@@ -365,12 +365,15 @@ pub struct DaisyConfig {
     pub use_cost_model: bool,
     /// Number of worker threads used by the execution substrate.
     pub worker_threads: usize,
-    /// Sizing hint for horizontal data partitioning.  **Currently inert**:
-    /// the parallel primitives chunk their input by the worker count
-    /// (`worker_threads`), one contiguous range per worker, so this knob
-    /// changes nothing yet.  It is validated and kept for workloads that
-    /// need finer-grained chunking than one range per worker (work
-    /// stealing / skew); wiring it through `daisy-exec` is the open item.
+    /// Morsel granularity of the execution substrate: every parallel
+    /// kernel splits its input into up to `worker_threads ×
+    /// data_partitions` morsels, dispatched through the work-stealing
+    /// scheduler of `daisy-exec`.  Finer granularity gives the scheduler
+    /// more slack to rebalance skew (one hot equality key no longer pins a
+    /// whole worker); `1` degenerates to classic one-chunk-per-worker
+    /// static chunking.  Morsel outputs are merged in morsel-index order,
+    /// so — like `worker_threads` — this knob only changes wall-clock
+    /// time, never results.  The default honours [`DATA_PARTITIONS_ENV`].
     pub data_partitions: usize,
     /// Maximum number of relaxation iterations (safety bound for the
     /// transitive-closure loop of Algorithm 1).
@@ -419,7 +422,7 @@ impl Default for DaisyConfig {
             accuracy_threshold: 0.5,
             use_cost_model: true,
             worker_threads: default_threads(),
-            data_partitions: 2 * default_threads(),
+            data_partitions: default_data_partitions(),
             max_relaxation_iterations: 64,
             push_down_cleaning: true,
             detection_strategy: DetectionStrategy::from_env().unwrap_or_default(),
@@ -441,12 +444,25 @@ impl Default for DaisyConfig {
 /// CI run the whole test suite at several fixed thread counts.
 pub const WORKER_THREADS_ENV: &str = "DAISY_WORKER_THREADS";
 
+/// Environment variable overriding the default morsel granularity
+/// (`data_partitions`, positive integers only).
+///
+/// Morsel outputs are merged in morsel-index order, so — like
+/// [`WORKER_THREADS_ENV`] — forcing a granularity only changes wall-clock
+/// time, never results; CI runs the suite at both the degenerate (`1`) and
+/// a fine (`16`) setting to pin that down.
+pub const DATA_PARTITIONS_ENV: &str = "DAISY_DATA_PARTITIONS";
+
 fn default_threads() -> usize {
     DaisyConfig::env_worker_threads().unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
     })
+}
+
+fn default_data_partitions() -> usize {
+    DaisyConfig::env_data_partitions().unwrap_or(DaisyConfig::DEFAULT_DATA_PARTITIONS)
 }
 
 fn default_service_workers() -> usize {
@@ -469,6 +485,12 @@ impl DaisyConfig {
     /// builder overrides it.
     pub const DEFAULT_COMMIT_LOG_CAPACITY: usize = 128;
 
+    /// The morsel granularity used when neither [`DATA_PARTITIONS_ENV`] nor
+    /// a builder overrides it: two morsels per worker, enough slack for the
+    /// work-stealing scheduler to rebalance moderate skew without
+    /// per-morsel overhead dominating small inputs.
+    pub const DEFAULT_DATA_PARTITIONS: usize = 2;
+
     /// The worker-thread override from [`WORKER_THREADS_ENV`], if the
     /// variable is set to a positive integer.  Invalid or non-positive
     /// values are ignored (the machine default applies).
@@ -488,6 +510,13 @@ impl DaisyConfig {
     /// values are ignored (the machine default applies).
     pub fn env_service_workers() -> Option<usize> {
         parse_worker_threads(std::env::var(SERVICE_WORKERS_ENV).ok().as_deref())
+    }
+
+    /// The morsel-granularity override from [`DATA_PARTITIONS_ENV`], if the
+    /// variable is set to a positive integer.  Invalid or non-positive
+    /// values are ignored (the default granularity applies).
+    pub fn env_data_partitions() -> Option<usize> {
+        parse_worker_threads(std::env::var(DATA_PARTITIONS_ENV).ok().as_deref())
     }
 
     /// Validates the configuration, returning a descriptive error for any
@@ -664,6 +693,28 @@ mod tests {
         assert_eq!(parse_worker_threads(None), None);
         // Whatever the ambient environment says, the default stays valid.
         assert!(DaisyConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn data_partitions_env_parses_and_default_honors_it() {
+        // The granularity override shares the positive-integer parsing
+        // rules of the worker-thread knob; both are tested via the pure
+        // helper to avoid `set_var` races in parallel tests.
+        assert_eq!(parse_worker_threads(Some("16")), Some(16));
+        assert_eq!(parse_worker_threads(Some("0")), None);
+        let cfg = DaisyConfig::default().with_data_partitions(16);
+        assert_eq!(cfg.data_partitions, 16);
+        assert!(cfg.validate().is_ok());
+        // Whatever the ambient environment says, the default stays valid
+        // and reflects a forced granularity when one is set.
+        assert!(DaisyConfig::default().validate().is_ok());
+        match DaisyConfig::env_data_partitions() {
+            Some(forced) => assert_eq!(DaisyConfig::default().data_partitions, forced),
+            None => assert_eq!(
+                DaisyConfig::default().data_partitions,
+                DaisyConfig::DEFAULT_DATA_PARTITIONS
+            ),
+        }
     }
 
     #[test]

@@ -99,7 +99,8 @@ impl DaisyEngine {
     /// shared world and wraps it in a private engine).
     pub(crate) fn from_world(config: DaisyConfig, world: WorldState) -> Result<Self> {
         config.validate()?;
-        let ctx = ExecContext::new(config.worker_threads);
+        let ctx =
+            ExecContext::new(config.worker_threads).with_data_partitions(config.data_partitions);
         Ok(DaisyEngine {
             config,
             ctx,
@@ -1145,7 +1146,7 @@ impl DaisyEngine {
                 .violation_indexes
                 .get(&key)
                 .expect("just ensured current");
-            index.detect_delta(schema, tuples, positions)
+            index.detect_delta(&self.ctx, schema, tuples, positions)
         } else {
             let index = ViolationIndex::build(&self.ctx, schema, rule, &plan, tuples)?;
             let in_delta: HashSet<usize> = positions.iter().copied().collect();

@@ -40,6 +40,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use daisy_common::{Result, RuleId, Schema, Value};
+use daisy_exec::ExecContext;
 use daisy_expr::{ComparisonOp, DcPredicate, DenialConstraint, IndexPlan, Violation};
 use daisy_storage::{Delta, Table, Tuple};
 
@@ -248,15 +249,72 @@ impl MaintainedIndex {
     /// is the byte-identity the differential tests pin.  Output is
     /// canonical ([`canonicalize_violations`](super::canonicalize_violations)).
     ///
-    /// The enumeration is a sequential loop over the (small) delta, so it
-    /// is trivially identical for every worker count.
+    /// Delta rows are enumerated as weighted morsels on `ctx`: each row is
+    /// weighted by its partitions' member counts (its candidate fanout), so
+    /// a batch that hammers one hot equality key splits into morsels of
+    /// roughly equal work that the scheduler can steal, instead of pinning
+    /// one worker.  Morsel outputs are merged in delta order before
+    /// canonicalisation, and the pair counter is an order-independent sum,
+    /// so the result is identical for every worker count and granularity.
     pub fn detect_delta(
         &self,
+        ctx: &ExecContext,
         schema: &Schema,
         tuples: &[Tuple],
         delta_positions: &[usize],
     ) -> Result<(Vec<Violation>, usize)> {
         let in_delta: HashSet<usize> = delta_positions.iter().copied().collect();
+        if ctx.workers() == 1 {
+            let (found, pairs) =
+                self.detect_delta_rows(schema, tuples, delta_positions, &in_delta)?;
+            return Ok((canonicalize_violations(found), pairs));
+        }
+        let weights: Vec<u64> = delta_positions
+            .iter()
+            .map(|&d| {
+                let c = &self.contributions[d];
+                let right_fanout = self
+                    .partitions
+                    .get(&c.right_key)
+                    .map_or(0, |p| p.left.len());
+                let left_fanout = self.partitions.get(&c.left_key).map_or(0, |p| {
+                    if self.symmetric {
+                        p.left.len()
+                    } else {
+                        p.right.len()
+                    }
+                });
+                (right_fanout + left_fanout) as u64 + 1
+            })
+            .collect();
+        let ranges = daisy_exec::weighted_ranges(&weights, ctx.morsel_count(delta_positions.len()));
+        let partials = daisy_exec::try_run_tasks(ctx, &ranges, |&(start, end)| {
+            let out =
+                self.detect_delta_rows(schema, tuples, &delta_positions[start..end], &in_delta)?;
+            if let Some(counters) = ctx.morsel_counters() {
+                counters.record_work(out.1 as u64);
+            }
+            Ok::<_, daisy_common::DaisyError>(out)
+        })?;
+        let mut found = Vec::new();
+        let mut pairs = 0usize;
+        for (partial, count) in partials {
+            found.extend(partial);
+            pairs += count;
+        }
+        Ok((canonicalize_violations(found), pairs))
+    }
+
+    /// Enumerates the directed candidate bindings of a contiguous run of
+    /// delta rows (the body one morsel executes).  Concatenating runs in
+    /// delta order equals the full sequential enumeration.
+    fn detect_delta_rows(
+        &self,
+        schema: &Schema,
+        tuples: &[Tuple],
+        delta_positions: &[usize],
+        in_delta: &HashSet<usize>,
+    ) -> Result<(Vec<Violation>, usize)> {
         let mut found = Vec::new();
         let mut pairs = 0usize;
         for &d in delta_positions {
@@ -298,7 +356,7 @@ impl MaintainedIndex {
                 }
             }
         }
-        Ok((canonicalize_violations(found), pairs))
+        Ok((found, pairs))
     }
 
     /// Residual-checks one directed candidate binding, mirroring the
@@ -537,7 +595,7 @@ mod tests {
 
         let positions: Vec<usize> = (60..65).collect();
         let (found, pairs) = index
-            .detect_delta(table.schema(), table.tuples(), &positions)
+            .detect_delta(&ctx(), table.schema(), table.tuples(), &positions)
             .unwrap();
         assert_eq!(found, delta_oracle(&table, &constraint, &delta_ids));
         assert!(!found.is_empty());
@@ -576,7 +634,7 @@ mod tests {
 
         let positions = vec![3usize, 7];
         let (found, pairs) = index
-            .detect_delta(table.schema(), table.tuples(), &positions)
+            .detect_delta(&ctx(), table.schema(), table.tuples(), &positions)
             .unwrap();
         let delta_ids: HashSet<TupleId> = [t3, t7].into_iter().collect();
         assert_eq!(found, delta_oracle(&table, &constraint, &delta_ids));
@@ -618,7 +676,7 @@ mod tests {
 
         let delta_ids: HashSet<TupleId> = [t0].into_iter().collect();
         let (found, _) = index
-            .detect_delta(table.schema(), table.tuples(), &[0])
+            .detect_delta(&ctx(), table.schema(), table.tuples(), &[0])
             .unwrap();
         assert_eq!(found, delta_oracle(&table, &constraint, &delta_ids));
     }
@@ -686,7 +744,7 @@ mod tests {
         let positions = vec![3usize, 4];
         let delta_ids: HashSet<TupleId> = [a, b].into_iter().collect();
         let (found, pairs) = index
-            .detect_delta(table.schema(), table.tuples(), &positions)
+            .detect_delta(&ctx(), table.schema(), table.tuples(), &positions)
             .unwrap();
         assert_eq!(found, delta_oracle(&table, &constraint, &delta_ids));
         let (baseline, baseline_pairs) = rebuild_baseline(&table, &constraint, &positions);
@@ -738,7 +796,7 @@ mod tests {
         let positions = vec![5usize, 30];
         let delta_ids: HashSet<TupleId> = [a, t5].into_iter().collect();
         let (found, pairs) = index
-            .detect_delta(table.schema(), table.tuples(), &positions)
+            .detect_delta(&ctx(), table.schema(), table.tuples(), &positions)
             .unwrap();
         assert_eq!(found, delta_oracle(&table, &constraint, &delta_ids));
         assert!(!found.is_empty());

@@ -331,26 +331,19 @@ impl ViolationIndex {
     {
         // Both arms run the same generic enumeration; only the residual
         // check per surviving binding differs.
-        let partials: Vec<(Vec<Violation>, usize)> = match &self.kernel {
+        match &self.kernel {
             IndexKernel::Rows {
                 partitions,
                 residual,
-            } => daisy_exec::par_flat_map_chunks(ctx, partitions, |chunk| {
-                let mut found = Vec::new();
-                let mut pairs = 0usize;
-                for part in chunk {
-                    self.scan_partition(tuples, part, &admit, &mut found, &mut pairs, |i, j| {
-                        let binding = [&tuples[i], &tuples[j]];
-                        for pred in residual {
-                            if !pred.eval(schema, &binding)? {
-                                return Ok(false);
-                            }
-                        }
-                        Ok(true)
-                    })?;
+            } => self.run_sweep(ctx, partitions, tuples, &admit, &|i, j| {
+                let binding = [&tuples[i], &tuples[j]];
+                for pred in residual {
+                    if !pred.eval(schema, &binding)? {
+                        return Ok(false);
+                    }
                 }
-                Ok::<_, DaisyError>(vec![(found, pairs)])
-            })?,
+                Ok(true)
+            }),
             IndexKernel::Coded {
                 partitions,
                 residual,
@@ -360,23 +353,75 @@ impl ViolationIndex {
                         "a snapshot-built violation index must be swept with its snapshot".into(),
                     )
                 })?;
-                daisy_exec::par_flat_map_chunks(ctx, partitions, |chunk| {
-                    let mut found = Vec::new();
-                    let mut pairs = 0usize;
-                    for part in chunk {
-                        self.scan_partition(
-                            tuples,
-                            part,
-                            &admit,
-                            &mut found,
-                            &mut pairs,
-                            |i, j| Ok(residual.iter().all(|pred| pred.eval(snap, [i, j]))),
-                        )?;
-                    }
-                    Ok::<_, DaisyError>(vec![(found, pairs)])
-                })?
+                self.run_sweep(ctx, partitions, tuples, &admit, &|i, j| {
+                    Ok(residual.iter().all(|pred| pred.eval(snap, [i, j])))
+                })
             }
-        };
+        }
+    }
+
+    /// Drives the generic partition sweep: sequentially at one worker,
+    /// otherwise as **skew-sharded morsel tasks** — per-probe candidate
+    /// weights cut the flat outer-position space into morsels of roughly
+    /// equal candidate mass ([`daisy_exec::weighted_ranges`]), so one giant
+    /// hash-equality partition is split across several stealable tasks
+    /// while runs of tiny partitions are packed into one.  Task outputs are
+    /// merged in task order, which equals the sequential enumeration order,
+    /// so violations **and** the pair counter are byte-identical for every
+    /// worker count and morsel granularity.
+    fn run_sweep<V, F, R>(
+        &self,
+        ctx: &ExecContext,
+        partitions: &[SweepPartition<V>],
+        tuples: &[Tuple],
+        admit: &F,
+        residual_holds: &R,
+    ) -> Result<(Vec<Violation>, usize)>
+    where
+        V: SweepValue + Sync,
+        F: Fn(usize, usize) -> bool + Sync,
+        R: Fn(usize, usize) -> Result<bool> + Sync,
+    {
+        if ctx.workers() == 1 {
+            let mut found = Vec::new();
+            let mut pairs = 0usize;
+            for part in partitions {
+                let outer = match self.sweep_op {
+                    Some(_) => part.right().len(),
+                    None => part.left.len(),
+                };
+                self.scan_partition(
+                    tuples,
+                    part,
+                    0..outer,
+                    admit,
+                    &mut found,
+                    &mut pairs,
+                    residual_holds,
+                )?;
+            }
+            return Ok((found, pairs));
+        }
+        let tasks = self.skew_tasks(ctx, partitions);
+        let partials = daisy_exec::try_run_tasks(ctx, &tasks, |segments| {
+            let mut found = Vec::new();
+            let mut pairs = 0usize;
+            for &(p, start, end) in segments {
+                self.scan_partition(
+                    tuples,
+                    &partitions[p],
+                    start..end,
+                    admit,
+                    &mut found,
+                    &mut pairs,
+                    residual_holds,
+                )?;
+            }
+            if let Some(counters) = ctx.morsel_counters() {
+                counters.record_work(pairs as u64);
+            }
+            Ok::<_, DaisyError>((found, pairs))
+        })?;
         let mut violations = Vec::new();
         let mut pairs = 0usize;
         for (found, count) in partials {
@@ -384,6 +429,53 @@ impl ViolationIndex {
             pairs += count;
         }
         Ok((violations, pairs))
+    }
+
+    /// Cuts the sweep into weighted morsel tasks.  Each task is a list of
+    /// `(partition, outer_start, outer_end)` segments over the flat
+    /// outer-position space (right-role probes under a sweep, left members
+    /// otherwise), weighted per position by its candidate count (`+1` for
+    /// the probe itself), so cuts land where the candidate mass is: a
+    /// skewed partition's sweep is split mid-partition across several
+    /// stealable tasks instead of pinning one worker.
+    fn skew_tasks<V: SweepValue>(
+        &self,
+        ctx: &ExecContext,
+        partitions: &[SweepPartition<V>],
+    ) -> Vec<Vec<(usize, usize, usize)>> {
+        let mut weights: Vec<u64> = Vec::new();
+        let mut owner: Vec<(usize, usize)> = Vec::new();
+        for (p, part) in partitions.iter().enumerate() {
+            match self.sweep_op {
+                Some(op) => {
+                    for (o, probe) in part.right().iter().enumerate() {
+                        let candidates = sweep_candidates(&part.left, op, &probe.value).len();
+                        weights.push(candidates as u64 + 1);
+                        owner.push((p, o));
+                    }
+                }
+                None => {
+                    let inner = part.right().len() as u64;
+                    for o in 0..part.left.len() {
+                        weights.push(inner + 1);
+                        owner.push((p, o));
+                    }
+                }
+            }
+        }
+        daisy_exec::weighted_ranges(&weights, ctx.morsel_count(weights.len()))
+            .into_iter()
+            .map(|(start, end)| {
+                let mut segments: Vec<(usize, usize, usize)> = Vec::new();
+                for &(p, o) in &owner[start..end] {
+                    match segments.last_mut() {
+                        Some(seg) if seg.0 == p && seg.2 == o => seg.2 = o + 1,
+                        _ => segments.push((p, o, o + 1)),
+                    }
+                }
+                segments
+            })
+            .collect()
     }
 
     /// Full detection over the whole index with canonical output — the
@@ -411,26 +503,31 @@ impl ViolationIndex {
         Ok((canonicalize_violations(violations), pairs))
     }
 
-    /// Enumerates one partition's candidate bindings — all left×right pairs
-    /// when the plan has no sweep predicate, otherwise, per right-role
+    /// Enumerates one partition's candidate bindings for the outer
+    /// positions in `outer` — all left×right pairs when the plan has no
+    /// sweep predicate (outer = left members), otherwise, per right-role
     /// probe, the order-statistics prefix/suffix of the sorted left-role
     /// members that satisfies the sweep — and residual-checks each admitted
     /// binding through `residual_holds`.  One implementation serves both
     /// read paths; `pairs` counts residual-checked bindings identically.
+    /// Restricting `outer` is what lets [`ViolationIndex::skew_tasks`]
+    /// split one skewed partition across several morsels: concatenating
+    /// range scans in order equals the full scan.
     #[allow(clippy::too_many_arguments)]
     fn scan_partition<V, F, R>(
         &self,
         tuples: &[Tuple],
         part: &SweepPartition<V>,
+        outer: std::ops::Range<usize>,
         admit: &F,
         out: &mut Vec<Violation>,
         pairs: &mut usize,
-        mut residual_holds: R,
+        residual_holds: &R,
     ) -> Result<()>
     where
         V: SweepValue,
         F: Fn(usize, usize) -> bool,
-        R: FnMut(usize, usize) -> Result<bool>,
+        R: Fn(usize, usize) -> Result<bool>,
     {
         let mut check = |i: usize, j: usize| -> Result<()> {
             if i == j || !admit(i, j) {
@@ -444,14 +541,14 @@ impl ViolationIndex {
         };
         match self.sweep_op {
             None => {
-                for l in &part.left {
+                for l in &part.left[outer] {
                     for r in part.right() {
                         check(l.pos, r.pos)?;
                     }
                 }
             }
             Some(op) => {
-                for r in part.right() {
+                for r in &part.right()[outer] {
                     for l in sweep_candidates(&part.left, op, &r.value) {
                         check(l.pos, r.pos)?;
                     }

@@ -13,19 +13,27 @@
 //! run partitions in parallel and (c) merge results.  Everything in this
 //! crate is deterministic with respect to the input order so that experiment
 //! results are reproducible.
+//!
+//! Work is scheduled **morsel-driven** (see [`morsel`]): inputs are split
+//! into `workers × data_partitions` morsels dispatched through per-worker
+//! deques with work stealing, and morsel outputs are merged in morsel-index
+//! order — so skewed inputs rebalance across workers without the scheduler
+//! ever becoming visible in the output.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod morsel;
 pub mod parallel;
 pub mod partitioning;
 pub mod pool;
 pub mod schedule;
 
+pub use morsel::{run_stealing, try_run_tasks, MorselCounters};
 pub use parallel::{
     par_filter, par_flat_map, par_flat_map_chunks, par_group_by, par_group_by_sharded, par_map,
     par_map_chunks,
 };
-pub use partitioning::{chunk_ranges, Partitioning};
+pub use partitioning::{chunk_ranges, weighted_ranges, Partitioning};
 pub use pool::ExecContext;
 pub use schedule::{fair_order, AdmissionOrder, CommitTurnstile};

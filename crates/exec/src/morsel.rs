@@ -1,0 +1,324 @@
+//! The morsel-driven work-stealing scheduler.
+//!
+//! Every data-parallel primitive in this crate splits its input into
+//! **morsels** — many more pieces than workers (`workers × data_partitions`,
+//! see [`ExecContext::morsel_count`]) — and dispatches them through
+//! per-worker deques with stealing.  A worker drains its own deque from the
+//! front and, when empty, steals from the *back* of a victim's deque, so a
+//! skewed morsel (one giant equality partition, one hot key) delays only the
+//! worker that holds it while the rest of its initial assignment is stolen
+//! away.
+//!
+//! Determinism is preserved by construction: morsels are an up-front, fixed
+//! decomposition of the input (never split dynamically), each morsel's
+//! output is tagged with its index, and the merged result is assembled in
+//! morsel-index order after all workers finish.  Which worker ran a morsel
+//! is therefore invisible in the output — the same order-preserving contract
+//! the static chunking honored, now independent of scheduling.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::partitioning::chunk_ranges;
+use crate::pool::ExecContext;
+
+/// Scheduling metrics of one or more morsel-scheduled operations.
+///
+/// Attach a handle to an [`ExecContext`] via
+/// [`ExecContext::with_morsel_counters`] to observe how the scheduler
+/// behaved: how many morsels ran, how many were stolen (executed by a
+/// worker other than the one they were seeded to), how many each worker
+/// executed, and — when a kernel reports it via
+/// [`MorselCounters::record_work`] — the per-morsel work so skew can be
+/// quantified as a max/mean imbalance.  Counters never influence results;
+/// they only observe.
+#[derive(Debug, Default)]
+pub struct MorselCounters {
+    morsels: AtomicU64,
+    steals: AtomicU64,
+    per_worker: Mutex<Vec<u64>>,
+    work: Mutex<Vec<u64>>,
+}
+
+impl MorselCounters {
+    /// Creates a fresh, shareable counter set.
+    pub fn new() -> Arc<MorselCounters> {
+        Arc::new(MorselCounters::default())
+    }
+
+    /// Records one executed morsel for `worker` (`stolen` when the worker
+    /// was not the one the morsel was seeded to).
+    pub fn record_morsel(&self, worker: usize, stolen: bool) {
+        self.morsels.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut per_worker = self.per_worker.lock().expect("counter lock poisoned");
+        if per_worker.len() <= worker {
+            per_worker.resize(worker + 1, 0);
+        }
+        per_worker[worker] += 1;
+    }
+
+    /// Records one morsel's work (kernel-defined units, e.g. candidate
+    /// pairs enumerated).  Kernels call this so benches can report the
+    /// max/mean morsel-work imbalance.
+    pub fn record_work(&self, amount: u64) {
+        self.work
+            .lock()
+            .expect("counter lock poisoned")
+            .push(amount);
+    }
+
+    /// Total morsels executed.
+    pub fn morsels(&self) -> u64 {
+        self.morsels.load(Ordering::Relaxed)
+    }
+
+    /// Morsels executed by a worker other than the one they were seeded to.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Morsels executed per worker (index = worker id).
+    pub fn per_worker(&self) -> Vec<u64> {
+        self.per_worker
+            .lock()
+            .expect("counter lock poisoned")
+            .clone()
+    }
+
+    /// The kernel-reported per-morsel work samples, in recording order.
+    pub fn work_samples(&self) -> Vec<u64> {
+        self.work.lock().expect("counter lock poisoned").clone()
+    }
+
+    /// Max/mean of the recorded work samples — the skew figure the
+    /// acceptance bench bounds.  `None` until work has been recorded.
+    pub fn work_imbalance(&self) -> Option<f64> {
+        let samples = self.work.lock().expect("counter lock poisoned");
+        if samples.is_empty() {
+            return None;
+        }
+        let max = *samples.iter().max().expect("non-empty") as f64;
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        if mean == 0.0 {
+            return Some(1.0);
+        }
+        Some(max / mean)
+    }
+
+    /// Clears all counters (between bench runs).
+    pub fn reset(&self) {
+        self.morsels.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.per_worker
+            .lock()
+            .expect("counter lock poisoned")
+            .clear();
+        self.work.lock().expect("counter lock poisoned").clear();
+    }
+}
+
+/// Runs `run(morsel_index)` for every morsel in `0..morsels` on the
+/// context's workers with work stealing, and returns the results **in
+/// morsel-index order** regardless of which worker executed what.
+///
+/// Morsel indices are seeded contiguously: worker `w` starts with the `w`-th
+/// balanced range of `0..morsels` (so with stealing disabled the assignment
+/// degenerates to the classic static chunking).  A worker pops from the
+/// front of its own deque and steals from the back of the next non-empty
+/// victim.  No morsel is ever re-split, every morsel runs exactly once, and
+/// the merge is a deterministic index-ordered gather — the scheduler is
+/// invisible in the output.
+pub fn run_stealing<R, F>(ctx: &ExecContext, morsels: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if morsels == 0 {
+        return Vec::new();
+    }
+    let workers = ctx.workers().min(morsels).max(1);
+    let counters = ctx.morsel_counters();
+    if workers == 1 {
+        return (0..morsels)
+            .map(|i| {
+                if let Some(c) = counters {
+                    c.record_morsel(0, false);
+                }
+                run(i)
+            })
+            .collect();
+    }
+    // Seed each worker's deque with a contiguous slice of morsel indices.
+    let deques: Vec<Mutex<VecDeque<usize>>> = chunk_ranges(morsels, workers)
+        .into_iter()
+        .map(|(start, end)| Mutex::new((start..end).collect()))
+        .collect();
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let deques = &deques;
+            let run = &run;
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Own deque first (front), then steal (back).  Tasks are
+                    // never added after seeding, so one full empty scan means
+                    // the pool is drained for good.
+                    let mut task = deques[w]
+                        .lock()
+                        .expect("deque lock poisoned")
+                        .pop_front()
+                        .map(|i| (i, false));
+                    if task.is_none() {
+                        for offset in 1..workers {
+                            let victim = (w + offset) % workers;
+                            let stolen = deques[victim]
+                                .lock()
+                                .expect("deque lock poisoned")
+                                .pop_back();
+                            if let Some(i) = stolen {
+                                task = Some((i, true));
+                                break;
+                            }
+                        }
+                    }
+                    let Some((i, stolen)) = task else {
+                        break;
+                    };
+                    if let Some(c) = counters {
+                        c.record_morsel(w, stolen);
+                    }
+                    out.push((i, run(i)));
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            per_worker.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+    // Index-ordered gather: scheduling cannot leak into the output.
+    let mut slots: Vec<Option<R>> = (0..morsels).map(|_| None).collect();
+    for results in per_worker {
+        for (i, r) in results {
+            debug_assert!(slots[i].is_none(), "morsel {i} executed twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every morsel executes exactly once"))
+        .collect()
+}
+
+/// Fallible variant of [`run_stealing`] for pre-weighted task lists: runs
+/// `run(&tasks[i])` for every task, one task per morsel, and merges the
+/// per-task outputs in task order.  If any task fails, the error of the
+/// **earliest** failing task is returned (all tasks still run), so the
+/// observable outcome is independent of worker count and scheduling —
+/// mirroring the `par_flat_map_chunks` contract.
+pub fn try_run_tasks<T, R, E, F>(
+    ctx: &ExecContext,
+    tasks: &[T],
+    run: F,
+) -> std::result::Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> std::result::Result<R, E> + Sync,
+{
+    let outputs = run_stealing(ctx, tasks.len(), |i| run(&tasks[i]));
+    let mut merged = Vec::with_capacity(outputs.len());
+    for out in outputs {
+        merged.push(out?);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_morsel_order_for_any_worker_count() {
+        for workers in [1usize, 2, 4, 7, 32] {
+            let ctx = ExecContext::new(workers).with_data_partitions(3);
+            let out = run_stealing(&ctx, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_morsels_produce_no_results() {
+        let ctx = ExecContext::new(4);
+        assert!(run_stealing(&ctx, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn counters_observe_every_morsel() {
+        let counters = MorselCounters::new();
+        let ctx = ExecContext::new(4).with_morsel_counters(Arc::clone(&counters));
+        let out = run_stealing(&ctx, 64, |i| i);
+        assert_eq!(out.len(), 64);
+        assert_eq!(counters.morsels(), 64);
+        assert_eq!(counters.per_worker().iter().sum::<u64>(), 64);
+        assert!(counters.steals() <= 64);
+        counters.reset();
+        assert_eq!(counters.morsels(), 0);
+        assert!(counters.per_worker().is_empty());
+    }
+
+    #[test]
+    fn skewed_morsels_are_stolen() {
+        // Worker 0's seeded range holds all the slow morsels; with stealing,
+        // the other workers must take work off its deque.  (On a 1-core host
+        // the OS still timeslices the scoped threads, so steals can occur —
+        // the assertion only needs *some* steal, not a speedup.)
+        let counters = MorselCounters::new();
+        let ctx = ExecContext::new(4).with_morsel_counters(Arc::clone(&counters));
+        let out = run_stealing(&ctx, 64, |i| {
+            if i < 16 {
+                // Slow quadrant: the seeded owner cannot finish it alone
+                // before the others drain their (empty-fast) quadrants.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert_eq!(counters.morsels(), 64);
+    }
+
+    #[test]
+    fn work_imbalance_is_max_over_mean() {
+        let counters = MorselCounters::new();
+        assert_eq!(counters.work_imbalance(), None);
+        counters.record_work(1);
+        counters.record_work(3);
+        counters.record_work(2);
+        assert_eq!(counters.work_imbalance(), Some(1.5));
+    }
+
+    #[test]
+    fn try_run_tasks_returns_earliest_task_error() {
+        let tasks: Vec<i64> = (0..40).collect();
+        for workers in [1usize, 4, 9] {
+            let ctx = ExecContext::new(workers);
+            let out = try_run_tasks(&ctx, &tasks, |t| {
+                if *t == 7 || *t == 31 {
+                    Err(format!("bad task {t}"))
+                } else {
+                    Ok(*t * 2)
+                }
+            });
+            assert_eq!(out.unwrap_err(), "bad task 7");
+            let ok = try_run_tasks(&ctx, &tasks, |t| Ok::<_, String>(*t * 2)).unwrap();
+            assert_eq!(ok, tasks.iter().map(|t| t * 2).collect::<Vec<_>>());
+        }
+    }
+}

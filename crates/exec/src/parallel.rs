@@ -1,13 +1,23 @@
 //! Data-parallel primitives over slices.
 //!
-//! All primitives preserve the input order in their output: partition `i`'s
-//! results always precede partition `i+1`'s.  This keeps query results and
-//! therefore experiment outputs deterministic regardless of the number of
-//! worker threads.
+//! All primitives preserve the input order in their output: morsel `i`'s
+//! results always precede morsel `i+1`'s, regardless of which worker ran
+//! which morsel.  This keeps query results and therefore experiment outputs
+//! deterministic regardless of the number of worker threads *and* of the
+//! morsel granularity (`ExecContext::data_partitions`): every per-chunk
+//! closure used in this engine is elementwise-concatenative, so cutting the
+//! input into more (or fewer) contiguous pieces cannot change the merged
+//! output.
+//!
+//! Since PR 8 the primitives dispatch through the morsel-driven
+//! work-stealing scheduler ([`crate::morsel`]) instead of static one-chunk-
+//! per-worker ranges, so a skewed chunk delays only one morsel, not a whole
+//! worker's share.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
+use crate::morsel::run_stealing;
 use crate::partitioning::chunk_ranges;
 use crate::pool::ExecContext;
 
@@ -21,8 +31,8 @@ where
     par_map_chunks(ctx, input, |chunk| chunk.iter().map(&f).collect())
 }
 
-/// Applies `f` to whole chunks of `input` in parallel and concatenates the
-/// per-chunk outputs in chunk order.
+/// Applies `f` to whole chunks (morsels) of `input` in parallel and
+/// concatenates the per-chunk outputs in chunk order.
 ///
 /// This is the workhorse primitive: filters, partial aggregations and the
 /// per-partition phases of the theta-join are all chunk-at-a-time functions.
@@ -35,21 +45,13 @@ where
     if input.is_empty() {
         return Vec::new();
     }
-    let workers = ctx.workers().min(input.len()).max(1);
-    if workers == 1 {
+    if ctx.workers() == 1 {
         return f(input);
     }
-    let ranges = chunk_ranges(input.len(), workers);
-    let mut outputs: Vec<Vec<U>> = Vec::with_capacity(ranges.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        for &(start, end) in &ranges {
-            let f = &f;
-            handles.push(scope.spawn(move || f(&input[start..end])));
-        }
-        for handle in handles {
-            outputs.push(handle.join().expect("worker thread panicked"));
-        }
+    let ranges = chunk_ranges(input.len(), ctx.morsel_count(input.len()));
+    let outputs = run_stealing(ctx, ranges.len(), |i| {
+        let (start, end) = ranges[i];
+        f(&input[start..end])
     });
     let total: usize = outputs.iter().map(Vec::len).sum();
     let mut merged = Vec::with_capacity(total);
@@ -69,9 +71,7 @@ where
     if input.is_empty() {
         return Vec::new();
     }
-    let workers = ctx.workers().min(input.len()).max(1);
-    let ranges = chunk_ranges(input.len(), workers);
-    if workers == 1 {
+    if ctx.workers() == 1 {
         return input
             .iter()
             .enumerate()
@@ -79,23 +79,15 @@ where
             .map(|(_, t)| t.clone())
             .collect();
     }
-    let mut outputs: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        for &(start, end) in &ranges {
-            let keep = &keep;
-            handles.push(scope.spawn(move || {
-                input[start..end]
-                    .iter()
-                    .enumerate()
-                    .filter(|(offset, t)| keep(start + offset, t))
-                    .map(|(_, t)| t.clone())
-                    .collect::<Vec<T>>()
-            }));
-        }
-        for handle in handles {
-            outputs.push(handle.join().expect("worker thread panicked"));
-        }
+    let ranges = chunk_ranges(input.len(), ctx.morsel_count(input.len()));
+    let outputs = run_stealing(ctx, ranges.len(), |m| {
+        let (start, end) = ranges[m];
+        input[start..end]
+            .iter()
+            .enumerate()
+            .filter(|(offset, t)| keep(start + offset, t))
+            .map(|(_, t)| t.clone())
+            .collect::<Vec<T>>()
     });
     outputs.into_iter().flatten().collect()
 }
@@ -115,8 +107,8 @@ where
 /// Like [`par_map_chunks`], but the per-chunk function may fail.  The
 /// per-chunk outputs are concatenated in chunk order; if any chunk fails,
 /// the error of the *earliest* failing chunk is returned, so the observable
-/// outcome (success value or error) is independent of the worker count and
-/// of thread scheduling.
+/// outcome (success value or error) is independent of the worker count, the
+/// morsel granularity and thread scheduling.
 ///
 /// This is the workhorse behind the parallel theta-join DC check and the
 /// parallel candidate-range construction, whose per-partition closures
@@ -135,21 +127,13 @@ where
     if input.is_empty() {
         return Ok(Vec::new());
     }
-    let workers = ctx.workers().min(input.len()).max(1);
-    if workers == 1 {
+    if ctx.workers() == 1 {
         return f(input);
     }
-    let ranges = chunk_ranges(input.len(), workers);
-    let mut outputs: Vec<std::result::Result<Vec<U>, E>> = Vec::with_capacity(ranges.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        for &(start, end) in &ranges {
-            let f = &f;
-            handles.push(scope.spawn(move || f(&input[start..end])));
-        }
-        for handle in handles {
-            outputs.push(handle.join().expect("worker thread panicked"));
-        }
+    let ranges = chunk_ranges(input.len(), ctx.morsel_count(input.len()));
+    let outputs = run_stealing(ctx, ranges.len(), |m| {
+        let (start, end) = ranges[m];
+        f(&input[start..end])
     });
     let mut merged = Vec::new();
     for out in outputs {
@@ -158,16 +142,16 @@ where
     Ok(merged)
 }
 
-/// Parallel hash group-by sharded by key hash: each worker owns *whole*
+/// Parallel hash group-by sharded by key hash: each shard owns *whole*
 /// groups.
 ///
 /// Phase one computes every element's key (and its shard) in parallel,
-/// preserving order; phase two assigns each shard `h(key) % workers` to one
-/// worker, which collects the indices of its shard's keys in ascending
-/// order.  Because a group's members all hash to the same shard, no group is
-/// ever split across workers and no cross-worker merge of index lists is
-/// needed — the per-group index lists are identical to a sequential
-/// group-by regardless of the worker count.
+/// preserving order; phase two runs one morsel per shard `h(key) % shards`,
+/// which collects the indices of its shard's keys in ascending order.
+/// Because a group's members all hash to the same shard, no group is ever
+/// split across morsels and no cross-morsel merge of index lists is needed —
+/// the per-group index lists are identical to a sequential group-by
+/// regardless of the worker count or the shard count.
 ///
 /// Use this over [`par_group_by`] when downstream code works group-at-a-time
 /// (e.g. FD violation grouping, where a worker needs the complete lhs group
@@ -185,47 +169,39 @@ where
     if input.is_empty() {
         return HashMap::new();
     }
-    let workers = ctx.workers().min(input.len()).max(1);
-    if workers == 1 {
+    if ctx.workers() == 1 {
         let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
         for (i, t) in input.iter().enumerate() {
             groups.entry(key(t)).or_default().push(i);
         }
         return groups;
     }
+    // More shards than workers so a slow shard (one huge group) is the only
+    // thing its worker holds while the rest gets stolen.
+    let shards = ctx.morsel_count(input.len());
     // Phase 1: keys and shard assignments, in input order.
     let keyed: Vec<(K, usize)> = par_map(ctx, input, |t| {
         let k = key(t);
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         k.hash(&mut hasher);
-        let shard = (hasher.finish() as usize) % workers;
+        let shard = (hasher.finish() as usize) % shards;
         (k, shard)
     });
     // Route each element index to its shard's work list (one cheap serial
-    // pass), so phase 2 is O(n) total instead of every worker rescanning
+    // pass), so phase 2 is O(n) total instead of every morsel rescanning
     // the whole input.  Pushing indices in input order keeps the per-group
     // lists ascending.
-    let mut shard_positions: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut shard_positions: Vec<Vec<usize>> = vec![Vec::new(); shards];
     for (i, (_, s)) in keyed.iter().enumerate() {
         shard_positions[*s].push(i);
     }
-    // Phase 2: one worker per shard; shards are disjoint by construction.
-    let mut partials: Vec<HashMap<K, Vec<usize>>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for positions in &shard_positions {
-            let keyed = &keyed;
-            handles.push(scope.spawn(move || {
-                let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
-                for &i in positions {
-                    groups.entry(keyed[i].0.clone()).or_default().push(i);
-                }
-                groups
-            }));
+    // Phase 2: one morsel per shard; shards are disjoint by construction.
+    let partials = run_stealing(ctx, shards, |s| {
+        let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
+        for &i in &shard_positions[s] {
+            groups.entry(keyed[i].0.clone()).or_default().push(i);
         }
-        for handle in handles {
-            partials.push(handle.join().expect("worker thread panicked"));
-        }
+        groups
     });
     let mut merged: HashMap<K, Vec<usize>> = HashMap::new();
     for partial in partials {
@@ -236,9 +212,9 @@ where
 
 /// Parallel hash group-by.
 ///
-/// Each worker builds a partial `HashMap<K, Vec<usize>>` over its chunk
+/// Each morsel builds a partial `HashMap<K, Vec<usize>>` over its chunk
 /// (values are element indices); partial maps are then merged.  Index lists
-/// within a group preserve input order because chunks are merged in order.
+/// within a group preserve input order because morsels are merged in order.
 pub fn par_group_by<T, K, F>(ctx: &ExecContext, input: &[T], key: F) -> HashMap<K, Vec<usize>>
 where
     T: Sync,
@@ -248,31 +224,21 @@ where
     if input.is_empty() {
         return HashMap::new();
     }
-    let workers = ctx.workers().min(input.len()).max(1);
-    if workers == 1 {
+    if ctx.workers() == 1 {
         let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
         for (i, t) in input.iter().enumerate() {
             groups.entry(key(t)).or_default().push(i);
         }
         return groups;
     }
-    let ranges = chunk_ranges(input.len(), workers);
-    let mut partials: Vec<HashMap<K, Vec<usize>>> = Vec::with_capacity(ranges.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        for &(start, end) in &ranges {
-            let key = &key;
-            handles.push(scope.spawn(move || {
-                let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
-                for (offset, t) in input[start..end].iter().enumerate() {
-                    groups.entry(key(t)).or_default().push(start + offset);
-                }
-                groups
-            }));
+    let ranges = chunk_ranges(input.len(), ctx.morsel_count(input.len()));
+    let partials = run_stealing(ctx, ranges.len(), |m| {
+        let (start, end) = ranges[m];
+        let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
+        for (offset, t) in input[start..end].iter().enumerate() {
+            groups.entry(key(t)).or_default().push(start + offset);
         }
-        for handle in handles {
-            partials.push(handle.join().expect("worker thread panicked"));
-        }
+        groups
     });
     let mut merged: HashMap<K, Vec<usize>> = HashMap::new();
     for partial in partials {
@@ -292,6 +258,8 @@ mod tests {
             ExecContext::sequential(),
             ExecContext::new(4),
             ExecContext::new(13),
+            ExecContext::new(4).with_data_partitions(1),
+            ExecContext::new(4).with_data_partitions(16),
         ]
     }
 
@@ -376,7 +344,7 @@ mod tests {
     #[test]
     fn par_flat_map_chunks_returns_earliest_chunk_error() {
         // Elements 100 and 400 both fail; the error of the earliest failing
-        // chunk must win for every worker count.
+        // chunk must win for every worker count and morsel granularity.
         let input: Vec<i64> = (0..500).collect();
         for ctx in ctxs() {
             let out = par_flat_map_chunks(&ctx, &input, |chunk| {
@@ -401,6 +369,27 @@ mod tests {
         for ctx in ctxs() {
             let groups = par_group_by_sharded(&ctx, &input, |x| *x);
             assert_eq!(groups, expected);
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_morsel_granularities() {
+        // The determinism contract: for a fixed input, every (workers,
+        // data_partitions) combination must produce byte-identical output
+        // from every primitive.
+        let input: Vec<i64> = (0..701).map(|x| (x * 37) % 101).collect();
+        let baseline_ctx = ExecContext::sequential().with_data_partitions(1);
+        let baseline_map = par_map(&baseline_ctx, &input, |x| x * 3);
+        let baseline_group = par_group_by_sharded(&baseline_ctx, &input, |x| *x % 11);
+        for workers in [1usize, 2, 4, 7] {
+            for partitions in [1usize, 3, 16] {
+                let ctx = ExecContext::new(workers).with_data_partitions(partitions);
+                assert_eq!(par_map(&ctx, &input, |x| x * 3), baseline_map);
+                assert_eq!(
+                    par_group_by_sharded(&ctx, &input, |x| *x % 11),
+                    baseline_group
+                );
+            }
         }
     }
 }

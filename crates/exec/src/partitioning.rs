@@ -63,6 +63,52 @@ pub fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
+/// Splits `0..weights.len()` into at most `parts` contiguous half-open
+/// ranges of roughly equal **total weight** (instead of equal element
+/// count).  The morsel scheduler uses this to cut skewed work — e.g. the
+/// probe positions of one giant hash-equality partition, weighted by their
+/// candidate counts — into morsels a steal can rebalance.
+///
+/// Guarantees mirror [`chunk_ranges`]: ranges are contiguous, cover the
+/// input exactly, and are never empty; an all-zero weight vector degrades
+/// to even chunking.  Each range is closed greedily once it reaches the
+/// remaining-weight / remaining-parts target, so no range exceeds the ideal
+/// share by more than one element's weight.
+pub fn weighted_ranges(weights: &[u64], parts: usize) -> Vec<(usize, usize)> {
+    let len = weights.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(len);
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return chunk_ranges(len, parts);
+    }
+    let mut ranges = Vec::with_capacity(parts);
+    let mut remaining = total;
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        let parts_left = parts - ranges.len();
+        if parts_left == 1 {
+            break;
+        }
+        let elems_after = len - (i + 1);
+        let target = remaining.div_ceil(parts_left as u64);
+        // Close the range once it carries its share, or when leaving it
+        // open would starve a later part of elements.
+        if acc >= target || elems_after == parts_left - 1 {
+            ranges.push((start, i + 1));
+            start = i + 1;
+            remaining -= acc;
+            acc = 0;
+        }
+    }
+    ranges.push((start, len));
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +153,40 @@ mod tests {
             // Every produced range, for any input, is non-empty.
             assert!(p.ranges().iter().all(|(s, e)| e > s));
         }
+    }
+
+    #[test]
+    fn weighted_ranges_cover_input_and_balance_weight() {
+        // One hot element dominating the weight: it must end up alone in a
+        // range while the light tail is packed together.
+        let mut weights = vec![1u64; 32];
+        weights[5] = 1000;
+        let ranges = weighted_ranges(&weights, 4);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 32);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+        }
+        assert!(ranges.len() <= 4);
+        assert!(ranges.iter().all(|(s, e)| e > s));
+        // The range holding the hot element carries almost all the weight;
+        // no *other* range exceeds the ideal share by more than one
+        // element's weight.
+        let range_weight = |&(s, e): &(usize, usize)| weights[s..e].iter().sum::<u64>();
+        let hot = ranges.iter().find(|(s, e)| *s <= 5 && 5 < *e).unwrap();
+        assert!(range_weight(hot) >= 1000);
+        for r in ranges.iter().filter(|r| *r != hot) {
+            assert!(range_weight(r) <= 1031_u64.div_ceil(4) + 1);
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_degrade_to_even_chunking_on_uniform_weight() {
+        assert_eq!(weighted_ranges(&[0u64; 10], 3), chunk_ranges(10, 3));
+        let uniform = weighted_ranges(&[7u64; 12], 4);
+        assert_eq!(uniform, chunk_ranges(12, 4));
+        assert!(weighted_ranges(&[], 3).is_empty());
+        assert_eq!(weighted_ranges(&[5, 5], 8), vec![(0, 1), (1, 2)]);
     }
 
     #[test]

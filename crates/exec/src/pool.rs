@@ -1,17 +1,27 @@
-//! Execution context: the degree of parallelism used by the data-parallel
-//! primitives.
+//! Execution context: the degree of parallelism and morsel granularity used
+//! by the data-parallel primitives.
 
 use std::sync::Arc;
 
+use crate::morsel::MorselCounters;
+
+/// How many morsels each worker's share of an input is split into by
+/// default.  Finer than one morsel per worker, so the work-stealing
+/// scheduler has slack to rebalance skew even at the default setting.
+const DEFAULT_DATA_PARTITIONS: usize = 2;
+
 /// Execution context shared by all operators of a query.
 ///
-/// The context only carries the degree of parallelism; threads themselves
+/// The context carries the degree of parallelism (`workers`) and the morsel
+/// granularity (`data_partitions`, morsels per worker); threads themselves
 /// are spawned scoped per operation (via `std::thread::scope`), which
 /// keeps the primitives free of `'static` bounds and lets closures borrow
 /// the partitioned data directly.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
     workers: usize,
+    data_partitions: usize,
+    counters: Option<Arc<MorselCounters>>,
 }
 
 impl ExecContext {
@@ -21,6 +31,8 @@ impl ExecContext {
     pub fn new(workers: usize) -> Self {
         ExecContext {
             workers: workers.max(1),
+            data_partitions: DEFAULT_DATA_PARTITIONS,
+            counters: None,
         }
     }
 
@@ -29,18 +41,51 @@ impl ExecContext {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        ExecContext { workers }
+        ExecContext::new(workers)
     }
 
     /// Creates a single-threaded context (useful in tests for determinism
     /// and when measuring algorithmic costs without scheduling noise).
     pub fn sequential() -> Self {
-        ExecContext { workers: 1 }
+        ExecContext::new(1)
+    }
+
+    /// Sets the morsel granularity: every parallel kernel splits its input
+    /// into up to `workers × data_partitions` morsels for the work-stealing
+    /// scheduler.  Zero is clamped to one (one morsel per worker — static
+    /// chunking with stealing).
+    pub fn with_data_partitions(mut self, data_partitions: usize) -> Self {
+        self.data_partitions = data_partitions.max(1);
+        self
+    }
+
+    /// Attaches a scheduling-metrics handle; every subsequent morsel run on
+    /// this context records into it.  Metrics never affect results.
+    pub fn with_morsel_counters(mut self, counters: Arc<MorselCounters>) -> Self {
+        self.counters = Some(counters);
+        self
     }
 
     /// The number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The morsel granularity (morsels per worker).
+    pub fn data_partitions(&self) -> usize {
+        self.data_partitions
+    }
+
+    /// The attached scheduling-metrics handle, if any.
+    pub fn morsel_counters(&self) -> Option<&Arc<MorselCounters>> {
+        self.counters.as_ref()
+    }
+
+    /// The number of morsels an input of `len` elements is split into:
+    /// `workers × data_partitions`, capped at `len` so morsels are never
+    /// empty.
+    pub fn morsel_count(&self, len: usize) -> usize {
+        len.min(self.workers * self.data_partitions).max(1)
     }
 
     /// Shares the context.
@@ -72,5 +117,30 @@ mod tests {
     #[test]
     fn default_has_at_least_one_worker() {
         assert!(ExecContext::default().workers() >= 1);
+    }
+
+    #[test]
+    fn zero_data_partitions_clamped_to_one() {
+        let ctx = ExecContext::new(4).with_data_partitions(0);
+        assert_eq!(ctx.data_partitions(), 1);
+    }
+
+    #[test]
+    fn morsel_count_is_workers_times_partitions_capped_at_len() {
+        let ctx = ExecContext::new(4).with_data_partitions(3);
+        assert_eq!(ctx.morsel_count(1000), 12);
+        assert_eq!(ctx.morsel_count(5), 5);
+        assert_eq!(ctx.morsel_count(0), 1);
+    }
+
+    #[test]
+    fn counters_are_cloned_with_the_context() {
+        let counters = MorselCounters::new();
+        let ctx = ExecContext::new(2).with_morsel_counters(Arc::clone(&counters));
+        let clone = ctx.clone();
+        assert!(Arc::ptr_eq(
+            clone.morsel_counters().unwrap(),
+            ctx.morsel_counters().unwrap()
+        ));
     }
 }

@@ -1,0 +1,147 @@
+//! Property tests for the morsel work-stealing scheduler invariants.
+//!
+//! For random `(len, data_partitions, workers)` triples the scheduler must
+//! (a) cover every input index by exactly one morsel, (b) merge morsel
+//! outputs in input order, and (c) surface the error of the earliest
+//! failing morsel — the same contract `par_flat_map_chunks` documents, now
+//! independent of which worker executed which morsel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use daisy_exec::{
+    chunk_ranges, par_flat_map_chunks, run_stealing, try_run_tasks, weighted_ranges, ExecContext,
+    MorselCounters,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every input index is covered by exactly one morsel, and the merged
+    /// output preserves input order, for any (len, partitions, workers).
+    #[test]
+    fn every_index_covered_exactly_once_in_order(
+        len in 0usize..400,
+        partitions in 1usize..20,
+        workers in 1usize..9,
+    ) {
+        let input: Vec<u64> = (0..len as u64).collect();
+        let ctx = ExecContext::new(workers).with_data_partitions(partitions);
+        let touched: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        let out = par_flat_map_chunks(&ctx, &input, |chunk| {
+            for &x in chunk {
+                touched[x as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            Ok::<_, String>(chunk.iter().map(|x| x * 3).collect())
+        });
+        prop_assert_eq!(out, Ok(input.iter().map(|x| x * 3).collect::<Vec<_>>()));
+        for (i, t) in touched.iter().enumerate() {
+            prop_assert!(t.load(Ordering::Relaxed) == 1, "index {} not covered exactly once", i);
+        }
+    }
+
+    /// The raw scheduler merges results in morsel-index order regardless of
+    /// worker count, granularity, or which worker stole what.
+    #[test]
+    fn merge_order_equals_input_order(
+        morsels in 0usize..300,
+        workers in 1usize..9,
+        partitions in 1usize..16,
+    ) {
+        let counters = MorselCounters::new();
+        let ctx = ExecContext::new(workers)
+            .with_data_partitions(partitions)
+            .with_morsel_counters(Arc::clone(&counters));
+        let out = run_stealing(&ctx, morsels, |i| i * 7 + 1);
+        prop_assert_eq!(out, (0..morsels).map(|i| i * 7 + 1).collect::<Vec<_>>());
+        prop_assert_eq!(counters.morsels(), morsels as u64);
+        prop_assert_eq!(counters.per_worker().iter().sum::<u64>(), morsels as u64);
+    }
+
+    /// An erroring morsel surfaces the earliest-morsel error: the outcome
+    /// is the error of the failing element with the smallest index, exactly
+    /// as a sequential left-to-right scan would report, for every
+    /// (workers, partitions) combination.
+    #[test]
+    fn earliest_morsel_error_wins(
+        len in 1usize..300,
+        workers in 1usize..9,
+        partitions in 1usize..16,
+        bad in prop::collection::vec(0usize..300, 1..4),
+    ) {
+        let input: Vec<usize> = (0..len).collect();
+        let bad: Vec<usize> = bad.into_iter().filter(|b| *b < len).collect();
+        let ctx = ExecContext::new(workers).with_data_partitions(partitions);
+        let out = par_flat_map_chunks(&ctx, &input, |chunk| {
+            for x in chunk {
+                if bad.contains(x) {
+                    return Err(format!("bad {x}"));
+                }
+            }
+            Ok(chunk.to_vec())
+        });
+        match bad.iter().min() {
+            None => prop_assert_eq!(out, Ok(input.clone())),
+            Some(first) => {
+                // The earliest failing *morsel* errors at its first failing
+                // element; morsels are contiguous, so that element is the
+                // globally smallest failing index.
+                prop_assert_eq!(out, Err(format!("bad {first}")));
+            }
+        }
+    }
+
+    /// `try_run_tasks` (the pre-weighted task entry point) honors the same
+    /// earliest-task-error contract.
+    #[test]
+    fn earliest_task_error_wins(
+        tasks in 1usize..200,
+        workers in 1usize..9,
+        bad in prop::collection::vec(0usize..200, 0..3),
+    ) {
+        let items: Vec<usize> = (0..tasks).collect();
+        let bad: Vec<usize> = bad.into_iter().filter(|b| *b < tasks).collect();
+        let ctx = ExecContext::new(workers);
+        let out = try_run_tasks(&ctx, &items, |t| {
+            if bad.contains(t) {
+                Err(*t)
+            } else {
+                Ok(*t)
+            }
+        });
+        match bad.iter().min() {
+            None => prop_assert_eq!(out, Ok(items.clone())),
+            Some(first) => prop_assert_eq!(out, Err(*first)),
+        }
+    }
+
+    /// `weighted_ranges` upholds the `chunk_ranges` coverage guarantees for
+    /// arbitrary weights: contiguous non-empty ranges covering the input,
+    /// never more ranges than requested parts (or elements).
+    #[test]
+    fn weighted_ranges_cover_exactly(
+        weights in prop::collection::vec(0u64..1000, 0..120),
+        parts in 1usize..12,
+    ) {
+        let ranges = weighted_ranges(&weights, parts);
+        if weights.is_empty() {
+            prop_assert!(ranges.is_empty());
+        } else {
+            prop_assert!(ranges.len() <= parts.min(weights.len()));
+            prop_assert_eq!(ranges.first().unwrap().0, 0);
+            prop_assert_eq!(ranges.last().unwrap().1, weights.len());
+            for w in ranges.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+            }
+            prop_assert!(ranges.iter().all(|(s, e)| e > s));
+            // Same coverage shape as even chunking.
+            let even = chunk_ranges(weights.len(), parts);
+            prop_assert_eq!(
+                even.iter().map(|(s, e)| e - s).sum::<usize>(),
+                ranges.iter().map(|(s, e)| e - s).sum::<usize>()
+            );
+        }
+    }
+}

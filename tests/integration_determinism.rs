@@ -13,12 +13,12 @@
 //! other integration suites exercise (SP cleaning, SPJ cleaning, and
 //! general-DC engine workloads).
 
-use daisy::common::{ColumnId, DetectionStrategy, SnapshotMode, TupleId};
+use daisy::common::{ColumnId, DetectionStrategy, SnapshotMode, TupleId, Value};
 use daisy::data::errors::{inject_fd_errors, inject_inequality_errors};
 use daisy::data::ssb::{generate_lineorder, generate_supplier, SsbConfig};
 use daisy::data::workload::non_overlapping_range_queries;
 use daisy::prelude::*;
-use daisy::storage::{CellProvenance, Tuple};
+use daisy::storage::{CellProvenance, Table, Tuple};
 
 /// The worker counts every scenario is replayed at; 1 is the sequential
 /// baseline, 7 deliberately does not divide typical block/row counts.
@@ -209,6 +209,91 @@ fn general_dc_engine_workload_is_thread_count_invariant() {
             .unwrap();
         (engine, queries.clone())
     });
+}
+
+#[test]
+fn morsel_granularity_is_invariant_on_a_skewed_workload() {
+    // `data_partitions` controls only morsel granularity — how finely the
+    // work-stealing scheduler slices each kernel's input — and must never
+    // change an observable output.  The workload is deliberately
+    // equality-skewed: most rows are collapsed onto one hot supplier, so
+    // the hot hash partition dominates the candidate mass and the weighted
+    // morsel cuts genuinely split it (at 16 partitions a single sweep task
+    // covers only a slice of the hot partition's outer loop).  Every
+    // (workers, data_partitions) combination must produce a session
+    // byte-identical to the 1-worker, 1-partition baseline.
+    let ssb = SsbConfig {
+        lineorder_rows: 900,
+        distinct_orderkeys: 180,
+        distinct_suppkeys: 20,
+        ..SsbConfig::default()
+    };
+    let mut table = generate_lineorder(&ssb).unwrap();
+    inject_inequality_errors(&mut table, "extended_price", "discount", 0.08, 0.5, 51).unwrap();
+    // Collapse three of every four rows onto supplier 1.
+    let schema = table.schema().as_ref().clone();
+    let suppkey = schema.index_of("suppkey").unwrap();
+    let width = schema.len();
+    let values: Vec<Vec<Value>> = table
+        .tuples()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (0..width)
+                .map(|c| {
+                    if c == suppkey && i % 4 != 0 {
+                        Value::Int(1)
+                    } else {
+                        t.value(c).unwrap()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let table = Table::from_rows("lineorder", schema, values).unwrap();
+    let queries: Vec<Query> = [
+        "SELECT suppkey, extended_price, discount FROM lineorder WHERE extended_price <= 4000",
+        "SELECT suppkey, extended_price, discount FROM lineorder",
+    ]
+    .iter()
+    .map(|sql| parse_query(sql).unwrap())
+    .collect();
+
+    let build = |workers: usize, partitions: usize| {
+        let mut engine = DaisyEngine::new(
+            config(workers)
+                .with_data_partitions(partitions)
+                .with_theta_partitions(16)
+                .with_detection_strategy(DetectionStrategy::Indexed),
+        )
+        .unwrap();
+        engine.register_table(table.clone());
+        engine
+            .add_constraint_text(
+                "dc",
+                "t1.suppkey = t2.suppkey & t1.extended_price < t2.extended_price \
+                 & t1.discount > t2.discount",
+            )
+            .unwrap();
+        (engine, queries.clone())
+    };
+
+    let (engine, qs) = build(1, 1);
+    let baseline = snapshot(engine, &["lineorder"], &qs);
+    assert!(
+        baseline.reports.iter().any(|r| r.errors_repaired > 0),
+        "the skewed workload must actually repair something to be a meaningful probe"
+    );
+    for &partitions in &[1usize, 3, 16] {
+        for &workers in &WORKER_COUNTS {
+            let (engine, qs) = build(workers, partitions);
+            let replay = snapshot(engine, &["lineorder"], &qs);
+            assert_eq!(
+                baseline, replay,
+                "skewed session diverged at {workers} workers x {partitions} data partitions"
+            );
+        }
+    }
 }
 
 #[test]

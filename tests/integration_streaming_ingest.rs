@@ -180,7 +180,7 @@ proptest! {
             let delta_from = table.len() - batch.len();
             let positions: Vec<usize> = (delta_from..table.len()).collect();
             let (incremental, incremental_pairs) = maintained
-                .detect_delta(&schema, table.tuples(), &positions)
+                .detect_delta(&ctx, &schema, table.tuples(), &positions)
                 .unwrap();
 
             let rebuilt = ViolationIndex::build(&ctx, &schema, &dc, &plan, table.tuples()).unwrap();
