@@ -324,6 +324,69 @@ impl fmt::Display for IncrementalMode {
 /// of streaming ingest (`auto` / `on` / `off`).
 pub const INCREMENTAL_ENV: &str = "DAISY_INCREMENTAL";
 
+/// Whether query execution runs batch-at-a-time over columnar snapshots
+/// (selection vectors + code-keyed joins) or tuple-at-a-time over the row
+/// store.
+///
+/// * `Auto` — vectorize whenever the table's maintained [`ColumnSnapshot`]
+///   is current; fall back to the row path otherwise (the default).
+/// * `Row` — always evaluate tuple-at-a-time over boxed `Value`s.
+/// * `Vectorized` — always vectorize, building an ad-hoc snapshot when no
+///   current one is attached (correctness legs; the build cost usually
+///   defeats the point for one-shot queries).
+///
+/// Both paths produce byte-identical results by construction: coded
+/// comparisons mirror `Value::total_cmp` exactly and relaxed cells fall
+/// back to exact per-tuple evaluation, so the knob only trades wall-clock
+/// time, never results — which is what lets CI run the whole test suite
+/// under each forced mode.
+///
+/// [`ColumnSnapshot`]: https://docs.rs/daisy-storage
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryExecMode {
+    /// Vectorize when a current snapshot is available (the default).
+    #[default]
+    Auto,
+    /// Always run the tuple-at-a-time row path.
+    Row,
+    /// Always run the vectorized path, building snapshots on demand.
+    Vectorized,
+}
+
+impl QueryExecMode {
+    /// Parses the textual forms accepted by [`QUERY_EXEC_ENV`]
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn parse(text: &str) -> Option<QueryExecMode> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(QueryExecMode::Auto),
+            "row" => Some(QueryExecMode::Row),
+            "vectorized" => Some(QueryExecMode::Vectorized),
+            _ => None,
+        }
+    }
+
+    /// The mode forced through [`QUERY_EXEC_ENV`], if the variable is set
+    /// to a recognised value.  Invalid values are ignored (`Auto` applies).
+    pub fn from_env() -> Option<QueryExecMode> {
+        QueryExecMode::parse(&std::env::var(QUERY_EXEC_ENV).ok()?)
+    }
+}
+
+impl fmt::Display for QueryExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryExecMode::Auto => "auto",
+            QueryExecMode::Row => "row",
+            QueryExecMode::Vectorized => "vectorized",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Environment variable overriding the default query-execution path
+/// (`auto` / `row` / `vectorized`).
+pub const QUERY_EXEC_ENV: &str = "DAISY_QUERY_EXEC";
+
 /// Environment variable overriding the commit-log capacity of the shared
 /// session core (positive integers only).
 ///
@@ -408,6 +471,12 @@ pub struct DaisyConfig {
     /// and otherwise asks the detection cost model per batch.  Both paths
     /// emit byte-identical results; the knob only trades maintenance work.
     pub incremental_detection: IncrementalMode,
+    /// Whether query execution runs vectorized over columnar snapshots or
+    /// tuple-at-a-time over the row store; the default honours
+    /// [`QUERY_EXEC_ENV`] and otherwise vectorizes whenever a current
+    /// snapshot is available.  Both paths produce byte-identical results;
+    /// the knob only trades execution time.
+    pub query_exec: QueryExecMode,
     /// How many recent commit records the shared session core retains for
     /// footprint validation; the default honours [`COMMIT_LOG_ENV`] and
     /// otherwise keeps 128.  Sessions branched further back than the ring
@@ -431,6 +500,7 @@ impl Default for DaisyConfig {
             service_fairness: ServiceFairness::from_env().unwrap_or_default(),
             commit_validation: CommitValidation::from_env().unwrap_or_default(),
             incremental_detection: IncrementalMode::from_env().unwrap_or_default(),
+            query_exec: QueryExecMode::from_env().unwrap_or_default(),
             commit_log_capacity: DaisyConfig::env_commit_log_capacity()
                 .unwrap_or(DaisyConfig::DEFAULT_COMMIT_LOG_CAPACITY),
         }
@@ -627,6 +697,12 @@ impl DaisyConfig {
     /// Builder-style setter for the incremental-detection mode.
     pub fn with_incremental_detection(mut self, mode: IncrementalMode) -> Self {
         self.incremental_detection = mode;
+        self
+    }
+
+    /// Builder-style setter for the query-execution path.
+    pub fn with_query_exec(mut self, mode: QueryExecMode) -> Self {
+        self.query_exec = mode;
         self
     }
 
@@ -849,6 +925,33 @@ mod tests {
         assert!(DaisyConfig::default().validate().is_ok());
         if let Some(forced) = IncrementalMode::from_env() {
             assert_eq!(DaisyConfig::default().incremental_detection, forced);
+        }
+    }
+
+    #[test]
+    fn query_exec_mode_parses_and_round_trips() {
+        // Parsing rules via the pure helper (no `set_var` races).
+        assert_eq!(QueryExecMode::parse("row"), Some(QueryExecMode::Row));
+        assert_eq!(
+            QueryExecMode::parse(" Vectorized "),
+            Some(QueryExecMode::Vectorized)
+        );
+        assert_eq!(QueryExecMode::parse("auto"), Some(QueryExecMode::Auto));
+        assert_eq!(QueryExecMode::parse("columnar"), None);
+        assert_eq!(QueryExecMode::parse(""), None);
+        for m in [
+            QueryExecMode::Auto,
+            QueryExecMode::Row,
+            QueryExecMode::Vectorized,
+        ] {
+            assert_eq!(QueryExecMode::parse(&m.to_string()), Some(m));
+        }
+        let cfg = DaisyConfig::default().with_query_exec(QueryExecMode::Vectorized);
+        assert_eq!(cfg.query_exec, QueryExecMode::Vectorized);
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = QueryExecMode::from_env() {
+            assert_eq!(DaisyConfig::default().query_exec, forced);
         }
     }
 

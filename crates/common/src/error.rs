@@ -16,6 +16,15 @@ pub enum DaisyError {
     Type(String),
     /// A malformed query or constraint definition.
     Plan(String),
+    /// A join references a key column its input schema does not provide.
+    /// Raised at operator construction (plan validation), before any
+    /// operator runs, so a bad plan never observes a half-executed query.
+    UnknownJoinColumn {
+        /// Which side of the join referenced the column (`"left"`/`"right"`).
+        side: &'static str,
+        /// The missing column name, as written in the plan.
+        column: String,
+    },
     /// An execution-time failure (e.g. an update targeting a missing tuple).
     Execution(String),
     /// An I/O failure (CSV load/store).
@@ -44,6 +53,7 @@ impl DaisyError {
             DaisyError::Parse(_) => "parse",
             DaisyError::Type(_) => "type",
             DaisyError::Plan(_) => "plan",
+            DaisyError::UnknownJoinColumn { .. } => "unknown-join-column",
             DaisyError::Execution(_) => "execution",
             DaisyError::Io(_) => "io",
             DaisyError::Config(_) => "config",
@@ -73,6 +83,9 @@ impl fmt::Display for DaisyError {
             DaisyError::Parse(msg) => write!(f, "parse error: {msg}"),
             DaisyError::Type(msg) => write!(f, "type error: {msg}"),
             DaisyError::Plan(msg) => write!(f, "planning error: {msg}"),
+            DaisyError::UnknownJoinColumn { side, column } => {
+                write!(f, "planning error: unknown {side} join column `{column}`")
+            }
             DaisyError::Execution(msg) => write!(f, "execution error: {msg}"),
             DaisyError::Io(msg) => write!(f, "io error: {msg}"),
             DaisyError::Config(msg) => write!(f, "configuration error: {msg}"),

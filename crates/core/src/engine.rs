@@ -26,11 +26,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use daisy_common::{
-    ColumnId, DaisyConfig, DaisyError, IncrementalMode, Result, RuleId, Schema, TupleId, Value,
+    ColumnId, DaisyConfig, DaisyError, IncrementalMode, QueryExecMode, Result, RuleId, Schema,
+    TupleId, Value,
 };
 use daisy_exec::ExecContext;
 use daisy_expr::{BoolExpr, DenialConstraint, FunctionalDependency, Violation};
-use daisy_query::physical::{aggregate, filter_tuples, hash_join, project, PredicateMode};
+use daisy_query::physical::{
+    aggregate, filter_selection, filter_tuples, hash_join, hash_join_coded, project, PredicateMode,
+};
 use daisy_query::{parse_query, Query, QueryResult, SelectItem};
 use daisy_storage::{
     ColumnSnapshot, Delta, Footprint, KeyStatistics, ProvenanceStore, Table, Tuple,
@@ -307,6 +310,29 @@ impl DaisyEngine {
         Ok(())
     }
 
+    /// The snapshot the vectorized query path should read a table through,
+    /// per the [`DaisyConfig::query_exec`] knob: `Row` never vectorizes,
+    /// `Auto` uses the maintained snapshot only while it is current, and
+    /// `Vectorized` builds an ad-hoc snapshot when no current one is
+    /// maintained — so a forced run always takes the coded kernels.
+    fn query_snapshot(&self, table_name: &str) -> Result<Option<Arc<ColumnSnapshot>>> {
+        let table = self.world.catalog.table(table_name)?;
+        let maintained = self
+            .world
+            .snapshots
+            .get(table_name)
+            .filter(|snap| snap.is_current(table))
+            .cloned();
+        Ok(match self.config.query_exec {
+            QueryExecMode::Row => None,
+            QueryExecMode::Auto => maintained,
+            QueryExecMode::Vectorized => match maintained {
+                Some(snap) => Some(snap),
+                None => Some(Arc::new(ColumnSnapshot::build(table)?)),
+            },
+        })
+    }
+
     /// Parses and executes a SQL query.
     pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutcome> {
         let query = parse_query(sql)?;
@@ -332,6 +358,15 @@ impl DaisyEngine {
 
         // ---- driving table: filter + clean ---------------------------------
         let driving = query.from.clone();
+        // Give the vectorized path current snapshots to read through (the
+        // refresh respects the snapshot-mode policy; `Auto` silently falls
+        // back to the row path for tables it leaves bare).
+        if self.config.query_exec != QueryExecMode::Row {
+            self.refresh_snapshot(&driving)?;
+            for join in &query.joins {
+                self.refresh_snapshot(&join.table)?;
+            }
+        }
         let driving_schema = Arc::new(
             self.world
                 .catalog
@@ -420,16 +455,34 @@ impl DaisyEngine {
                 &mut report,
             )?;
 
-            let right_tuples = self.world.catalog.table(&right_name)?.tuples().to_vec();
-            let joined = hash_join(
-                &self.ctx,
-                &current_schema,
-                &current,
-                &right_schema,
-                &right_tuples,
-                &join.left_key,
-                &join.right_key,
-            )?;
+            // Code-keyed join when a current snapshot covers the (partially
+            // cleaned) build side; the row-path hash join otherwise.  Both
+            // produce byte-identical output.
+            let right_snapshot = self.query_snapshot(&right_name)?;
+            let right_table = self.world.catalog.shared(&right_name)?;
+            let joined = match right_snapshot {
+                Some(snapshot) => hash_join_coded(
+                    &self.ctx,
+                    &current_schema,
+                    &current,
+                    None,
+                    &right_schema,
+                    right_table.tuples(),
+                    None,
+                    &snapshot,
+                    &join.left_key,
+                    &join.right_key,
+                )?,
+                None => hash_join(
+                    &self.ctx,
+                    &current_schema,
+                    &current,
+                    &right_schema,
+                    right_table.tuples(),
+                    &join.left_key,
+                    &join.right_key,
+                )?,
+            };
             current_schema = joined.schema;
             current = joined.tuples;
         }
@@ -517,14 +570,32 @@ impl DaisyEngine {
         report: &mut CleaningReport,
     ) -> Result<Vec<Tuple>> {
         let answer = {
+            let snapshot = self.query_snapshot(table_name)?;
             let table = self.world.catalog.table(table_name)?;
-            filter_tuples(
-                &self.ctx,
-                schema,
-                table.tuples(),
-                filter,
-                PredicateMode::Possible,
-            )?
+            match snapshot {
+                // Vectorized: a selection vector over snapshot codes, then
+                // materialize the qualifying tuples — identical output to
+                // the row path's clone-filter by construction.
+                Some(snapshot) => filter_selection(
+                    &self.ctx,
+                    schema,
+                    table.tuples(),
+                    &snapshot,
+                    None,
+                    filter,
+                    PredicateMode::Possible,
+                )?
+                .into_iter()
+                .map(|pos| table.tuples()[pos].clone())
+                .collect(),
+                None => filter_tuples(
+                    &self.ctx,
+                    schema,
+                    table.tuples(),
+                    filter,
+                    PredicateMode::Possible,
+                )?,
+            }
         };
         let cleaned = self.clean_answer_for_table(table_name, schema, answer, plan, report)?;
         // Keep only the tuples that (possibly) satisfy the filter: relaxation

@@ -89,6 +89,7 @@
 //! ```
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use daisy_common::{ColumnId, DaisyConfig, DaisyError, Result, TupleId, Value};
@@ -108,6 +109,12 @@ use crate::world::{RuleKey, WorldState};
 pub struct EngineShared {
     config: DaisyConfig,
     state: Mutex<SharedState>,
+    /// Lock-free mirror of [`SharedState::version`], published with
+    /// `Release` after each commit bumps the canonical counter under the
+    /// lock — so the hot [`EngineShared::version`] read (every
+    /// [`CleaningSession::verify_current`] poll) never contends with a
+    /// commit in flight.
+    version: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -172,6 +179,7 @@ impl EngineShared {
                 log: VecDeque::new(),
                 capacity,
             }),
+            version: AtomicU64::new(0),
         })
     }
 
@@ -181,8 +189,11 @@ impl EngineShared {
     }
 
     /// The current commit version (starts at 0, +1 per commit).
+    ///
+    /// Served from an atomic mirror of the locked counter: a one-integer
+    /// staleness probe does not queue behind the serialized commit path.
     pub fn version(&self) -> u64 {
-        self.lock().version
+        self.version.load(Ordering::Acquire)
     }
 
     /// Opens a new session over a consistent snapshot of the current world.
@@ -448,6 +459,14 @@ impl CleaningSession {
         self.engine.session()
     }
 
+    /// The cells this session's queries consulted since the last commit —
+    /// the read half of footprint-based commit validation.  Empty unless
+    /// the configured [`CommitValidation`](daisy_common::CommitValidation)
+    /// records footprints.
+    pub fn read_footprint(&self) -> &Footprint {
+        self.engine.reads()
+    }
+
     /// The repairs staged since the last commit, `(table, delta)` in
     /// application order — the session's copy-on-write overlay.
     pub fn staged(&self) -> &[(String, Delta)] {
@@ -541,6 +560,7 @@ impl CleaningSession {
             }
         }
         state.version += 1;
+        shared.version.store(state.version, Ordering::Release);
         self.base_version = state.version;
         state.push_record(CommitRecord {
             write,

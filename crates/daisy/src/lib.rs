@@ -79,7 +79,8 @@ pub use daisy_storage as storage;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use daisy_common::{
-        CommitValidation, DaisyConfig, DataType, Field, Schema, ServiceFairness, Value,
+        CommitValidation, DaisyConfig, DataType, Field, QueryExecMode, Schema, ServiceFairness,
+        Value,
     };
     pub use daisy_core::{
         CleaningReport, CleaningSession, CleaningStrategy, CommitCause, CommitReceipt, DaisyEngine,

@@ -1,4 +1,5 @@
-//! Columnar predicate evaluation: DC predicates over snapshot column codes.
+//! Columnar predicate evaluation: DC and query predicates over snapshot
+//! column codes.
 //!
 //! The row path evaluates a [`DcPredicate`] by resolving each operand's
 //! column name through the schema and cloning a
@@ -9,23 +10,29 @@
 //! dictionary-resolved [`ConstProbe`]s, and each evaluation is a pair of
 //! array reads plus a scalar comparison.
 //!
-//! Semantics are byte-identical with [`DcPredicate::eval`] by construction:
-//! the NULL rules come from the shared [`ComparisonOp::eval_parts`] core,
-//! and [`ColumnCode`]'s total order mirrors
+//! The same trick applies to query WHERE clauses: a [`BoolExpr`] resolves
+//! into a [`CodedScalarPredicate`] — one coded comparison tree evaluated
+//! per *row* instead of per tuple pair — which is what the vectorized
+//! filter kernel of `daisy-query` runs over selection vectors.
+//!
+//! Semantics are byte-identical with the row path by construction: the
+//! NULL rules come from the shared [`ComparisonOp::eval_parts`] core, and
+//! [`ColumnCode`]'s total order mirrors
 //! [`Value::total_cmp`](daisy_common::Value::total_cmp) (including
 //! NaN-sorts-last and int/float coercion).
 //!
-//! A `CodedPredicate` borrows nothing but is only meaningful against the
-//! snapshot it was resolved for (probes cache dictionary ranks); resolve per
-//! detection pass, immediately before use.
+//! A `CodedPredicate` / `CodedScalarPredicate` borrows nothing but is only
+//! meaningful against the snapshot it was resolved for (probes cache
+//! dictionary ranks); resolve per pass, immediately before use.
 
 use std::cmp::Ordering;
 
 use daisy_common::{DaisyError, Result, Schema, Value};
-use daisy_storage::{ColumnCode, ColumnSnapshot, ConstProbe};
+use daisy_storage::{ColumnCode, ColumnSnapshot, ConstProbe, Tuple};
 
 use crate::constraint::{DcPredicate, Operand};
 use crate::operators::ComparisonOp;
+use crate::scalar::{BoolExpr, ScalarExpr};
 
 /// One operand of a [`CodedPredicate`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -193,6 +200,158 @@ impl Fetched {
             (Fetched::Const(probe), Fetched::Cell(cell)) => probe.cmp_cell(cell).reverse(),
             (Fetched::Const(_), Fetched::Const(_)) => {
                 unreachable!("const/const predicates are pre-evaluated")
+            }
+        }
+    }
+}
+
+/// One operand of a coded scalar comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CodedScalar {
+    /// A column of the filtered table, resolved to its snapshot index.
+    Column(usize),
+    /// A literal, resolved against the snapshot dictionary.
+    Const(ConstProbe),
+}
+
+/// A query WHERE predicate ([`BoolExpr`]) resolved for evaluation over one
+/// snapshot's column codes — the single-tuple counterpart of
+/// [`CodedPredicate`].
+///
+/// Evaluation over a **clean** row (no probabilistic referenced cell) is
+/// byte-identical to [`BoolExpr::eval_expected`] *and*
+/// [`BoolExpr::eval_possible`] by construction: a current snapshot stores
+/// exactly the expected value of every cell, comparisons run through the
+/// shared [`ComparisonOp::eval_parts`] core, and possible-world semantics
+/// collapse to expected semantics when no referenced cell is relaxed.  Rows
+/// where [`CodedScalarPredicate::references_probabilistic`] holds must fall
+/// back to exact per-tuple evaluation under `Possible` mode (the vectorized
+/// filter kernel does; under `Expected` mode the coded path already reads
+/// the expected values and no fallback is needed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodedScalarPredicate {
+    node: CodedExpr,
+    /// Referenced column ordinals, deduplicated and sorted.
+    columns: Vec<usize>,
+}
+
+/// The coded form of a [`BoolExpr`] node.
+#[derive(Debug, Clone, PartialEq)]
+enum CodedExpr {
+    True,
+    Not(Box<CodedExpr>),
+    And(Box<CodedExpr>, Box<CodedExpr>),
+    Or(Box<CodedExpr>, Box<CodedExpr>),
+    Compare {
+        op: ComparisonOp,
+        left: CodedScalar,
+        right: CodedScalar,
+        /// Pre-evaluated result when both operands are literals (probes
+        /// cannot order two strings absent from the dictionary).
+        const_result: Option<bool>,
+    },
+}
+
+impl CodedScalarPredicate {
+    /// Resolves a WHERE predicate against a schema and snapshot.  Fails for
+    /// unknown columns — the same up-front validation the row-path filter
+    /// kernel performs.
+    pub fn resolve(
+        expr: &BoolExpr,
+        schema: &Schema,
+        snapshot: &ColumnSnapshot,
+    ) -> Result<CodedScalarPredicate> {
+        let node = Self::compile(expr, schema, snapshot)?;
+        let mut columns: Vec<usize> = expr
+            .columns()
+            .iter()
+            .map(|name| schema.index_of(name))
+            .collect::<Result<Vec<usize>>>()?;
+        columns.sort_unstable();
+        columns.dedup();
+        Ok(CodedScalarPredicate { node, columns })
+    }
+
+    fn compile(expr: &BoolExpr, schema: &Schema, snapshot: &ColumnSnapshot) -> Result<CodedExpr> {
+        let scalar = |operand: &ScalarExpr| -> Result<CodedScalar> {
+            match operand {
+                ScalarExpr::Column(name) => Ok(CodedScalar::Column(schema.index_of(name)?)),
+                ScalarExpr::Literal(v) => Ok(CodedScalar::Const(snapshot.probe_value(v))),
+            }
+        };
+        Ok(match expr {
+            BoolExpr::True => CodedExpr::True,
+            BoolExpr::Not(e) => CodedExpr::Not(Box::new(Self::compile(e, schema, snapshot)?)),
+            BoolExpr::And(a, b) => CodedExpr::And(
+                Box::new(Self::compile(a, schema, snapshot)?),
+                Box::new(Self::compile(b, schema, snapshot)?),
+            ),
+            BoolExpr::Or(a, b) => CodedExpr::Or(
+                Box::new(Self::compile(a, schema, snapshot)?),
+                Box::new(Self::compile(b, schema, snapshot)?),
+            ),
+            BoolExpr::Compare { left, op, right } => {
+                let const_result = match (left, right) {
+                    (ScalarExpr::Literal(l), ScalarExpr::Literal(r)) => Some(op.eval(l, r)),
+                    _ => None,
+                };
+                CodedExpr::Compare {
+                    op: *op,
+                    left: scalar(left)?,
+                    right: scalar(right)?,
+                    const_result,
+                }
+            }
+        })
+    }
+
+    /// Evaluates the predicate for one snapshot row.
+    pub fn eval(&self, snapshot: &ColumnSnapshot, row: usize) -> bool {
+        self.node.eval(snapshot, row)
+    }
+
+    /// The referenced column ordinals (deduplicated, sorted).
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// `true` when some referenced cell of `tuple` is probabilistic — the
+    /// rows that must take the exact per-tuple fallback under
+    /// possible-world semantics.
+    pub fn references_probabilistic(&self, tuple: &Tuple) -> bool {
+        self.columns
+            .iter()
+            .any(|&c| tuple.cell(c).is_ok_and(|cell| cell.is_probabilistic()))
+    }
+}
+
+impl CodedExpr {
+    fn eval(&self, snapshot: &ColumnSnapshot, row: usize) -> bool {
+        match self {
+            CodedExpr::True => true,
+            CodedExpr::Not(e) => !e.eval(snapshot, row),
+            CodedExpr::And(a, b) => a.eval(snapshot, row) && b.eval(snapshot, row),
+            CodedExpr::Or(a, b) => a.eval(snapshot, row) || b.eval(snapshot, row),
+            CodedExpr::Compare {
+                op,
+                left,
+                right,
+                const_result,
+            } => {
+                if let Some(fixed) = const_result {
+                    return *fixed;
+                }
+                let fetch = |operand: &CodedScalar| -> Fetched {
+                    match operand {
+                        CodedScalar::Column(column) => {
+                            Fetched::Cell(snapshot.ordering_code(row, *column))
+                        }
+                        CodedScalar::Const(probe) => Fetched::Const(*probe),
+                    }
+                };
+                let l = fetch(left);
+                let r = fetch(right);
+                op.eval_parts(l.is_null(), r.is_null(), || l.cmp_fetched(r))
             }
         }
     }
@@ -401,6 +560,121 @@ mod tests {
             Operand::attr(1, "zip"),
         );
         assert!(CodedPredicate::resolve(&unknown, table.schema(), &snapshot).is_err());
+    }
+
+    /// Every operator × scalar-operand shape × boolean connective must agree
+    /// with `eval_expected` exactly on every row — including NULLs, NaN,
+    /// int/float coercion and string literals absent from the dictionary.
+    /// Probabilistic cells are included: a current snapshot stores their
+    /// expected value, so the coded path still mirrors `eval_expected`.
+    #[test]
+    fn coded_scalar_eval_matches_expected_eval_everywhere() {
+        use daisy_storage::{Candidate, Cell};
+
+        let mut table = table();
+        // Relax one zip cell: {9001, 10001}, expected 9001.
+        let id = table.tuples()[0].id;
+        *table.tuple_mut(id).unwrap().cell_mut(0).unwrap() = Cell::probabilistic(vec![
+            Candidate::exact(Value::Int(9001), 0.6),
+            Candidate::exact(Value::Int(10001), 0.4),
+        ]);
+        let snapshot = ColumnSnapshot::build(&table).unwrap();
+        let schema = table.schema();
+        let ops = [
+            ComparisonOp::Eq,
+            ComparisonOp::Neq,
+            ComparisonOp::Lt,
+            ComparisonOp::Le,
+            ComparisonOp::Gt,
+            ComparisonOp::Ge,
+        ];
+        let scalars = [
+            ScalarExpr::col("zip"),
+            ScalarExpr::col("city"),
+            ScalarExpr::col("rate"),
+            ScalarExpr::lit(Value::Int(9001)),
+            ScalarExpr::lit(Value::Float(0.5)),
+            ScalarExpr::lit(Value::Float(f64::NAN)),
+            ScalarExpr::lit(Value::from("Los Angeles")), // present in dict
+            ScalarExpr::lit(Value::from("Miami")),       // absent from dict
+            ScalarExpr::lit(Value::from("Aachen!")),     // absent, after "Aachen"
+            ScalarExpr::lit(Value::Null),
+        ];
+        let mut exprs: Vec<BoolExpr> = vec![BoolExpr::True];
+        for left in &scalars {
+            for right in &scalars {
+                for op in ops {
+                    exprs.push(BoolExpr::Compare {
+                        left: left.clone(),
+                        op,
+                        right: right.clone(),
+                    });
+                }
+            }
+        }
+        // Boolean connectives over a few representative comparisons.
+        let a = BoolExpr::cmp("zip", ComparisonOp::Ge, 9001);
+        let b = BoolExpr::eq("city", "Aachen");
+        let c = BoolExpr::cmp("rate", ComparisonOp::Lt, 0.5);
+        exprs.push(a.clone().and(b.clone()));
+        exprs.push(a.clone().or(c.clone()));
+        exprs.push(BoolExpr::Not(Box::new(a.clone())).and(b.or(c)));
+        for expr in &exprs {
+            let coded = CodedScalarPredicate::resolve(expr, schema, &snapshot).unwrap();
+            for (i, tuple) in table.tuples().iter().enumerate() {
+                let row = expr.eval_expected(schema, tuple).unwrap();
+                let col = coded.eval(&snapshot, i);
+                assert_eq!(row, col, "`{expr}` diverged on row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn coded_scalar_tracks_probabilistic_references() {
+        use daisy_storage::{Candidate, Cell};
+
+        let mut table = table();
+        let id = table.tuples()[1].id;
+        *table.tuple_mut(id).unwrap().cell_mut(2).unwrap() = Cell::probabilistic(vec![
+            Candidate::exact(Value::Float(0.5), 0.5),
+            Candidate::exact(Value::Float(0.9), 0.5),
+        ]);
+        let snapshot = ColumnSnapshot::build(&table).unwrap();
+        let on_rate = CodedScalarPredicate::resolve(
+            &BoolExpr::cmp("rate", ComparisonOp::Gt, 0.1),
+            table.schema(),
+            &snapshot,
+        )
+        .unwrap();
+        assert_eq!(on_rate.columns(), &[2]);
+        assert!(on_rate.references_probabilistic(&table.tuples()[1]));
+        assert!(!on_rate.references_probabilistic(&table.tuples()[0]));
+        let on_zip =
+            CodedScalarPredicate::resolve(&BoolExpr::eq("zip", 9001), table.schema(), &snapshot)
+                .unwrap();
+        assert!(!on_zip.references_probabilistic(&table.tuples()[1]));
+        // Literal-only predicates reference nothing.
+        let trivial = CodedScalarPredicate::resolve(
+            &BoolExpr::Compare {
+                left: ScalarExpr::lit(1),
+                op: ComparisonOp::Lt,
+                right: ScalarExpr::lit(2),
+            },
+            table.schema(),
+            &snapshot,
+        )
+        .unwrap();
+        assert!(trivial.columns().is_empty());
+        assert!(!trivial.references_probabilistic(&table.tuples()[0]));
+        assert!(trivial.eval(&snapshot, 0));
+    }
+
+    #[test]
+    fn coded_scalar_resolve_rejects_unknown_columns() {
+        let table = table();
+        let snapshot = ColumnSnapshot::build(&table).unwrap();
+        let expr = BoolExpr::eq("nope", 1).or(BoolExpr::eq("zip", 9001));
+        assert!(CodedScalarPredicate::resolve(&expr, table.schema(), &snapshot).is_err());
     }
 
     #[test]

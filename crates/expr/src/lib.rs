@@ -25,7 +25,7 @@ pub mod sat;
 pub mod scalar;
 pub mod violation;
 
-pub use columnar::{resolve_predicates, CodedPredicate};
+pub use columnar::{resolve_predicates, CodedPredicate, CodedScalarPredicate};
 pub use constraint::{
     ConstraintSet, DcPredicate, DenialConstraint, FunctionalDependency, IndexPlan, Operand,
     PredicateKind,

@@ -1,9 +1,10 @@
-//! The select (filter) operator.
+//! The select (filter) operator: a row path cloning qualifying tuples and a
+//! vectorized path producing selection vectors over snapshot column codes.
 
-use daisy_common::{Result, Schema};
-use daisy_exec::{par_map_chunks, ExecContext};
-use daisy_expr::BoolExpr;
-use daisy_storage::Tuple;
+use daisy_common::{DaisyError, Result, Schema};
+use daisy_exec::{chunk_ranges, par_map_chunks, run_stealing, ExecContext};
+use daisy_expr::{BoolExpr, CodedScalarPredicate};
+use daisy_storage::{ColumnSnapshot, Tuple};
 
 /// How predicates treat probabilistic cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,11 +52,84 @@ pub fn filter_tuples(
     Ok(results)
 }
 
+/// Vectorized filter: evaluates the predicate over snapshot column codes
+/// and returns the qualifying **positions** (a sorted selection vector)
+/// instead of cloning tuples — the late-materialization protocol of the
+/// vectorized executor.
+///
+/// `tuples[i]` must be the tuple snapshot row `i` was built from (the
+/// caller guarantees the snapshot is current); `selection` restricts
+/// evaluation to a sorted subset of positions (`None` = all rows).  Work is
+/// split morsel-wise and dispatched through the work-stealing scheduler;
+/// per-morsel outputs are concatenated in morsel order, so the result is
+/// sorted and independent of worker count.
+///
+/// Byte-identical to [`filter_tuples`] over the same rows by construction:
+/// clean rows run the coded comparisons (which mirror `Value::total_cmp`
+/// exactly), and under [`PredicateMode::Possible`] rows with a
+/// probabilistic referenced cell fall back to the exact per-tuple
+/// [`BoolExpr::eval_possible`].  Under [`PredicateMode::Expected`] no
+/// fallback is needed — the snapshot stores exactly the expected value of
+/// every cell, relaxed or not.
+pub fn filter_selection(
+    ctx: &ExecContext,
+    schema: &Schema,
+    tuples: &[Tuple],
+    snapshot: &ColumnSnapshot,
+    selection: Option<&[usize]>,
+    predicate: &BoolExpr,
+    mode: PredicateMode,
+) -> Result<Vec<usize>> {
+    if snapshot.len() != tuples.len() {
+        return Err(DaisyError::Execution(format!(
+            "vectorized filter requires a snapshot aligned with its input \
+             ({} snapshot rows vs {} tuples)",
+            snapshot.len(),
+            tuples.len()
+        )));
+    }
+    let all: Vec<usize>;
+    let selection: &[usize] = match selection {
+        Some(positions) => positions,
+        None => {
+            all = (0..tuples.len()).collect();
+            &all
+        }
+    };
+    if matches!(predicate, BoolExpr::True) {
+        return Ok(selection.to_vec());
+    }
+    // Resolution validates every referenced column up front, mirroring the
+    // row path.
+    let coded = CodedScalarPredicate::resolve(predicate, schema, snapshot)?;
+    let ranges = chunk_ranges(selection.len(), ctx.morsel_count(selection.len()));
+    let chunks: Vec<Vec<usize>> = run_stealing(ctx, ranges.len(), |m| {
+        let (start, end) = ranges[m];
+        let mut out = Vec::new();
+        for &row in &selection[start..end] {
+            let keep = if mode == PredicateMode::Possible
+                && coded.references_probabilistic(&tuples[row])
+            {
+                predicate
+                    .eval_possible(schema, &tuples[row])
+                    .unwrap_or(false)
+            } else {
+                coded.eval(snapshot, row)
+            };
+            if keep {
+                out.push(row);
+            }
+        }
+        out
+    });
+    Ok(chunks.into_iter().flatten().collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use daisy_common::{DataType, TupleId, Value};
-    use daisy_storage::{Candidate, Cell};
+    use daisy_storage::{Candidate, Cell, Table};
 
     fn schema() -> Schema {
         Schema::from_pairs(&[("zip", DataType::Int), ("city", DataType::Str)]).unwrap()
@@ -132,6 +206,127 @@ mod tests {
             &schema(),
             &tuples(),
             &daisy_expr::BoolExpr::eq("state", "CA"),
+            PredicateMode::Expected,
+        )
+        .is_err());
+    }
+
+    fn table() -> Table {
+        let mut table = Table::new("t", schema());
+        for tuple in tuples() {
+            table.push_cells(tuple.cells).unwrap();
+        }
+        table
+    }
+
+    /// The selection-vector kernel must agree with the row path on every
+    /// predicate shape × mode × worker count, including the probabilistic
+    /// fallback rows.
+    #[test]
+    fn selection_matches_row_filter_across_modes_and_workers() {
+        use daisy_expr::ComparisonOp;
+
+        let table = table();
+        let snapshot = ColumnSnapshot::build(&table).unwrap();
+        let predicates = [
+            BoolExpr::True,
+            BoolExpr::eq("zip", 9001),
+            BoolExpr::eq("zip", 10001),
+            BoolExpr::between("zip", 9000, 9500),
+            BoolExpr::cmp("zip", ComparisonOp::Ge, 10000).or(BoolExpr::eq("city", "LA")),
+            BoolExpr::Not(Box::new(BoolExpr::eq("city", "SF"))),
+        ];
+        for predicate in &predicates {
+            for mode in [PredicateMode::Expected, PredicateMode::Possible] {
+                let row = filter_tuples(
+                    &ExecContext::sequential(),
+                    table.schema(),
+                    table.tuples(),
+                    predicate,
+                    mode,
+                )
+                .unwrap();
+                let row_ids: Vec<TupleId> = row.iter().map(|t| t.id).collect();
+                for workers in [1usize, 2, 4, 7] {
+                    let ctx = ExecContext::new(workers);
+                    let selection = filter_selection(
+                        &ctx,
+                        table.schema(),
+                        table.tuples(),
+                        &snapshot,
+                        None,
+                        predicate,
+                        mode,
+                    )
+                    .unwrap();
+                    let sel_ids: Vec<TupleId> = selection
+                        .iter()
+                        .map(|&pos| table.tuples()[pos].id)
+                        .collect();
+                    assert_eq!(
+                        row_ids, sel_ids,
+                        "`{predicate}` diverged under {mode:?} with {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_narrows_an_input_selection() {
+        let table = table();
+        let snapshot = ColumnSnapshot::build(&table).unwrap();
+        let ctx = ExecContext::sequential();
+        // Restrict to rows {1, 2}: row 0 qualifies the predicate but is not
+        // in the input selection and must stay excluded.
+        let out = filter_selection(
+            &ctx,
+            table.schema(),
+            table.tuples(),
+            &snapshot,
+            Some(&[1, 2]),
+            &BoolExpr::eq("zip", 9001),
+            PredicateMode::Possible,
+        )
+        .unwrap();
+        assert_eq!(out, vec![2]);
+        // A True predicate returns the input selection unchanged.
+        let all = filter_selection(
+            &ctx,
+            table.schema(),
+            table.tuples(),
+            &snapshot,
+            Some(&[0, 2]),
+            &BoolExpr::True,
+            PredicateMode::Expected,
+        )
+        .unwrap();
+        assert_eq!(all, vec![0, 2]);
+    }
+
+    #[test]
+    fn selection_rejects_misaligned_snapshot_and_unknown_columns() {
+        let table = table();
+        let snapshot = ColumnSnapshot::build(&table).unwrap();
+        let ctx = ExecContext::sequential();
+        let fewer = &table.tuples()[..2];
+        assert!(filter_selection(
+            &ctx,
+            table.schema(),
+            fewer,
+            &snapshot,
+            None,
+            &BoolExpr::eq("zip", 9001),
+            PredicateMode::Expected,
+        )
+        .is_err());
+        assert!(filter_selection(
+            &ctx,
+            table.schema(),
+            table.tuples(),
+            &snapshot,
+            None,
+            &BoolExpr::eq("state", "CA"),
             PredicateMode::Expected,
         )
         .is_err());

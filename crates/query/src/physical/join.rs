@@ -4,13 +4,22 @@
 //! a pair iff the candidate values of the join-keys overlap", and the result
 //! stores the originating tuple ids (lineage) so that a later repair of a
 //! join-key value can invalidate or extend the pair set incrementally.
+//! NULL join keys never match (SQL equi-join semantics), on either path.
+//!
+//! Two implementations share those semantics: [`hash_join`] builds on owned
+//! [`Value`] keys, [`hash_join_coded`] builds on `Copy`
+//! [`ColumnCode`]s from the right table's [`ColumnSnapshot`] and probes
+//! through the snapshot dictionary — no `Value` clone ever happens on the
+//! build side.  Both validate their key columns up front with a typed
+//! [`DaisyError::UnknownJoinColumn`], so a bad plan fails at operator
+//! construction instead of mid-stream.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use daisy_common::{Result, Schema, TupleId, Value};
-use daisy_exec::{par_map_chunks, ExecContext};
-use daisy_storage::Tuple;
+use daisy_common::{DaisyError, Result, Schema, TupleId, Value};
+use daisy_exec::{chunk_ranges, par_map_chunks, run_stealing, ExecContext};
+use daisy_storage::{ColumnCode, ColumnSnapshot, Tuple};
 
 /// The output of a join: result schema, result tuples (with lineage), and
 /// the number of probe-side tuples that found at least one match.
@@ -40,14 +49,16 @@ pub fn hash_join(
     right_key: &str,
 ) -> Result<JoinOutput> {
     let out_schema = Arc::new(left_schema.join(right_schema)?);
-    let left_idx = left_schema.index_of(left_key)?;
-    let right_idx = right_schema.index_of(right_key)?;
+    let (left_idx, right_idx) = validate_join_keys(left_schema, right_schema, left_key, right_key)?;
 
     // Build side: every possible value of the right key maps to the list of
-    // right positions carrying it.
+    // right positions carrying it.  NULL keys never join.
     let mut build: HashMap<Value, Vec<usize>> = HashMap::new();
     for (pos, tuple) in right.iter().enumerate() {
         for value in tuple.cell(right_idx)?.possible_values() {
+            if value.is_null() {
+                continue;
+            }
             build.entry(value.clone()).or_default().push(pos);
         }
     }
@@ -66,6 +77,9 @@ pub fn hash_join(
                 };
                 let mut matches: Vec<usize> = Vec::new();
                 for value in cell.possible_values() {
+                    if value.is_null() {
+                        continue;
+                    }
                     if let Some(positions) = build.get(value) {
                         matches.extend(positions.iter().copied());
                     }
@@ -88,6 +102,183 @@ pub fn hash_join(
             &left[*lpos],
             &right[*rpos],
             TupleId::new(i as u64),
+        ));
+    }
+    Ok(JoinOutput {
+        schema: out_schema,
+        tuples,
+        matched_left: matched.iter().filter(|m| **m).count(),
+    })
+}
+
+/// Resolves both join-key columns, reporting a missing one as a typed
+/// [`DaisyError::UnknownJoinColumn`] — the up-front validation both join
+/// implementations (and plan validation in the executor) share.
+pub fn validate_join_keys(
+    left_schema: &Schema,
+    right_schema: &Schema,
+    left_key: &str,
+    right_key: &str,
+) -> Result<(usize, usize)> {
+    let left_idx = left_schema
+        .index_of(left_key)
+        .map_err(|_| DaisyError::UnknownJoinColumn {
+            side: "left",
+            column: left_key.to_string(),
+        })?;
+    let right_idx =
+        right_schema
+            .index_of(right_key)
+            .map_err(|_| DaisyError::UnknownJoinColumn {
+                side: "right",
+                column: right_key.to_string(),
+            })?;
+    Ok((left_idx, right_idx))
+}
+
+/// Code-keyed hash equi-join: like [`hash_join`], but the build side is
+/// keyed on `Copy` [`ColumnCode`]s read from the **right** table's snapshot
+/// (no `Value` clones), and both sides may be restricted to sorted
+/// selection vectors (`None` = all rows) — the late-materialization
+/// protocol of the vectorized executor.
+///
+/// `right[i]` must be the tuple snapshot row `i` was built from.  The left
+/// side needs no snapshot: probe values are encoded through the right
+/// snapshot's dictionary on the fly.  Candidate strings the dictionary has
+/// never interned (only possible for relaxed cells) are collected in an
+/// exact side table, so they still match by value.
+///
+/// Byte-identical to [`hash_join`] over the same rows by construction:
+/// [`ColumnCode`] shares `Value`'s equality and hash semantics (int/float
+/// coercion, NaN == NaN), NULL keys never join on either path, and matches
+/// are emitted in the same (left order outer, right build order inner)
+/// order with the same fresh ids and lineage.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_coded(
+    ctx: &ExecContext,
+    left_schema: &Schema,
+    left: &[Tuple],
+    left_selection: Option<&[usize]>,
+    right_schema: &Schema,
+    right: &[Tuple],
+    right_selection: Option<&[usize]>,
+    right_snapshot: &ColumnSnapshot,
+    left_key: &str,
+    right_key: &str,
+) -> Result<JoinOutput> {
+    let out_schema = Arc::new(left_schema.join(right_schema)?);
+    let (left_idx, right_idx) = validate_join_keys(left_schema, right_schema, left_key, right_key)?;
+    if right_snapshot.len() != right.len() {
+        return Err(DaisyError::Execution(format!(
+            "coded join requires a snapshot aligned with its build side \
+             ({} snapshot rows vs {} tuples)",
+            right_snapshot.len(),
+            right.len()
+        )));
+    }
+    let all_left: Vec<usize>;
+    let left_selection: &[usize] = match left_selection {
+        Some(positions) => positions,
+        None => {
+            all_left = (0..left.len()).collect();
+            &all_left
+        }
+    };
+    let all_right: Vec<usize>;
+    let right_selection: &[usize] = match right_selection {
+        Some(positions) => positions,
+        None => {
+            all_right = (0..right.len()).collect();
+            &all_right
+        }
+    };
+
+    // Build side on codes.  Determinate keys read straight from the
+    // snapshot column (`ColumnCode` is `Copy`); relaxed keys encode each
+    // exact candidate through the dictionary.  A string is either interned
+    // (all its occurrences land in `build`) or not (all land in `absent`),
+    // so the two maps never split one value's positions.
+    let mut build: HashMap<ColumnCode, Vec<usize>> = HashMap::new();
+    let mut absent: HashMap<&str, Vec<usize>> = HashMap::new();
+    for &pos in right_selection {
+        let cell = right[pos].cell(right_idx)?;
+        if cell.is_probabilistic() {
+            for value in cell.possible_values() {
+                if value.is_null() {
+                    continue;
+                }
+                match right_snapshot.encode_ordering(value) {
+                    Some(code) => build.entry(code).or_default().push(pos),
+                    None => {
+                        if let Value::Str(s) = value {
+                            absent.entry(s.as_str()).or_default().push(pos);
+                        }
+                    }
+                }
+            }
+        } else {
+            let code = right_snapshot.ordering_code(pos, right_idx);
+            if !code.is_null() {
+                build.entry(code).or_default().push(pos);
+            }
+        }
+    }
+
+    // Probe side: morsel-parallel over the left selection, merged in morsel
+    // order — the same deterministic (left outer, right build inner) order
+    // as the row path.
+    let probe_one = |value: &Value, matches: &mut Vec<usize>| {
+        if value.is_null() {
+            return;
+        }
+        match right_snapshot.encode_ordering(value) {
+            Some(code) => {
+                if let Some(positions) = build.get(&code) {
+                    matches.extend(positions.iter().copied());
+                }
+            }
+            None => {
+                if let Value::Str(s) = value {
+                    if let Some(positions) = absent.get(s.as_str()) {
+                        matches.extend(positions.iter().copied());
+                    }
+                }
+            }
+        }
+    };
+    let ranges = chunk_ranges(left_selection.len(), ctx.morsel_count(left_selection.len()));
+    let chunks: Vec<Vec<(usize, usize)>> = run_stealing(ctx, ranges.len(), |m| {
+        let (start, end) = ranges[m];
+        let mut out = Vec::new();
+        for &pos in &left_selection[start..end] {
+            let Ok(cell) = left[pos].cell(left_idx) else {
+                continue;
+            };
+            let mut matches: Vec<usize> = Vec::new();
+            if let Some(value) = cell.as_determinate() {
+                probe_one(value, &mut matches);
+            } else {
+                for value in cell.possible_values() {
+                    probe_one(value, &mut matches);
+                }
+            }
+            matches.sort_unstable();
+            matches.dedup();
+            for right_pos in matches {
+                out.push((pos, right_pos));
+            }
+        }
+        out
+    });
+
+    let mut matched: Vec<bool> = vec![false; left.len()];
+    let mut tuples = Vec::new();
+    for (next_id, (lpos, rpos)) in chunks.into_iter().flatten().enumerate() {
+        matched[lpos] = true;
+        tuples.push(Tuple::join(
+            &left[lpos],
+            &right[rpos],
+            TupleId::new(next_id as u64),
         ));
     }
     Ok(JoinOutput {
@@ -225,5 +416,231 @@ mod tests {
             "e.zip",
         )
         .is_err());
+    }
+
+    #[test]
+    fn missing_keys_raise_typed_errors_on_both_paths() {
+        let ctx = ExecContext::sequential();
+        let right = right_table();
+        let snapshot = ColumnSnapshot::build(&right).unwrap();
+        for (lk, rk, side, column) in [
+            ("c.nope", "e.zip", "left", "c.nope"),
+            ("c.zip", "e.nope", "right", "e.nope"),
+        ] {
+            let row_err = hash_join(
+                &ctx,
+                &cities_schema(),
+                &cities(),
+                &employees_schema(),
+                &employees(),
+                lk,
+                rk,
+            )
+            .unwrap_err();
+            let coded_err = hash_join_coded(
+                &ctx,
+                &cities_schema(),
+                &cities(),
+                None,
+                right.schema(),
+                right.tuples(),
+                None,
+                &snapshot,
+                lk,
+                rk,
+            )
+            .unwrap_err();
+            for err in [row_err, coded_err] {
+                match err {
+                    DaisyError::UnknownJoinColumn { side: s, column: c } => {
+                        assert_eq!(s, side);
+                        assert_eq!(c, column);
+                    }
+                    other => panic!("expected UnknownJoinColumn, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Builds the employees fixture as a `Table` (same schema and tuple
+    /// ids) so the coded path has a snapshot to read.
+    fn right_table() -> daisy_storage::Table {
+        let mut table = daisy_storage::Table::new("e", employees_schema());
+        for tuple in employees() {
+            table.push_cells(tuple.cells).unwrap();
+        }
+        table
+    }
+
+    fn row_dump(out: &JoinOutput) -> Vec<(TupleId, Vec<TupleId>, Vec<String>)> {
+        out.tuples
+            .iter()
+            .map(|t| {
+                (
+                    t.id,
+                    t.lineage.clone(),
+                    t.cells.iter().map(|c| c.to_string()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coded_join_matches_row_join_exactly() {
+        let right = right_table();
+        let snapshot = ColumnSnapshot::build(&right).unwrap();
+        for workers in [1usize, 2, 4, 7] {
+            let ctx = ExecContext::new(workers);
+            let row = hash_join(
+                &ctx,
+                &cities_schema(),
+                &cities(),
+                right.schema(),
+                right.tuples(),
+                "c.zip",
+                "e.zip",
+            )
+            .unwrap();
+            let coded = hash_join_coded(
+                &ctx,
+                &cities_schema(),
+                &cities(),
+                None,
+                right.schema(),
+                right.tuples(),
+                None,
+                &snapshot,
+                "c.zip",
+                "e.zip",
+            )
+            .unwrap();
+            assert_eq!(row_dump(&row), row_dump(&coded));
+            assert_eq!(row.matched_left, coded.matched_left);
+        }
+    }
+
+    #[test]
+    fn coded_join_honours_selection_vectors() {
+        let right = right_table();
+        let snapshot = ColumnSnapshot::build(&right).unwrap();
+        let ctx = ExecContext::sequential();
+        // Restrict the build side to employee rows {1, 2}: Peter (9001,
+        // row 0) must no longer match anyone.
+        let out = hash_join_coded(
+            &ctx,
+            &cities_schema(),
+            &cities(),
+            None,
+            right.schema(),
+            right.tuples(),
+            Some(&[1, 2]),
+            &snapshot,
+            "c.zip",
+            "e.zip",
+        )
+        .unwrap();
+        let names: Vec<Value> = out.tuples.iter().map(|t| t.value(3).unwrap()).collect();
+        assert_eq!(names, vec![Value::from("Mary")]);
+        // Restrict the probe side to the probabilistic city only.
+        let out = hash_join_coded(
+            &ctx,
+            &cities_schema(),
+            &cities(),
+            Some(&[1]),
+            right.schema(),
+            right.tuples(),
+            None,
+            &snapshot,
+            "c.zip",
+            "e.zip",
+        )
+        .unwrap();
+        assert_eq!(out.tuples.len(), 2);
+        assert_eq!(out.matched_left, 1);
+    }
+
+    /// `1 == 1.0` must join on both paths (`Value` and `ColumnCode` share
+    /// int/float hash coercion), and NULL keys must never join on either —
+    /// not even NULL-to-NULL.
+    #[test]
+    fn key_semantics_pin_coercion_and_nulls_on_both_paths() {
+        let left_schema =
+            Schema::from_pairs(&[("l.k", DataType::Float), ("l.tag", DataType::Str)]).unwrap();
+        let left = vec![
+            Tuple::from_values(TupleId::new(0), vec![Value::Float(1.0), Value::from("f1")]),
+            Tuple::from_values(TupleId::new(1), vec![Value::Null, Value::from("null")]),
+            Tuple::from_cells(
+                TupleId::new(2),
+                vec![
+                    Cell::probabilistic(vec![
+                        Candidate::exact(Value::Null, 0.5),
+                        Candidate::exact(Value::Int(2), 0.5),
+                    ]),
+                    Cell::Determinate(Value::from("maybe")),
+                ],
+            ),
+        ];
+        let mut right = daisy_storage::Table::new(
+            "r",
+            Schema::from_pairs(&[("r.k", DataType::Int), ("r.tag", DataType::Str)]).unwrap(),
+        );
+        right
+            .push_values(vec![Value::Int(1), Value::from("i1")])
+            .unwrap();
+        right
+            .push_values(vec![Value::Null, Value::from("null")])
+            .unwrap();
+        right
+            .push_values(vec![Value::Int(2), Value::from("i2")])
+            .unwrap();
+        let snapshot = ColumnSnapshot::build(&right).unwrap();
+        let ctx = ExecContext::sequential();
+        let row = hash_join(
+            &ctx,
+            &left_schema,
+            &left,
+            right.schema(),
+            right.tuples(),
+            "l.k",
+            "r.k",
+        )
+        .unwrap();
+        let coded = hash_join_coded(
+            &ctx,
+            &left_schema,
+            &left,
+            None,
+            right.schema(),
+            right.tuples(),
+            None,
+            &snapshot,
+            "l.k",
+            "r.k",
+        )
+        .unwrap();
+        for out in [&row, &coded] {
+            let pairs: Vec<(String, String)> = out
+                .tuples
+                .iter()
+                .map(|t| {
+                    (
+                        t.value(1).unwrap().to_string(),
+                        t.value(3).unwrap().to_string(),
+                    )
+                })
+                .collect();
+            // Float 1.0 joins Int 1; the NULL candidate contributes
+            // nothing but the exact Int 2 candidate still joins; the
+            // determinate NULLs on both sides join nothing.
+            assert_eq!(
+                pairs,
+                vec![
+                    ("f1".to_string(), "i1".to_string()),
+                    ("maybe".to_string(), "i2".to_string()),
+                ]
+            );
+            assert_eq!(out.matched_left, 2);
+        }
+        assert_eq!(row_dump(&row), row_dump(&coded));
     }
 }
