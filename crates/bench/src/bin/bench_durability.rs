@@ -1,0 +1,257 @@
+//! Machine-readable perf trajectory for the durability layer.
+//!
+//! Two axes, written as `BENCH_durability.json` at the repository root:
+//!
+//! * **commit throughput** — the same cleaning workload committed through
+//!   a durable core under every sync policy (`off`, `commit`, `batch`)
+//!   plus the in-memory baseline, so the cost of the write-ahead append
+//!   and of each fsync policy is directly visible as commits/sec;
+//! * **recovery time vs log length** — cold-start recovery (checkpoint
+//!   load + log replay) over stores holding 32..256 committed deltas,
+//!   with checkpoints enabled (every 16 commits) and disabled (seed
+//!   checkpoint only, full-log replay) — the replay-bounding effect of
+//!   checkpointing is the ratio between the two curves.
+//!
+//! Every durable run asserts its recovered tables are byte-identical to
+//! the in-memory baseline's before any number is reported.
+//!
+//! Knobs: `DAISY_BENCH_RUNS` (iterations per measurement, min is reported;
+//! default 3) and `DAISY_BENCH_OUT` (output path override).
+
+use std::time::Instant;
+
+use daisy_common::{DaisyConfig, DurabilityMode};
+use daisy_core::{DaisyEngine, EngineShared};
+use daisy_expr::FunctionalDependency;
+use daisy_service::{CleaningService, ServiceRequest};
+use daisy_storage::{Table, Tuple};
+use daisy_wal::ScratchDir;
+
+const GROUPS: i64 = 16;
+
+struct ThroughputRow {
+    mode: &'static str,
+    commits: usize,
+    seconds: f64,
+    commits_per_sec: f64,
+    fsyncs: u64,
+    checkpoints: u64,
+}
+
+struct RecoveryRow {
+    commits: usize,
+    checkpointed: bool,
+    seconds: f64,
+    recovered_version: u64,
+}
+
+fn runs() -> usize {
+    std::env::var("DAISY_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+fn dirty_table() -> Table {
+    let schema = daisy_common::Schema::from_pairs(&[
+        ("lhs", daisy_common::DataType::Int),
+        ("rhs", daisy_common::DataType::Int),
+    ])
+    .unwrap();
+    let mut rows = Vec::new();
+    for g in 0..GROUPS {
+        for r in 0..6 {
+            let rhs = g * 10 + i64::from(r == 5);
+            rows.push(vec![
+                daisy_common::Value::Int(g),
+                daisy_common::Value::Int(rhs),
+            ]);
+        }
+    }
+    Table::from_rows("t", schema, rows).unwrap()
+}
+
+fn engine(durability: DurabilityMode, checkpoint_interval: usize) -> DaisyEngine {
+    let mut engine = DaisyEngine::new(
+        DaisyConfig::default()
+            .with_worker_threads(1)
+            .with_cost_model(false)
+            .with_durability(durability)
+            .with_checkpoint_interval(checkpoint_interval),
+    )
+    .unwrap();
+    engine.register_table(dirty_table());
+    engine.add_fd(&FunctionalDependency::new(&["lhs"], "rhs"), "phi");
+    engine
+}
+
+fn requests(n: usize) -> Vec<ServiceRequest> {
+    (0..n)
+        .map(|i| {
+            ServiceRequest::new(
+                format!("s{i}"),
+                format!("SELECT lhs, rhs FROM t WHERE lhs = {}", i as i64 % GROUPS),
+            )
+        })
+        .collect()
+}
+
+fn committed_tables(service: &CleaningService) -> Vec<(String, Vec<Tuple>)> {
+    let shared = service.shared();
+    shared
+        .table_names()
+        .iter()
+        .map(|n| (n.clone(), shared.table(n).unwrap().tuples().to_vec()))
+        .collect()
+}
+
+fn main() {
+    let commits = 64usize;
+    let reqs = requests(commits);
+
+    // In-memory baseline: outputs to compare every durable run against.
+    let baseline_service = CleaningService::new(engine(DurabilityMode::Off, 1 << 30));
+    let report = baseline_service.run_serial(&reqs);
+    assert_eq!(report.commits as usize, commits);
+    let baseline_tables = committed_tables(&baseline_service);
+
+    let mut throughput = Vec::new();
+    let mut baseline_best = f64::INFINITY;
+    for _ in 0..runs() {
+        let service = CleaningService::new(engine(DurabilityMode::Off, 1 << 30));
+        let start = Instant::now();
+        service.run_serial(&reqs);
+        baseline_best = baseline_best.min(start.elapsed().as_secs_f64());
+    }
+    throughput.push(ThroughputRow {
+        mode: "in-memory",
+        commits,
+        seconds: baseline_best,
+        commits_per_sec: commits as f64 / baseline_best,
+        fsyncs: 0,
+        checkpoints: 0,
+    });
+
+    for (mode, name) in [
+        (DurabilityMode::Off, "off"),
+        (DurabilityMode::Batch, "batch"),
+        (DurabilityMode::Commit, "commit"),
+    ] {
+        let mut best = f64::INFINITY;
+        let mut fsyncs = 0;
+        let mut checkpoints = 0;
+        for _ in 0..runs() {
+            let dir = ScratchDir::new();
+            let service = CleaningService::with_persistence(engine(mode, 16), dir.path()).unwrap();
+            let start = Instant::now();
+            let report = service.run_serial(&reqs);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(report.commits as usize, commits);
+            assert_eq!(
+                committed_tables(&service),
+                baseline_tables,
+                "durable run under {name} diverged from the in-memory baseline"
+            );
+            if elapsed < best {
+                best = elapsed;
+                fsyncs = report.fsyncs;
+                checkpoints = report.checkpoints;
+            }
+        }
+        println!(
+            "throughput {name:>9}: {:>8.1} commits/s  fsyncs={fsyncs} checkpoints={checkpoints}",
+            commits as f64 / best
+        );
+        throughput.push(ThroughputRow {
+            mode: name,
+            commits,
+            seconds: best,
+            commits_per_sec: commits as f64 / best,
+            fsyncs,
+            checkpoints,
+        });
+    }
+
+    // Recovery time vs log length, with and without periodic checkpoints.
+    let mut recovery = Vec::new();
+    for &n in &[32usize, 64, 128, 256] {
+        for checkpointed in [false, true] {
+            // A huge interval leaves only the seed checkpoint: recovery
+            // replays the whole log.
+            let interval = if checkpointed { 16 } else { 1 << 30 };
+            let dir = ScratchDir::new();
+            {
+                let service = CleaningService::with_persistence(
+                    engine(DurabilityMode::Off, interval),
+                    dir.path(),
+                )
+                .unwrap();
+                let report = service.run_serial(&requests(n));
+                assert_eq!(report.commits as usize, n);
+            }
+            let mut best = f64::INFINITY;
+            let mut version = 0;
+            for _ in 0..runs() {
+                let start = Instant::now();
+                let shared =
+                    EngineShared::recover(engine(DurabilityMode::Off, interval), dir.path())
+                        .unwrap();
+                best = best.min(start.elapsed().as_secs_f64());
+                version = shared.version();
+            }
+            assert_eq!(version as usize, n);
+            println!(
+                "recovery  commits={n:>4} checkpoints={checkpointed:>5}: {:>9.3} ms",
+                best * 1e3
+            );
+            recovery.push(RecoveryRow {
+                commits: n,
+                checkpointed,
+                seconds: best,
+                recovered_version: version,
+            });
+        }
+    }
+
+    let json = render_json(&throughput, &recovery);
+    let out = out_path();
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("DAISY_BENCH_OUT") {
+        return path.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_durability.json")
+}
+
+fn render_json(throughput: &[ThroughputRow], recovery: &[RecoveryRow]) -> String {
+    let mut json = String::from("{\n  \"bench\": \"durability\",\n  \"throughput\": [\n");
+    let lines: Vec<String> = throughput
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"commits\": {}, \"seconds\": {:.6}, \
+                 \"commits_per_sec\": {:.2}, \"fsyncs\": {}, \"checkpoints\": {}}}",
+                r.mode, r.commits, r.seconds, r.commits_per_sec, r.fsyncs, r.checkpoints
+            )
+        })
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ],\n  \"recovery\": [\n");
+    let lines: Vec<String> = recovery
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"commits\": {}, \"checkpointed\": {}, \"seconds\": {:.6}, \
+                 \"recovered_version\": {}}}",
+                r.commits, r.checkpointed, r.seconds, r.recovered_version
+            )
+        })
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    json
+}

@@ -387,6 +387,81 @@ impl fmt::Display for QueryExecMode {
 /// (`auto` / `row` / `vectorized`).
 pub const QUERY_EXEC_ENV: &str = "DAISY_QUERY_EXEC";
 
+/// When to `fsync` the write-ahead commit log of a durable engine
+/// (`daisy-wal`).
+///
+/// * `Off` — append every commit record but never force it to stable
+///   storage; the OS flushes at its leisure.  A crash may lose a suffix of
+///   acknowledged commits, but recovery still yields a *prefix-consistent*
+///   world (the hash chain self-truncates any torn tail).
+/// * `Commit` — `fsync` after every appended record: an acknowledged commit
+///   is durable, full stop.  The strictest (and slowest) policy.
+/// * `Batch` — `fsync` once every few records (and always before a
+///   checkpoint is written), amortising the sync cost; a crash loses at
+///   most the unsynced suffix of acknowledged commits.
+///
+/// The knob only decides when bytes reach stable storage — the record
+/// stream itself is identical under every mode, so recovery semantics
+/// (checkpoint + chain-verified replay) never change, only how much tail a
+/// power cut can shave off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DurabilityMode {
+    /// Append without ever forcing a sync.
+    Off,
+    /// Sync after every commit record (the default).
+    #[default]
+    Commit,
+    /// Sync every few records and before each checkpoint.
+    Batch,
+}
+
+impl DurabilityMode {
+    /// Parses the textual forms accepted by [`DURABILITY_ENV`]
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn parse(text: &str) -> Option<DurabilityMode> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(DurabilityMode::Off),
+            "commit" => Some(DurabilityMode::Commit),
+            "batch" => Some(DurabilityMode::Batch),
+            _ => None,
+        }
+    }
+
+    /// The mode forced through [`DURABILITY_ENV`], if the variable is set
+    /// to a recognised value.  Invalid values are ignored (`Commit`
+    /// applies).
+    pub fn from_env() -> Option<DurabilityMode> {
+        DurabilityMode::parse(&std::env::var(DURABILITY_ENV).ok()?)
+    }
+
+    /// `true` when an acknowledged commit implies its record was synced
+    /// (only the `Commit` policy makes that promise).
+    pub fn syncs_every_commit(self) -> bool {
+        matches!(self, DurabilityMode::Commit)
+    }
+}
+
+impl fmt::Display for DurabilityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DurabilityMode::Off => "off",
+            DurabilityMode::Commit => "commit",
+            DurabilityMode::Batch => "batch",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Environment variable overriding the default commit-log sync policy
+/// (`off` / `commit` / `batch`).
+pub const DURABILITY_ENV: &str = "DAISY_DURABILITY";
+
+/// Environment variable overriding the checkpoint interval of a durable
+/// engine (positive integers only): a full-world checkpoint is written
+/// every this-many commits, bounding the delta suffix recovery must
+/// replay.
+pub const CHECKPOINT_INTERVAL_ENV: &str = "DAISY_CHECKPOINT_INTERVAL";
+
 /// Environment variable overriding the commit-log capacity of the shared
 /// session core (positive integers only).
 ///
@@ -482,6 +557,18 @@ pub struct DaisyConfig {
     /// otherwise keeps 128.  Sessions branched further back than the ring
     /// reaches fall back to a full rebase.
     pub commit_log_capacity: usize,
+    /// When a durable engine forces its write-ahead commit log to stable
+    /// storage; the default honours [`DURABILITY_ENV`] and otherwise syncs
+    /// every commit.  The record stream is identical under every mode, so
+    /// the knob only decides how much acknowledged tail a crash can lose —
+    /// never what a recovered world looks like.
+    pub durability: DurabilityMode,
+    /// How many commits a durable engine lets accumulate between full-world
+    /// checkpoints; the default honours [`CHECKPOINT_INTERVAL_ENV`] and
+    /// otherwise checkpoints every 32 commits.  Smaller intervals shorten
+    /// the delta suffix recovery replays at the cost of more checkpoint
+    /// writes; the knob never changes recovered results.
+    pub checkpoint_interval: usize,
 }
 
 impl Default for DaisyConfig {
@@ -503,6 +590,9 @@ impl Default for DaisyConfig {
             query_exec: QueryExecMode::from_env().unwrap_or_default(),
             commit_log_capacity: DaisyConfig::env_commit_log_capacity()
                 .unwrap_or(DaisyConfig::DEFAULT_COMMIT_LOG_CAPACITY),
+            durability: DurabilityMode::from_env().unwrap_or_default(),
+            checkpoint_interval: DaisyConfig::env_checkpoint_interval()
+                .unwrap_or(DaisyConfig::DEFAULT_CHECKPOINT_INTERVAL),
         }
     }
 }
@@ -555,6 +645,12 @@ impl DaisyConfig {
     /// builder overrides it.
     pub const DEFAULT_COMMIT_LOG_CAPACITY: usize = 128;
 
+    /// The checkpoint interval used when neither [`CHECKPOINT_INTERVAL_ENV`]
+    /// nor a builder overrides it: frequent enough to keep recovery replay
+    /// short, rare enough that serializing full tables stays off the
+    /// commit fast path.
+    pub const DEFAULT_CHECKPOINT_INTERVAL: usize = 32;
+
     /// The morsel granularity used when neither [`DATA_PARTITIONS_ENV`] nor
     /// a builder overrides it: two morsels per worker, enough slack for the
     /// work-stealing scheduler to rebalance moderate skew without
@@ -587,6 +683,13 @@ impl DaisyConfig {
     /// values are ignored (the default granularity applies).
     pub fn env_data_partitions() -> Option<usize> {
         parse_worker_threads(std::env::var(DATA_PARTITIONS_ENV).ok().as_deref())
+    }
+
+    /// The checkpoint-interval override from [`CHECKPOINT_INTERVAL_ENV`],
+    /// if the variable is set to a positive integer.  Invalid or
+    /// non-positive values are ignored (the default interval applies).
+    pub fn env_checkpoint_interval() -> Option<usize> {
+        parse_worker_threads(std::env::var(CHECKPOINT_INTERVAL_ENV).ok().as_deref())
     }
 
     /// Validates the configuration, returning a descriptive error for any
@@ -624,6 +727,9 @@ impl DaisyConfig {
         }
         if self.commit_log_capacity == 0 {
             return Err(DaisyError::Config("commit_log_capacity must be > 0".into()));
+        }
+        if self.checkpoint_interval == 0 {
+            return Err(DaisyError::Config("checkpoint_interval must be > 0".into()));
         }
         Ok(())
     }
@@ -709,6 +815,18 @@ impl DaisyConfig {
     /// Builder-style setter for the commit-log capacity.
     pub fn with_commit_log_capacity(mut self, n: usize) -> Self {
         self.commit_log_capacity = n;
+        self
+    }
+
+    /// Builder-style setter for the commit-log sync policy.
+    pub fn with_durability(mut self, mode: DurabilityMode) -> Self {
+        self.durability = mode;
+        self
+    }
+
+    /// Builder-style setter for the checkpoint interval.
+    pub fn with_checkpoint_interval(mut self, n: usize) -> Self {
+        self.checkpoint_interval = n;
         self
     }
 }
@@ -1006,6 +1124,59 @@ mod tests {
         assert!(DaisyConfig::default().validate().is_ok());
         if let Some(forced) = DetectionStrategy::from_env() {
             assert_eq!(DaisyConfig::default().detection_strategy, forced);
+        }
+    }
+
+    #[test]
+    fn durability_mode_parses_and_round_trips() {
+        // Parsing rules via the pure helper (no `set_var` races).
+        assert_eq!(DurabilityMode::parse("off"), Some(DurabilityMode::Off));
+        assert_eq!(
+            DurabilityMode::parse(" Commit "),
+            Some(DurabilityMode::Commit)
+        );
+        assert_eq!(DurabilityMode::parse("BATCH"), Some(DurabilityMode::Batch));
+        assert_eq!(DurabilityMode::parse("fsync"), None);
+        assert_eq!(DurabilityMode::parse(""), None);
+        for m in [
+            DurabilityMode::Off,
+            DurabilityMode::Commit,
+            DurabilityMode::Batch,
+        ] {
+            assert_eq!(DurabilityMode::parse(&m.to_string()), Some(m));
+        }
+        // Only the per-commit policy promises sync-on-ack.
+        assert!(DurabilityMode::Commit.syncs_every_commit());
+        assert!(!DurabilityMode::Off.syncs_every_commit());
+        assert!(!DurabilityMode::Batch.syncs_every_commit());
+        let cfg = DaisyConfig::default().with_durability(DurabilityMode::Batch);
+        assert_eq!(cfg.durability, DurabilityMode::Batch);
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = DurabilityMode::from_env() {
+            assert_eq!(DaisyConfig::default().durability, forced);
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_parses_and_validates() {
+        // The interval override shares the positive-integer parsing rules
+        // of the worker-thread knob; both are tested via the pure helper.
+        assert_eq!(parse_worker_threads(Some("4")), Some(4));
+        assert_eq!(parse_worker_threads(Some("-1")), None);
+        // A zero interval would demand a checkpoint before every commit's
+        // record is even appended — rejected.
+        assert!(DaisyConfig::default()
+            .with_checkpoint_interval(0)
+            .validate()
+            .is_err());
+        let cfg = DaisyConfig::default().with_checkpoint_interval(4);
+        assert_eq!(cfg.checkpoint_interval, 4);
+        assert!(cfg.validate().is_ok());
+        // Whatever the ambient environment says, the default stays valid.
+        assert!(DaisyConfig::default().validate().is_ok());
+        if let Some(forced) = DaisyConfig::env_checkpoint_interval() {
+            assert_eq!(DaisyConfig::default().checkpoint_interval, forced);
         }
     }
 }

@@ -31,6 +31,18 @@ pub enum DaisyError {
     Io(String),
     /// An invalid configuration value.
     Config(String),
+    /// The write-ahead commit log or a checkpoint failed verification
+    /// during recovery (checksum mismatch, broken hash chain, non-monotone
+    /// versions, …).  A torn *tail* is self-truncated and never reaches
+    /// this error; `CorruptLog` means damage recovery cannot attribute to
+    /// an interrupted write, so it refuses to load rather than silently
+    /// yield a wrong world.
+    CorruptLog {
+        /// Byte offset (within the log or checkpoint file) of the damage.
+        offset: u64,
+        /// Human-readable description of what failed to verify.
+        reason: String,
+    },
     /// A session operation that requires an up-to-date branch point found
     /// the shared world advanced by other commits.  Carries everything a
     /// caller needs to retry-or-fail deliberately: which session went
@@ -57,6 +69,7 @@ impl DaisyError {
             DaisyError::Execution(_) => "execution",
             DaisyError::Io(_) => "io",
             DaisyError::Config(_) => "config",
+            DaisyError::CorruptLog { .. } => "corrupt-log",
             DaisyError::StaleSession { .. } => "stale-session",
         }
     }
@@ -89,6 +102,9 @@ impl fmt::Display for DaisyError {
             DaisyError::Execution(msg) => write!(f, "execution error: {msg}"),
             DaisyError::Io(msg) => write!(f, "io error: {msg}"),
             DaisyError::Config(msg) => write!(f, "configuration error: {msg}"),
+            DaisyError::CorruptLog { offset, reason } => {
+                write!(f, "corrupt log at byte {offset}: {reason}")
+            }
             DaisyError::StaleSession {
                 session,
                 base_version,
@@ -135,6 +151,19 @@ mod tests {
     fn errors_are_comparable_in_tests() {
         assert_eq!(DaisyError::Type("x".into()), DaisyError::Type("x".into()));
         assert_ne!(DaisyError::Type("x".into()), DaisyError::Plan("x".into()));
+    }
+
+    #[test]
+    fn corrupt_log_names_offset_and_reason() {
+        let err = DaisyError::CorruptLog {
+            offset: 4096,
+            reason: "record checksum mismatch".into(),
+        };
+        assert_eq!(err.category(), "corrupt-log");
+        let rendered = err.to_string();
+        assert!(rendered.contains("byte 4096"));
+        assert!(rendered.contains("record checksum mismatch"));
+        assert_eq!(err.elapsed_commits(), None);
     }
 
     #[test]

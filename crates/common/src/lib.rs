@@ -26,10 +26,10 @@ pub mod schema;
 pub mod value;
 
 pub use config::{
-    CommitValidation, DaisyConfig, DetectionStrategy, IncrementalMode, QueryExecMode,
-    ServiceFairness, SnapshotMode, COMMIT_LOG_ENV, COMMIT_VALIDATION_ENV, DETECTION_ENV,
-    INCREMENTAL_ENV, QUERY_EXEC_ENV, SERVICE_FAIRNESS_ENV, SERVICE_WORKERS_ENV, SNAPSHOT_ENV,
-    WORKER_THREADS_ENV,
+    CommitValidation, DaisyConfig, DetectionStrategy, DurabilityMode, IncrementalMode,
+    QueryExecMode, ServiceFairness, SnapshotMode, CHECKPOINT_INTERVAL_ENV, COMMIT_LOG_ENV,
+    COMMIT_VALIDATION_ENV, DETECTION_ENV, DURABILITY_ENV, INCREMENTAL_ENV, QUERY_EXEC_ENV,
+    SERVICE_FAIRNESS_ENV, SERVICE_WORKERS_ENV, SNAPSHOT_ENV, WORKER_THREADS_ENV,
 };
 pub use datatype::DataType;
 pub use error::{DaisyError, Result};

@@ -1,0 +1,149 @@
+//! Bridging the in-memory [`WorldState`] to the durable [`daisy_wal`]
+//! layer: serialization into [`PersistedWorld`]s, commit-record
+//! construction (with the provenance diff), and restoration of a recovered
+//! world on top of a bootstrap engine.
+//!
+//! Constraints are deliberately **not** persisted: rules are
+//! configuration, registered on the bootstrap engine before
+//! [`EngineShared::recover`](crate::session::EngineShared::recover) is
+//! called.  Recovery therefore combines the bootstrap world's constraints
+//! with the log's tables and provenance, and clears every derived
+//! structure (indexes, θ-matrices, trackers, snapshots) so it is rebuilt
+//! lazily — recovered tables restart at revision zero, and a stale cache
+//! claiming currency against them would be silently wrong.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use daisy_storage::{Delta, Footprint, ProvenanceStore, Table};
+use daisy_wal::{LoggedCommit, PersistedWorld, ProvenanceDiff};
+
+use crate::world::{RuleKey, WorldState};
+
+/// Serializes the full table + provenance state at `version`.
+pub(crate) fn persisted_world(version: u64, world: &WorldState) -> PersistedWorld {
+    let mut tables: Vec<Table> = world
+        .catalog
+        .iter()
+        .map(|(_, table)| table.clone())
+        .collect();
+    tables.sort_by(|a, b| a.name().cmp(b.name()));
+    let mut provenance: Vec<(String, ProvenanceStore)> = world
+        .provenance
+        .iter()
+        .map(|(name, store)| (name.clone(), store.as_ref().clone()))
+        .collect();
+    provenance.sort_by(|a, b| a.0.cmp(&b.0));
+    PersistedWorld {
+        version,
+        tables,
+        provenance,
+    }
+}
+
+/// Builds the log record for a commit that moves `old` to `new`.
+///
+/// The provenance diff leans on the copy-on-write worlds: a table whose
+/// store is the *same `Arc`* in both worlds cannot have changed and is
+/// skipped without a walk.  Every commit path only ever adds or replaces
+/// provenance entries (relative to the world it installs over), so the
+/// diff plus the staged deltas reproduce the post-commit world exactly.
+pub(crate) fn logged_commit(
+    version: u64,
+    old: &WorldState,
+    new: &WorldState,
+    staged: &[(String, Delta)],
+    touched: &HashSet<RuleKey>,
+    write: &Footprint,
+) -> LoggedCommit {
+    let empty = ProvenanceStore::new();
+    let mut provenance: Vec<(String, ProvenanceDiff)> = Vec::new();
+    let mut names: Vec<&String> = new.provenance.keys().collect();
+    names.sort();
+    for name in names {
+        let new_store = &new.provenance[name];
+        let old_store = old.provenance.get(name);
+        if let Some(old_store) = old_store {
+            if Arc::ptr_eq(old_store, new_store) {
+                continue;
+            }
+        }
+        let diff =
+            ProvenanceDiff::between(old_store.map(|s| s.as_ref()).unwrap_or(&empty), new_store);
+        if !diff.is_empty() {
+            provenance.push((name.clone(), diff));
+        }
+    }
+    let mut touched_rules: Vec<(String, u64)> = touched.iter().cloned().collect();
+    touched_rules.sort();
+    LoggedCommit {
+        version,
+        staged: staged.to_vec(),
+        write: write.clone(),
+        touched_rules,
+        provenance,
+    }
+}
+
+/// Rebuilds a live world from a recovered checkpoint+replay state, on top
+/// of the bootstrap world's constraints.
+pub(crate) fn restore_world(bootstrap: &WorldState, persisted: &PersistedWorld) -> WorldState {
+    let mut world = bootstrap.clone();
+    for table in &persisted.tables {
+        world.catalog.remove(table.name());
+        world.catalog.add(table.clone());
+    }
+    world.provenance = persisted
+        .provenance
+        .iter()
+        .map(|(name, store)| (name.clone(), Arc::new(store.clone())))
+        .collect();
+    // Recovered tables restart at revision zero; every derived structure is
+    // keyed to revisions and must be rebuilt lazily rather than trusted.
+    world.fd_indexes.clear();
+    world.theta_matrices.clear();
+    world.trackers.clear();
+    world.fully_cleaned.clear();
+    world.snapshots.clear();
+    world.violation_indexes.clear();
+    world
+}
+
+/// A read-only reconstruction of the world as of one historical commit,
+/// returned by
+/// [`EngineShared::world_at`](crate::session::EngineShared::world_at).
+#[derive(Debug, Clone)]
+pub struct WorldSnapshot {
+    inner: PersistedWorld,
+}
+
+impl WorldSnapshot {
+    pub(crate) fn new(inner: PersistedWorld) -> WorldSnapshot {
+        WorldSnapshot { inner }
+    }
+
+    /// The commit version this snapshot reconstructs.
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    /// The table as of this version, if it existed.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.inner.tables.iter().find(|t| t.name() == name)
+    }
+
+    /// All table names as of this version, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.inner.tables.iter().map(|t| t.name()).collect()
+    }
+
+    /// The provenance store of a table as of this version, if any cell had
+    /// been cleaned by then.
+    pub fn provenance(&self, table: &str) -> Option<&ProvenanceStore> {
+        self.inner
+            .provenance
+            .iter()
+            .find(|(name, _)| name == table)
+            .map(|(_, store)| store)
+    }
+}

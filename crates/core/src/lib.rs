@@ -31,7 +31,10 @@
 //! * [`session`] — the concurrent multi-session layer:
 //!   [`session::EngineShared`] (the versioned canonical world) and
 //!   [`session::CleaningSession`] (per-request copy-on-write handles with a
-//!   serialized, optimistic commit path).
+//!   serialized, optimistic commit path),
+//! * [`durability`] — the bridge to the `daisy-wal` write-ahead log:
+//!   commit records, checkpoint serialization, recovery, and the
+//!   [`durability::WorldSnapshot`] time-travel view.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,6 +44,7 @@ pub mod clean_dc;
 pub mod clean_join;
 pub mod clean_select;
 pub mod cost;
+pub mod durability;
 pub mod engine;
 pub mod fd_index;
 pub mod index;
@@ -54,6 +58,7 @@ pub mod theta;
 pub mod world;
 
 pub use cost::{DetectionEstimate, DetectionMode};
+pub use durability::WorldSnapshot;
 pub use engine::{DaisyEngine, QueryOutcome};
 pub use fd_index::FdIndex;
 pub use index::{MaintainedIndex, ViolationIndex};

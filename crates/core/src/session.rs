@@ -89,13 +89,17 @@
 //! ```
 
 use std::collections::{HashSet, VecDeque};
+use std::ops::Range;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use daisy_common::{ColumnId, DaisyConfig, DaisyError, Result, TupleId, Value};
 use daisy_query::Query;
 use daisy_storage::{Delta, DeltaOverlay, Footprint, ProvenanceStore, Table};
+use daisy_wal::{LoggedCommit, RealVfs, Vfs, WalStats, WalStore};
 
+use crate::durability::{logged_commit, persisted_world, restore_world, WorldSnapshot};
 use crate::engine::{DaisyEngine, QueryOutcome};
 use crate::report::SessionReport;
 use crate::world::{RuleKey, WorldState};
@@ -130,6 +134,10 @@ struct SharedState {
     /// commits ago cannot be validated cell-by-cell and falls back to a
     /// full rebase.
     capacity: usize,
+    /// The durable store, when the core was opened with
+    /// [`EngineShared::recover`].  Lives under the commit mutex so the
+    /// write-ahead append is serialized with the install it precedes.
+    persistence: Option<WalStore>,
 }
 
 /// What one published commit looked like, for later sessions to validate
@@ -178,9 +186,106 @@ impl EngineShared {
                 world,
                 log: VecDeque::new(),
                 capacity,
+                persistence: None,
             }),
             version: AtomicU64::new(0),
         })
+    }
+
+    /// Opens (or recovers) a durable core in `dir`.
+    ///
+    /// `engine` is the *bootstrap*: tables and constraints registered as at
+    /// first deployment.  Constraints are configuration and are never
+    /// persisted; tables and provenance are.  On a fresh directory the
+    /// bootstrap world is checkpointed as version 0 and becomes the
+    /// canonical state.  On an existing directory the newest valid
+    /// checkpoint is loaded, the commit-log suffix is replayed on top, a
+    /// torn (unsynced) tail is self-truncated, and any damage to
+    /// acknowledged state surfaces as [`DaisyError::CorruptLog`].  Every
+    /// derived structure (indexes, θ-matrices, trackers, snapshots) is
+    /// dropped and rebuilt lazily against the recovered tables.
+    ///
+    /// Subsequent commits append to the write-ahead log *before*
+    /// installing (per [`DaisyConfig::durability`]) and periodically write
+    /// full-world checkpoints (every
+    /// [`DaisyConfig::checkpoint_interval`] commits).
+    pub fn recover(engine: DaisyEngine, dir: &Path) -> Result<Arc<EngineShared>> {
+        EngineShared::recover_with_vfs(engine, dir, Arc::new(RealVfs))
+    }
+
+    /// [`EngineShared::recover`] with an explicit filesystem — the hook the
+    /// crash-injection harness uses to kill the store at every write, sync
+    /// and rename boundary.
+    pub fn recover_with_vfs(
+        engine: DaisyEngine,
+        dir: &Path,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Arc<EngineShared>> {
+        let config = engine.config().clone();
+        let bootstrap = engine.world().clone();
+        let seed = persisted_world(0, &bootstrap);
+        let (store, recovered) = WalStore::open(
+            vfs,
+            dir,
+            config.durability,
+            config.checkpoint_interval,
+            &seed,
+        )?;
+        let world = if recovered.fresh {
+            bootstrap
+        } else {
+            restore_world(&bootstrap, &recovered.world)
+        };
+        let version = recovered.world.version;
+        let capacity = config.commit_log_capacity;
+        Ok(Arc::new(EngineShared {
+            config,
+            state: Mutex::new(SharedState {
+                version,
+                world,
+                log: VecDeque::new(),
+                capacity,
+                persistence: Some(store),
+            }),
+            version: AtomicU64::new(version),
+        }))
+    }
+
+    /// The durability counters (records, fsyncs, checkpoints) of the
+    /// attached store, or `None` for an in-memory core.
+    pub fn persistence_stats(&self) -> Option<WalStats> {
+        self.lock().persistence.as_ref().map(|p| p.stats())
+    }
+
+    /// Reconstructs the world as of commit `version` from the durable
+    /// store: the newest checkpoint at or below it plus a replay of the
+    /// logged delta suffix.
+    ///
+    /// # Errors
+    ///
+    /// [`DaisyError::Execution`] for an in-memory core or a version
+    /// outside the logged range; [`DaisyError::CorruptLog`] if the store
+    /// is damaged.
+    pub fn world_at(&self, version: u64) -> Result<WorldSnapshot> {
+        let state = self.lock();
+        let store = state.persistence.as_ref().ok_or_else(|| {
+            DaisyError::Execution("world_at requires a durable core (EngineShared::recover)".into())
+        })?;
+        Ok(WorldSnapshot::new(store.world_at(version)?))
+    }
+
+    /// The logged commits that take `world_at(range.start)` to
+    /// `world_at(range.end)` — versions `range.start + 1 ..= range.end`,
+    /// each carrying its staged deltas, write footprint, touched rules and
+    /// provenance diff.
+    pub fn deltas_between(&self, range: Range<u64>) -> Result<Vec<LoggedCommit>> {
+        let state = self.lock();
+        let store = state.persistence.as_ref().ok_or_else(|| {
+            DaisyError::Execution(
+                "deltas_between requires a durable core (EngineShared::recover)".into(),
+            )
+        })?;
+        store.deltas_between(range)
     }
 
     /// The configuration every session inherits.
@@ -547,16 +652,38 @@ impl CleaningSession {
         let touched = self.engine.take_touched_rules();
         let write = Footprint::from_deltas(&staged);
         let cells_committed = staged.iter().map(|(_, d)| d.len()).sum();
-        match cause {
-            CommitCause::Clean | CommitCause::FullRebase => {
-                state.world = self.engine.world().clone();
-            }
+        let new_world = match cause {
+            CommitCause::Clean | CommitCause::FullRebase => self.engine.world().clone(),
             CommitCause::FootprintClean | CommitCause::DeltaRecheck => {
                 // The cheap path: rebase the staged overlay onto the current
                 // world in O(|delta|) — no re-execution.
-                let merged = merge_world(&state.world, self.engine.world(), &staged, &touched)?;
-                state.world = merged.clone();
-                self.engine.install_world(merged);
+                merge_world(&state.world, self.engine.world(), &staged, &touched)?
+            }
+        };
+        if state.persistence.is_some() {
+            // Write-ahead: the record must be durably logged (per the sync
+            // policy) before anything installs.  On failure nothing is
+            // installed and the error propagates — the commit was never
+            // acknowledged, and reopening the store self-truncates any
+            // partial frame.
+            let record = logged_commit(
+                state.version + 1,
+                &state.world,
+                &new_world,
+                &staged,
+                &touched,
+                &write,
+            );
+            let store = state.persistence.as_mut().expect("checked above");
+            store.append_commit(&record)?;
+        }
+        match cause {
+            CommitCause::Clean | CommitCause::FullRebase => {
+                state.world = new_world;
+            }
+            CommitCause::FootprintClean | CommitCause::DeltaRecheck => {
+                state.world = new_world.clone();
+                self.engine.install_world(new_world);
             }
         }
         state.version += 1;
@@ -567,6 +694,19 @@ impl CleaningSession {
             touched_rules: touched,
             staged: staged.clone(),
         });
+        if state
+            .persistence
+            .as_ref()
+            .is_some_and(|p| p.checkpoint_due())
+        {
+            // Post-acknowledgement and best-effort: a failed checkpoint
+            // costs recovery time (longer replay), never correctness — the
+            // log already holds the commit.
+            let snapshot = persisted_world(state.version, &state.world);
+            if let Some(store) = state.persistence.as_mut() {
+                let _ = store.checkpoint_now(&snapshot);
+            }
+        }
         let receipt = CommitReceipt {
             version: state.version,
             rebased: cause.is_rebase(),

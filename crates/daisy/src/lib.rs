@@ -75,16 +75,17 @@ pub use daisy_offline as offline;
 pub use daisy_query as query;
 pub use daisy_service as service;
 pub use daisy_storage as storage;
+pub use daisy_wal as wal;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use daisy_common::{
-        CommitValidation, DaisyConfig, DataType, Field, QueryExecMode, Schema, ServiceFairness,
-        Value,
+        CommitValidation, DaisyConfig, DataType, DurabilityMode, Field, QueryExecMode, Schema,
+        ServiceFairness, Value,
     };
     pub use daisy_core::{
         CleaningReport, CleaningSession, CleaningStrategy, CommitCause, CommitReceipt, DaisyEngine,
-        EngineShared, QueryOutcome,
+        EngineShared, QueryOutcome, WorldSnapshot,
     };
     pub use daisy_expr::{BoolExpr, ConstraintSet, DenialConstraint, FunctionalDependency};
     pub use daisy_query::{parse_query, Query};

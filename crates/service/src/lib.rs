@@ -229,6 +229,11 @@ pub struct ServiceReport {
     pub causes: CommitCauseCounts,
     /// The shared version after the run.
     pub final_version: u64,
+    /// `fsync` calls the durable store issued during the run (0 for an
+    /// in-memory core or [`DurabilityMode::Off`](daisy_common::DurabilityMode)).
+    pub fsyncs: u64,
+    /// Full-world checkpoints the durable store wrote during the run.
+    pub checkpoints: u64,
 }
 
 impl ServiceReport {
@@ -270,6 +275,19 @@ impl CleaningService {
         CleaningService { shared }
     }
 
+    /// Builds a durable service: opens (or recovers) the write-ahead store
+    /// in `dir` via [`EngineShared::recover`] and serves the recovered
+    /// world.  Every commit is logged before it installs, per the engine's
+    /// [`durability`](daisy_common::DaisyConfig::durability) policy.
+    pub fn with_persistence(
+        engine: DaisyEngine,
+        dir: &std::path::Path,
+    ) -> Result<Self, daisy_common::DaisyError> {
+        Ok(CleaningService {
+            shared: EngineShared::recover(engine, dir)?,
+        })
+    }
+
     /// The shared core (current committed tables, provenance, version).
     pub fn shared(&self) -> &Arc<EngineShared> {
         &self.shared
@@ -307,6 +325,7 @@ impl CleaningService {
         let admission = self.admission_order(requests);
         let total = admission.len();
         let workers = workers.clamp(1, total.max(1));
+        let stats_before = self.shared.persistence_stats().unwrap_or_default();
 
         let next_request = AtomicUsize::new(0);
         let turnstile: CommitTurnstile<Executed<'_>> = CommitTurnstile::new();
@@ -370,12 +389,17 @@ impl CleaningService {
                 }
             }
         }
+        let stats_after = self.shared.persistence_stats().unwrap_or_default();
         ServiceReport {
             outcomes,
             commits,
             rebases,
             causes,
             final_version: self.shared.version(),
+            fsyncs: stats_after.fsyncs.saturating_sub(stats_before.fsyncs),
+            checkpoints: stats_after
+                .checkpoints
+                .saturating_sub(stats_before.checkpoints),
         }
     }
 
@@ -677,6 +701,8 @@ mod tests {
             rebases: 1,
             causes,
             final_version: 4,
+            fsyncs: 0,
+            checkpoints: 0,
         };
         assert!((report.clean_commit_rate() - 0.75).abs() < 1e-12);
         let empty = ServiceReport {
@@ -685,6 +711,8 @@ mod tests {
             rebases: 0,
             causes: CommitCauseCounts::default(),
             final_version: 0,
+            fsyncs: 0,
+            checkpoints: 0,
         };
         assert!((empty.clean_commit_rate() - 1.0).abs() < 1e-12);
     }

@@ -296,6 +296,15 @@ impl Footprint {
         fp
     }
 
+    /// Rebuilds a footprint from per-table parts, as when decoding a
+    /// serialized commit record.  The inverse of iterating
+    /// [`Footprint::tables`] + [`Footprint::table`].
+    pub fn from_tables(tables: impl IntoIterator<Item = (String, TableFootprint)>) -> Footprint {
+        Footprint {
+            tables: tables.into_iter().collect(),
+        }
+    }
+
     /// Records a whole-table read (every cell of every row).
     pub fn record_table(&mut self, table: &str) {
         self.entry(table).all_columns = RowSet::All;
@@ -514,6 +523,19 @@ mod tests {
         assert!(!writes.covers_cell("t", t(4), c(0)));
         assert!(!writes.covers_cell("t", t(5), c(1)));
         assert!(!writes.covers_cell("u", t(4), c(1)));
+    }
+
+    #[test]
+    fn footprint_round_trips_through_from_tables() {
+        let mut fp = Footprint::new();
+        fp.record_columns("t", [c(1)]);
+        fp.record_rows("t", [t(5), t(6)]);
+        fp.record_table("u");
+        let rebuilt = Footprint::from_tables(
+            fp.tables()
+                .map(|name| (name.to_string(), fp.table(name).unwrap().clone())),
+        );
+        assert_eq!(rebuilt, fp);
     }
 
     #[test]

@@ -168,6 +168,33 @@ impl ProvenanceStore {
         entries
     }
 
+    /// A canonical dump of the per-rule checked sets, sorted by rule with
+    /// each tuple set sorted.
+    ///
+    /// Together with [`ProvenanceStore::dump`] this covers the store's
+    /// entire observable state, which is what the durability layer
+    /// serializes: `dump` + `checked_dump` in, [`ProvenanceStore::set_cell`]
+    /// + [`ProvenanceStore::mark_checked`] out reproduces the store exactly.
+    pub fn checked_dump(&self) -> Vec<(RuleId, Vec<TupleId>)> {
+        let mut entries: Vec<(RuleId, Vec<TupleId>)> = self
+            .checked
+            .iter()
+            .map(|(rule, tuples)| {
+                let mut ids: Vec<TupleId> = tuples.iter().copied().collect();
+                ids.sort_unstable();
+                (*rule, ids)
+            })
+            .collect();
+        entries.sort_by_key(|(rule, _)| *rule);
+        entries
+    }
+
+    /// Replaces the full provenance of one cell, as when decoding a
+    /// serialized store or applying a logged provenance diff.
+    pub fn set_cell(&mut self, tuple: TupleId, column: ColumnId, provenance: CellProvenance) {
+        self.cells.insert((tuple, column), provenance);
+    }
+
     /// Replaces this store's entries for `cells` with `other`'s (cells
     /// `other` has no entry for are left untouched).
     ///
@@ -253,6 +280,30 @@ mod tests {
         assert_eq!(dump[1].0, (TupleId::new(9), ColumnId::new(1)));
         assert_eq!(dump[0].1.original, Some(Value::Int(2)));
         assert_eq!(dump[0].1.evidence.len(), 1);
+    }
+
+    #[test]
+    fn dump_round_trips_through_set_cell_and_mark_checked() {
+        let mut store = ProvenanceStore::new();
+        store.record_original(TupleId::new(3), ColumnId::new(1), Value::Int(7));
+        store.record_evidence(TupleId::new(3), ColumnId::new(1), ev(0, &[4]));
+        store.mark_checked(RuleId::new(0), [TupleId::new(3), TupleId::new(4)]);
+        store.mark_checked(RuleId::new(2), [TupleId::new(9)]);
+
+        let mut rebuilt = ProvenanceStore::new();
+        for ((tuple, column), prov) in store.dump() {
+            rebuilt.set_cell(tuple, column, prov);
+        }
+        for (rule, tuples) in store.checked_dump() {
+            rebuilt.mark_checked(rule, tuples);
+        }
+        assert_eq!(rebuilt.dump(), store.dump());
+        assert_eq!(rebuilt.checked_dump(), store.checked_dump());
+        // checked_dump is sorted by rule, tuples sorted within each rule.
+        let checked = store.checked_dump();
+        assert_eq!(checked[0].0, RuleId::new(0));
+        assert_eq!(checked[0].1, vec![TupleId::new(3), TupleId::new(4)]);
+        assert_eq!(checked[1].0, RuleId::new(2));
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Full-world checkpoints and the mutable root pointer.
+//!
+//! A checkpoint file `checkpoint-{version:016x}.ckpt` holds one serialized
+//! [`PersistedWorld`], framed like a log record (magic + format + length +
+//! CRC) and made visible atomically: the bytes go to a `.tmp` file that is
+//! renamed into place only once complete, so a crash mid-checkpoint leaves
+//! at most a stray temp file, never a half checkpoint under the real name.
+//! Old checkpoints are retained — they are what makes `world_at(v)` cheap
+//! for old versions.
+//!
+//! A small mutable `ROOT` file names the newest checkpoint (also written
+//! via temp + rename).  It is an *optimization*, not a source of truth:
+//! when missing, stale or corrupt, recovery falls back to listing the
+//! directory and trying checkpoints newest-first, so damaging `ROOT` can
+//! slow recovery down but never change what it loads.
+
+use std::path::{Path, PathBuf};
+
+use daisy_common::{DaisyError, Result};
+
+use crate::checksum::crc32;
+use crate::codec::{Decoder, Encoder, PersistedWorld};
+use crate::vfs::Vfs;
+
+/// Magic bytes opening every checkpoint file.
+pub const CKPT_MAGIC: &[u8; 8] = b"DAISYCKP";
+/// On-disk checkpoint format version.
+pub const CKPT_FORMAT: u32 = 1;
+/// File name of the root pointer.
+pub const ROOT_FILE: &str = "ROOT";
+
+/// The checkpoint file name for a version.
+pub fn checkpoint_file_name(version: u64) -> String {
+    format!("checkpoint-{version:016x}.ckpt")
+}
+
+/// Parses a checkpoint file name back to its version.
+pub fn parse_checkpoint_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("checkpoint-")?.strip_suffix(".ckpt")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Writes a checkpoint for `world` and repoints `ROOT` at it.
+pub fn write_checkpoint(vfs: &dyn Vfs, dir: &Path, world: &PersistedWorld) -> Result<()> {
+    let mut payload = Encoder::new();
+    world.encode(&mut payload);
+    let payload = payload.into_bytes();
+    let mut bytes = Vec::with_capacity(payload.len() + 20);
+    bytes.extend_from_slice(CKPT_MAGIC);
+    bytes.extend_from_slice(&CKPT_FORMAT.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let name = checkpoint_file_name(world.version);
+    write_atomically(vfs, dir, &name, &bytes)?;
+    write_atomically(vfs, dir, ROOT_FILE, name.as_bytes())?;
+    Ok(())
+}
+
+fn write_atomically(vfs: &dyn Vfs, dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut file = vfs.create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync()?;
+    drop(file);
+    vfs.rename(&tmp, &dir.join(name))?;
+    Ok(())
+}
+
+/// Reads and verifies one checkpoint file.
+pub fn read_checkpoint(vfs: &dyn Vfs, path: &Path) -> Result<PersistedWorld> {
+    let bytes = vfs.read(path)?;
+    if bytes.len() < 20 {
+        return Err(DaisyError::CorruptLog {
+            offset: bytes.len() as u64,
+            reason: "checkpoint truncated before its header".into(),
+        });
+    }
+    if &bytes[..8] != CKPT_MAGIC {
+        return Err(DaisyError::CorruptLog {
+            offset: 0,
+            reason: "bad checkpoint magic".into(),
+        });
+    }
+    let format = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if format != CKPT_FORMAT {
+        return Err(DaisyError::CorruptLog {
+            offset: 8,
+            reason: format!("unsupported checkpoint format {format}"),
+        });
+    }
+    let len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let payload = bytes
+        .get(20..20 + len)
+        .ok_or_else(|| DaisyError::CorruptLog {
+            offset: 12,
+            reason: "checkpoint length prefix exceeds file".into(),
+        })?;
+    if bytes.len() != 20 + len {
+        return Err(DaisyError::CorruptLog {
+            offset: (20 + len) as u64,
+            reason: "trailing bytes after checkpoint payload".into(),
+        });
+    }
+    if crc32(payload) != crc {
+        return Err(DaisyError::CorruptLog {
+            offset: 20,
+            reason: "checkpoint checksum mismatch".into(),
+        });
+    }
+    let mut d = Decoder::new(payload, 20);
+    let world = PersistedWorld::decode(&mut d)?;
+    d.expect_exhausted()?;
+    Ok(world)
+}
+
+/// The versions with a checkpoint file present, newest first.
+pub fn list_checkpoints(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<u64>> {
+    let mut versions: Vec<u64> = vfs
+        .list(dir)?
+        .iter()
+        .filter_map(|name| parse_checkpoint_file_name(name))
+        .collect();
+    versions.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(versions)
+}
+
+/// Loads the newest verifiable checkpoint with `version <= at_most`.
+///
+/// `ROOT` is consulted first; when it is missing, stale or names a corrupt
+/// file, every listed checkpoint is tried newest-first.  Checkpoints that
+/// fail verification are skipped (an older one plus a longer replay still
+/// recovers correctly); only when *no* candidate loads does the error
+/// surface.
+pub fn load_best_checkpoint(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    at_most: u64,
+) -> Result<Option<PersistedWorld>> {
+    // Fast path: the root pointer.
+    let root = dir.join(ROOT_FILE);
+    if vfs.exists(&root) {
+        if let Ok(bytes) = vfs.read(&root) {
+            if let Ok(name) = String::from_utf8(bytes) {
+                let name = name.trim();
+                if let Some(version) = parse_checkpoint_file_name(name) {
+                    if version <= at_most {
+                        if let Ok(world) = read_checkpoint(vfs, &dir.join(name)) {
+                            if world.version == version {
+                                return Ok(Some(world));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Fallback: scan the directory newest-first.
+    let mut last_err = None;
+    for version in list_checkpoints(vfs, dir)? {
+        if version > at_most {
+            continue;
+        }
+        match read_checkpoint(vfs, &dir.join(checkpoint_file_name(version))) {
+            Ok(world) if world.version == version => return Ok(Some(world)),
+            Ok(world) => {
+                last_err = Some(DaisyError::CorruptLog {
+                    offset: 0,
+                    reason: format!(
+                        "checkpoint file for v{version} holds world v{}",
+                        world.version
+                    ),
+                });
+            }
+            Err(err) => last_err = Some(err),
+        }
+    }
+    match last_err {
+        // Every candidate was corrupt: refuse rather than silently replay
+        // from nothing.
+        Some(err) => Err(err),
+        None => Ok(None),
+    }
+}
+
+/// The path of a version's checkpoint file.
+pub fn checkpoint_path(dir: &Path, version: u64) -> PathBuf {
+    dir.join(checkpoint_file_name(version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{RealVfs, ScratchDir};
+    use daisy_common::{DataType, Schema, Value};
+    use daisy_storage::Table;
+
+    fn world(version: u64) -> PersistedWorld {
+        let mut table = Table::new("t", Schema::from_pairs(&[("x", DataType::Int)]).unwrap());
+        for i in 0..version {
+            table.push_values(vec![Value::Int(i as i64)]).unwrap();
+        }
+        PersistedWorld {
+            version,
+            tables: vec![table],
+            provenance: vec![],
+        }
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        assert_eq!(
+            parse_checkpoint_file_name(&checkpoint_file_name(42)),
+            Some(42)
+        );
+        assert_eq!(parse_checkpoint_file_name("checkpoint-zz.ckpt"), None);
+        assert_eq!(parse_checkpoint_file_name("ROOT"), None);
+        assert_eq!(parse_checkpoint_file_name("checkpoint-2a.ckpt"), None);
+    }
+
+    #[test]
+    fn checkpoints_round_trip_and_root_points_at_newest() {
+        let dir = ScratchDir::new();
+        let vfs = RealVfs;
+        write_checkpoint(&vfs, dir.path(), &world(3)).unwrap();
+        write_checkpoint(&vfs, dir.path(), &world(7)).unwrap();
+        assert_eq!(list_checkpoints(&vfs, dir.path()).unwrap(), vec![7, 3]);
+        let best = load_best_checkpoint(&vfs, dir.path(), u64::MAX)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.version, 7);
+        // Bounded lookups pick the newest at or below the bound.
+        let best = load_best_checkpoint(&vfs, dir.path(), 5).unwrap().unwrap();
+        assert_eq!(best.version, 3);
+        assert!(load_best_checkpoint(&vfs, dir.path(), 2).unwrap().is_none());
+        // No temp files linger.
+        assert!(!list_files(&dir).iter().any(|n| n.ends_with(".tmp")));
+    }
+
+    fn list_files(dir: &ScratchDir) -> Vec<String> {
+        RealVfs.list(dir.path()).unwrap()
+    }
+
+    #[test]
+    fn corrupt_root_falls_back_to_listing() {
+        let dir = ScratchDir::new();
+        let vfs = RealVfs;
+        write_checkpoint(&vfs, dir.path(), &world(3)).unwrap();
+        std::fs::write(dir.path().join(ROOT_FILE), b"garbage").unwrap();
+        let best = load_best_checkpoint(&vfs, dir.path(), u64::MAX)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.version, 3);
+        // A missing ROOT behaves identically.
+        std::fs::remove_file(dir.path().join(ROOT_FILE)).unwrap();
+        let best = load_best_checkpoint(&vfs, dir.path(), u64::MAX)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.version, 3);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_older() {
+        let dir = ScratchDir::new();
+        let vfs = RealVfs;
+        write_checkpoint(&vfs, dir.path(), &world(3)).unwrap();
+        write_checkpoint(&vfs, dir.path(), &world(7)).unwrap();
+        let newest = dir.path().join(checkpoint_file_name(7));
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        let best = load_best_checkpoint(&vfs, dir.path(), u64::MAX)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.version, 3);
+        // When every checkpoint is corrupt, the error surfaces.
+        let older = dir.path().join(checkpoint_file_name(3));
+        let mut bytes = std::fs::read(&older).unwrap();
+        bytes[25] ^= 0xFF;
+        std::fs::write(&older, &bytes).unwrap();
+        let err = load_best_checkpoint(&vfs, dir.path(), u64::MAX).unwrap_err();
+        assert_eq!(err.category(), "corrupt-log");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let dir = ScratchDir::new();
+        let vfs = RealVfs;
+        write_checkpoint(&vfs, dir.path(), &world(2)).unwrap();
+        let path = dir.path().join(checkpoint_file_name(2));
+        let good = std::fs::read(&path).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            std::fs::write(&path, &bad).unwrap();
+            let result = read_checkpoint(&vfs, &path);
+            assert!(
+                result.is_err(),
+                "byte flip at {i} slipped past verification"
+            );
+            assert_eq!(result.unwrap_err().category(), "corrupt-log");
+        }
+        // Truncations are caught as well.
+        for cut in 0..good.len() {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(read_checkpoint(&vfs, &path).is_err());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Durable worlds for daisy: a write-ahead commit log, periodic full-world
+//! checkpoints, crash recovery, and time travel.
+//!
+//! The log is an append-only file of length-prefixed, CRC32-checksummed,
+//! hash-chained records — one per committed delta, carrying the staged
+//! [`daisy_storage::Delta`]s, the write [`daisy_storage::Footprint`], the
+//! touched rule keys and a provenance diff, keyed by commit version.
+//! Checkpoints serialize the full table + provenance state at a version and
+//! are installed atomically (temp file + rename) behind a root pointer.
+//!
+//! Recovery loads the newest valid checkpoint and replays the delta suffix,
+//! self-truncating a torn (unsynced) tail after verifying the hash chain;
+//! any damage to acknowledged state surfaces as
+//! [`daisy_common::DaisyError::CorruptLog`], never as silently wrong data.
+//! On the same log, [`WalStore::world_at`] reconstructs any historical
+//! world and [`WalStore::deltas_between`] answers "what did commits `a..b`
+//! change".
+//!
+//! All file access goes through the [`Vfs`] trait so tests can inject
+//! crashes at every write, sync and rename boundary via [`FailpointVfs`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checkpoint;
+pub mod checksum;
+pub mod codec;
+pub mod log;
+pub mod store;
+pub mod vfs;
+
+pub use checkpoint::{
+    checkpoint_file_name, list_checkpoints, load_best_checkpoint, parse_checkpoint_file_name,
+    read_checkpoint, write_checkpoint, CKPT_FORMAT, CKPT_MAGIC, ROOT_FILE,
+};
+pub use checksum::{chain_next, crc32, CHAIN_SEED};
+pub use codec::{Decoder, Encoder, LoggedCommit, PersistedWorld, ProvenanceDiff};
+pub use log::{
+    scan_log, CommitLog, LogScan, BATCH_SYNC_RECORDS, FRAME_HEADER_LEN, LOG_FORMAT, LOG_HEADER_LEN,
+    LOG_MAGIC,
+};
+pub use store::{Recovered, WalStats, WalStore, LOG_FILE};
+pub use vfs::{FailpointVfs, RealVfs, ScratchDir, Vfs, WalFile};

@@ -1,0 +1,401 @@
+//! Filesystem abstraction of the durability layer.
+//!
+//! Every byte the log or a checkpoint touches goes through the [`Vfs`]
+//! trait, for one reason: **crash injection**.  [`RealVfs`] forwards to
+//! `std::fs`; [`FailpointVfs`] wraps it with an operation budget and, once
+//! the budget is spent, simulates the process dying mid-write — the
+//! in-flight `write_all` persists only half its bytes and every subsequent
+//! operation fails.  The recovery harness reruns the same workload with
+//! every possible budget, so each record write, sync and rename boundary is
+//! crashed at exactly once.
+//!
+//! The trait is deliberately tiny (append, rename, read, truncate, list):
+//! recovery reads whole files, and the writers only ever append or
+//! atomically replace, so nothing else is needed.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An open writable file: appends plus explicit durability points.
+pub trait WalFile: Send {
+    /// Appends all bytes at the current end of the file.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Forces previously written bytes to stable storage (`fsync`).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations the durability layer needs.
+pub trait Vfs: Send + Sync {
+    /// Creates a directory and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Creates (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
+    /// Opens a file for appending, creating it if missing.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
+    /// Atomically replaces `to` with `from`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Truncates a file to `len` bytes (self-truncating a torn tail).
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// The file names (not paths) inside a directory.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// `true` when the path exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem
+// ---------------------------------------------------------------------------
+
+/// The production [`Vfs`]: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+struct RealFile(std::fs::File);
+
+impl WalFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        use io::Write as _;
+        self.0.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        Ok(Box::new(RealFile(std::fs::File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection
+// ---------------------------------------------------------------------------
+
+/// A [`Vfs`] that simulates the process dying after a fixed number of
+/// mutating operations.
+///
+/// Every mutating operation (`write_all`, `sync`, `create`, `rename`,
+/// `set_len`) consumes one unit of `budget`; the first operation past the
+/// budget *tears*: a `write_all` persists only the first half of its bytes
+/// before failing, any other operation fails without effect.  After that,
+/// **all** operations — reads included — fail, modelling a dead process; a
+/// separate recovery run with a fresh [`RealVfs`] then inspects what
+/// actually reached the disk.
+///
+/// The total number of mutating operations a workload attempts is exposed
+/// via [`FailpointVfs::ops_attempted`], so a harness can first run with an
+/// unlimited budget to count the failpoints and then crash at each one.
+#[derive(Clone)]
+pub struct FailpointVfs {
+    inner: RealVfs,
+    budget: Arc<AtomicI64>,
+    ops: Arc<AtomicU64>,
+}
+
+impl FailpointVfs {
+    /// Wraps the real filesystem with `budget` mutating operations allowed
+    /// to complete before the simulated crash.
+    pub fn new(budget: i64) -> FailpointVfs {
+        FailpointVfs {
+            inner: RealVfs,
+            budget: Arc::new(AtomicI64::new(budget)),
+            ops: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// An effectively unlimited budget, used to count a workload's
+    /// failpoints.
+    pub fn unlimited() -> FailpointVfs {
+        FailpointVfs::new(i64::MAX)
+    }
+
+    /// Total mutating operations attempted so far (each is a failpoint).
+    pub fn ops_attempted(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// `true` once the simulated crash has happened.
+    pub fn crashed(&self) -> bool {
+        self.budget.load(Ordering::SeqCst) < 0
+    }
+
+    fn dead() -> io::Error {
+        io::Error::other("failpoint: simulated crash")
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.crashed() {
+            Err(Self::dead())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes one unit of budget.  `Ok(true)` means the operation may
+    /// complete, `Ok(false)` means *this* operation is the crash point
+    /// (it should tear), `Err` means the process is already dead.
+    fn charge(&self) -> io::Result<bool> {
+        charge(&self.ops, &self.budget)
+    }
+}
+
+fn charge(ops: &AtomicU64, budget: &AtomicI64) -> io::Result<bool> {
+    let before = budget.fetch_sub(1, Ordering::SeqCst);
+    if before < 0 {
+        // Already dead: this op never really ran, so it is not a failpoint.
+        return Err(FailpointVfs::dead());
+    }
+    ops.fetch_add(1, Ordering::SeqCst);
+    Ok(before > 0)
+}
+
+struct FailpointFile {
+    inner: Box<dyn WalFile>,
+    budget: Arc<AtomicI64>,
+    ops: Arc<AtomicU64>,
+}
+
+impl FailpointFile {
+    fn charge(&self) -> io::Result<bool> {
+        charge(&self.ops, &self.budget)
+    }
+}
+
+impl WalFile for FailpointFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        if self.charge()? {
+            self.inner.write_all(buf)
+        } else {
+            // The crash tears this write: half the bytes reach the file.
+            self.inner.write_all(&buf[..buf.len() / 2])?;
+            Err(FailpointVfs::dead())
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.charge()? {
+            self.inner.sync()
+        } else {
+            Err(FailpointVfs::dead())
+        }
+    }
+}
+
+impl Vfs for FailpointVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        if self.charge()? {
+            Ok(Box::new(FailpointFile {
+                inner: self.inner.create(path)?,
+                budget: Arc::clone(&self.budget),
+                ops: Arc::clone(&self.ops),
+            }))
+        } else {
+            Err(Self::dead())
+        }
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        self.check_alive()?;
+        Ok(Box::new(FailpointFile {
+            inner: self.inner.open_append(path)?,
+            budget: Arc::clone(&self.budget),
+            ops: Arc::clone(&self.ops),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.charge()? {
+            self.inner.rename(from, to)
+        } else {
+            // The rename is atomic: the crash means it simply never happened.
+            Err(Self::dead())
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.read(path)
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        if self.charge()? {
+            self.inner.set_len(path, len)
+        } else {
+            Err(Self::dead())
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.check_alive()?;
+        self.inner.list(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch directories for tests
+// ---------------------------------------------------------------------------
+
+/// A unique temporary directory removed on drop, so persistence tests never
+/// leak files into the workspace tree (or anywhere else).
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates a fresh directory under the system temp dir.
+    pub fn new() -> ScratchDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = std::env::temp_dir().join(format!(
+            "daisy-wal-{}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst),
+            nanos
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Default for ScratchDir {
+    fn default() -> Self {
+        ScratchDir::new()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique_and_cleaned_up() {
+        let a = ScratchDir::new();
+        let b = ScratchDir::new();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("x"), b"y").unwrap();
+        drop(a);
+        assert!(!kept.exists());
+    }
+
+    #[test]
+    fn real_vfs_appends_reads_and_truncates() {
+        let dir = ScratchDir::new();
+        let vfs = RealVfs;
+        let path = dir.path().join("f");
+        let mut file = vfs.open_append(&path).unwrap();
+        file.write_all(b"hello ").unwrap();
+        file.write_all(b"world").unwrap();
+        file.sync().unwrap();
+        drop(file);
+        // A second append handle continues at the end.
+        let mut file = vfs.open_append(&path).unwrap();
+        file.write_all(b"!").unwrap();
+        drop(file);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello world!");
+        vfs.set_len(&path, 5).unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        assert!(vfs.exists(&path));
+        assert_eq!(vfs.list(dir.path()).unwrap(), vec!["f".to_string()]);
+    }
+
+    #[test]
+    fn failpoint_tears_the_fatal_write_and_kills_the_rest() {
+        let dir = ScratchDir::new();
+        let path = dir.path().join("f");
+        // Budget 2: the create and the first write succeed, the second
+        // write tears.
+        let vfs = FailpointVfs::new(2);
+        let mut file = vfs.create(&path).unwrap();
+        file.write_all(b"aaaa").unwrap();
+        assert!(file.write_all(b"bbbb").is_err());
+        assert!(vfs.crashed());
+        // Half of the fatal write reached the file.
+        assert_eq!(RealVfs.read(&path).unwrap(), b"aaaabb");
+        // Everything afterwards fails, reads included.
+        assert!(file.sync().is_err());
+        assert!(vfs.read(&path).is_err());
+        assert!(vfs.rename(&path, &dir.path().join("g")).is_err());
+        assert_eq!(vfs.ops_attempted(), 3);
+    }
+
+    #[test]
+    fn failpoint_rename_crash_leaves_target_untouched() {
+        let dir = ScratchDir::new();
+        let from = dir.path().join("from");
+        let to = dir.path().join("to");
+        std::fs::write(&from, b"new").unwrap();
+        std::fs::write(&to, b"old").unwrap();
+        let vfs = FailpointVfs::new(0);
+        assert!(vfs.rename(&from, &to).is_err());
+        assert_eq!(RealVfs.read(&to).unwrap(), b"old");
+    }
+}
